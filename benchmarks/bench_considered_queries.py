@@ -1,0 +1,53 @@
+"""Optimality claim (i): queries considered per stream event.
+
+The abstract claims MRIO is optimal w.r.t. the number of queries whose score
+must be computed per stream event, among all exact algorithms that follow the
+ID-ordering paradigm.  This benchmark reports, for every method, the number
+of full score evaluations and pivot iterations per event, plus the lower
+bound given by the number of result updates (a query whose result changes
+must necessarily be scored).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.figures import considered_queries_spec
+from repro.bench.harness import run_experiment
+from repro.bench.reporting import format_counter_table, format_response_table
+
+
+@pytest.mark.benchmark(group="optimality")
+@pytest.mark.parametrize("workload", ["uniform", "connected"])
+def test_considered_queries_per_event(benchmark, report, workload):
+    spec = considered_queries_spec(workload=workload)
+
+    result = benchmark.pedantic(run_experiment, args=(spec,), rounds=1, iterations=1)
+
+    tables = "\n\n".join(
+        [
+            format_counter_table(
+                result,
+                "full_evaluations",
+                title=f"[optimality/{workload}] queries considered per stream event",
+            ),
+            format_counter_table(
+                result,
+                "result_updates",
+                title=f"[optimality/{workload}] result updates per event (lower bound)",
+            ),
+            format_counter_table(result, "iterations"),
+            format_response_table(result),
+        ]
+    )
+    report(f"optimality_considered_{workload}", tables)
+
+    num_queries = spec.query_counts[0]
+    updates = result.cell("mrio", num_queries).counters["result_updates"]
+    mrio_evals = result.cell("mrio", num_queries).counters["full_evaluations"]
+    # MRIO's considered queries sit close to the lower bound and below every
+    # competitor (the reproducible core of the optimality claim).
+    assert mrio_evals >= updates
+    for competitor in ("rta", "sortquer", "tps", "rio"):
+        competitor_evals = result.cell(competitor, num_queries).counters["full_evaluations"]
+        assert mrio_evals <= competitor_evals * 1.05 + 5

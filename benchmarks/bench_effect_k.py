@@ -1,0 +1,40 @@
+"""Ablation: effect of the result size k (journal-style experiment).
+
+Larger k keeps weaker documents in every result, which lowers the thresholds
+``S_k`` and therefore weakens every pruning bound; response times and the
+number of considered queries grow with k for all methods.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.figures import effect_of_k_spec
+from repro.bench.harness import run_experiment
+from repro.bench.reporting import format_counter_table, format_response_table
+
+K_VALUES = (1, 10, 50)
+
+
+@pytest.mark.benchmark(group="ablation-k")
+@pytest.mark.parametrize("k", K_VALUES)
+def test_effect_of_k(benchmark, report, k):
+    spec = effect_of_k_spec(k)
+
+    result = benchmark.pedantic(run_experiment, args=(spec,), rounds=1, iterations=1)
+
+    tables = "\n\n".join(
+        [
+            format_response_table(result, title=f"[ablation k={k}] mean response time per event (ms)"),
+            format_counter_table(result, "full_evaluations"),
+            format_counter_table(result, "result_updates"),
+        ]
+    )
+    report(f"ablation_k_{k}", tables)
+
+    num_queries = spec.query_counts[0]
+    for algorithm in spec.algorithms:
+        run = result.cell(algorithm, num_queries)
+        assert run is not None
+        # With a bounded result size, updates can never exceed k per query per event.
+        assert run.counters["result_updates"] <= k * num_queries

@@ -1,0 +1,37 @@
+"""Ablation: effect of the decay parameter λ (journal-style experiment).
+
+A larger λ favours recent documents more aggressively: arriving documents
+displace current results more often, thresholds are effectively lower
+relative to fresh arrivals, pruning weakens and all methods slow down.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.figures import effect_of_lambda_spec
+from repro.bench.harness import run_experiment
+from repro.bench.reporting import format_counter_table, format_response_table
+
+LAMBDA_VALUES = (1e-4, 1e-3, 1e-2)
+
+
+@pytest.mark.benchmark(group="ablation-lambda")
+@pytest.mark.parametrize("lam", LAMBDA_VALUES)
+def test_effect_of_lambda(benchmark, report, lam):
+    spec = effect_of_lambda_spec(lam)
+
+    result = benchmark.pedantic(run_experiment, args=(spec,), rounds=1, iterations=1)
+
+    tables = "\n\n".join(
+        [
+            format_response_table(
+                result, title=f"[ablation lambda={lam:g}] mean response time per event (ms)"
+            ),
+            format_counter_table(result, "result_updates"),
+            format_counter_table(result, "full_evaluations"),
+        ]
+    )
+    report(f"ablation_lambda_{lam:g}", tables)
+
+    assert len(result.runs) == len(spec.algorithms)

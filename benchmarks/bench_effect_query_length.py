@@ -1,0 +1,39 @@
+"""Ablation: effect of the number of keywords per query (journal-style).
+
+Longer queries appear in more posting lists, so every arriving document
+touches more lists and more entries; at the same time individual keyword
+weights shrink (vectors are normalized), which changes how quickly the
+prefix bounds reach 1.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.figures import effect_of_query_length_spec
+from repro.bench.harness import run_experiment
+from repro.bench.reporting import format_counter_table, format_response_table
+
+QUERY_LENGTHS = (2, 4, 8)
+
+
+@pytest.mark.benchmark(group="ablation-query-length")
+@pytest.mark.parametrize("max_terms", QUERY_LENGTHS)
+def test_effect_of_query_length(benchmark, report, max_terms):
+    spec = effect_of_query_length_spec(max_terms)
+
+    result = benchmark.pedantic(run_experiment, args=(spec,), rounds=1, iterations=1)
+
+    tables = "\n\n".join(
+        [
+            format_response_table(
+                result,
+                title=f"[ablation query length<={max_terms}] mean response time per event (ms)",
+            ),
+            format_counter_table(result, "postings_scanned"),
+            format_counter_table(result, "full_evaluations"),
+        ]
+    )
+    report(f"ablation_qlen_{max_terms}", tables)
+
+    assert len(result.runs) == len(spec.algorithms)

@@ -1,0 +1,47 @@
+"""Figure 1(a) — Wiki-Uniform: response time vs. number of registered queries.
+
+Regenerates the left panel of the paper's Figure 1: the mean time to refresh
+all query results per stream event, as the number of registered queries
+doubles step by step, for RTA, RIO, MRIO, SortQuer and TPS on the Uniform
+query workload.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.figures import figure1_uniform_spec
+from repro.bench.harness import run_experiment
+from repro.bench.reporting import (
+    format_counter_table,
+    format_response_table,
+    format_speedup_table,
+)
+
+
+@pytest.mark.benchmark(group="figure1")
+def test_figure1_uniform(benchmark, report):
+    spec = figure1_uniform_spec()
+
+    result = benchmark.pedantic(run_experiment, args=(spec,), rounds=1, iterations=1)
+
+    tables = "\n\n".join(
+        [
+            format_response_table(result, title="[Figure 1a] Wiki-Uniform: mean response time per event (ms)"),
+            format_speedup_table(result, reference="mrio"),
+            format_counter_table(result, "full_evaluations"),
+            format_counter_table(result, "iterations"),
+        ]
+    )
+    report("fig1a_wiki_uniform", tables)
+
+    # Structural sanity: every algorithm produced every cell, and the
+    # ID-ordering methods never consider more queries than the scan-everything
+    # baselines (the paper's pruning claim).
+    assert len(result.runs) == len(spec.query_counts) * len(spec.algorithms)
+    for num_queries in spec.query_counts:
+        mrio = result.cell("mrio", num_queries)
+        rio = result.cell("rio", num_queries)
+        tps = result.cell("tps", num_queries)
+        assert mrio.counters["full_evaluations"] <= rio.counters["full_evaluations"] * 1.05 + 5
+        assert rio.counters["full_evaluations"] <= tps.counters["full_evaluations"] * 1.05 + 5

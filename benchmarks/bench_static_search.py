@@ -1,0 +1,56 @@
+"""Substrate benchmark: static top-k search (TAAT vs DAAT vs WAND).
+
+The paper's introduction contrasts continuous monitoring with classical
+top-k retrieval over a static, ID-ordered inverted file.  This benchmark
+exercises that substrate directly: it indexes a synthetic collection and
+measures the three evaluation strategies on a batch of keyword queries.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.spec import SCALE_PROFILES, active_profile
+from repro.documents.corpus import CorpusConfig, SyntheticCorpus
+from repro.queries.workloads import UniformWorkload, WorkloadConfig
+from repro.search.engine import SearchEngine
+
+STRATEGIES = ("taat", "daat", "wand")
+
+
+def _build_collection():
+    profile = SCALE_PROFILES[active_profile()]
+    corpus = SyntheticCorpus(
+        CorpusConfig(
+            vocabulary_size=int(profile["vocabulary_size"]),
+            mean_tokens=float(profile["mean_tokens"]),
+            seed=29,
+        )
+    )
+    documents = corpus.generate_documents(int(profile["warmup_events"]))
+    queries = UniformWorkload(
+        corpus, config=WorkloadConfig(min_terms=2, max_terms=4, seed=31), seed=31
+    ).generate(200)
+    return documents, queries
+
+
+@pytest.mark.benchmark(group="static-search")
+@pytest.mark.parametrize("strategy", STRATEGIES)
+def test_static_search(benchmark, report, strategy):
+    documents, queries = _build_collection()
+    engine = SearchEngine(strategy=strategy)
+    engine.add_all(documents)
+
+    def run_batch():
+        total_hits = 0
+        for query in queries:
+            total_hits += len(engine.search(query.vector, k=10))
+        return total_hits
+
+    total_hits = benchmark(run_batch)
+    report(
+        f"static_search_{strategy}",
+        f"[static search/{strategy}] {len(queries)} queries over "
+        f"{engine.num_documents} documents -> {total_hits} hits",
+    )
+    assert total_hits >= 0

@@ -1,0 +1,48 @@
+"""Ablation: the three UB* implementations of MRIO (journal Sec. 5.2).
+
+All three maintainers produce correct results (the test-suite verifies that);
+they differ in bound tightness and in the cost of answering a zone-maximum
+query:
+
+* ``exact``  — scans the zone with live thresholds (tightest, per-entry cost),
+* ``tree``   — segment-tree range maxima over stored ratios,
+* ``block``  — block maxima only (loosest, cheapest lookups).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.bench.figures import ub_variants_spec
+from repro.bench.harness import ExperimentResult, run_cell
+from repro.bench.reporting import format_counter_table, format_response_table
+
+UB_VARIANTS = ("exact", "tree", "block")
+
+
+@pytest.mark.benchmark(group="ablation-ub")
+@pytest.mark.parametrize("variant", UB_VARIANTS)
+def test_ub_variant(benchmark, report, variant):
+    spec = replace(ub_variants_spec(), ub_variant=variant, name=f"ub-{variant}")
+    num_queries = spec.query_counts[0]
+
+    run = benchmark.pedantic(
+        run_cell, args=(spec, "mrio", num_queries), rounds=1, iterations=1
+    )
+
+    result = ExperimentResult(spec=spec, runs=[run])
+    tables = "\n\n".join(
+        [
+            format_response_table(
+                result, title=f"[ablation UB*={variant}] mean response time per event (ms)"
+            ),
+            format_counter_table(result, "full_evaluations"),
+            format_counter_table(result, "iterations"),
+            format_counter_table(result, "bound_computations"),
+        ]
+    )
+    report(f"ablation_ub_{variant}", tables)
+
+    assert run.counters["full_evaluations"] >= run.counters["result_updates"]

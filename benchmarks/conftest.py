@@ -1,0 +1,43 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark regenerates one table/figure of the paper's evaluation (see
+DESIGN.md §4).  The measured quantity the paper reports is the *mean response
+time per stream event* after warm-up; pytest-benchmark additionally times the
+whole experiment cell.  Each benchmark writes its formatted tables to
+``benchmarks/results/<experiment>.txt`` and echoes them to the terminal, so
+the numbers survive output capturing.
+
+The scale profile defaults to ``small`` and can be changed with the
+``REPRO_BENCH_PROFILE`` environment variable (``tiny`` / ``small`` /
+``medium``).
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def emit_report(name: str, text: str, capsys=None) -> None:
+    """Write a report file and echo it to the real terminal."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    if capsys is not None:
+        with capsys.disabled():
+            print(f"\n{text}\n[written to {path}]")
+    else:  # pragma: no cover - fallback when no capsys is available
+        print(text)
+
+
+@pytest.fixture()
+def report(capsys):
+    """Fixture returning an ``emit(name, text)`` callable."""
+
+    def _emit(name: str, text: str) -> None:
+        emit_report(name, text, capsys=capsys)
+
+    return _emit

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Quickstart: continuous top-k monitoring in a few lines.
+
+Registers a handful of keyword queries, streams raw text documents through
+the monitor (the text pipeline tokenizes, removes stopwords, stems and
+normalizes), and prints every result update plus the final top-k of each
+query.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import ContinuousMonitor, MonitorConfig, Vectorizer, Vocabulary
+
+ARTICLES = [
+    "Central bank raises interest rates amid persistent inflation worries",
+    "Star striker scores twice as the football championship final goes to extra time",
+    "New deep learning model sets a record on the language understanding benchmark",
+    "Government announces infrastructure spending to counter slowing economy",
+    "Quantum computing startup raises a record funding round for superconducting chips",
+    "Championship winning coach resigns after a turbulent football season",
+    "Inflation cools slightly but central bank keeps rates unchanged",
+    "Researchers release an open source model for protein structure prediction",
+    "Football transfer window closes with record spending across leagues",
+    "Chip maker unveils an accelerator aimed at deep learning training workloads",
+]
+
+
+def main() -> None:
+    # One vocabulary + vectorizer is shared by queries and documents so that
+    # keywords and article text land on the same stemmed terms.
+    vectorizer = Vectorizer(Vocabulary())
+    monitor = ContinuousMonitor(
+        MonitorConfig(algorithm="mrio", lam=0.05, default_k=3),
+        vectorizer=vectorizer,
+    )
+
+    users = {
+        "alice": ["inflation", "interest rates", "economy"],
+        "bob": ["football", "championship"],
+        "carol": ["deep learning", "chips", "models"],
+    }
+    queries = {
+        name: monitor.register_keywords(keywords, k=3, user=name)
+        for name, keywords in users.items()
+    }
+    print(f"registered {monitor.num_queries} continuous queries\n")
+
+    for doc_id, article in enumerate(ARTICLES):
+        updates = monitor.process_text(doc_id, article, arrival_time=float(doc_id + 1))
+        for update in updates:
+            owner = monitor.algorithm.queries[update.query_id].user
+            print(f"event {doc_id:2d}: result update for {owner:5s} <- doc {update.doc_id}")
+
+    print("\nfinal top-k per user:")
+    for name, query in queries.items():
+        print(f"  {name}:")
+        for entry in monitor.top_k(query.query_id):
+            print(f"    doc {entry.doc_id:2d}  score={entry.score:8.4f}  | {ARTICLES[entry.doc_id]}")
+
+    stats = monitor.statistics
+    print(
+        f"\nprocessed {stats.documents} events, "
+        f"{stats.full_evaluations} query evaluations, "
+        f"{stats.result_updates} result updates"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Reproduce Figure 1 of the paper programmatically (scaled down).
+
+Runs the Figure 1(a)/(b) experiment specs through the benchmark harness at
+the ``tiny`` scale profile (a couple of minutes on a laptop) and prints the
+response-time, speed-up and considered-queries tables.  The full-size sweep
+is available through the pytest benchmarks::
+
+    REPRO_BENCH_PROFILE=small pytest benchmarks/bench_fig1_uniform.py --benchmark-only
+
+Run with::
+
+    python examples/reproduce_figure1.py [tiny|small|medium]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.bench.figures import figure1_connected_spec, figure1_uniform_spec
+from repro.bench.harness import run_experiment
+from repro.bench.reporting import (
+    format_counter_table,
+    format_response_table,
+    format_speedup_table,
+)
+
+
+def main() -> None:
+    profile = sys.argv[1] if len(sys.argv) > 1 else "tiny"
+    for label, spec_factory in [
+        ("Figure 1(a) Wiki-Uniform", figure1_uniform_spec),
+        ("Figure 1(b) Wiki-Connected", figure1_connected_spec),
+    ]:
+        spec = spec_factory(profile)
+        print(f"\n=== {label} (profile: {profile}) ===")
+        print(
+            f"queries: {spec.query_counts}, events: {spec.num_events} measured "
+            f"after {spec.warmup_events} warm-up, k={spec.k}, lambda={spec.lam:g}"
+        )
+        result = run_experiment(spec)
+        print()
+        print(format_response_table(result, title="mean response time per event (ms)"))
+        print()
+        print(format_speedup_table(result, reference="mrio"))
+        print()
+        print(
+            format_counter_table(
+                result, "full_evaluations", title="queries considered per event"
+            )
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+The project is fully described by ``pyproject.toml``; this file exists so
+the package can also be installed in environments whose tooling predates
+PEP 660 editable installs (e.g. offline boxes without the ``wheel``
+package, where ``pip install -e . --no-use-pep517`` falls back to
+``setup.py develop``).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,80 @@
+"""repro — Continuous top-k monitoring on document streams.
+
+A complete, pure-Python reproduction of
+
+    U, Zhang, Mouratidis, Li:
+    "Continuous Top-k Monitoring on Document Streams"
+    (ICDE 2018 extended abstract / TKDE 2017 journal paper)
+
+The package provides
+
+* the paper's algorithms **RIO** and **MRIO** plus the published baselines
+  (RTA, SortQuer, TPS) and an exhaustive oracle,
+* every substrate they need: text analysis, a synthetic Wikipedia-like
+  corpus and stream simulator, query workload generators, ID-ordered
+  inverted files, a static top-k search engine, decay/renormalization and
+  window expiration,
+* a benchmark harness that regenerates the paper's evaluation figures.
+
+Quickstart::
+
+    from repro import ContinuousMonitor, MonitorConfig, SyntheticCorpus
+    from repro.documents import DocumentStream
+    from repro.queries import UniformWorkload
+
+    corpus = SyntheticCorpus()
+    monitor = ContinuousMonitor(MonitorConfig(algorithm="mrio"))
+    monitor.register_queries(UniformWorkload(corpus).generate(1000))
+    for document in DocumentStream(corpus).take(100):
+        updates = monitor.process(document)
+"""
+
+from repro.core.config import MonitorConfig
+from repro.core.monitor import ContinuousMonitor
+from repro.core.factory import available_algorithms, create_algorithm
+from repro.core.results import ResultEntry, ResultUpdate
+from repro.core.rio import RIOAlgorithm
+from repro.core.mrio import MRIOAlgorithm
+from repro.documents.corpus import CorpusConfig, SyntheticCorpus
+from repro.documents.decay import ExponentialDecay
+from repro.documents.document import Document
+from repro.documents.stream import DocumentStream, StreamConfig
+from repro.queries.query import Query
+from repro.queries.workloads import (
+    ConnectedWorkload,
+    UniformWorkload,
+    WorkloadConfig,
+    generate_workload,
+)
+from repro.text.analyzer import Analyzer
+from repro.text.vectorizer import Vectorizer, WeightingScheme
+from repro.text.vocabulary import Vocabulary
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "MonitorConfig",
+    "ContinuousMonitor",
+    "available_algorithms",
+    "create_algorithm",
+    "ResultEntry",
+    "ResultUpdate",
+    "RIOAlgorithm",
+    "MRIOAlgorithm",
+    "CorpusConfig",
+    "SyntheticCorpus",
+    "ExponentialDecay",
+    "Document",
+    "DocumentStream",
+    "StreamConfig",
+    "Query",
+    "ConnectedWorkload",
+    "UniformWorkload",
+    "WorkloadConfig",
+    "generate_workload",
+    "Analyzer",
+    "Vectorizer",
+    "WeightingScheme",
+    "Vocabulary",
+    "__version__",
+]

@@ -1,0 +1,26 @@
+"""Competitor algorithms re-implemented from their published descriptions.
+
+* :class:`ExhaustiveAlgorithm` — scans every (matching) query per event;
+  the correctness oracle of the test-suite.
+* :class:`RTAAlgorithm` — Haghani et al., CIKM 2010: impact-ordered per-term
+  query lists traversed threshold-algorithm style.
+* :class:`SortQuerAlgorithm` — Vouzoukidou et al., CIKM 2012: per-term query
+  lists ordered by result threshold, scanned until unreachable.
+* :class:`TPSAlgorithm` — Shraer et al., PVLDB 2013: term-at-a-time top-k
+  publish/subscribe with accumulator skipping.
+
+The originals are closed source; DESIGN.md §3.4 documents how each
+re-implementation preserves its paradigm while remaining provably correct.
+"""
+
+from repro.baselines.exhaustive import ExhaustiveAlgorithm
+from repro.baselines.rta import RTAAlgorithm
+from repro.baselines.sortquer import SortQuerAlgorithm
+from repro.baselines.tps import TPSAlgorithm
+
+__all__ = [
+    "ExhaustiveAlgorithm",
+    "RTAAlgorithm",
+    "SortQuerAlgorithm",
+    "TPSAlgorithm",
+]

@@ -1,0 +1,81 @@
+"""Exhaustive per-event evaluation — the correctness oracle.
+
+Two modes exist:
+
+* ``matching_only=True`` (default): only queries sharing at least one term
+  with the arriving document are scored (queries with zero similarity can
+  never enter a top-k, so this is exact);
+* ``matching_only=False``: every registered query is scored — the most
+  literal interpretation of "recompute everything", useful to sanity-check
+  the matching-only shortcut itself.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from repro.core.base import StreamAlgorithm
+from repro.core.results import ResultUpdate
+from repro.documents.decay import ExponentialDecay
+from repro.documents.document import Document
+from repro.queries.query import Query
+from repro.types import QueryId, TermId
+
+
+class ExhaustiveAlgorithm(StreamAlgorithm):
+    """Scores the arriving document against all (matching) queries."""
+
+    name = "exhaustive"
+
+    def __init__(self, decay: ExponentialDecay | None = None, matching_only: bool = True):
+        super().__init__(decay)
+        self.matching_only = matching_only
+        self._term_to_queries: Dict[TermId, Set[QueryId]] = {}
+
+    # ------------------------------------------------------------------ #
+    # Structures
+    # ------------------------------------------------------------------ #
+
+    def _register_structures(self, query: Query) -> None:
+        for term_id in query.vector:
+            self._term_to_queries.setdefault(term_id, set()).add(query.query_id)
+
+    def _unregister_structures(self, query: Query) -> None:
+        for term_id in query.vector:
+            members = self._term_to_queries.get(term_id)
+            if members is None:
+                continue
+            members.discard(query.query_id)
+            if not members:
+                del self._term_to_queries[term_id]
+
+    # ------------------------------------------------------------------ #
+    # Processing
+    # ------------------------------------------------------------------ #
+
+    def _candidates(self, document: Document) -> Set[QueryId]:
+        if not self.matching_only:
+            return set(self.queries)
+        candidates: Set[QueryId] = set()
+        for term_id in document.vector:
+            members = self._term_to_queries.get(term_id)
+            if members:
+                candidates.update(members)
+        return candidates
+
+    def _process_document(
+        self, document: Document, amplification: float
+    ) -> List[ResultUpdate]:
+        updates: List[ResultUpdate] = []
+        for query_id in self._candidates(document):
+            query = self.queries[query_id]
+            score = self.exact_score(query, document, amplification)
+            self.counters.full_evaluations += 1
+            self.counters.postings_scanned += len(query.vector)
+            if score <= 0.0:
+                continue
+            update = self.offer(query_id, document.doc_id, score)
+            if update is not None:
+                updates.append(update)
+        self.counters.iterations += 1
+        return updates

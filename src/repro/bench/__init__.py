@@ -1,0 +1,32 @@
+"""Benchmark harness: experiment specs, runners and table/figure reporting."""
+
+from repro.bench.spec import ExperimentSpec, SCALE_PROFILES
+from repro.bench.harness import ExperimentResult, run_cell, run_experiment
+from repro.bench.reporting import format_response_table, format_speedup_table, format_counter_table
+from repro.bench.figures import (
+    figure1_uniform_spec,
+    figure1_connected_spec,
+    effect_of_k_spec,
+    effect_of_lambda_spec,
+    effect_of_query_length_spec,
+    ub_variants_spec,
+    considered_queries_spec,
+)
+
+__all__ = [
+    "ExperimentSpec",
+    "SCALE_PROFILES",
+    "ExperimentResult",
+    "run_cell",
+    "run_experiment",
+    "format_response_table",
+    "format_speedup_table",
+    "format_counter_table",
+    "figure1_uniform_spec",
+    "figure1_connected_spec",
+    "effect_of_k_spec",
+    "effect_of_lambda_spec",
+    "effect_of_query_length_spec",
+    "ub_variants_spec",
+    "considered_queries_spec",
+]

@@ -1,0 +1,108 @@
+"""Pre-defined experiment specs: one per paper figure plus the ablations.
+
+Each function returns an :class:`~repro.bench.spec.ExperimentSpec` already
+resized to the requested scale profile (``tiny`` / ``small`` / ``medium``,
+see :data:`~repro.bench.spec.SCALE_PROFILES`).  The benchmark modules under
+``benchmarks/`` are thin wrappers that run these specs and print the
+resulting tables; the same specs can be used programmatically (see
+``examples/reproduce_figure1.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Optional, Tuple
+
+from repro.bench.spec import ExperimentSpec, active_profile
+
+#: The five methods of Figure 1, in the paper's legend order.
+FIGURE1_ALGORITHMS: Tuple[str, ...] = ("rta", "rio", "mrio", "sortquer", "tps")
+
+
+def _base_spec(name: str, profile: Optional[str]) -> ExperimentSpec:
+    spec = ExperimentSpec(name=name)
+    return spec.scaled(profile or active_profile())
+
+
+def figure1_uniform_spec(profile: Optional[str] = None) -> ExperimentSpec:
+    """Figure 1(a): response time vs. number of queries, Uniform workload."""
+    spec = _base_spec("fig1a-wiki-uniform", profile)
+    return replace(spec, workload="uniform", algorithms=FIGURE1_ALGORITHMS)
+
+
+def figure1_connected_spec(profile: Optional[str] = None) -> ExperimentSpec:
+    """Figure 1(b): response time vs. number of queries, Connected workload."""
+    spec = _base_spec("fig1b-wiki-connected", profile)
+    return replace(spec, workload="connected", algorithms=FIGURE1_ALGORITHMS)
+
+
+def effect_of_k_spec(
+    k: int, profile: Optional[str] = None, workload: str = "uniform"
+) -> ExperimentSpec:
+    """Journal-style ablation: vary the result size k at a fixed query count."""
+    spec = _base_spec(f"ablation-k-{k}", profile)
+    return replace(
+        spec,
+        workload=workload,
+        k=k,
+        query_counts=(spec.query_counts[-1],),
+        algorithms=("rio", "mrio", "tps"),
+    )
+
+
+def effect_of_lambda_spec(
+    lam: float, profile: Optional[str] = None, workload: str = "uniform"
+) -> ExperimentSpec:
+    """Journal-style ablation: vary the decay parameter λ."""
+    spec = _base_spec(f"ablation-lambda-{lam:g}", profile)
+    return replace(
+        spec,
+        workload=workload,
+        lam=lam,
+        query_counts=(spec.query_counts[-1],),
+        algorithms=("rio", "mrio", "tps"),
+    )
+
+
+def effect_of_query_length_spec(
+    max_terms: int, profile: Optional[str] = None, workload: str = "uniform"
+) -> ExperimentSpec:
+    """Journal-style ablation: vary the number of keywords per query."""
+    spec = _base_spec(f"ablation-qlen-{max_terms}", profile)
+    return replace(
+        spec,
+        workload=workload,
+        min_terms=max(1, max_terms - 1),
+        max_terms=max_terms,
+        query_counts=(spec.query_counts[-1],),
+        algorithms=("rio", "mrio", "tps"),
+    )
+
+
+def ub_variants_spec(profile: Optional[str] = None, workload: str = "uniform") -> ExperimentSpec:
+    """Ablation over the three UB* implementations (journal Sec. 5.2).
+
+    The harness treats the variant as part of the spec, so this returns the
+    base spec; the benchmark runs it three times with ``ub_variant`` set to
+    ``exact``, ``tree`` and ``block``.
+    """
+    spec = _base_spec("ablation-ub-variants", profile)
+    return replace(
+        spec,
+        workload=workload,
+        query_counts=(spec.query_counts[-1],),
+        algorithms=("mrio",),
+    )
+
+
+def considered_queries_spec(
+    profile: Optional[str] = None, workload: str = "uniform"
+) -> ExperimentSpec:
+    """Optimality claim (i): queries considered / iterations per stream event."""
+    spec = _base_spec("optimality-considered-queries", profile)
+    return replace(
+        spec,
+        workload=workload,
+        query_counts=(spec.query_counts[-1],),
+        algorithms=("rta", "rio", "mrio", "sortquer", "tps"),
+    )

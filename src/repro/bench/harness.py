@@ -1,0 +1,110 @@
+"""Runs experiment specs and collects per-cell statistics.
+
+One *cell* of an experiment is (algorithm, number of registered queries).
+For every cell the harness rebuilds the corpus, the query workload and the
+document stream from the spec's seed, so each algorithm processes exactly
+the same events against exactly the same queries.  The stream is split into
+a warm-up prefix (results fill up, thresholds stabilize — not measured) and
+a measured segment whose per-event response times feed the tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.bench.spec import ExperimentSpec
+from repro.core.factory import create_algorithm
+from repro.documents.corpus import SyntheticCorpus
+from repro.documents.decay import ExponentialDecay
+from repro.documents.stream import DocumentStream, StreamConfig
+from repro.metrics.runstats import RunStatistics
+from repro.queries.workloads import generate_workload
+
+
+@dataclass
+class ExperimentResult:
+    """All cells of one experiment, in execution order."""
+
+    spec: ExperimentSpec
+    runs: List[RunStatistics] = field(default_factory=list)
+
+    def cell(self, algorithm: str, num_queries: int) -> Optional[RunStatistics]:
+        for run in self.runs:
+            if run.algorithm == algorithm and run.num_queries == num_queries:
+                return run
+        return None
+
+    def algorithms(self) -> List[str]:
+        seen: List[str] = []
+        for run in self.runs:
+            if run.algorithm not in seen:
+                seen.append(run.algorithm)
+        return seen
+
+    def query_counts(self) -> List[int]:
+        seen: List[int] = []
+        for run in self.runs:
+            if run.num_queries not in seen:
+                seen.append(run.num_queries)
+        return seen
+
+
+def _build_algorithm(spec: ExperimentSpec, name: str):
+    decay = ExponentialDecay(lam=spec.lam)
+    kwargs: Dict[str, object] = {}
+    if name == "mrio":
+        kwargs["ub_variant"] = spec.ub_variant
+    return create_algorithm(name, decay, **kwargs)
+
+
+def run_cell(
+    spec: ExperimentSpec,
+    algorithm: str,
+    num_queries: int,
+    extra_counters: bool = True,
+) -> RunStatistics:
+    """Run one (algorithm, query count) cell of an experiment."""
+    corpus = SyntheticCorpus(spec.corpus, seed=spec.seed)
+    queries = generate_workload(
+        spec.workload,
+        corpus,
+        num_queries,
+        config=spec.workload_config(),
+        seed=spec.seed + 101,
+    )
+    algo = _build_algorithm(spec, algorithm)
+    algo.register_all(queries)
+
+    stream = DocumentStream(corpus, StreamConfig(seed=spec.seed + 202))
+    # Warm-up: fill the result heaps so thresholds (and thus pruning) are in
+    # steady state, exactly like the paper measures a warmed-up server.
+    for document in stream.take(spec.warmup_events):
+        algo.process(document)
+    algo.response_times.clear()
+    algo.counters.reset()
+
+    for document in stream.take(spec.num_events):
+        algo.process(document)
+
+    counters = algo.counters.per_document() if extra_counters else {}
+    return RunStatistics(
+        algorithm=algorithm,
+        num_queries=num_queries,
+        num_events=spec.num_events,
+        response_times=list(algo.response_times),
+        counters=counters,
+    )
+
+
+def run_experiment(
+    spec: ExperimentSpec,
+    algorithms: Optional[Sequence[str]] = None,
+    query_counts: Optional[Sequence[int]] = None,
+) -> ExperimentResult:
+    """Run every cell of ``spec`` (optionally restricted to subsets)."""
+    result = ExperimentResult(spec=spec)
+    for num_queries in query_counts or spec.query_counts:
+        for algorithm in algorithms or spec.algorithms:
+            result.runs.append(run_cell(spec, algorithm, num_queries))
+    return result

@@ -1,0 +1,46 @@
+"""The paper's primary contribution: continuous top-k monitoring algorithms.
+
+Public entry points:
+
+* :class:`repro.core.monitor.ContinuousMonitor` — the server facade most
+  applications should use;
+* :class:`repro.core.rio.RIOAlgorithm` and
+  :class:`repro.core.mrio.MRIOAlgorithm` — the paper's algorithms, usable
+  directly when an application wants to drive them itself;
+* :func:`repro.core.factory.create_algorithm` — name-based construction of
+  any algorithm (including the baselines).
+"""
+
+from repro.core.results import ResultEntry, ResultUpdate, TopKResult, ResultStore
+from repro.core.config import MonitorConfig
+from repro.core.base import StreamAlgorithm
+from repro.core.bounds import (
+    GlobalMaxBounds,
+    ExactZoneBounds,
+    BlockZoneBounds,
+    TreeZoneBounds,
+    make_zone_bounds,
+)
+from repro.core.rio import RIOAlgorithm
+from repro.core.mrio import MRIOAlgorithm
+from repro.core.factory import create_algorithm, available_algorithms
+from repro.core.monitor import ContinuousMonitor
+
+__all__ = [
+    "ResultEntry",
+    "ResultUpdate",
+    "TopKResult",
+    "ResultStore",
+    "MonitorConfig",
+    "StreamAlgorithm",
+    "GlobalMaxBounds",
+    "ExactZoneBounds",
+    "BlockZoneBounds",
+    "TreeZoneBounds",
+    "make_zone_bounds",
+    "RIOAlgorithm",
+    "MRIOAlgorithm",
+    "create_algorithm",
+    "available_algorithms",
+    "ContinuousMonitor",
+]

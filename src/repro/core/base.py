@@ -1,0 +1,207 @@
+"""Abstract base class shared by every stream-processing algorithm.
+
+The base class owns what all algorithms (RIO, MRIO and the baselines) have in
+common:
+
+* the registered :class:`~repro.queries.query.Query` objects,
+* the per-query :class:`~repro.core.results.TopKResult` store,
+* the exponential decay model and its renormalization,
+* work counters and per-event response times,
+* result-update notification to listeners,
+* threshold-change propagation to whatever per-term structures a concrete
+  algorithm maintains.
+"""
+
+from __future__ import annotations
+
+import abc
+import time
+from typing import Callable, Dict, Iterable, List, Optional
+
+from repro.core.results import ResultEntry, ResultStore, ResultUpdate
+from repro.documents.decay import ExponentialDecay
+from repro.documents.document import Document
+from repro.exceptions import DuplicateQueryError, StreamError, UnknownQueryError
+from repro.metrics.counters import EventCounters
+from repro.queries.query import Query
+from repro.types import DocId, QueryId
+
+UpdateListener = Callable[[ResultUpdate], None]
+
+
+class StreamAlgorithm(abc.ABC):
+    """A continuous top-k monitoring algorithm over a document stream."""
+
+    #: Short name used by the factory, the reports and the benchmarks.
+    name = "abstract"
+
+    def __init__(self, decay: Optional[ExponentialDecay] = None) -> None:
+        self.decay = decay or ExponentialDecay()
+        self.results = ResultStore()
+        self.counters = EventCounters()
+        self.queries: Dict[QueryId, Query] = {}
+        self.response_times: List[float] = []
+        self._update_listeners: List[UpdateListener] = []
+        self._last_arrival: Optional[float] = None
+
+    # ------------------------------------------------------------------ #
+    # Registration
+    # ------------------------------------------------------------------ #
+
+    def register(self, query: Query) -> None:
+        """Register one continuous query."""
+        if query.query_id in self.queries:
+            raise DuplicateQueryError(f"query {query.query_id} is already registered")
+        self.queries[query.query_id] = query
+        self.results.add_query(query)
+        self._register_structures(query)
+
+    def register_all(self, queries: Iterable[Query]) -> None:
+        for query in queries:
+            self.register(query)
+
+    def unregister(self, query_id: QueryId) -> Query:
+        """Remove one continuous query and its result state."""
+        query = self.queries.pop(query_id, None)
+        if query is None:
+            raise UnknownQueryError(f"query {query_id} is not registered")
+        self._unregister_structures(query)
+        self.results.remove_query(query_id)
+        return query
+
+    @property
+    def num_queries(self) -> int:
+        return len(self.queries)
+
+    # ------------------------------------------------------------------ #
+    # Hooks concrete algorithms implement
+    # ------------------------------------------------------------------ #
+
+    @abc.abstractmethod
+    def _register_structures(self, query: Query) -> None:
+        """Add the query to the algorithm's per-term structures."""
+
+    @abc.abstractmethod
+    def _unregister_structures(self, query: Query) -> None:
+        """Remove the query from the algorithm's per-term structures."""
+
+    @abc.abstractmethod
+    def _process_document(self, document: Document, amplification: float) -> List[ResultUpdate]:
+        """Refresh all query results for one arriving document."""
+
+    def _on_threshold_change(self, query: Query) -> None:
+        """A query's ``S_k`` changed; update per-term structures if needed."""
+
+    def _on_renormalize(self, factor: float) -> None:
+        """All thresholds were divided by ``factor``; rescale structures."""
+
+    # ------------------------------------------------------------------ #
+    # Stream processing
+    # ------------------------------------------------------------------ #
+
+    def process(self, document: Document) -> List[ResultUpdate]:
+        """Process one stream event and return the result updates it caused."""
+        if document.arrival_time is None:
+            raise StreamError(
+                f"document {document.doc_id} has no arrival time; route it "
+                "through a DocumentStream or call with_arrival_time()"
+            )
+        if self._last_arrival is not None and document.arrival_time < self._last_arrival:
+            raise StreamError(
+                f"document {document.doc_id} arrives at {document.arrival_time}, "
+                f"before the previous event at {self._last_arrival}"
+            )
+        self._last_arrival = document.arrival_time
+        if self.decay.needs_renormalization(document.arrival_time):
+            self.renormalize(document.arrival_time)
+        amplification = self.decay.amplification(document.arrival_time)
+
+        started = time.perf_counter()
+        updates = self._process_document(document, amplification)
+        elapsed = time.perf_counter() - started
+
+        self.counters.documents += 1
+        self.counters.elapsed_seconds += elapsed
+        self.response_times.append(elapsed)
+        for update in updates:
+            for listener in self._update_listeners:
+                listener(update)
+        return updates
+
+    def process_all(self, documents: Iterable[Document]) -> List[ResultUpdate]:
+        """Process a batch of stream events."""
+        updates: List[ResultUpdate] = []
+        for document in documents:
+            updates.extend(self.process(document))
+        return updates
+
+    # ------------------------------------------------------------------ #
+    # Scoring helpers shared by the implementations
+    # ------------------------------------------------------------------ #
+
+    def exact_score(self, query: Query, document: Document, amplification: float) -> float:
+        """The amplified score ``S(q, d)`` computed from the raw vectors."""
+        qv = query.vector
+        dv = document.vector
+        if len(qv) > len(dv):
+            qv, dv = dv, qv
+        similarity = 0.0
+        for term_id, weight in qv.items():
+            other = dv.get(term_id)
+            if other is not None:
+                similarity += weight * other
+        return similarity * amplification
+
+    def offer(self, query_id: QueryId, doc_id: DocId, score: float) -> Optional[ResultUpdate]:
+        """Offer a scored document to a query's result, propagating threshold changes."""
+        result = self.results.get(query_id)
+        old_threshold = result.threshold
+        update = self.results.offer(query_id, doc_id, score)
+        if update is not None:
+            self.counters.result_updates += 1
+            if result.threshold != old_threshold:
+                self._on_threshold_change(self.queries[query_id])
+        return update
+
+    # ------------------------------------------------------------------ #
+    # Results, notifications, maintenance
+    # ------------------------------------------------------------------ #
+
+    def top_k(self, query_id: QueryId) -> List[ResultEntry]:
+        """The current top-k of a query, best first."""
+        return self.results.get(query_id).entries()
+
+    def threshold(self, query_id: QueryId) -> float:
+        return self.results.threshold(query_id)
+
+    def add_update_listener(self, listener: UpdateListener) -> None:
+        """Register a callback invoked for every result update."""
+        self._update_listeners.append(listener)
+
+    def renormalize(self, new_origin: float) -> float:
+        """Rebase the decay origin; divides every stored score by the factor."""
+        factor = self.decay.rebase(new_origin)
+        if factor != 1.0:
+            self.results.scale_all(factor)
+            self._on_renormalize(factor)
+        return factor
+
+    def notify_threshold_change(self, query_id: QueryId) -> None:
+        """External notification that a query's threshold changed.
+
+        Used by the window-expiration manager, whose re-evaluation can lower
+        a threshold — something normal stream processing never does.
+        """
+        query = self.queries.get(query_id)
+        if query is not None:
+            self._on_threshold_change(query)
+
+    def describe(self) -> Dict[str, object]:
+        """A small diagnostic summary of the algorithm state."""
+        return {
+            "algorithm": self.name,
+            "num_queries": self.num_queries,
+            "documents_processed": self.counters.documents,
+            "decay_lambda": self.decay.lam,
+            "decay_origin": self.decay.origin,
+        }

@@ -1,0 +1,378 @@
+"""Upper-bound maintainers for the ID-ordering algorithms.
+
+The pruning power of RIO and MRIO comes from per-term upper bounds on the
+*normalized preference* ``w_j(q) / S_k(q)`` of the registered queries:
+
+* RIO (Eq. 2) uses, per posting list, the maximum over the **whole list**
+  (:class:`GlobalMaxBounds`);
+* MRIO (Eq. 3) uses, per posting list, the maximum over the **zone of query
+  ids currently at risk** — the locally adaptive bound that makes it optimal
+  in the number of considered queries.  Three interchangeable
+  implementations are provided, spanning the tightness/cost trade-off the
+  journal's Sec. 5.2 discusses:
+
+  - :class:`ExactZoneBounds` — scans the zone and uses the *current* ratios
+    (tightest, no staleness, linear scan per bound),
+  - :class:`TreeZoneBounds` — segment tree over stored ratios (logarithmic
+    range maxima, point updates on threshold changes),
+  - :class:`BlockZoneBounds` — per-block maxima over stored ratios (cheapest
+    queries, loosest bounds: whole blocks only).
+
+Stored ratios may lag behind the true ones.  Because a query's threshold
+``S_k`` normally only increases, a stale stored ratio is an *over*-estimate,
+which keeps pruning safe.  The one situation where thresholds can decrease —
+window expiration dropping a result — is routed through
+:meth:`on_threshold_change`, which every maintainer handles for both
+directions.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional
+
+from repro.core.results import ResultStore
+from repro.exceptions import ConfigurationError
+from repro.index.postings import QueryPostingList
+from repro.index.query_index import QueryIndex, QueryIndexListener
+from repro.index.rangemax import NEG_INF, BlockMax, SegmentTreeMax
+from repro.queries.query import Query
+from repro.types import QueryId, TermId
+
+INF = float("inf")
+
+
+def preference_ratio(weight: float, threshold: float) -> float:
+    """The normalized preference ``w / S_k`` (``+inf`` while ``S_k`` is 0).
+
+    A query whose result heap is not yet full accepts any positive score, so
+    its ratio must be infinite — such a query can never be pruned.
+    """
+    if threshold <= 0.0:
+        return INF
+    return weight / threshold
+
+
+class BoundMaintainer(QueryIndexListener):
+    """Common plumbing shared by every bound maintainer."""
+
+    name = "abstract"
+
+    def __init__(self, index: QueryIndex, results: ResultStore) -> None:
+        self.index = index
+        self.results = results
+        index.add_listener(self)
+
+    # -- ratio helpers --------------------------------------------------- #
+
+    def current_ratio(self, query_id: QueryId, weight: float) -> float:
+        return preference_ratio(weight, self.results.threshold(query_id))
+
+    # -- interface used by the algorithms -------------------------------- #
+
+    def global_max(self, plist: QueryPostingList) -> float:
+        """Upper bound of ``w/S_k`` over the whole posting list."""
+        raise NotImplementedError
+
+    def zone_max(self, plist: QueryPostingList, start_pos: int, boundary_qid: int) -> float:
+        """Upper bound of ``w/S_k`` over entries at positions >= ``start_pos``
+        whose query id is < ``boundary_qid``.
+        """
+        end_pos = plist.first_geq(boundary_qid, start=start_pos)
+        return self.zone_max_range(plist, start_pos, end_pos)
+
+    def zone_max_range(self, plist: QueryPostingList, start_pos: int, end_pos: int) -> float:
+        """Upper bound of ``w/S_k`` over entry positions ``[start_pos, end_pos)``.
+
+        The position-based variant lets the MRIO driver reuse the boundary
+        bisect it already performs for its window bookkeeping.
+        """
+        raise NotImplementedError
+
+    def on_threshold_change(self, query: Query) -> None:
+        """The query's ``S_k`` changed (either direction)."""
+        raise NotImplementedError
+
+    def on_renormalize(self, factor: float) -> None:
+        """Every stored threshold was divided by ``factor`` (ratios grew)."""
+        raise NotImplementedError
+
+    # -- QueryIndexListener ----------------------------------------------- #
+
+    def on_query_registered(self, query: Query) -> None:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    def on_query_unregistered(self, query: Query) -> None:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+
+class GlobalMaxBounds(BoundMaintainer):
+    """Per-list global maximum ratio (the RIO bound of Eq. 2).
+
+    The maximum and the query attaining it are cached per term; the cache is
+    recomputed only when the cached maximizer's own threshold changes (or it
+    is unregistered), otherwise a threshold increase elsewhere leaves the
+    cached value a valid upper bound.
+    """
+
+    name = "global"
+
+    def __init__(self, index: QueryIndex, results: ResultStore) -> None:
+        super().__init__(index, results)
+        self._max: Dict[TermId, float] = {}
+        self._argmax: Dict[TermId, Optional[QueryId]] = {}
+        for plist in index.posting_lists():
+            self._recompute_term(plist.term_id)
+
+    # -- internals -------------------------------------------------------- #
+
+    def _recompute_term(self, term_id: TermId) -> None:
+        plist = self.index.get(term_id)
+        if plist is None or len(plist) == 0:
+            self._max.pop(term_id, None)
+            self._argmax.pop(term_id, None)
+            return
+        best = NEG_INF
+        best_qid: Optional[QueryId] = None
+        for qid, weight in plist:
+            ratio = self.current_ratio(qid, weight)
+            if ratio > best:
+                best = ratio
+                best_qid = qid
+        self._max[term_id] = best
+        self._argmax[term_id] = best_qid
+
+    # -- interface --------------------------------------------------------- #
+
+    def global_max(self, plist: QueryPostingList) -> float:
+        value = self._max.get(plist.term_id)
+        if value is None:
+            self._recompute_term(plist.term_id)
+            value = self._max.get(plist.term_id, NEG_INF)
+        return value
+
+    def zone_max(self, plist: QueryPostingList, start_pos: int, boundary_qid: int) -> float:
+        # The global maximum is a (loose but valid) zone bound, which lets the
+        # MRIO driver run with this maintainer for comparison purposes.
+        if start_pos >= len(plist) or plist.qids[start_pos] >= boundary_qid:
+            return NEG_INF
+        return self.global_max(plist)
+
+    def zone_max_range(self, plist: QueryPostingList, start_pos: int, end_pos: int) -> float:
+        if end_pos <= start_pos:
+            return NEG_INF
+        return self.global_max(plist)
+
+    def on_threshold_change(self, query: Query) -> None:
+        for term_id, weight in query.vector.items():
+            if term_id not in self._max:
+                continue
+            ratio = self.current_ratio(query.query_id, weight)
+            if ratio > self._max[term_id]:
+                # Threshold dropped (expiration): raise the cached maximum.
+                self._max[term_id] = ratio
+                self._argmax[term_id] = query.query_id
+            elif self._argmax.get(term_id) == query.query_id:
+                # The cached maximizer tightened; recompute to stay tight.
+                self._recompute_term(term_id)
+
+    def on_renormalize(self, factor: float) -> None:
+        for term_id in list(self._max):
+            if math.isfinite(self._max[term_id]):
+                self._max[term_id] *= factor
+
+    def on_query_registered(self, query: Query) -> None:
+        for term_id, weight in query.vector.items():
+            ratio = self.current_ratio(query.query_id, weight)
+            if term_id not in self._max or ratio > self._max[term_id]:
+                self._max[term_id] = ratio
+                self._argmax[term_id] = query.query_id
+
+    def on_query_unregistered(self, query: Query) -> None:
+        for term_id in query.vector:
+            if self._argmax.get(term_id) == query.query_id:
+                self._recompute_term(term_id)
+
+
+class ExactZoneBounds(BoundMaintainer):
+    """Zone maxima computed by scanning the zone with *current* thresholds."""
+
+    name = "exact"
+
+    def global_max(self, plist: QueryPostingList) -> float:
+        return self.zone_max_range(plist, 0, len(plist))
+
+    def zone_max_range(self, plist: QueryPostingList, start_pos: int, end_pos: int) -> float:
+        best = NEG_INF
+        qids = plist.qids
+        weights = plist.weights
+        thresholds = self.results.threshold
+        end_pos = min(end_pos, len(qids))
+        for pos in range(start_pos, end_pos):
+            threshold = thresholds(qids[pos])
+            if threshold <= 0.0:
+                return INF
+            ratio = weights[pos] / threshold
+            if ratio > best:
+                best = ratio
+        return best
+
+    def on_threshold_change(self, query: Query) -> None:
+        # Nothing cached; the next scan sees the new threshold.
+        return
+
+    def on_renormalize(self, factor: float) -> None:
+        return
+
+    def on_query_registered(self, query: Query) -> None:
+        return
+
+    def on_query_unregistered(self, query: Query) -> None:
+        return
+
+
+class _StoredRatioZoneBounds(BoundMaintainer):
+    """Shared base of the tree- and block-based maintainers.
+
+    Both keep, per posting list, an array of *stored* ratios aligned with the
+    list positions plus a range-max structure over it.  Structural changes
+    (query registration / unregistration shift positions) mark the term
+    dirty; the structure is rebuilt lazily on next access.
+    """
+
+    def __init__(self, index: QueryIndex, results: ResultStore) -> None:
+        super().__init__(index, results)
+        self._structures: Dict[TermId, object] = {}
+        self._dirty: set[TermId] = {plist.term_id for plist in index.posting_lists()}
+
+    # -- hooks for subclasses ---------------------------------------------- #
+
+    def _build_structure(self, ratios: list[float]) -> object:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def _structure_update(self, structure: object, pos: int, value: float) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+    def _structure_query(self, structure: object, lo: int, hi: int) -> float:  # pragma: no cover
+        raise NotImplementedError
+
+    def _structure_global(self, structure: object) -> float:  # pragma: no cover
+        raise NotImplementedError
+
+    # -- shared machinery --------------------------------------------------- #
+
+    def _ensure_structure(self, plist: QueryPostingList) -> Optional[object]:
+        term_id = plist.term_id
+        if term_id in self._dirty or term_id not in self._structures:
+            if len(plist) == 0:
+                self._structures.pop(term_id, None)
+                self._dirty.discard(term_id)
+                return None
+            ratios = [
+                self.current_ratio(qid, weight) for qid, weight in plist
+            ]
+            self._structures[term_id] = self._build_structure(ratios)
+            self._dirty.discard(term_id)
+        return self._structures.get(term_id)
+
+    def global_max(self, plist: QueryPostingList) -> float:
+        structure = self._ensure_structure(plist)
+        if structure is None:
+            return NEG_INF
+        return self._structure_global(structure)
+
+    def zone_max_range(self, plist: QueryPostingList, start_pos: int, end_pos: int) -> float:
+        if end_pos <= start_pos:
+            return NEG_INF
+        structure = self._ensure_structure(plist)
+        if structure is None:
+            return NEG_INF
+        return self._structure_query(structure, start_pos, end_pos)
+
+    def on_threshold_change(self, query: Query) -> None:
+        for term_id, weight in query.vector.items():
+            if term_id in self._dirty:
+                continue
+            structure = self._structures.get(term_id)
+            plist = self.index.get(term_id)
+            if structure is None or plist is None:
+                continue
+            pos = plist.position_of(query.query_id)
+            if pos is None:
+                continue
+            ratio = self.current_ratio(query.query_id, weight)
+            self._structure_update(structure, pos, ratio)
+
+    def on_renormalize(self, factor: float) -> None:
+        # Every stored ratio changes by the same factor; rebuilding lazily is
+        # simpler than patching the structures in place.
+        self._dirty.update(term_id for term_id in self._structures)
+
+    def on_query_registered(self, query: Query) -> None:
+        self._dirty.update(query.vector.keys())
+
+    def on_query_unregistered(self, query: Query) -> None:
+        self._dirty.update(query.vector.keys())
+
+
+class TreeZoneBounds(_StoredRatioZoneBounds):
+    """Segment-tree range maxima over stored ratios (exact w.r.t. stored values)."""
+
+    name = "tree"
+
+    def _build_structure(self, ratios: list[float]) -> SegmentTreeMax:
+        return SegmentTreeMax(ratios)
+
+    def _structure_update(self, structure: SegmentTreeMax, pos: int, value: float) -> None:
+        structure.update(pos, value)
+
+    def _structure_query(self, structure: SegmentTreeMax, lo: int, hi: int) -> float:
+        return structure.query(lo, hi)
+
+    def _structure_global(self, structure: SegmentTreeMax) -> float:
+        return structure.global_max()
+
+
+class BlockZoneBounds(_StoredRatioZoneBounds):
+    """Block maxima over stored ratios (loosest bounds, cheapest queries)."""
+
+    name = "block"
+
+    def __init__(self, index: QueryIndex, results: ResultStore, block_size: int = 64) -> None:
+        if block_size <= 0:
+            raise ConfigurationError(f"block_size must be > 0, got {block_size}")
+        self.block_size = block_size
+        super().__init__(index, results)
+
+    def _build_structure(self, ratios: list[float]) -> BlockMax:
+        return BlockMax(ratios, block_size=self.block_size)
+
+    def _structure_update(self, structure: BlockMax, pos: int, value: float) -> None:
+        structure.update(pos, value)
+
+    def _structure_query(self, structure: BlockMax, lo: int, hi: int) -> float:
+        return structure.query(lo, hi)
+
+    def _structure_global(self, structure: BlockMax) -> float:
+        return structure.global_max()
+
+
+_ZONE_BOUND_FACTORIES = {
+    "exact": ExactZoneBounds,
+    "tree": TreeZoneBounds,
+    "block": BlockZoneBounds,
+    "global": GlobalMaxBounds,
+}
+
+
+def make_zone_bounds(
+    variant: str, index: QueryIndex, results: ResultStore, **kwargs: object
+) -> BoundMaintainer:
+    """Construct a zone-bound maintainer by name (``exact``/``tree``/``block``)."""
+    factory = _ZONE_BOUND_FACTORIES.get(variant)
+    if factory is None:
+        raise ConfigurationError(
+            f"unknown UB* variant {variant!r}; expected one of "
+            f"{sorted(_ZONE_BOUND_FACTORIES)}"
+        )
+    return factory(index, results, **kwargs)  # type: ignore[arg-type]

@@ -1,0 +1,55 @@
+"""Configuration of the :class:`~repro.core.monitor.ContinuousMonitor`."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.exceptions import ConfigurationError
+from repro.utils.validation import require_non_negative, require_positive
+
+
+@dataclass
+class MonitorConfig:
+    """End-to-end configuration of the monitoring server facade.
+
+    Attributes
+    ----------
+    algorithm:
+        The processing algorithm: ``"mrio"`` (default), ``"rio"``, or one of
+        the baselines (``"rta"``, ``"sortquer"``, ``"tps"``,
+        ``"exhaustive"``).
+    ub_variant:
+        MRIO's zone-bound implementation: ``"tree"`` (default), ``"exact"``
+        or ``"block"``.
+    lam:
+        The decay parameter λ of the scoring function.
+    max_amplification:
+        Renormalization trigger: when ``exp(λ·(τ - origin))`` exceeds this
+        value all stored scores are rescaled.
+    window_horizon:
+        Optional hard staleness horizon.  When set, documents older than the
+        horizon are expelled from every result and affected queries are
+        re-evaluated over the live window.
+    default_k:
+        The k used by the keyword-registration convenience API when the
+        caller does not specify one.
+    """
+
+    algorithm: str = "mrio"
+    ub_variant: str = "tree"
+    lam: float = 1e-3
+    max_amplification: float = 1e60
+    window_horizon: Optional[float] = None
+    default_k: int = 10
+
+    def __post_init__(self) -> None:
+        require_non_negative(self.lam, "lam")
+        require_positive(self.max_amplification, "max_amplification")
+        require_positive(self.default_k, "default_k")
+        if self.window_horizon is not None:
+            require_positive(self.window_horizon, "window_horizon")
+        if self.ub_variant not in ("tree", "exact", "block"):
+            raise ConfigurationError(
+                f"ub_variant must be 'tree', 'exact' or 'block', got {self.ub_variant!r}"
+            )

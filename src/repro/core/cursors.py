@@ -1,0 +1,67 @@
+"""Cursors over query posting lists used by the ID-ordering drivers."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.documents.document import Document
+from repro.index.postings import QueryPostingList
+from repro.index.query_index import QueryIndex
+from repro.types import QueryId
+
+
+class ListCursor:
+    """A cursor walking one query posting list in query-id order.
+
+    ``doc_weight`` is the weight of the corresponding term in the document
+    currently being processed (``f_j`` in the paper), cached here because the
+    pivot search multiplies it into every bound.  ``cached_bound`` is a
+    per-document scratch slot used by RIO to hold the pre-multiplied term
+    bound ``f_j · max_q(w_j / S_k) · amplification`` so the pivot search is a
+    plain running sum.
+    """
+
+    __slots__ = ("plist", "doc_weight", "pos", "cached_bound")
+
+    def __init__(self, plist: QueryPostingList, doc_weight: float) -> None:
+        self.plist = plist
+        self.doc_weight = doc_weight
+        self.pos = 0
+        self.cached_bound = 0.0
+
+    @property
+    def exhausted(self) -> bool:
+        return self.pos >= len(self.plist.qids)
+
+    @property
+    def current_qid(self) -> QueryId:
+        return self.plist.qids[self.pos]
+
+    @property
+    def current_weight(self) -> float:
+        return self.plist.weights[self.pos]
+
+    def advance(self) -> int:
+        """Move to the next entry; returns the number of entries skipped (1)."""
+        self.pos += 1
+        return 1
+
+    def seek(self, query_id: QueryId) -> int:
+        """Jump to the first entry with id >= ``query_id``.
+
+        Returns the number of entries skipped over, which the instrumentation
+        reports as "postings jumped".
+        """
+        old = self.pos
+        self.pos = self.plist.first_geq(query_id, start=self.pos)
+        return self.pos - old
+
+
+def gather_cursors(index: QueryIndex, document: Document) -> List[ListCursor]:
+    """Create one cursor per document term that has a non-empty posting list."""
+    cursors: List[ListCursor] = []
+    for term_id, doc_weight in document.vector.items():
+        plist = index.get(term_id)
+        if plist is not None and len(plist) > 0:
+            cursors.append(ListCursor(plist, doc_weight))
+    return cursors

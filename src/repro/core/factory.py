@@ -1,0 +1,60 @@
+"""Name-based construction of monitoring algorithms.
+
+Keeping the factory in its own module (importing concrete submodules
+directly) avoids import cycles between :mod:`repro.core` and
+:mod:`repro.baselines`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Type
+
+from repro.baselines.exhaustive import ExhaustiveAlgorithm
+from repro.baselines.rta import RTAAlgorithm
+from repro.baselines.sortquer import SortQuerAlgorithm
+from repro.baselines.tps import TPSAlgorithm
+from repro.core.base import StreamAlgorithm
+from repro.core.mrio import MRIOAlgorithm
+from repro.core.rio import RIOAlgorithm
+from repro.documents.decay import ExponentialDecay
+from repro.exceptions import ConfigurationError
+
+_ALGORITHMS: Dict[str, Type[StreamAlgorithm]] = {
+    "rio": RIOAlgorithm,
+    "mrio": MRIOAlgorithm,
+    "rta": RTAAlgorithm,
+    "sortquer": SortQuerAlgorithm,
+    "tps": TPSAlgorithm,
+    "exhaustive": ExhaustiveAlgorithm,
+}
+
+
+def available_algorithms() -> List[str]:
+    """Names accepted by :func:`create_algorithm` (and the benchmarks)."""
+    return sorted(_ALGORITHMS)
+
+
+def create_algorithm(
+    name: str,
+    decay: Optional[ExponentialDecay] = None,
+    **kwargs: object,
+) -> StreamAlgorithm:
+    """Create an algorithm instance by name.
+
+    Parameters
+    ----------
+    name:
+        One of :func:`available_algorithms` (case-insensitive).
+    decay:
+        The shared exponential-decay model; a default one is created when
+        omitted.
+    kwargs:
+        Extra keyword arguments forwarded to the algorithm constructor
+        (e.g. ``ub_variant="exact"`` for MRIO).
+    """
+    cls = _ALGORITHMS.get(name.lower())
+    if cls is None:
+        raise ConfigurationError(
+            f"unknown algorithm {name!r}; expected one of {available_algorithms()}"
+        )
+    return cls(decay=decay, **kwargs)  # type: ignore[arg-type]

@@ -1,0 +1,165 @@
+"""Shared driver of the Reverse ID-Ordering algorithms (RIO and MRIO).
+
+Both algorithms process an arriving document in iterations over the posting
+lists of the document's terms in the *query* index:
+
+1. order the non-exhausted lists by the query id under their cursor,
+2. find the *pivot*: the first prefix of lists whose accumulated upper bound
+   reaches 1 (i.e. some query in the covered id zone might still admit the
+   document into its top-k),
+3. if the pivot list's cursor equals the first cursor, that query's exact
+   score is computed and offered to its result heap; otherwise every cursor
+   left of the pivot jumps ("seeks") to the pivot id, skipping all the
+   queries in between, which the bound proved cannot be affected.
+
+The two algorithms differ only in how the per-term upper bounds are obtained
+(:class:`~repro.core.bounds.GlobalMaxBounds` vs. the zone maintainers) and in
+what a failed pivot search implies (RIO's global bound covers every remaining
+query, so it terminates; MRIO's local bound only covers the current zone, so
+it jumps past it and continues).
+"""
+
+from __future__ import annotations
+
+from bisect import insort
+from typing import List, Optional
+
+from repro.core.base import StreamAlgorithm
+from repro.core.bounds import BoundMaintainer
+from repro.core.cursors import ListCursor, gather_cursors
+from repro.core.results import ResultUpdate
+from repro.documents.decay import ExponentialDecay
+from repro.documents.document import Document
+from repro.index.query_index import QueryIndex
+from repro.queries.query import Query
+
+
+def _cursor_qid(cursor: ListCursor) -> int:
+    """Sort key: the query id currently under the cursor."""
+    return cursor.plist.qids[cursor.pos]
+
+
+class ReverseIDOrderingBase(StreamAlgorithm):
+    """Common machinery of RIO and MRIO."""
+
+    #: Whether a failed pivot search proves that *no* remaining query can be
+    #: affected (true only for bounds that cover the whole remaining id range).
+    prunes_all_on_no_pivot = True
+
+    def __init__(self, decay: Optional[ExponentialDecay] = None) -> None:
+        super().__init__(decay)
+        self.index = QueryIndex()
+        self.bounds: BoundMaintainer = self._make_bounds()
+
+    # ------------------------------------------------------------------ #
+    # Hooks
+    # ------------------------------------------------------------------ #
+
+    def _make_bounds(self) -> BoundMaintainer:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def _find_pivot(self, active: List[ListCursor], amplification: float) -> Optional[int]:
+        """Return the pivot index in ``active`` or ``None`` when no prefix
+        of upper bounds reaches 1."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------ #
+    # Structure maintenance (delegated to the query index + bound maintainer)
+    # ------------------------------------------------------------------ #
+
+    def _register_structures(self, query: Query) -> None:
+        self.index.register(query)
+
+    def _unregister_structures(self, query: Query) -> None:
+        self.index.unregister(query.query_id)
+
+    def _on_threshold_change(self, query: Query) -> None:
+        self.bounds.on_threshold_change(query)
+
+    def _on_renormalize(self, factor: float) -> None:
+        self.bounds.on_renormalize(factor)
+
+    # ------------------------------------------------------------------ #
+    # Document processing
+    # ------------------------------------------------------------------ #
+
+    def _prepare_cursors(self, cursors: List[ListCursor], amplification: float) -> None:
+        """Per-document cursor preparation hook (RIO caches its term bounds here)."""
+
+    def _process_document(
+        self, document: Document, amplification: float
+    ) -> List[ResultUpdate]:
+        cursors = gather_cursors(self.index, document)
+        if not cursors:
+            return []
+        self._prepare_cursors(cursors, amplification)
+
+        # ``active`` is kept sorted by the query id under each cursor; only
+        # cursors that actually moved are re-inserted, instead of re-sorting
+        # the whole set on every iteration.
+        qid_key = _cursor_qid
+        active = sorted(cursors, key=qid_key)
+        updates: List[ResultUpdate] = []
+        counters = self.counters
+        doc_id = document.doc_id
+
+        while active:
+            counters.iterations += 1
+            pivot_index = self._find_pivot(active, amplification)
+            if pivot_index is None:
+                if self.prunes_all_on_no_pivot:
+                    break
+                # The local bound only covered ids up to the largest cursor;
+                # skip past that zone and keep going.
+                target = active[-1].current_qid + 1
+                moved = active
+                active = []
+                for cursor in moved:
+                    cursor.seek(target)
+                    if not cursor.exhausted:
+                        insort(active, cursor, key=qid_key)
+                continue
+
+            pivot_qid = active[pivot_index].current_qid
+            if active[0].current_qid == pivot_qid:
+                # Full evaluation: every cursor positioned on the pivot forms
+                # a prefix of the sorted order.
+                prefix_end = 0
+                similarity = 0.0
+                size = len(active)
+                while prefix_end < size:
+                    cursor = active[prefix_end]
+                    if cursor.plist.qids[cursor.pos] != pivot_qid:
+                        break
+                    similarity += cursor.doc_weight * cursor.plist.weights[cursor.pos]
+                    prefix_end += 1
+                counters.postings_scanned += prefix_end
+                counters.full_evaluations += 1
+                moved = active[:prefix_end]
+                del active[:prefix_end]
+                update = self.offer(pivot_qid, doc_id, similarity * amplification)
+                if update is not None:
+                    updates.append(update)
+                for cursor in moved:
+                    cursor.pos += 1
+                    if cursor.pos < len(cursor.plist.qids):
+                        insort(active, cursor, key=qid_key)
+            else:
+                moved = active[:pivot_index]
+                del active[:pivot_index]
+                for cursor in moved:
+                    cursor.seek(pivot_qid)
+                    if not cursor.exhausted:
+                        insort(active, cursor, key=qid_key)
+        return updates
+
+    # ------------------------------------------------------------------ #
+    # Diagnostics
+    # ------------------------------------------------------------------ #
+
+    def describe(self) -> dict:
+        info = super().describe()
+        info["bounds"] = self.bounds.name
+        info["indexed_terms"] = self.index.num_terms
+        info["indexed_postings"] = self.index.num_postings
+        return info

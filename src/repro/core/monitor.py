@@ -1,0 +1,199 @@
+"""The continuous-monitoring server facade.
+
+:class:`ContinuousMonitor` is the public entry point most applications use:
+it owns the processing algorithm (MRIO by default), the decay model, the
+optional window-expiration manager and — when a vectorizer is supplied — the
+text pipeline that turns user keywords and raw document text into normalized
+vectors.
+
+Typical usage::
+
+    monitor = ContinuousMonitor(MonitorConfig(algorithm="mrio", lam=1e-3))
+    query = monitor.register_vector({term_a: 0.8, term_b: 0.6}, k=10)
+    for document in stream:
+        updates = monitor.process(document)
+        for update in updates:
+            notify_user(update.query_id, update.doc_id)
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional
+
+from repro.core.base import StreamAlgorithm, UpdateListener
+from repro.core.config import MonitorConfig
+from repro.core.expiration import ExpirationManager
+from repro.core.factory import create_algorithm
+from repro.core.results import ResultEntry, ResultUpdate
+from repro.documents.decay import ExponentialDecay
+from repro.documents.document import Document
+from repro.exceptions import ConfigurationError
+from repro.metrics.counters import EventCounters
+from repro.queries.query import Query
+from repro.text.similarity import l2_normalize
+from repro.text.vectorizer import Vectorizer
+from repro.types import QueryId, SparseVector
+
+
+class ContinuousMonitor:
+    """Hosts continuous top-k queries and refreshes them on every stream event."""
+
+    def __init__(
+        self,
+        config: Optional[MonitorConfig] = None,
+        algorithm: Optional[StreamAlgorithm] = None,
+        vectorizer: Optional[Vectorizer] = None,
+    ) -> None:
+        self.config = config or MonitorConfig()
+        if algorithm is not None:
+            self.algorithm = algorithm
+        else:
+            decay = ExponentialDecay(
+                lam=self.config.lam, max_amplification=self.config.max_amplification
+            )
+            kwargs: Dict[str, object] = {}
+            if self.config.algorithm.lower() == "mrio":
+                kwargs["ub_variant"] = self.config.ub_variant
+            self.algorithm = create_algorithm(self.config.algorithm, decay, **kwargs)
+        self.vectorizer = vectorizer
+        self._expiration: Optional[ExpirationManager] = None
+        if self.config.window_horizon is not None:
+            self._expiration = ExpirationManager(self.algorithm, self.config.window_horizon)
+            self.algorithm.add_update_listener(self._expiration.on_result_update)
+        self._next_query_id = 0
+
+    # ------------------------------------------------------------------ #
+    # Query registration
+    # ------------------------------------------------------------------ #
+
+    def _take_query_id(self) -> QueryId:
+        query_id = self._next_query_id
+        self._next_query_id += 1
+        return query_id
+
+    def register_query(self, query: Query) -> Query:
+        """Register a fully formed :class:`Query` (caller-assigned id)."""
+        self.algorithm.register(query)
+        self._next_query_id = max(self._next_query_id, query.query_id + 1)
+        return query
+
+    def register_queries(self, queries: Iterable[Query]) -> List[Query]:
+        return [self.register_query(query) for query in queries]
+
+    def register_vector(
+        self, vector: SparseVector, k: Optional[int] = None, user: Optional[str] = None
+    ) -> Query:
+        """Register a query from a (possibly unnormalized) sparse vector."""
+        query = Query(
+            query_id=self._take_query_id(),
+            vector=l2_normalize(vector),
+            k=k or self.config.default_k,
+            user=user,
+        )
+        self.algorithm.register(query)
+        return query
+
+    def register_keywords(
+        self,
+        keywords: Iterable[str],
+        k: Optional[int] = None,
+        user: Optional[str] = None,
+    ) -> Query:
+        """Register a query from raw keywords (requires a vectorizer)."""
+        if self.vectorizer is None:
+            raise ConfigurationError(
+                "register_keywords requires a Vectorizer; pass one to the monitor"
+            )
+        vector = self.vectorizer.vectorize_keywords(keywords)
+        if not vector:
+            raise ConfigurationError(
+                "the supplied keywords produced an empty vector (all stopwords "
+                "or unknown terms)"
+            )
+        return self.register_vector(vector, k=k, user=user)
+
+    def unregister(self, query_id: QueryId) -> Query:
+        """Remove a continuous query from the monitor."""
+        return self.algorithm.unregister(query_id)
+
+    @property
+    def num_queries(self) -> int:
+        return self.algorithm.num_queries
+
+    # ------------------------------------------------------------------ #
+    # Stream processing
+    # ------------------------------------------------------------------ #
+
+    def process(self, document: Document) -> List[ResultUpdate]:
+        """Process one stream event; returns the result updates it caused."""
+        updates = self.algorithm.process(document)
+        if self._expiration is not None:
+            self._expiration.observe(document)
+            assert document.arrival_time is not None
+            self._expiration.expire(document.arrival_time)
+        return updates
+
+    def process_text(self, doc_id: int, text: str, arrival_time: float) -> List[ResultUpdate]:
+        """Vectorize raw text and process it (requires a vectorizer)."""
+        if self.vectorizer is None:
+            raise ConfigurationError(
+                "process_text requires a Vectorizer; pass one to the monitor"
+            )
+        vector = self.vectorizer.vectorize_text(text)
+        if not vector:
+            return []
+        document = Document(
+            doc_id=doc_id, vector=vector, arrival_time=arrival_time, text=text
+        )
+        return self.process(document)
+
+    def process_stream(
+        self, documents: Iterable[Document], limit: Optional[int] = None
+    ) -> List[ResultUpdate]:
+        """Process a batch (or a bounded prefix) of stream documents."""
+        updates: List[ResultUpdate] = []
+        for count, document in enumerate(documents):
+            if limit is not None and count >= limit:
+                break
+            updates.extend(self.process(document))
+        return updates
+
+    # ------------------------------------------------------------------ #
+    # Results and diagnostics
+    # ------------------------------------------------------------------ #
+
+    def top_k(self, query_id: QueryId) -> List[ResultEntry]:
+        """The current top-k of a query, best first."""
+        return self.algorithm.top_k(query_id)
+
+    def all_results(self) -> Dict[QueryId, List[ResultEntry]]:
+        """A snapshot of every query's current result."""
+        return {
+            query_id: self.algorithm.top_k(query_id)
+            for query_id in self.algorithm.queries
+        }
+
+    def add_update_listener(self, listener: UpdateListener) -> None:
+        """Register a callback invoked for every result update."""
+        self.algorithm.add_update_listener(listener)
+
+    @property
+    def statistics(self) -> EventCounters:
+        return self.algorithm.counters
+
+    @property
+    def response_times(self) -> List[float]:
+        """Per-event processing time in seconds."""
+        return self.algorithm.response_times
+
+    @property
+    def live_window_size(self) -> Optional[int]:
+        """Number of live documents when a window horizon is configured."""
+        if self._expiration is None:
+            return None
+        return self._expiration.live_documents
+
+    def describe(self) -> Dict[str, object]:
+        info = self.algorithm.describe()
+        info["window_horizon"] = self.config.window_horizon
+        return info

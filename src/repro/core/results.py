@@ -1,0 +1,184 @@
+"""Per-query top-k result maintenance.
+
+Every continuous query owns a :class:`TopKResult`: a bounded min-heap of the
+k highest amplified scores seen so far.  Its *threshold* ``S_k(q)`` — the
+amplified score of the k-th best document, or 0 while fewer than k documents
+have matched — is the normalization factor of every pruning bound in the
+paper (Eq. 2 and 3).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.exceptions import UnknownQueryError
+from repro.queries.query import Query
+from repro.types import DocId, QueryId
+
+
+@dataclass(frozen=True)
+class ResultEntry:
+    """One entry of a query's current top-k: a document and its amplified score."""
+
+    doc_id: DocId
+    score: float
+
+
+@dataclass(frozen=True)
+class ResultUpdate:
+    """Notification that a query's top-k changed because of a stream event.
+
+    ``evicted_doc_id`` is the document that dropped out of the top-k to make
+    room (``None`` while the result was not yet full or after an expiration
+    refill).
+    """
+
+    query_id: QueryId
+    doc_id: DocId
+    score: float
+    evicted_doc_id: Optional[DocId] = None
+
+
+class TopKResult:
+    """Bounded container of the k best (amplified score, doc) pairs.
+
+    Acceptance is *strict*: a new document replaces the current k-th result
+    only when its amplified score is strictly larger, matching the pruning
+    rule (a bound equal to the threshold may be pruned safely).
+    """
+
+    __slots__ = ("k", "_heap", "_scores")
+
+    def __init__(self, k: int) -> None:
+        if k <= 0:
+            raise ValueError(f"k must be > 0, got {k}")
+        self.k = k
+        self._heap: List[Tuple[float, DocId]] = []
+        self._scores: Dict[DocId, float] = {}
+
+    # ------------------------------------------------------------------ #
+    # State
+    # ------------------------------------------------------------------ #
+
+    def __len__(self) -> int:
+        return len(self._scores)
+
+    def __contains__(self, doc_id: DocId) -> bool:
+        return doc_id in self._scores
+
+    @property
+    def full(self) -> bool:
+        return len(self._scores) >= self.k
+
+    @property
+    def threshold(self) -> float:
+        """``S_k(q)``: the k-th best amplified score (0 while not full)."""
+        return self._heap[0][0] if self.full else 0.0
+
+    def score_of(self, doc_id: DocId) -> Optional[float]:
+        return self._scores.get(doc_id)
+
+    def entries(self) -> List[ResultEntry]:
+        """Current results, best first (ties broken towards lower doc id)."""
+        ordered = sorted(self._scores.items(), key=lambda item: (-item[1], item[0]))
+        return [ResultEntry(doc_id=doc_id, score=score) for doc_id, score in ordered]
+
+    # ------------------------------------------------------------------ #
+    # Mutation
+    # ------------------------------------------------------------------ #
+
+    def offer(self, doc_id: DocId, score: float) -> Tuple[bool, Optional[DocId]]:
+        """Consider a candidate; returns ``(accepted, evicted_doc_id)``."""
+        if score <= 0.0 or doc_id in self._scores:
+            return False, None
+        if not self.full:
+            heapq.heappush(self._heap, (score, doc_id))
+            self._scores[doc_id] = score
+            return True, None
+        if score > self._heap[0][0]:
+            evicted_score, evicted_doc = heapq.heapreplace(self._heap, (score, doc_id))
+            del self._scores[evicted_doc]
+            self._scores[doc_id] = score
+            return True, evicted_doc
+        return False, None
+
+    def would_accept(self, score: float) -> bool:
+        """True when ``offer`` with this score could change the result."""
+        return not self.full or score > self.threshold
+
+    def remove(self, doc_id: DocId) -> bool:
+        """Drop a document from the result (used by window expiration)."""
+        if doc_id not in self._scores:
+            return False
+        del self._scores[doc_id]
+        self._heap = [(score, did) for score, did in self._heap if did != doc_id]
+        heapq.heapify(self._heap)
+        return True
+
+    def clear(self) -> None:
+        self._heap.clear()
+        self._scores.clear()
+
+    def scale(self, factor: float) -> None:
+        """Divide every stored score by ``factor`` (decay renormalization)."""
+        if factor <= 0.0:
+            raise ValueError(f"factor must be > 0, got {factor}")
+        self._heap = [(score / factor, doc_id) for score, doc_id in self._heap]
+        heapq.heapify(self._heap)
+        self._scores = {doc_id: score / factor for doc_id, score in self._scores.items()}
+
+    def replace_all(self, entries: List[Tuple[DocId, float]]) -> None:
+        """Replace the whole result set (expiration re-evaluation path)."""
+        self.clear()
+        for doc_id, score in entries:
+            self.offer(doc_id, score)
+
+
+class ResultStore:
+    """Holds the :class:`TopKResult` of every registered query."""
+
+    def __init__(self) -> None:
+        self._results: Dict[QueryId, TopKResult] = {}
+
+    def add_query(self, query: Query) -> None:
+        if query.query_id not in self._results:
+            self._results[query.query_id] = TopKResult(query.k)
+
+    def remove_query(self, query_id: QueryId) -> None:
+        self._results.pop(query_id, None)
+
+    def get(self, query_id: QueryId) -> TopKResult:
+        result = self._results.get(query_id)
+        if result is None:
+            raise UnknownQueryError(f"query {query_id} has no result store")
+        return result
+
+    def threshold(self, query_id: QueryId) -> float:
+        """``S_k`` of the query; 0.0 also for unknown queries (safe: no pruning)."""
+        result = self._results.get(query_id)
+        return result.threshold if result is not None else 0.0
+
+    def offer(self, query_id: QueryId, doc_id: DocId, score: float) -> Optional[ResultUpdate]:
+        """Offer a scored document to a query; returns an update when accepted."""
+        result = self.get(query_id)
+        accepted, evicted = result.offer(doc_id, score)
+        if not accepted:
+            return None
+        return ResultUpdate(
+            query_id=query_id, doc_id=doc_id, score=score, evicted_doc_id=evicted
+        )
+
+    def scale_all(self, factor: float) -> None:
+        for result in self._results.values():
+            result.scale(factor)
+
+    def query_ids(self) -> List[QueryId]:
+        return list(self._results.keys())
+
+    def __len__(self) -> int:
+        return len(self._results)
+
+    def __contains__(self, query_id: QueryId) -> bool:
+        return query_id in self._results

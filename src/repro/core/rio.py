@@ -1,0 +1,53 @@
+"""RIO — Reverse ID-Ordering (the paper's preliminary method).
+
+RIO indexes the registered queries in an ID-ordered inverted file and probes
+every arriving document against it.  The per-term upper bound of Eq. 2 uses
+the maximum normalized preference ``max_q w_j / S_k(q)`` over the *entire*
+posting list, maintained incrementally by
+:class:`~repro.core.bounds.GlobalMaxBounds`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.bounds import GlobalMaxBounds, NEG_INF
+from repro.core.cursors import ListCursor
+from repro.core.idordering import ReverseIDOrderingBase
+from repro.documents.decay import ExponentialDecay
+
+
+class RIOAlgorithm(ReverseIDOrderingBase):
+    """Reverse ID-Ordering with the global per-list bound (Eq. 2)."""
+
+    name = "rio"
+    #: The global bound covers every query id at or after the first cursor,
+    #: so a failed pivot search means no remaining query can be affected.
+    prunes_all_on_no_pivot = True
+
+    def __init__(self, decay: Optional[ExponentialDecay] = None) -> None:
+        super().__init__(decay)
+
+    def _make_bounds(self) -> GlobalMaxBounds:
+        return GlobalMaxBounds(self.index, self.results)
+
+    def _prepare_cursors(self, cursors: List[ListCursor], amplification: float) -> None:
+        # The per-list maximum normalized preference is snapshotted once per
+        # document (pre-multiplied by f_j and the amplification), making the
+        # pivot search a plain running sum.  Thresholds can only grow while
+        # the document is processed, so the snapshot stays an upper bound.
+        for cursor in cursors:
+            bound = self.bounds.global_max(cursor.plist)
+            self.counters.bound_computations += 1
+            if bound == NEG_INF:
+                cursor.cached_bound = 0.0
+            else:
+                cursor.cached_bound = cursor.doc_weight * bound * amplification
+
+    def _find_pivot(self, active: List[ListCursor], amplification: float) -> Optional[int]:
+        accumulated = 0.0
+        for index, cursor in enumerate(active):
+            accumulated += cursor.cached_bound
+            if accumulated >= 1.0:
+                return index
+        return None

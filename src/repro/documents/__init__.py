@@ -1,0 +1,17 @@
+"""Document model, synthetic corpus generator, stream simulator and decay."""
+
+from repro.documents.document import Document
+from repro.documents.corpus import SyntheticCorpus, CorpusConfig
+from repro.documents.stream import DocumentStream, StreamConfig
+from repro.documents.decay import ExponentialDecay
+from repro.documents.window import SlidingWindowStore
+
+__all__ = [
+    "Document",
+    "SyntheticCorpus",
+    "CorpusConfig",
+    "DocumentStream",
+    "StreamConfig",
+    "ExponentialDecay",
+    "SlidingWindowStore",
+]

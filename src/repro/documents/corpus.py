@@ -1,0 +1,237 @@
+"""Synthetic Wikipedia-like corpus generator.
+
+The paper streams 7,012,610 real Wikipedia pages.  That corpus is not
+available offline, so this module builds the closest synthetic equivalent
+that exercises the same code paths (see DESIGN.md §5):
+
+* a Zipf-distributed vocabulary (natural-language term-frequency skew),
+* *topics*: clusters of terms that tend to co-occur inside a document, which
+  is what gives the "Connected" query workload its meaning,
+* log-normally distributed document lengths,
+* log-TF weighting and L2 normalization, exactly what the real pipeline in
+  :mod:`repro.text` produces from raw text.
+
+Documents can be generated either directly as sparse vectors (fast path used
+by benchmarks) or as raw text routed through the full analysis pipeline
+(``emit_text=True``), which keeps the text substrate honest.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence
+
+import numpy as np
+
+from repro.documents.document import Document
+from repro.text.similarity import l2_normalize
+from repro.text.vocabulary import Vocabulary
+from repro.types import SparseVector
+from repro.utils.rng import SeedLike, make_rng
+from repro.utils.validation import require, require_positive, require_probability
+from repro.utils.zipf import zipf_weights
+
+
+@dataclass
+class CorpusConfig:
+    """Configuration of the synthetic corpus generator.
+
+    Attributes
+    ----------
+    vocabulary_size:
+        Number of distinct terms in the dictionary.
+    num_topics:
+        Number of topical term clusters.  Documents draw most of their terms
+        from one topic, which creates the co-occurrence structure the
+        Connected workload exploits.
+    terms_per_topic:
+        Size of each topic's focus-term pool.
+    topic_affinity:
+        Probability that a token is drawn from the document's topic pool
+        rather than from the global Zipf distribution.
+    zipf_exponent:
+        Skew of the global term distribution.
+    mean_tokens / sigma_tokens:
+        Parameters of the log-normal distribution of document token counts.
+    min_tokens / max_tokens:
+        Hard bounds on the token count of a document.
+    """
+
+    vocabulary_size: int = 20_000
+    num_topics: int = 50
+    terms_per_topic: int = 200
+    topic_affinity: float = 0.7
+    zipf_exponent: float = 1.05
+    mean_tokens: float = 180.0
+    sigma_tokens: float = 0.6
+    min_tokens: int = 20
+    max_tokens: int = 2_000
+    seed: Optional[int] = 7
+
+    def __post_init__(self) -> None:
+        require_positive(self.vocabulary_size, "vocabulary_size")
+        require_positive(self.num_topics, "num_topics")
+        require_positive(self.terms_per_topic, "terms_per_topic")
+        require_probability(self.topic_affinity, "topic_affinity")
+        require_positive(self.mean_tokens, "mean_tokens")
+        require_positive(self.sigma_tokens, "sigma_tokens")
+        require_positive(self.min_tokens, "min_tokens")
+        require(
+            self.max_tokens >= self.min_tokens,
+            "max_tokens must be >= min_tokens",
+        )
+        require(
+            self.terms_per_topic <= self.vocabulary_size,
+            "terms_per_topic must not exceed vocabulary_size",
+        )
+
+
+class SyntheticCorpus:
+    """Generates a stream of synthetic, topically structured documents."""
+
+    def __init__(self, config: Optional[CorpusConfig] = None, seed: SeedLike = None):
+        self.config = config or CorpusConfig()
+        self._rng = make_rng(self.config.seed if seed is None else seed)
+        self.vocabulary = Vocabulary.synthetic(self.config.vocabulary_size)
+        self.vocabulary.freeze()
+
+        # Global Zipf term distribution.
+        self._global_probs = zipf_weights(
+            self.config.vocabulary_size, self.config.zipf_exponent
+        )
+        self._global_cdf = np.cumsum(self._global_probs)
+        self._global_cdf[-1] = 1.0
+
+        # Topic structure: each topic owns a pool of focus terms biased
+        # towards frequent terms (so topics overlap realistically) plus a
+        # per-topic internal Zipf over that pool.
+        self._topic_terms: List[np.ndarray] = []
+        self._topic_cdfs: List[np.ndarray] = []
+        self._build_topics()
+
+        self._next_doc_id = 0
+
+    # ------------------------------------------------------------------ #
+    # Topic construction
+    # ------------------------------------------------------------------ #
+
+    def _build_topics(self) -> None:
+        cfg = self.config
+        vocab_ids = np.arange(cfg.vocabulary_size)
+        for _ in range(cfg.num_topics):
+            pool = self._rng.choice(
+                vocab_ids,
+                size=cfg.terms_per_topic,
+                replace=False,
+                p=self._global_probs,
+            )
+            self._topic_terms.append(np.sort(pool))
+            internal = zipf_weights(cfg.terms_per_topic, exponent=0.8)
+            # Shuffle the internal ranks so the topic-internal frequency
+            # ordering is not identical to the global one.
+            self._rng.shuffle(internal)
+            internal = internal / internal.sum()
+            cdf = np.cumsum(internal)
+            cdf[-1] = 1.0
+            self._topic_cdfs.append(cdf)
+
+    @property
+    def num_topics(self) -> int:
+        return self.config.num_topics
+
+    def topic_term_ids(self, topic: int) -> List[int]:
+        """The focus-term pool of ``topic`` (used by the Connected workload)."""
+        if not 0 <= topic < self.num_topics:
+            raise ValueError(f"topic must be in [0, {self.num_topics}), got {topic}")
+        return [int(t) for t in self._topic_terms[topic]]
+
+    @property
+    def term_probabilities(self) -> np.ndarray:
+        """Global Zipf probability of each term id."""
+        return self._global_probs.copy()
+
+    # ------------------------------------------------------------------ #
+    # Sampling
+    # ------------------------------------------------------------------ #
+
+    def _sample_global_terms(self, count: int) -> np.ndarray:
+        u = self._rng.random(count)
+        return np.searchsorted(self._global_cdf, u, side="left")
+
+    def _sample_topic_terms(self, topic: int, count: int) -> np.ndarray:
+        u = self._rng.random(count)
+        positions = np.searchsorted(self._topic_cdfs[topic], u, side="left")
+        return self._topic_terms[topic][positions]
+
+    def _sample_num_tokens(self) -> int:
+        cfg = self.config
+        mu = math.log(cfg.mean_tokens) - 0.5 * cfg.sigma_tokens**2
+        value = int(round(self._rng.lognormal(mean=mu, sigma=cfg.sigma_tokens)))
+        return int(min(max(value, cfg.min_tokens), cfg.max_tokens))
+
+    def _sample_token_ids(self, topic: int) -> np.ndarray:
+        num_tokens = self._sample_num_tokens()
+        from_topic = self._rng.random(num_tokens) < self.config.topic_affinity
+        n_topic = int(from_topic.sum())
+        n_global = num_tokens - n_topic
+        parts = []
+        if n_topic:
+            parts.append(self._sample_topic_terms(topic, n_topic))
+        if n_global:
+            parts.append(self._sample_global_terms(n_global))
+        return np.concatenate(parts) if parts else np.empty(0, dtype=int)
+
+    @staticmethod
+    def _log_tf_vector(token_ids: np.ndarray) -> SparseVector:
+        counts: Dict[int, int] = {}
+        for term_id in token_ids:
+            key = int(term_id)
+            counts[key] = counts.get(key, 0) + 1
+        weighted = {t: 1.0 + math.log(c) for t, c in counts.items()}
+        return l2_normalize(weighted)
+
+    # ------------------------------------------------------------------ #
+    # Public generation API
+    # ------------------------------------------------------------------ #
+
+    def generate_document(self, topic: Optional[int] = None) -> Document:
+        """Generate a single document (no arrival time yet)."""
+        if topic is None:
+            topic = int(self._rng.integers(0, self.num_topics))
+        token_ids = self._sample_token_ids(topic)
+        while token_ids.size == 0:  # pragma: no cover - defensive, min_tokens >= 1
+            token_ids = self._sample_token_ids(topic)
+        vector = self._log_tf_vector(token_ids)
+        doc = Document(doc_id=self._next_doc_id, vector=vector)
+        self._next_doc_id += 1
+        return doc
+
+    def generate_documents(self, count: int) -> List[Document]:
+        """Generate ``count`` documents."""
+        return [self.generate_document() for _ in range(count)]
+
+    def iter_documents(self, count: Optional[int] = None) -> Iterator[Document]:
+        """Yield documents; endless when ``count`` is ``None``."""
+        produced = 0
+        while count is None or produced < count:
+            yield self.generate_document()
+            produced += 1
+
+    def generate_text(self, topic: Optional[int] = None) -> str:
+        """Generate the raw text of a synthetic document.
+
+        Token ids are rendered through the vocabulary so the output can be
+        fed to the full text-analysis pipeline (examples / pipeline tests).
+        """
+        if topic is None:
+            topic = int(self._rng.integers(0, self.num_topics))
+        token_ids = self._sample_token_ids(topic)
+        terms = [self.vocabulary.term_of(int(t)) for t in token_ids]
+        return " ".join(terms)
+
+    def reset(self, seed: SeedLike = None) -> None:
+        """Reset document-id numbering and optionally reseed the generator."""
+        self._next_doc_id = 0
+        if seed is not None:
+            self._rng = make_rng(seed)

@@ -1,0 +1,75 @@
+"""The streamed document model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.exceptions import DocumentError
+from repro.text.similarity import is_normalized
+from repro.types import DocId, SparseVector
+
+
+@dataclass(frozen=True)
+class Document:
+    """A stream document.
+
+    Attributes
+    ----------
+    doc_id:
+        Unique identifier assigned by the producer (corpus / stream).
+    vector:
+        L2-normalized sparse term vector (term id -> weight).  The
+        monitoring algorithms rely on normalization so the cosine similarity
+        with a normalized query vector is a plain dot product.
+    arrival_time:
+        The stream timestamp ``τ_d`` used by the exponential decay term of
+        the scoring function.  Assigned by the stream when the document is
+        emitted; documents not yet streamed carry ``None``.
+    text:
+        Optional raw text the vector was derived from (kept for examples and
+        debugging; the algorithms never look at it).
+    """
+
+    doc_id: DocId
+    vector: SparseVector
+    arrival_time: Optional[float] = None
+    text: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.doc_id < 0:
+            raise DocumentError(f"doc_id must be >= 0, got {self.doc_id}")
+        if not self.vector:
+            raise DocumentError(f"document {self.doc_id} has an empty vector")
+        for term_id, weight in self.vector.items():
+            if weight <= 0.0:
+                raise DocumentError(
+                    f"document {self.doc_id} has non-positive weight {weight!r} "
+                    f"for term {term_id}"
+                )
+        if not is_normalized(self.vector, tolerance=1e-6):
+            raise DocumentError(
+                f"document {self.doc_id} vector is not L2-normalized"
+            )
+
+    def with_arrival_time(self, arrival_time: float) -> "Document":
+        """Return a copy of this document stamped with ``arrival_time``."""
+        return Document(
+            doc_id=self.doc_id,
+            vector=self.vector,
+            arrival_time=arrival_time,
+            text=self.text,
+        )
+
+    @property
+    def num_terms(self) -> int:
+        """Number of distinct terms in the document vector."""
+        return len(self.vector)
+
+    def terms(self) -> list[int]:
+        """The distinct term ids of the document."""
+        return list(self.vector.keys())
+
+    def weight(self, term_id: int) -> float:
+        """The weight of ``term_id`` in this document (0 if absent)."""
+        return self.vector.get(term_id, 0.0)

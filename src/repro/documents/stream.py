@@ -1,0 +1,114 @@
+"""Document stream simulator.
+
+Wraps any document source (typically :class:`SyntheticCorpus`) and assigns
+monotonically increasing arrival timestamps, either on a fixed grid (one
+event per ``interval``) or with exponentially distributed inter-arrival times
+(Poisson arrivals at a given ``rate``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Optional
+
+from repro.documents.corpus import SyntheticCorpus
+from repro.documents.document import Document
+from repro.exceptions import ConfigurationError, StreamError
+from repro.utils.rng import SeedLike, make_rng
+from repro.utils.validation import require_positive
+
+
+@dataclass
+class StreamConfig:
+    """Arrival-process configuration.
+
+    Exactly one of the two modes is used:
+
+    * ``interval`` (default): deterministic arrivals every ``interval`` time
+      units — the simplest setting and the one the benchmarks use so that
+      response-time measurements are not confounded by arrival jitter;
+    * ``rate``: Poisson arrivals with the given expected events per time unit
+      (set ``poisson=True``).
+    """
+
+    interval: float = 1.0
+    rate: float = 1.0
+    poisson: bool = False
+    start_time: float = 0.0
+    seed: Optional[int] = 11
+
+    def __post_init__(self) -> None:
+        require_positive(self.interval, "interval")
+        require_positive(self.rate, "rate")
+
+
+class DocumentStream:
+    """Stamps documents from a source with arrival times and yields them."""
+
+    def __init__(
+        self,
+        source: Iterable[Document] | SyntheticCorpus,
+        config: Optional[StreamConfig] = None,
+        seed: SeedLike = None,
+    ) -> None:
+        self.config = config or StreamConfig()
+        self._rng = make_rng(self.config.seed if seed is None else seed)
+        if isinstance(source, SyntheticCorpus):
+            self._source: Iterator[Document] = source.iter_documents()
+        else:
+            self._source = iter(source)
+        self._clock = self.config.start_time
+        self._emitted = 0
+        self._last_arrival: Optional[float] = None
+
+    # ------------------------------------------------------------------ #
+    # Arrival process
+    # ------------------------------------------------------------------ #
+
+    def _next_arrival_time(self) -> float:
+        if self.config.poisson:
+            gap = float(self._rng.exponential(1.0 / self.config.rate))
+        else:
+            gap = self.config.interval
+        self._clock += gap
+        return self._clock
+
+    # ------------------------------------------------------------------ #
+    # Iteration
+    # ------------------------------------------------------------------ #
+
+    def __iter__(self) -> Iterator[Document]:
+        return self
+
+    def __next__(self) -> Document:
+        raw = next(self._source)
+        arrival = self._next_arrival_time()
+        if self._last_arrival is not None and arrival < self._last_arrival:
+            raise StreamError(
+                f"non-monotone arrival time {arrival} after {self._last_arrival}"
+            )
+        self._last_arrival = arrival
+        self._emitted += 1
+        return raw.with_arrival_time(arrival)
+
+    def take(self, count: int) -> List[Document]:
+        """Return the next ``count`` stamped documents as a list."""
+        if count < 0:
+            raise ConfigurationError(f"count must be >= 0, got {count}")
+        result = []
+        for _ in range(count):
+            try:
+                result.append(next(self))
+            except StopIteration:
+                break
+        return result
+
+    @property
+    def emitted(self) -> int:
+        """Number of documents emitted so far."""
+        return self._emitted
+
+    @property
+    def clock(self) -> float:
+        """The current simulated stream time."""
+        return self._clock

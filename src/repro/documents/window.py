@@ -1,0 +1,75 @@
+"""Sliding-window store of live documents.
+
+The paper notes that old documents eventually become "too stale".  With the
+order-preserving decay this happens implicitly (new arrivals out-score old
+documents), but deployments often also want a hard horizon after which a
+document may no longer appear in any result.  The window store keeps the set
+of *live* documents, reports expirations, and backs the re-evaluation path in
+:mod:`repro.core.expiration`.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Iterator, List, Optional
+
+from repro.documents.document import Document
+from repro.exceptions import StreamError
+from repro.types import DocId
+from repro.utils.validation import require_positive
+
+
+class SlidingWindowStore:
+    """Keeps documents whose age is at most ``horizon`` time units.
+
+    Documents must be added in non-decreasing arrival-time order (which the
+    stream guarantees).  ``expire(now)`` pops and returns every document whose
+    arrival time is older than ``now - horizon``.
+    """
+
+    def __init__(self, horizon: float) -> None:
+        require_positive(horizon, "horizon")
+        self.horizon = horizon
+        self._docs: "OrderedDict[DocId, Document]" = OrderedDict()
+        self._last_arrival: Optional[float] = None
+
+    def add(self, document: Document) -> None:
+        """Insert a freshly arrived document."""
+        if document.arrival_time is None:
+            raise StreamError("cannot store a document without an arrival time")
+        if self._last_arrival is not None and document.arrival_time < self._last_arrival:
+            raise StreamError(
+                "documents must be added in non-decreasing arrival-time order"
+            )
+        self._last_arrival = document.arrival_time
+        self._docs[document.doc_id] = document
+
+    def expire(self, now: float) -> List[Document]:
+        """Remove and return every document older than ``now - horizon``."""
+        cutoff = now - self.horizon
+        expired: List[Document] = []
+        while self._docs:
+            doc_id, doc = next(iter(self._docs.items()))
+            assert doc.arrival_time is not None
+            if doc.arrival_time < cutoff:
+                self._docs.popitem(last=False)
+                expired.append(doc)
+            else:
+                break
+        return expired
+
+    def get(self, doc_id: DocId) -> Optional[Document]:
+        return self._docs.get(doc_id)
+
+    def live_documents(self) -> List[Document]:
+        """All currently live documents in arrival order."""
+        return list(self._docs.values())
+
+    def __contains__(self, doc_id: DocId) -> bool:
+        return doc_id in self._docs
+
+    def __len__(self) -> int:
+        return len(self._docs)
+
+    def __iter__(self) -> Iterator[Document]:
+        return iter(self._docs.values())

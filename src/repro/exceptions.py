@@ -1,0 +1,65 @@
+"""Exception hierarchy for the repro library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch a single base class.  More specific subclasses exist for
+the main failure categories: configuration problems, registration problems
+and stream-processing problems.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """An invalid configuration value was supplied."""
+
+
+class VocabularyError(ReproError):
+    """A term or term id could not be resolved against the vocabulary."""
+
+
+class QueryError(ReproError):
+    """A query is malformed (empty vector, non-positive k, bad weights)."""
+
+
+class DocumentError(ReproError):
+    """A document is malformed (empty vector, negative weights, bad time)."""
+
+
+class RegistrationError(ReproError):
+    """A query could not be registered or unregistered."""
+
+
+class DuplicateQueryError(RegistrationError):
+    """A query with the same identifier is already registered."""
+
+
+class UnknownQueryError(RegistrationError):
+    """The referenced query identifier is not registered."""
+
+
+class StreamError(ReproError):
+    """The document stream violated an expected invariant.
+
+    The most common cause is a document whose arrival time is smaller than
+    the arrival time of a previously ingested document.
+    """
+
+
+class IndexError_(ReproError):
+    """An internal index invariant was violated.
+
+    Named with a trailing underscore to avoid shadowing the builtin
+    :class:`IndexError`.
+    """
+
+
+class ExpirationError(ReproError):
+    """Window expiration was requested but not configured, or vice versa."""
+
+
+class BenchmarkError(ReproError):
+    """A benchmark specification is inconsistent or cannot be executed."""

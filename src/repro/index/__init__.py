@@ -1,0 +1,15 @@
+"""Index machinery shared by the query-side and document-side inverted files."""
+
+from repro.index.postings import QueryPostingList, DocPostingList
+from repro.index.rangemax import SegmentTreeMax, BlockMax
+from repro.index.query_index import QueryIndex
+from repro.index.doc_index import DocumentIndex
+
+__all__ = [
+    "QueryPostingList",
+    "DocPostingList",
+    "SegmentTreeMax",
+    "BlockMax",
+    "QueryIndex",
+    "DocumentIndex",
+]

@@ -1,0 +1,94 @@
+"""Document-side inverted file.
+
+This is the classical structure the paper's introduction starts from: an
+ID-ordered inverted file over a (mostly static) document collection, used by
+the top-k search substrate in :mod:`repro.search` and by the expiration
+re-evaluation path (recomputing a query's top-k over the live window after
+one of its results expired).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional
+
+from repro.documents.document import Document
+from repro.index.postings import DocPostingList
+from repro.types import DocId, TermId
+
+
+class DocumentIndex:
+    """ID-ordered inverted file over documents with lazy deletion."""
+
+    def __init__(self, compact_threshold: float = 0.5) -> None:
+        # When more than ``compact_threshold`` of a posting list is garbage
+        # the list is physically compacted.
+        self.compact_threshold = compact_threshold
+        self._postings: Dict[TermId, DocPostingList] = {}
+        self._documents: Dict[DocId, Document] = {}
+
+    # ------------------------------------------------------------------ #
+    # Mutation
+    # ------------------------------------------------------------------ #
+
+    def add(self, document: Document) -> None:
+        """Index ``document`` (doc ids must be added in increasing order)."""
+        if document.doc_id in self._documents:
+            return
+        self._documents[document.doc_id] = document
+        for term_id, weight in document.vector.items():
+            plist = self._postings.get(term_id)
+            if plist is None:
+                plist = DocPostingList(term_id)
+                self._postings[term_id] = plist
+            plist.append(document.doc_id, weight)
+
+    def remove(self, doc_id: DocId) -> bool:
+        """Remove a document (lazily); returns False if it was not indexed."""
+        document = self._documents.pop(doc_id, None)
+        if document is None:
+            return False
+        for term_id in document.vector:
+            plist = self._postings.get(term_id)
+            if plist is None:
+                continue
+            plist.delete(doc_id)
+            if plist.garbage_ratio > self.compact_threshold:
+                plist.compact()
+        return True
+
+    def clear(self) -> None:
+        self._postings.clear()
+        self._documents.clear()
+
+    # ------------------------------------------------------------------ #
+    # Lookup
+    # ------------------------------------------------------------------ #
+
+    def get(self, term_id: TermId) -> Optional[DocPostingList]:
+        return self._postings.get(term_id)
+
+    def document(self, doc_id: DocId) -> Optional[Document]:
+        return self._documents.get(doc_id)
+
+    def documents(self) -> Iterator[Document]:
+        return iter(self._documents.values())
+
+    def __contains__(self, doc_id: DocId) -> bool:
+        return doc_id in self._documents
+
+    @property
+    def num_documents(self) -> int:
+        return len(self._documents)
+
+    @property
+    def num_terms(self) -> int:
+        return len(self._postings)
+
+    @property
+    def num_postings(self) -> int:
+        return sum(len(plist) for plist in self._postings.values())
+
+    def max_weight(self, term_id: TermId) -> float:
+        """Largest live weight of ``term_id`` (0 when unused); used by WAND."""
+        plist = self._postings.get(term_id)
+        return plist.max_weight() if plist is not None else 0.0

@@ -1,0 +1,175 @@
+"""ID-ordered posting lists.
+
+Two flavours exist:
+
+* :class:`QueryPostingList` — the per-term list of the *query* inverted file
+  used by RIO/MRIO.  Entries are ``(query id, preference weight)`` sorted by
+  query id, which is what enables the cursor "jumps" of the ID-ordering
+  paradigm.
+* :class:`DocPostingList` — the per-term list of the *document* inverted file
+  used by the static search substrate and the expiration re-evaluation path.
+  Entries are ``(doc id, weight)`` sorted by doc id with lazy deletion.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, insort
+from typing import Iterator, List, Optional, Tuple
+
+from repro.exceptions import IndexError_
+from repro.types import DocId, QueryId
+
+
+class QueryPostingList:
+    """Per-term, query-id-ordered posting list of the query index.
+
+    The two parallel arrays keep memory compact and make position-based
+    access (needed by the range-max bound structures) trivial.
+    """
+
+    __slots__ = ("term_id", "qids", "weights")
+
+    def __init__(self, term_id: int) -> None:
+        self.term_id = term_id
+        self.qids: List[QueryId] = []
+        self.weights: List[float] = []
+
+    def __len__(self) -> int:
+        return len(self.qids)
+
+    def __iter__(self) -> Iterator[Tuple[QueryId, float]]:
+        return iter(zip(self.qids, self.weights))
+
+    def append(self, query_id: QueryId, weight: float) -> int:
+        """Append an entry; query ids must arrive in strictly increasing order.
+
+        Returns the position of the new entry.
+        """
+        if self.qids and query_id <= self.qids[-1]:
+            raise IndexError_(
+                f"query id {query_id} appended out of order to term "
+                f"{self.term_id} (last id {self.qids[-1]})"
+            )
+        self.qids.append(query_id)
+        self.weights.append(weight)
+        return len(self.qids) - 1
+
+    def insert(self, query_id: QueryId, weight: float) -> int:
+        """Insert an entry keeping id order (used when ids are not sequential)."""
+        pos = bisect_left(self.qids, query_id)
+        if pos < len(self.qids) and self.qids[pos] == query_id:
+            raise IndexError_(
+                f"query id {query_id} already present in term {self.term_id}"
+            )
+        self.qids.insert(pos, query_id)
+        self.weights.insert(pos, weight)
+        return pos
+
+    def remove(self, query_id: QueryId) -> bool:
+        """Remove the entry of ``query_id``; returns False when absent."""
+        pos = self.position_of(query_id)
+        if pos is None:
+            return False
+        del self.qids[pos]
+        del self.weights[pos]
+        return True
+
+    def position_of(self, query_id: QueryId) -> Optional[int]:
+        """Exact position of ``query_id`` in the list, or ``None``."""
+        pos = bisect_left(self.qids, query_id)
+        if pos < len(self.qids) and self.qids[pos] == query_id:
+            return pos
+        return None
+
+    def first_geq(self, query_id: QueryId, start: int = 0) -> int:
+        """Position of the first entry with id >= ``query_id`` at or after ``start``.
+
+        Returns ``len(self)`` when no such entry exists (exhausted).
+        """
+        return bisect_left(self.qids, query_id, lo=start)
+
+    def entry(self, position: int) -> Tuple[QueryId, float]:
+        return self.qids[position], self.weights[position]
+
+    def max_weight(self) -> float:
+        """Largest preference weight in the list (0 when empty)."""
+        return max(self.weights) if self.weights else 0.0
+
+
+class DocPostingList:
+    """Per-term, doc-id-ordered posting list of the document index.
+
+    Supports lazy deletion (a tombstone set) so expired documents can be
+    dropped without rewriting the arrays on every expiration; ``compact``
+    rewrites the arrays once the amount of garbage crosses a threshold.
+    """
+
+    __slots__ = ("term_id", "doc_ids", "weights", "_deleted")
+
+    def __init__(self, term_id: int) -> None:
+        self.term_id = term_id
+        self.doc_ids: List[DocId] = []
+        self.weights: List[float] = []
+        self._deleted: set[DocId] = set()
+
+    def __len__(self) -> int:
+        """Number of live postings."""
+        return len(self.doc_ids) - len(self._deleted)
+
+    def append(self, doc_id: DocId, weight: float) -> None:
+        if self.doc_ids and doc_id <= self.doc_ids[-1]:
+            raise IndexError_(
+                f"doc id {doc_id} appended out of order to term {self.term_id}"
+            )
+        self.doc_ids.append(doc_id)
+        self.weights.append(weight)
+
+    def delete(self, doc_id: DocId) -> bool:
+        """Mark ``doc_id`` as deleted; returns False if it is not present."""
+        pos = bisect_left(self.doc_ids, doc_id)
+        if pos >= len(self.doc_ids) or self.doc_ids[pos] != doc_id:
+            return False
+        if doc_id in self._deleted:
+            return False
+        self._deleted.add(doc_id)
+        return True
+
+    @property
+    def garbage_ratio(self) -> float:
+        if not self.doc_ids:
+            return 0.0
+        return len(self._deleted) / len(self.doc_ids)
+
+    def compact(self) -> None:
+        """Physically remove tombstoned entries."""
+        if not self._deleted:
+            return
+        pairs = [
+            (doc_id, weight)
+            for doc_id, weight in zip(self.doc_ids, self.weights)
+            if doc_id not in self._deleted
+        ]
+        self.doc_ids = [doc_id for doc_id, _ in pairs]
+        self.weights = [weight for _, weight in pairs]
+        self._deleted.clear()
+
+    def iter_live(self) -> Iterator[Tuple[DocId, float]]:
+        """Iterate over live postings in doc-id order."""
+        for doc_id, weight in zip(self.doc_ids, self.weights):
+            if doc_id not in self._deleted:
+                yield doc_id, weight
+
+    def first_geq(self, doc_id: DocId, start: int = 0) -> int:
+        """Position of the first (possibly deleted) entry with id >= ``doc_id``."""
+        return bisect_left(self.doc_ids, doc_id, lo=start)
+
+    def is_deleted(self, doc_id: DocId) -> bool:
+        return doc_id in self._deleted
+
+    def max_weight(self) -> float:
+        """Largest live weight in the list (0 when empty); used by WAND."""
+        best = 0.0
+        for doc_id, weight in zip(self.doc_ids, self.weights):
+            if doc_id not in self._deleted and weight > best:
+                best = weight
+        return best

@@ -1,0 +1,148 @@
+"""The query-side inverted file (the index RIO/MRIO probe documents against).
+
+The paper's first design decision is to *reverse the roles* of documents and
+queries: the (relatively static) continuous queries are indexed, and each
+arriving document is probed against that index.  Per dictionary term ``t_i``
+the index keeps an **ID-ordered** posting list of ``(query id, preference
+weight)`` entries; cursor jumps over those lists are what the ID-ordering
+paradigm exploits.
+
+The index is purely structural: it stores queries and their postings and
+notifies registered listeners (the bound maintainers in
+:mod:`repro.core.bounds`) about membership changes, but it knows nothing
+about thresholds or scores.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
+
+from repro.exceptions import DuplicateQueryError, UnknownQueryError
+from repro.index.postings import QueryPostingList
+from repro.queries.query import Query
+from repro.types import QueryId, TermId
+
+
+class QueryIndex:
+    """ID-ordered inverted file over the registered continuous queries."""
+
+    def __init__(self) -> None:
+        self._postings: Dict[TermId, QueryPostingList] = {}
+        self._queries: Dict[QueryId, Query] = {}
+        self._listeners: List["QueryIndexListener"] = []
+
+    # ------------------------------------------------------------------ #
+    # Listeners
+    # ------------------------------------------------------------------ #
+
+    def add_listener(self, listener: "QueryIndexListener") -> None:
+        """Register a structure (e.g. a bound maintainer) for change events."""
+        self._listeners.append(listener)
+
+    # ------------------------------------------------------------------ #
+    # Registration
+    # ------------------------------------------------------------------ #
+
+    def register(self, query: Query) -> None:
+        """Add ``query`` to the index.
+
+        Queries registered in increasing id order append in O(1) per term;
+        out-of-order ids fall back to an ordered insert.
+        """
+        if query.query_id in self._queries:
+            raise DuplicateQueryError(f"query {query.query_id} is already registered")
+        self._queries[query.query_id] = query
+        for term_id, weight in query.vector.items():
+            plist = self._postings.get(term_id)
+            if plist is None:
+                plist = QueryPostingList(term_id)
+                self._postings[term_id] = plist
+            if not plist.qids or query.query_id > plist.qids[-1]:
+                plist.append(query.query_id, weight)
+            else:
+                plist.insert(query.query_id, weight)
+        for listener in self._listeners:
+            listener.on_query_registered(query)
+
+    def unregister(self, query_id: QueryId) -> Query:
+        """Remove a query and its postings; returns the removed query."""
+        query = self._queries.pop(query_id, None)
+        if query is None:
+            raise UnknownQueryError(f"query {query_id} is not registered")
+        for term_id in query.vector:
+            plist = self._postings.get(term_id)
+            if plist is None:
+                continue
+            plist.remove(query_id)
+            if len(plist) == 0:
+                del self._postings[term_id]
+        for listener in self._listeners:
+            listener.on_query_unregistered(query)
+        return query
+
+    # ------------------------------------------------------------------ #
+    # Lookup
+    # ------------------------------------------------------------------ #
+
+    def get(self, term_id: TermId) -> Optional[QueryPostingList]:
+        """The posting list of ``term_id`` or ``None`` if no query uses it."""
+        return self._postings.get(term_id)
+
+    def query(self, query_id: QueryId) -> Query:
+        query = self._queries.get(query_id)
+        if query is None:
+            raise UnknownQueryError(f"query {query_id} is not registered")
+        return query
+
+    def has_query(self, query_id: QueryId) -> bool:
+        return query_id in self._queries
+
+    def queries(self) -> Iterator[Query]:
+        return iter(self._queries.values())
+
+    def query_ids(self) -> List[QueryId]:
+        return list(self._queries.keys())
+
+    def term_ids(self) -> List[TermId]:
+        return list(self._postings.keys())
+
+    def posting_lists(self) -> Iterator[QueryPostingList]:
+        return iter(self._postings.values())
+
+    @property
+    def num_queries(self) -> int:
+        return len(self._queries)
+
+    @property
+    def num_terms(self) -> int:
+        return len(self._postings)
+
+    @property
+    def num_postings(self) -> int:
+        return sum(len(plist) for plist in self._postings.values())
+
+    def positions_of(self, query: Query) -> List[Tuple[TermId, int]]:
+        """The (term id, position) of each posting of ``query``.
+
+        Used by the bound maintainers to apply point updates when the
+        query's result threshold changes.
+        """
+        positions = []
+        for term_id in query.vector:
+            plist = self._postings.get(term_id)
+            if plist is None:
+                continue
+            pos = plist.position_of(query.query_id)
+            if pos is not None:
+                positions.append((term_id, pos))
+        return positions
+
+
+class QueryIndexListener:
+    """Interface for structures that must react to index membership changes."""
+
+    def on_query_registered(self, query: Query) -> None:  # pragma: no cover - interface
+        """Called after ``query`` has been added to the index."""
+
+    def on_query_unregistered(self, query: Query) -> None:  # pragma: no cover - interface
+        """Called after ``query`` has been removed from the index."""

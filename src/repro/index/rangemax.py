@@ -1,0 +1,149 @@
+"""Range-maximum structures backing the MRIO zone bounds.
+
+MRIO's locally adaptive bound UB* needs, per posting list, the maximum
+weight/threshold ratio among the entries whose query id falls inside the
+current pruning zone.  Two reusable structures are provided:
+
+* :class:`SegmentTreeMax` — exact range maxima in O(log n) with O(log n)
+  point updates;
+* :class:`BlockMax` — per-block maxima; queries are answered from whole
+  blocks only, so the result may overshoot the true range maximum (it is an
+  upper bound, which is all the pruning logic needs) at O(n / block_size)
+  query cost and O(1)/O(block_size) update cost.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Sequence
+
+NEG_INF = float("-inf")
+
+
+class SegmentTreeMax:
+    """Classic iterative segment tree over floats supporting range max."""
+
+    def __init__(self, values: Sequence[float]) -> None:
+        self._n = len(values)
+        size = 1
+        while size < max(self._n, 1):
+            size *= 2
+        self._size = size
+        self._tree = [NEG_INF] * (2 * size)
+        for i, value in enumerate(values):
+            self._tree[size + i] = value
+        for i in range(size - 1, 0, -1):
+            self._tree[i] = max(self._tree[2 * i], self._tree[2 * i + 1])
+
+    def __len__(self) -> int:
+        return self._n
+
+    def update(self, position: int, value: float) -> None:
+        """Set the value at ``position`` and propagate the change upwards."""
+        if not 0 <= position < self._n:
+            raise IndexError(f"position {position} out of range [0, {self._n})")
+        i = self._size + position
+        self._tree[i] = value
+        i //= 2
+        while i >= 1:
+            new_value = max(self._tree[2 * i], self._tree[2 * i + 1])
+            if self._tree[i] == new_value:
+                break
+            self._tree[i] = new_value
+            i //= 2
+
+    def value_at(self, position: int) -> float:
+        return self._tree[self._size + position]
+
+    def query(self, lo: int, hi: int) -> float:
+        """Maximum over positions ``[lo, hi)``; ``-inf`` for an empty range."""
+        lo = max(lo, 0)
+        hi = min(hi, self._n)
+        if lo >= hi:
+            return NEG_INF
+        result = NEG_INF
+        left = self._size + lo
+        right = self._size + hi
+        while left < right:
+            if left & 1:
+                result = max(result, self._tree[left])
+                left += 1
+            if right & 1:
+                right -= 1
+                result = max(result, self._tree[right])
+            left //= 2
+            right //= 2
+        return result
+
+    def global_max(self) -> float:
+        return self._tree[1] if self._n else NEG_INF
+
+
+class BlockMax:
+    """Per-block maxima over a float array.
+
+    ``query`` returns the maximum of the *block* maxima of every block that
+    overlaps the requested range — a cheap upper bound of the true range
+    maximum.  ``update`` raises the stored value in O(1); lowering a value
+    rescans its block so the block maximum stays exact w.r.t. stored values.
+    """
+
+    def __init__(self, values: Sequence[float], block_size: int = 64) -> None:
+        if block_size <= 0:
+            raise ValueError(f"block_size must be > 0, got {block_size}")
+        self.block_size = block_size
+        self._values: List[float] = list(values)
+        self._block_max: List[float] = []
+        self._rebuild_blocks()
+
+    def _rebuild_blocks(self) -> None:
+        self._block_max = []
+        for start in range(0, len(self._values), self.block_size):
+            chunk = self._values[start : start + self.block_size]
+            self._block_max.append(max(chunk) if chunk else NEG_INF)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def value_at(self, position: int) -> float:
+        return self._values[position]
+
+    def update(self, position: int, value: float) -> None:
+        if not 0 <= position < len(self._values):
+            raise IndexError(
+                f"position {position} out of range [0, {len(self._values)})"
+            )
+        old = self._values[position]
+        self._values[position] = value
+        block = position // self.block_size
+        if value >= self._block_max[block]:
+            self._block_max[block] = value
+        elif old == self._block_max[block]:
+            start = block * self.block_size
+            chunk = self._values[start : start + self.block_size]
+            self._block_max[block] = max(chunk) if chunk else NEG_INF
+
+    def query(self, lo: int, hi: int) -> float:
+        """Upper bound of the maximum over positions ``[lo, hi)``."""
+        lo = max(lo, 0)
+        hi = min(hi, len(self._values))
+        if lo >= hi:
+            return NEG_INF
+        first_block = lo // self.block_size
+        last_block = (hi - 1) // self.block_size
+        result = NEG_INF
+        for block in range(first_block, last_block + 1):
+            if self._block_max[block] > result:
+                result = self._block_max[block]
+        return result
+
+    def exact_query(self, lo: int, hi: int) -> float:
+        """Exact maximum over positions ``[lo, hi)`` (scans stored values)."""
+        lo = max(lo, 0)
+        hi = min(hi, len(self._values))
+        if lo >= hi:
+            return NEG_INF
+        return max(self._values[lo:hi])
+
+    def global_max(self) -> float:
+        return max(self._block_max) if self._block_max else NEG_INF

@@ -1,0 +1,6 @@
+"""Instrumentation: per-event counters and per-run aggregate statistics."""
+
+from repro.metrics.counters import EventCounters
+from repro.metrics.runstats import RunStatistics, summarize_times
+
+__all__ = ["EventCounters", "RunStatistics", "summarize_times"]

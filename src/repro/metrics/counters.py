@@ -1,0 +1,74 @@
+"""Work counters maintained by every stream-processing algorithm.
+
+The paper's primary metric is the response time per stream event, but its
+optimality claim (claim (i) of the abstract) is about the *number of queries
+whose score is computed per event*.  The counters below track both, plus the
+lower-level quantities (iterations, postings touched, bound evaluations)
+that the ablation benchmarks report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class EventCounters:
+    """Cumulative work counters for one algorithm instance."""
+
+    #: Stream events (document arrivals) processed.
+    documents: int = 0
+    #: Queries whose exact score was computed ("considered queries").
+    full_evaluations: int = 0
+    #: Pivot-search iterations executed (RIO/MRIO) or list scans (baselines).
+    iterations: int = 0
+    #: Posting entries touched while scanning or evaluating.
+    postings_scanned: int = 0
+    #: Upper-bound terms computed (global or zone maxima lookups).
+    bound_computations: int = 0
+    #: Result-heap insertions (a document entered some query's top-k).
+    result_updates: int = 0
+    #: Wall-clock seconds spent inside ``process_document``.
+    elapsed_seconds: float = 0.0
+
+    def reset(self) -> None:
+        """Zero every counter."""
+        self.documents = 0
+        self.full_evaluations = 0
+        self.iterations = 0
+        self.postings_scanned = 0
+        self.bound_computations = 0
+        self.result_updates = 0
+        self.elapsed_seconds = 0.0
+
+    def snapshot(self) -> Dict[str, float]:
+        """A plain-dict copy of the counters (used by reports)."""
+        return {
+            "documents": self.documents,
+            "full_evaluations": self.full_evaluations,
+            "iterations": self.iterations,
+            "postings_scanned": self.postings_scanned,
+            "bound_computations": self.bound_computations,
+            "result_updates": self.result_updates,
+            "elapsed_seconds": self.elapsed_seconds,
+        }
+
+    def per_document(self) -> Dict[str, float]:
+        """Counters averaged per processed document."""
+        divisor = max(self.documents, 1)
+        return {
+            name: value / divisor
+            for name, value in self.snapshot().items()
+            if name != "documents"
+        }
+
+    def merge(self, other: "EventCounters") -> None:
+        """Add ``other``'s counts into this instance."""
+        self.documents += other.documents
+        self.full_evaluations += other.full_evaluations
+        self.iterations += other.iterations
+        self.postings_scanned += other.postings_scanned
+        self.bound_computations += other.bound_computations
+        self.result_updates += other.result_updates
+        self.elapsed_seconds += other.elapsed_seconds

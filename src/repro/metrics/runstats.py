@@ -1,0 +1,69 @@
+"""Aggregate statistics over a measured run (per-event response times)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+
+def summarize_times(times_seconds: Sequence[float]) -> Dict[str, float]:
+    """Summary statistics (in milliseconds) of a response-time sample."""
+    if not times_seconds:
+        return {
+            "count": 0,
+            "mean_ms": 0.0,
+            "median_ms": 0.0,
+            "p95_ms": 0.0,
+            "p99_ms": 0.0,
+            "max_ms": 0.0,
+            "total_ms": 0.0,
+        }
+    arr = np.asarray(times_seconds, dtype=float) * 1000.0
+    return {
+        "count": int(arr.size),
+        "mean_ms": float(arr.mean()),
+        "median_ms": float(np.median(arr)),
+        "p95_ms": float(np.percentile(arr, 95)),
+        "p99_ms": float(np.percentile(arr, 99)),
+        "max_ms": float(arr.max()),
+        "total_ms": float(arr.sum()),
+    }
+
+
+@dataclass
+class RunStatistics:
+    """Everything measured for one (algorithm, configuration) run."""
+
+    algorithm: str
+    num_queries: int
+    num_events: int
+    response_times: List[float] = field(default_factory=list)
+    counters: Dict[str, float] = field(default_factory=dict)
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def mean_response_ms(self) -> float:
+        return summarize_times(self.response_times)["mean_ms"]
+
+    @property
+    def median_response_ms(self) -> float:
+        return summarize_times(self.response_times)["median_ms"]
+
+    @property
+    def p95_response_ms(self) -> float:
+        return summarize_times(self.response_times)["p95_ms"]
+
+    def summary(self) -> Dict[str, float]:
+        """Flat summary used by the reporting layer."""
+        result: Dict[str, float] = {
+            "algorithm": self.algorithm,
+            "num_queries": self.num_queries,
+            "num_events": self.num_events,
+        }
+        result.update(summarize_times(self.response_times))
+        for name, value in self.counters.items():
+            result[f"counter_{name}"] = value
+        result.update(self.extra)
+        return result

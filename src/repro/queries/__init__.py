@@ -1,0 +1,19 @@
+"""Continuous-query model and the synthetic query workload generators."""
+
+from repro.queries.query import Query
+from repro.queries.workloads import (
+    WorkloadConfig,
+    UniformWorkload,
+    ConnectedWorkload,
+    generate_workload,
+)
+from repro.queries.cooccurrence import CooccurrenceGraph
+
+__all__ = [
+    "Query",
+    "WorkloadConfig",
+    "UniformWorkload",
+    "ConnectedWorkload",
+    "generate_workload",
+    "CooccurrenceGraph",
+]

@@ -1,0 +1,246 @@
+"""Synthetic query workload generators: Uniform and Connected.
+
+The paper's evaluation uses two synthetic query workloads built over the
+Wikipedia dictionary, "exhibiting different word co-occurrence frequencies":
+
+* **Uniform** — the keywords of a query are drawn independently from the
+  corpus term distribution, so they rarely co-occur inside a single
+  document;
+* **Connected** — the keywords of a query are drawn from terms that do
+  co-occur (here: from one topic pool of the synthetic corpus, or from a
+  co-occurrence-graph neighbourhood), so many documents match several of a
+  query's keywords at once.
+
+Connected workloads make documents score highly against many queries, which
+stresses the result-update path; Uniform workloads stress the pruning power
+of the bounds.  Both generators assign every query a random preference-weight
+profile and L2-normalize it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.documents.corpus import SyntheticCorpus
+from repro.exceptions import ConfigurationError
+from repro.queries.cooccurrence import CooccurrenceGraph
+from repro.queries.query import Query
+from repro.text.similarity import l2_normalize
+from repro.types import SparseVector, TermId
+from repro.utils.rng import SeedLike, make_rng
+from repro.utils.validation import require, require_positive
+
+
+@dataclass
+class WorkloadConfig:
+    """Shared configuration of the query workload generators.
+
+    Attributes
+    ----------
+    min_terms / max_terms:
+        Bounds on the number of keywords per query (the paper's queries
+        "typically comprise just a few terms").
+    k:
+        The top-k size requested by every generated query.  A per-query
+        random k can be enabled with ``randomize_k``.
+    randomize_k:
+        When true, k is drawn uniformly from ``[1, k]`` per query.
+    weight_low / weight_high:
+        Raw keyword preference weights are drawn uniformly from this range
+        before normalization.
+    frequency_bias:
+        How strongly the Uniform workload's keyword sampling follows the
+        corpus term-frequency distribution.  ``0`` samples keywords uniformly
+        from the dictionary (the literal reading of "Uniform": keywords
+        rarely co-occur with each other or with any given document), ``1``
+        follows the corpus Zipf distribution exactly; intermediate values
+        interpolate by exponentiating the term probabilities.
+    """
+
+    min_terms: int = 2
+    max_terms: int = 5
+    k: int = 10
+    randomize_k: bool = False
+    weight_low: float = 0.5
+    weight_high: float = 1.0
+    frequency_bias: float = 0.3
+    seed: Optional[int] = 13
+
+    def __post_init__(self) -> None:
+        require_positive(self.min_terms, "min_terms")
+        require(self.max_terms >= self.min_terms, "max_terms must be >= min_terms")
+        require_positive(self.k, "k")
+        require_positive(self.weight_low, "weight_low")
+        require(
+            self.weight_high >= self.weight_low,
+            "weight_high must be >= weight_low",
+        )
+        require(
+            0.0 <= self.frequency_bias <= 1.0,
+            "frequency_bias must be in [0, 1]",
+        )
+
+
+class _WorkloadBase:
+    """Shared machinery: term weighting, k selection, id assignment."""
+
+    def __init__(self, config: Optional[WorkloadConfig] = None, seed: SeedLike = None):
+        self.config = config or WorkloadConfig()
+        self._rng = make_rng(self.config.seed if seed is None else seed)
+        self._next_query_id = 0
+
+    # -- hooks ---------------------------------------------------------- #
+
+    def _sample_terms(self, count: int) -> List[TermId]:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    # -- shared helpers -------------------------------------------------- #
+
+    def _sample_query_length(self) -> int:
+        cfg = self.config
+        return int(self._rng.integers(cfg.min_terms, cfg.max_terms + 1))
+
+    def _sample_k(self) -> int:
+        if self.config.randomize_k:
+            return int(self._rng.integers(1, self.config.k + 1))
+        return self.config.k
+
+    def _build_vector(self, term_ids: Sequence[TermId]) -> SparseVector:
+        cfg = self.config
+        weights = self._rng.uniform(cfg.weight_low, cfg.weight_high, size=len(term_ids))
+        raw: Dict[int, float] = {}
+        for term_id, weight in zip(term_ids, weights):
+            raw[int(term_id)] = raw.get(int(term_id), 0.0) + float(weight)
+        return l2_normalize(raw)
+
+    # -- public API ------------------------------------------------------ #
+
+    def generate_query(self) -> Query:
+        """Generate a single query with a fresh identifier."""
+        length = self._sample_query_length()
+        term_ids = self._sample_terms(length)
+        if not term_ids:
+            raise ConfigurationError("workload produced a query with no terms")
+        vector = self._build_vector(term_ids)
+        query = Query(query_id=self._next_query_id, vector=vector, k=self._sample_k())
+        self._next_query_id += 1
+        return query
+
+    def generate(self, count: int) -> List[Query]:
+        """Generate ``count`` queries with consecutive identifiers."""
+        return [self.generate_query() for _ in range(count)]
+
+    def reset(self) -> None:
+        """Restart query-id numbering (the RNG state is left untouched)."""
+        self._next_query_id = 0
+
+
+class UniformWorkload(_WorkloadBase):
+    """Keywords drawn independently from the dictionary.
+
+    The sampling distribution interpolates between "uniform over the
+    dictionary" and "corpus term frequency" through
+    ``WorkloadConfig.frequency_bias`` (see there).  Independent draws mean
+    the keywords of a query rarely co-occur in one document — the defining
+    property of the paper's Uniform workload.
+    """
+
+    def __init__(
+        self,
+        corpus: SyntheticCorpus,
+        config: Optional[WorkloadConfig] = None,
+        seed: SeedLike = None,
+    ) -> None:
+        super().__init__(config, seed)
+        probs = corpus.term_probabilities
+        bias = self.config.frequency_bias
+        if bias <= 0.0:
+            probs = np.full_like(probs, 1.0 / len(probs))
+        elif bias < 1.0:
+            probs = probs**bias
+            probs = probs / probs.sum()
+        self._probs = probs
+        self._cdf = np.cumsum(self._probs)
+        self._cdf[-1] = 1.0
+        self._vocab_size = len(self._probs)
+
+    def _sample_terms(self, count: int) -> List[TermId]:
+        selected: List[TermId] = []
+        seen: set[int] = set()
+        attempts = 0
+        while len(selected) < count and attempts < 50 * count:
+            u = self._rng.random()
+            term = int(np.searchsorted(self._cdf, u, side="left"))
+            attempts += 1
+            if term not in seen:
+                seen.add(term)
+                selected.append(term)
+        while len(selected) < count:
+            term = int(self._rng.integers(0, self._vocab_size))
+            if term not in seen:
+                seen.add(term)
+                selected.append(term)
+        return selected
+
+
+class ConnectedWorkload(_WorkloadBase):
+    """Keywords drawn from co-occurring term groups.
+
+    Two sources of "connectedness" are supported:
+
+    * the topic pools of the synthetic corpus (default, cheap), and
+    * a data-driven :class:`CooccurrenceGraph` built from sample documents
+      (pass ``graph=...``), which mimics building the workload from the
+      corpus itself as the paper did for Wikipedia.
+    """
+
+    def __init__(
+        self,
+        corpus: SyntheticCorpus,
+        config: Optional[WorkloadConfig] = None,
+        seed: SeedLike = None,
+        graph: Optional[CooccurrenceGraph] = None,
+    ) -> None:
+        super().__init__(config, seed)
+        self._corpus = corpus
+        self._graph = graph
+
+    def _sample_terms(self, count: int) -> List[TermId]:
+        if self._graph is not None and self._graph.num_terms > 0:
+            seed = int(self._rng.integers(0, 2**31 - 1))
+            terms = self._graph.sample_connected_terms(count, seed=seed)
+            if len(terms) >= count:
+                return terms[:count]
+        topic = int(self._rng.integers(0, self._corpus.num_topics))
+        pool = self._corpus.topic_term_ids(topic)
+        if count >= len(pool):
+            return list(pool[:count])
+        chosen = self._rng.choice(len(pool), size=count, replace=False)
+        return [pool[int(i)] for i in chosen]
+
+
+def generate_workload(
+    name: str,
+    corpus: SyntheticCorpus,
+    count: int,
+    config: Optional[WorkloadConfig] = None,
+    seed: SeedLike = None,
+    graph: Optional[CooccurrenceGraph] = None,
+) -> List[Query]:
+    """Convenience factory: generate ``count`` queries of workload ``name``.
+
+    ``name`` is ``"uniform"`` or ``"connected"`` (case-insensitive).
+    """
+    lowered = name.lower()
+    if lowered == "uniform":
+        workload: _WorkloadBase = UniformWorkload(corpus, config=config, seed=seed)
+    elif lowered == "connected":
+        workload = ConnectedWorkload(corpus, config=config, seed=seed, graph=graph)
+    else:
+        raise ConfigurationError(
+            f"unknown workload {name!r}; expected 'uniform' or 'connected'"
+        )
+    return workload.generate(count)

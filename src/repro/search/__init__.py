@@ -1,0 +1,24 @@
+"""Static top-k search substrate over a document inverted file.
+
+The paper's introduction contrasts the streaming problem with classical
+top-k retrieval over static collections, where the standard tool is an
+ID-ordered inverted file traversed term-at-a-time (TAAT),
+document-at-a-time (DAAT) or with WAND-style pruning.  These evaluators are
+implemented here; the expiration re-evaluation path and one benchmark use
+them directly.
+"""
+
+from repro.search.topk_heap import TopKHeap, SearchHit
+from repro.search.taat import taat_search
+from repro.search.daat import daat_search
+from repro.search.wand import wand_search
+from repro.search.engine import SearchEngine
+
+__all__ = [
+    "TopKHeap",
+    "SearchHit",
+    "taat_search",
+    "daat_search",
+    "wand_search",
+    "SearchEngine",
+]

@@ -1,0 +1,74 @@
+"""Document-at-a-time (DAAT) top-k evaluation over the document index."""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.index.doc_index import DocumentIndex
+from repro.index.postings import DocPostingList
+from repro.search.topk_heap import SearchHit, TopKHeap
+from repro.types import SparseVector
+
+
+class _ListCursor:
+    """Cursor over the live entries of one document posting list."""
+
+    __slots__ = ("plist", "query_weight", "pos")
+
+    def __init__(self, plist: DocPostingList, query_weight: float) -> None:
+        self.plist = plist
+        self.query_weight = query_weight
+        self.pos = 0
+        self._skip_deleted()
+
+    def _skip_deleted(self) -> None:
+        while (
+            self.pos < len(self.plist.doc_ids)
+            and self.plist.doc_ids[self.pos] in self.plist._deleted
+        ):
+            self.pos += 1
+
+    @property
+    def exhausted(self) -> bool:
+        return self.pos >= len(self.plist.doc_ids)
+
+    @property
+    def current_doc(self) -> int:
+        return self.plist.doc_ids[self.pos]
+
+    @property
+    def current_weight(self) -> float:
+        return self.plist.weights[self.pos]
+
+    def advance(self) -> None:
+        self.pos += 1
+        self._skip_deleted()
+
+    def seek(self, doc_id: int) -> None:
+        self.pos = self.plist.first_geq(doc_id, start=self.pos)
+        self._skip_deleted()
+
+
+def daat_search(index: DocumentIndex, query_vector: SparseVector, k: int) -> List[SearchHit]:
+    """Merge the query's posting lists in doc-id order, scoring each doc once."""
+    cursors = []
+    for term_id, query_weight in query_vector.items():
+        plist = index.get(term_id)
+        if plist is not None and len(plist) > 0:
+            cursors.append(_ListCursor(plist, query_weight))
+    heap = TopKHeap(k)
+    while True:
+        active = [c for c in cursors if not c.exhausted]
+        if not active:
+            break
+        current = min(c.current_doc for c in active)
+        score = 0.0
+        for cursor in active:
+            if cursor.current_doc == current:
+                score += cursor.query_weight * cursor.current_weight
+                cursor.advance()
+        heap.offer(current, score)
+    return heap.hits()
+
+
+__all__ = ["daat_search", "_ListCursor"]

@@ -1,0 +1,66 @@
+"""Facade bundling the document index with a pluggable evaluation strategy."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List
+
+from repro.documents.document import Document
+from repro.exceptions import ConfigurationError
+from repro.index.doc_index import DocumentIndex
+from repro.search.daat import daat_search
+from repro.search.taat import taat_search
+from repro.search.topk_heap import SearchHit
+from repro.search.wand import wand_search
+from repro.types import SparseVector
+
+_STRATEGIES: Dict[str, Callable[[DocumentIndex, SparseVector, int], List[SearchHit]]] = {
+    "taat": taat_search,
+    "daat": daat_search,
+    "wand": wand_search,
+}
+
+
+class SearchEngine:
+    """Static top-k search over an in-memory document collection.
+
+    Example
+    -------
+    >>> engine = SearchEngine(strategy="wand")
+    >>> for doc in documents:
+    ...     engine.add(doc)
+    >>> hits = engine.search({term_id: 1.0}, k=10)
+    """
+
+    def __init__(self, strategy: str = "wand") -> None:
+        if strategy not in _STRATEGIES:
+            raise ConfigurationError(
+                f"unknown search strategy {strategy!r}; expected one of "
+                f"{sorted(_STRATEGIES)}"
+            )
+        self.strategy = strategy
+        self.index = DocumentIndex()
+
+    def add(self, document: Document) -> None:
+        """Index one document."""
+        self.index.add(document)
+
+    def add_all(self, documents: Iterable[Document]) -> None:
+        for document in documents:
+            self.add(document)
+
+    def remove(self, doc_id: int) -> bool:
+        """Remove a document from the collection."""
+        return self.index.remove(doc_id)
+
+    def search(self, query_vector: SparseVector, k: int) -> List[SearchHit]:
+        """Return the top-``k`` documents for ``query_vector`` (cosine order)."""
+        evaluator = _STRATEGIES[self.strategy]
+        return evaluator(self.index, query_vector, k)
+
+    @property
+    def num_documents(self) -> int:
+        return self.index.num_documents
+
+    @staticmethod
+    def available_strategies() -> List[str]:
+        return sorted(_STRATEGIES)

@@ -1,0 +1,28 @@
+"""Term-at-a-time (TAAT) top-k evaluation over the document index."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.index.doc_index import DocumentIndex
+from repro.search.topk_heap import SearchHit, TopKHeap
+from repro.types import SparseVector
+
+
+def taat_search(index: DocumentIndex, query_vector: SparseVector, k: int) -> List[SearchHit]:
+    """Score accumulators term by term, then rank the accumulated documents.
+
+    Simple and exact; its cost is proportional to the total number of
+    postings of the query terms.
+    """
+    accumulators: Dict[int, float] = {}
+    for term_id, query_weight in query_vector.items():
+        plist = index.get(term_id)
+        if plist is None:
+            continue
+        for doc_id, doc_weight in plist.iter_live():
+            accumulators[doc_id] = accumulators.get(doc_id, 0.0) + query_weight * doc_weight
+    heap = TopKHeap(k)
+    for doc_id, score in accumulators.items():
+        heap.offer(doc_id, score)
+    return heap.hits()

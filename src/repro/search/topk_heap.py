@@ -1,0 +1,70 @@
+"""Bounded top-k heap used by the static search evaluators."""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.types import DocId
+
+
+@dataclass(frozen=True)
+class SearchHit:
+    """One search result: a document id and its score."""
+
+    doc_id: DocId
+    score: float
+
+
+class TopKHeap:
+    """Keeps the ``k`` highest-scoring documents seen so far.
+
+    Ties are broken towards lower doc ids (deterministic results across
+    evaluation strategies, which the differential tests rely on).
+    """
+
+    def __init__(self, k: int) -> None:
+        if k <= 0:
+            raise ValueError(f"k must be > 0, got {k}")
+        self.k = k
+        # Min-heap of (score, -doc_id) so the weakest kept hit is at the root
+        # and ties prefer keeping the smaller doc id.
+        self._heap: List[Tuple[float, int]] = []
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    @property
+    def full(self) -> bool:
+        return len(self._heap) >= self.k
+
+    @property
+    def threshold(self) -> float:
+        """Score needed to enter the heap (0 while it is not yet full)."""
+        return self._heap[0][0] if self.full else 0.0
+
+    def offer(self, doc_id: DocId, score: float) -> bool:
+        """Consider a candidate; returns True if it was kept."""
+        if score <= 0.0:
+            return False
+        entry = (score, -doc_id)
+        if not self.full:
+            heapq.heappush(self._heap, entry)
+            return True
+        # Strictly-greater acceptance keeps the heap consistent with the
+        # pruning rule of WAND-style evaluators (candidates whose upper bound
+        # equals the threshold may be skipped safely).
+        if score > self._heap[0][0]:
+            heapq.heapreplace(self._heap, entry)
+            return True
+        return False
+
+    def would_accept(self, score: float) -> bool:
+        """True when a hit with ``score`` would (possibly) be kept."""
+        return not self.full or score > self.threshold
+
+    def hits(self) -> List[SearchHit]:
+        """The kept hits, best first."""
+        ordered = sorted(self._heap, key=lambda entry: (-entry[0], -entry[1]))
+        return [SearchHit(doc_id=-neg_id, score=score) for score, neg_id in ordered]

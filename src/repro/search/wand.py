@@ -1,0 +1,59 @@
+"""WAND top-k evaluation (Broder et al.) over the document index.
+
+WAND is the classical ID-ordering pruning technique for static collections;
+RIO adapts the same paradigm to a *query* index probed by documents.  Having
+the original here both exercises the document index substrate and lets tests
+confirm that the reversed variant inherits the pruning invariants.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.index.doc_index import DocumentIndex
+from repro.search.daat import _ListCursor
+from repro.search.topk_heap import SearchHit, TopKHeap
+from repro.types import SparseVector
+
+
+def wand_search(index: DocumentIndex, query_vector: SparseVector, k: int) -> List[SearchHit]:
+    """Top-k retrieval with WAND pivoting over ID-ordered posting lists."""
+    cursors = []
+    upper_bounds = {}
+    for term_id, query_weight in query_vector.items():
+        plist = index.get(term_id)
+        if plist is not None and len(plist) > 0:
+            cursor = _ListCursor(plist, query_weight)
+            cursors.append(cursor)
+            upper_bounds[id(cursor)] = query_weight * plist.max_weight()
+    heap = TopKHeap(k)
+    while True:
+        active = [c for c in cursors if not c.exhausted]
+        if not active:
+            break
+        active.sort(key=lambda c: c.current_doc)
+        threshold = heap.threshold
+        accumulated = 0.0
+        pivot_index = None
+        for i, cursor in enumerate(active):
+            accumulated += upper_bounds[id(cursor)]
+            if accumulated > threshold:
+                pivot_index = i
+                break
+        if pivot_index is None:
+            # Even the sum of all upper bounds cannot beat the k-th score.
+            break
+        pivot_doc = active[pivot_index].current_doc
+        first_doc = active[0].current_doc
+        if pivot_doc == first_doc:
+            score = 0.0
+            for cursor in active:
+                if cursor.exhausted or cursor.current_doc != pivot_doc:
+                    continue
+                score += cursor.query_weight * cursor.current_weight
+                cursor.advance()
+            heap.offer(pivot_doc, score)
+        else:
+            for cursor in active[:pivot_index]:
+                cursor.seek(pivot_doc)
+    return heap.hits()

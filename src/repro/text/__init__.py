@@ -1,0 +1,31 @@
+"""Text analysis substrate.
+
+Turns raw document / query text into the normalized sparse term vectors that
+the continuous top-k scoring model consumes.  The pipeline mirrors what a
+classical IR system applies to a Wikipedia-style corpus:
+
+``tokenize -> lowercase -> stopword removal -> (optional) Porter stemming ->
+term-id lookup -> TF or TF-IDF weighting -> L2 normalization``
+"""
+
+from repro.text.tokenizer import Tokenizer
+from repro.text.stopwords import ENGLISH_STOPWORDS, StopwordFilter
+from repro.text.stemmer import PorterStemmer
+from repro.text.analyzer import Analyzer
+from repro.text.vocabulary import Vocabulary
+from repro.text.vectorizer import Vectorizer, WeightingScheme
+from repro.text.similarity import cosine_similarity, dot_product, l2_normalize
+
+__all__ = [
+    "Tokenizer",
+    "ENGLISH_STOPWORDS",
+    "StopwordFilter",
+    "PorterStemmer",
+    "Analyzer",
+    "Vocabulary",
+    "Vectorizer",
+    "WeightingScheme",
+    "cosine_similarity",
+    "dot_product",
+    "l2_normalize",
+]

@@ -1,0 +1,54 @@
+"""Analysis pipeline: tokenizer + stopword filter + optional stemmer."""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Iterable, List, Optional
+
+from repro.text.stemmer import PorterStemmer
+from repro.text.stopwords import StopwordFilter
+from repro.text.tokenizer import Tokenizer
+
+
+class Analyzer:
+    """Composes the text-processing steps into a single callable.
+
+    ``analyze`` returns the processed token list; ``term_frequencies``
+    returns the bag-of-words counter most callers (the vectorizer, the corpus
+    reader) actually need.
+    """
+
+    def __init__(
+        self,
+        tokenizer: Optional[Tokenizer] = None,
+        stopword_filter: Optional[StopwordFilter] = None,
+        stemmer: Optional[PorterStemmer] = None,
+        use_stemming: bool = True,
+        use_stopwords: bool = True,
+    ) -> None:
+        self.tokenizer = tokenizer or Tokenizer()
+        self.stopword_filter = stopword_filter or (StopwordFilter() if use_stopwords else None)
+        if not use_stopwords:
+            self.stopword_filter = None
+        self.stemmer = stemmer or (PorterStemmer() if use_stemming else None)
+        if not use_stemming:
+            self.stemmer = None
+
+    def analyze(self, text: str) -> List[str]:
+        """Run the full pipeline on ``text`` and return the processed tokens."""
+        tokens = self.tokenizer.tokenize(text)
+        if self.stopword_filter is not None:
+            tokens = self.stopword_filter.filter(tokens)
+        if self.stemmer is not None:
+            tokens = [self.stemmer.stem(token) for token in tokens]
+        return tokens
+
+    def term_frequencies(self, text: str) -> Dict[str, int]:
+        """Return the term -> count mapping of the processed tokens."""
+        return dict(Counter(self.analyze(text)))
+
+    def analyze_many(self, texts: Iterable[str]) -> List[List[str]]:
+        return [self.analyze(text) for text in texts]
+
+    def __call__(self, text: str) -> List[str]:
+        return self.analyze(text)

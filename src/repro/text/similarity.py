@@ -1,0 +1,68 @@
+"""Sparse-vector similarity primitives.
+
+Vectors are plain ``dict[int, float]`` objects (term id -> weight).  The
+scoring model of the paper uses cosine similarity; with L2-normalized vectors
+the cosine reduces to the sparse dot product, which is the representation the
+stream algorithms use internally.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict
+
+from repro.types import SparseVector
+
+
+def dot_product(a: SparseVector, b: SparseVector) -> float:
+    """Sparse dot product; iterates over the smaller vector."""
+    if len(a) > len(b):
+        a, b = b, a
+    total = 0.0
+    for term_id, weight in a.items():
+        other = b.get(term_id)
+        if other is not None:
+            total += weight * other
+    return total
+
+
+def l2_norm(vector: SparseVector) -> float:
+    """Euclidean norm of a sparse vector."""
+    return math.sqrt(sum(w * w for w in vector.values()))
+
+
+def l2_normalize(vector: SparseVector) -> SparseVector:
+    """Return a copy of ``vector`` scaled to unit Euclidean norm.
+
+    The zero vector is returned unchanged (there is nothing to normalize and
+    callers treat it as "matches nothing").
+    """
+    norm = l2_norm(vector)
+    if norm == 0.0:
+        return dict(vector)
+    return {term_id: weight / norm for term_id, weight in vector.items()}
+
+
+def cosine_similarity(a: SparseVector, b: SparseVector) -> float:
+    """Cosine similarity of two (not necessarily normalized) sparse vectors."""
+    norm_a = l2_norm(a)
+    norm_b = l2_norm(b)
+    if norm_a == 0.0 or norm_b == 0.0:
+        return 0.0
+    return dot_product(a, b) / (norm_a * norm_b)
+
+
+def is_normalized(vector: SparseVector, tolerance: float = 1e-9) -> bool:
+    """True when ``vector`` has unit norm (within ``tolerance``) or is empty."""
+    if not vector:
+        return True
+    return abs(l2_norm(vector) - 1.0) <= tolerance
+
+
+def jaccard_terms(a: SparseVector, b: SparseVector) -> float:
+    """Jaccard similarity of the two vectors' term sets (diagnostics only)."""
+    keys_a = set(a)
+    keys_b = set(b)
+    if not keys_a and not keys_b:
+        return 0.0
+    return len(keys_a & keys_b) / len(keys_a | keys_b)

@@ -1,0 +1,68 @@
+"""English stopword list and a small filtering helper.
+
+The list is the classic SMART-derived set of highly frequent English function
+words.  Stopword removal matters for the monitoring workload because function
+words would otherwise create enormous query posting lists that match every
+document, inflating the work of every algorithm equally without changing
+their relative behaviour.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, List
+
+ENGLISH_STOPWORDS: FrozenSet[str] = frozenset(
+    """
+    a about above after again against all am an and any are aren't as at be
+    because been before being below between both but by can't cannot could
+    couldn't did didn't do does doesn't doing don't down during each few for
+    from further had hadn't has hasn't have haven't having he he'd he'll he's
+    her here here's hers herself him himself his how how's i i'd i'll i'm
+    i've if in into is isn't it it's its itself let's me more most mustn't my
+    myself no nor not of off on once only or other ought our ours ourselves
+    out over own same shan't she she'd she'll she's should shouldn't so some
+    such than that that's the their theirs them themselves then there there's
+    these they they'd they'll they're they've this those through to too under
+    until up very was wasn't we we'd we'll we're we've were weren't what
+    what's when when's where where's which while who who's whom why why's
+    with won't would wouldn't you you'd you'll you're you've your yours
+    yourself yourselves
+    """.split()
+)
+
+
+class StopwordFilter:
+    """Removes stopwords from a token sequence.
+
+    A custom stopword set may be supplied; by default the English set above
+    is used.  Additional words can be added per instance (e.g. corpus-specific
+    boilerplate terms).
+    """
+
+    def __init__(self, stopwords: Iterable[str] | None = None) -> None:
+        base = ENGLISH_STOPWORDS if stopwords is None else frozenset(
+            w.lower() for w in stopwords
+        )
+        self._stopwords = set(base)
+
+    @property
+    def stopwords(self) -> FrozenSet[str]:
+        return frozenset(self._stopwords)
+
+    def add(self, *words: str) -> None:
+        """Add extra stopwords to this filter instance."""
+        for word in words:
+            self._stopwords.add(word.lower())
+
+    def is_stopword(self, token: str) -> bool:
+        return token in self._stopwords
+
+    def filter(self, tokens: Iterable[str]) -> List[str]:
+        """Return ``tokens`` with stopwords removed."""
+        return [token for token in tokens if token not in self._stopwords]
+
+    def __call__(self, tokens: Iterable[str]) -> List[str]:
+        return self.filter(tokens)
+
+    def __len__(self) -> int:
+        return len(self._stopwords)

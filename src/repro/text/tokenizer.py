@@ -1,0 +1,63 @@
+"""Regex word tokenizer with lower-casing and length filtering."""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable, List
+
+
+class Tokenizer:
+    """Splits raw text into lowercase word tokens.
+
+    The tokenizer keeps alphanumeric runs (``\\w+`` minus the underscore) and
+    drops tokens shorter than ``min_length`` or longer than ``max_length``.
+    Purely numeric tokens are dropped by default because they carry little
+    topical signal for keyword filtering workloads.
+    """
+
+    _WORD_RE = re.compile(r"[A-Za-z0-9]+")
+
+    def __init__(
+        self,
+        min_length: int = 2,
+        max_length: int = 40,
+        keep_numbers: bool = False,
+        lowercase: bool = True,
+    ) -> None:
+        if min_length < 1:
+            raise ValueError("min_length must be >= 1")
+        if max_length < min_length:
+            raise ValueError("max_length must be >= min_length")
+        self.min_length = min_length
+        self.max_length = max_length
+        self.keep_numbers = keep_numbers
+        self.lowercase = lowercase
+
+    def tokenize(self, text: str) -> List[str]:
+        """Return the list of tokens extracted from ``text``."""
+        if not text:
+            return []
+        if self.lowercase:
+            text = text.lower()
+        tokens = []
+        for match in self._WORD_RE.finditer(text):
+            token = match.group(0)
+            if not self.min_length <= len(token) <= self.max_length:
+                continue
+            if not self.keep_numbers and token.isdigit():
+                continue
+            tokens.append(token)
+        return tokens
+
+    def tokenize_many(self, texts: Iterable[str]) -> List[List[str]]:
+        """Tokenize each text in ``texts``."""
+        return [self.tokenize(text) for text in texts]
+
+    def __call__(self, text: str) -> List[str]:
+        return self.tokenize(text)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Tokenizer(min_length={self.min_length}, max_length={self.max_length}, "
+            f"keep_numbers={self.keep_numbers}, lowercase={self.lowercase})"
+        )

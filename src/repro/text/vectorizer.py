@@ -1,0 +1,120 @@
+"""Turns analyzed text (or raw term counts) into normalized sparse vectors.
+
+Supports the common weighting schemes of the IR literature:
+
+* ``TF`` -- raw term frequency,
+* ``LOG_TF`` -- ``1 + log(tf)`` (dampened),
+* ``TF_IDF`` -- dampened TF multiplied by smoothed inverse document
+  frequency taken from the vocabulary statistics.
+
+All produced vectors are L2-normalized, which the stream-processing
+algorithms assume (cosine similarity == dot product).
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from typing import Dict, Iterable, Mapping, Optional
+
+from repro.exceptions import ConfigurationError
+from repro.text.analyzer import Analyzer
+from repro.text.similarity import l2_normalize
+from repro.text.vocabulary import Vocabulary
+from repro.types import SparseVector
+
+
+class WeightingScheme(enum.Enum):
+    """Term-weighting schemes supported by :class:`Vectorizer`."""
+
+    TF = "tf"
+    LOG_TF = "log_tf"
+    TF_IDF = "tf_idf"
+
+
+class Vectorizer:
+    """Maps token bags to normalized sparse vectors over a vocabulary."""
+
+    def __init__(
+        self,
+        vocabulary: Vocabulary,
+        scheme: WeightingScheme | str = WeightingScheme.LOG_TF,
+        analyzer: Optional[Analyzer] = None,
+        add_unknown_terms: bool = True,
+    ) -> None:
+        if isinstance(scheme, str):
+            try:
+                scheme = WeightingScheme(scheme)
+            except ValueError as exc:
+                raise ConfigurationError(f"unknown weighting scheme {scheme!r}") from exc
+        self.vocabulary = vocabulary
+        self.scheme = scheme
+        self.analyzer = analyzer or Analyzer()
+        self.add_unknown_terms = add_unknown_terms
+
+    # ------------------------------------------------------------------ #
+    # Weight computation
+    # ------------------------------------------------------------------ #
+
+    def _term_weight(self, term_id: int, count: int) -> float:
+        if count <= 0:
+            return 0.0
+        if self.scheme is WeightingScheme.TF:
+            base = float(count)
+        else:
+            base = 1.0 + math.log(count)
+        if self.scheme is WeightingScheme.TF_IDF:
+            base *= self._idf(term_id)
+        return base
+
+    def _idf(self, term_id: int) -> float:
+        # Smoothed IDF; +1 keeps the weight strictly positive even for terms
+        # appearing in every observed document.
+        num_docs = max(self.vocabulary.num_documents, 1)
+        df = self.vocabulary.doc_frequency(term_id)
+        return math.log((1.0 + num_docs) / (1.0 + df)) + 1.0
+
+    # ------------------------------------------------------------------ #
+    # Vector construction
+    # ------------------------------------------------------------------ #
+
+    def vectorize_counts(self, counts: Mapping[str, int]) -> SparseVector:
+        """Build a normalized vector from a term -> count mapping."""
+        vector: Dict[int, float] = {}
+        for term, count in counts.items():
+            if self.add_unknown_terms and not self.vocabulary.frozen:
+                term_id = self.vocabulary.add(term)
+            else:
+                maybe = self.vocabulary.get(term)
+                if maybe is None:
+                    continue
+                term_id = maybe
+            weight = self._term_weight(term_id, count)
+            if weight > 0.0:
+                vector[term_id] = vector.get(term_id, 0.0) + weight
+        return l2_normalize(vector)
+
+    def vectorize_id_counts(self, counts: Mapping[int, int]) -> SparseVector:
+        """Build a normalized vector from a term-id -> count mapping."""
+        vector: Dict[int, float] = {}
+        for term_id, count in counts.items():
+            weight = self._term_weight(term_id, count)
+            if weight > 0.0:
+                vector[term_id] = weight
+        return l2_normalize(vector)
+
+    def vectorize_text(self, text: str) -> SparseVector:
+        """Analyze ``text`` and build its normalized vector."""
+        return self.vectorize_counts(self.analyzer.term_frequencies(text))
+
+    def vectorize_keywords(self, keywords: Iterable[str]) -> SparseVector:
+        """Build a query vector from user keywords (each keyword counted once).
+
+        Keywords run through the same analyzer so they land on the same stems
+        as document terms.
+        """
+        counts: Dict[str, int] = {}
+        for keyword in keywords:
+            for token in self.analyzer.analyze(keyword):
+                counts[token] = counts.get(token, 0) + 1
+        return self.vectorize_counts(counts)

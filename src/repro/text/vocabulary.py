@@ -1,0 +1,131 @@
+"""Term dictionary mapping term strings to dense integer ids.
+
+Both the document-side and the query-side inverted files key their posting
+lists by integer term ids; the :class:`Vocabulary` is the single authority
+for that mapping.  It also tracks document frequencies so the vectorizer can
+compute IDF weights.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional
+
+from repro.exceptions import VocabularyError
+from repro.types import TermId
+
+
+class Vocabulary:
+    """Bidirectional term <-> id mapping with document-frequency statistics."""
+
+    def __init__(self, frozen: bool = False) -> None:
+        self._term_to_id: Dict[str, TermId] = {}
+        self._id_to_term: List[str] = []
+        self._doc_freq: List[int] = []
+        self._num_documents = 0
+        self._frozen = frozen
+
+    # ------------------------------------------------------------------ #
+    # Construction helpers
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_terms(cls, terms: Iterable[str]) -> "Vocabulary":
+        """Build a vocabulary containing ``terms`` in iteration order."""
+        vocab = cls()
+        for term in terms:
+            vocab.add(term)
+        return vocab
+
+    @classmethod
+    def synthetic(cls, size: int, prefix: str = "term") -> "Vocabulary":
+        """Build a vocabulary of ``size`` synthetic terms ``term0001`` ...
+
+        Used by the synthetic corpus generator so that vectors generated
+        directly (without raw text) still map to stable human-readable terms.
+        """
+        return cls.from_terms(f"{prefix}{i:06d}" for i in range(size))
+
+    # ------------------------------------------------------------------ #
+    # Mutation
+    # ------------------------------------------------------------------ #
+
+    def freeze(self) -> None:
+        """Disallow the addition of new terms (lookups of unknown terms fail)."""
+        self._frozen = True
+
+    @property
+    def frozen(self) -> bool:
+        return self._frozen
+
+    def add(self, term: str) -> TermId:
+        """Return the id of ``term``, adding it if necessary."""
+        existing = self._term_to_id.get(term)
+        if existing is not None:
+            return existing
+        if self._frozen:
+            raise VocabularyError(f"vocabulary is frozen; unknown term {term!r}")
+        term_id = len(self._id_to_term)
+        self._term_to_id[term] = term_id
+        self._id_to_term.append(term)
+        self._doc_freq.append(0)
+        return term_id
+
+    def observe_document(self, terms: Iterable[str], add_unknown: bool = True) -> None:
+        """Update document-frequency statistics with one document's terms."""
+        self._num_documents += 1
+        seen: set[TermId] = set()
+        for term in terms:
+            if add_unknown and not self._frozen:
+                term_id = self.add(term)
+            else:
+                maybe = self._term_to_id.get(term)
+                if maybe is None:
+                    continue
+                term_id = maybe
+            seen.add(term_id)
+        for term_id in seen:
+            self._doc_freq[term_id] += 1
+
+    # ------------------------------------------------------------------ #
+    # Lookup
+    # ------------------------------------------------------------------ #
+
+    def id_of(self, term: str) -> TermId:
+        """Return the id of ``term``; raise :class:`VocabularyError` if unknown."""
+        term_id = self._term_to_id.get(term)
+        if term_id is None:
+            raise VocabularyError(f"unknown term {term!r}")
+        return term_id
+
+    def get(self, term: str) -> Optional[TermId]:
+        """Return the id of ``term`` or ``None`` if it is unknown."""
+        return self._term_to_id.get(term)
+
+    def term_of(self, term_id: TermId) -> str:
+        """Return the term string for ``term_id``."""
+        if not 0 <= term_id < len(self._id_to_term):
+            raise VocabularyError(f"unknown term id {term_id}")
+        return self._id_to_term[term_id]
+
+    def doc_frequency(self, term_id: TermId) -> int:
+        """Number of observed documents containing the term."""
+        if not 0 <= term_id < len(self._doc_freq):
+            raise VocabularyError(f"unknown term id {term_id}")
+        return self._doc_freq[term_id]
+
+    @property
+    def num_documents(self) -> int:
+        """Number of documents observed via :meth:`observe_document`."""
+        return self._num_documents
+
+    def __contains__(self, term: str) -> bool:
+        return term in self._term_to_id
+
+    def __len__(self) -> int:
+        return len(self._id_to_term)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._id_to_term)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Vocabulary(size={len(self)}, frozen={self._frozen})"

@@ -1,0 +1,30 @@
+"""Shared type aliases used across the library.
+
+The library represents sparse vectors as plain ``dict`` objects mapping an
+integer term id to a float weight.  Keeping this representation simple (no
+custom sparse-vector class) keeps the hot loops of the stream-processing
+algorithms as close to raw dictionary operations as possible, which matters
+for a pure-Python implementation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+#: Integer identifier of a term in the vocabulary.
+TermId = int
+
+#: Integer identifier of a registered continuous query.
+QueryId = int
+
+#: Integer identifier of a stream document.
+DocId = int
+
+#: Sparse vector: term id -> weight.
+SparseVector = Dict[TermId, float]
+
+#: A (query id, weight) posting entry in a query-side posting list.
+QueryPosting = Tuple[QueryId, float]
+
+#: A (doc id, weight) posting entry in a document-side posting list.
+DocPosting = Tuple[DocId, float]

@@ -1,0 +1,96 @@
+"""Wall-clock measurement helpers used by the engine and the bench harness."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+
+class Stopwatch:
+    """A simple start/stop stopwatch accumulating elapsed seconds.
+
+    The stopwatch may be started and stopped repeatedly; ``elapsed`` is the
+    sum of all completed intervals plus, if currently running, the time since
+    the last start.  It can also be used as a context manager::
+
+        sw = Stopwatch()
+        with sw:
+            do_work()
+        print(sw.elapsed)
+    """
+
+    def __init__(self) -> None:
+        self._accumulated = 0.0
+        self._started_at: Optional[float] = None
+
+    def start(self) -> "Stopwatch":
+        if self._started_at is None:
+            self._started_at = time.perf_counter()
+        return self
+
+    def stop(self) -> float:
+        """Stop the stopwatch and return the total elapsed seconds."""
+        if self._started_at is not None:
+            self._accumulated += time.perf_counter() - self._started_at
+            self._started_at = None
+        return self._accumulated
+
+    def reset(self) -> None:
+        self._accumulated = 0.0
+        self._started_at = None
+
+    @property
+    def running(self) -> bool:
+        return self._started_at is not None
+
+    @property
+    def elapsed(self) -> float:
+        if self._started_at is None:
+            return self._accumulated
+        return self._accumulated + (time.perf_counter() - self._started_at)
+
+    def __enter__(self) -> "Stopwatch":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+
+@dataclass
+class LapTimer:
+    """Records a sequence of per-event durations (in seconds).
+
+    Used by the engine to collect a response-time sample per stream event so
+    the harness can later report means, medians and tail percentiles.
+    """
+
+    laps: List[float] = field(default_factory=list)
+    _lap_started_at: Optional[float] = None
+
+    def lap_start(self) -> None:
+        self._lap_started_at = time.perf_counter()
+
+    def lap_stop(self) -> float:
+        if self._lap_started_at is None:
+            raise RuntimeError("lap_stop() called without lap_start()")
+        duration = time.perf_counter() - self._lap_started_at
+        self._lap_started_at = None
+        self.laps.append(duration)
+        return duration
+
+    def clear(self) -> None:
+        self.laps.clear()
+        self._lap_started_at = None
+
+    @property
+    def total(self) -> float:
+        return sum(self.laps)
+
+    @property
+    def count(self) -> int:
+        return len(self.laps)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.laps else 0.0

@@ -1,0 +1,45 @@
+"""Argument-validation helpers shared by public constructors.
+
+The public API validates its inputs eagerly and raises
+:class:`repro.exceptions.ConfigurationError` with a descriptive message, so
+misconfigurations surface at construction time instead of deep inside a
+stream-processing loop.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.exceptions import ConfigurationError
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise :class:`ConfigurationError` with ``message`` unless ``condition``."""
+    if not condition:
+        raise ConfigurationError(message)
+
+
+def require_positive(value: float, name: str) -> None:
+    """Require ``value`` to be strictly positive."""
+    if not value > 0:
+        raise ConfigurationError(f"{name} must be > 0, got {value!r}")
+
+
+def require_non_negative(value: float, name: str) -> None:
+    """Require ``value`` to be zero or positive."""
+    if value < 0:
+        raise ConfigurationError(f"{name} must be >= 0, got {value!r}")
+
+
+def require_probability(value: float, name: str) -> None:
+    """Require ``value`` to lie in the closed interval [0, 1]."""
+    if not 0.0 <= value <= 1.0:
+        raise ConfigurationError(f"{name} must be in [0, 1], got {value!r}")
+
+
+def require_type(value: Any, expected: type, name: str) -> None:
+    """Require ``value`` to be an instance of ``expected``."""
+    if not isinstance(value, expected):
+        raise ConfigurationError(
+            f"{name} must be a {expected.__name__}, got {type(value).__name__}"
+        )

@@ -1,0 +1,94 @@
+"""Zipf-distribution helpers for the synthetic corpus and workloads.
+
+Term frequencies in natural-language corpora (including the Wikipedia corpus
+the paper streams) follow a Zipf-like law: the r-th most frequent term has
+probability proportional to ``1 / r**s``.  The synthetic corpus generator and
+the Uniform query workload both sample terms from such a distribution.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, make_rng
+from repro.utils.validation import require_positive
+
+
+def zipf_weights(size: int, exponent: float = 1.0) -> np.ndarray:
+    """Return the normalized Zipf probability vector of length ``size``.
+
+    Parameters
+    ----------
+    size:
+        Number of ranks (vocabulary size).
+    exponent:
+        The Zipf exponent ``s``; larger values concentrate more mass on the
+        most frequent terms.  ``s = 0`` degenerates to the uniform
+        distribution.
+    """
+    require_positive(size, "size")
+    if exponent < 0:
+        raise ValueError(f"exponent must be >= 0, got {exponent}")
+    ranks = np.arange(1, size + 1, dtype=np.float64)
+    weights = ranks**-exponent
+    return weights / weights.sum()
+
+
+class ZipfSampler:
+    """Samples term ranks from a bounded Zipf distribution.
+
+    Unlike :func:`numpy.random.Generator.zipf`, the support is bounded by the
+    vocabulary size and the exponent may be any non-negative float (including
+    values below one, for which the unbounded Zipf distribution does not
+    exist).
+    """
+
+    def __init__(self, size: int, exponent: float = 1.0, seed: SeedLike = None):
+        self._rng = make_rng(seed)
+        self._size = size
+        self._weights = zipf_weights(size, exponent)
+        # Pre-computing the CDF lets us sample with a single binary search.
+        self._cdf = np.cumsum(self._weights)
+        self._cdf[-1] = 1.0
+
+    @property
+    def size(self) -> int:
+        return self._size
+
+    @property
+    def probabilities(self) -> np.ndarray:
+        """The probability assigned to each rank (rank 0 is most frequent)."""
+        return self._weights.copy()
+
+    def sample(self, count: int = 1) -> np.ndarray:
+        """Draw ``count`` ranks in ``[0, size)`` (0 = most frequent)."""
+        u = self._rng.random(count)
+        return np.searchsorted(self._cdf, u, side="left")
+
+    def sample_one(self) -> int:
+        return int(self.sample(1)[0])
+
+    def sample_distinct(self, count: int, max_attempts: int = 64) -> np.ndarray:
+        """Draw ``count`` *distinct* ranks.
+
+        Rejection sampling is attempted first because it preserves the Zipf
+        bias; if the requested count is close to the support size the method
+        falls back to a weighted choice without replacement.
+        """
+        if count >= self._size:
+            return np.arange(self._size)
+        seen: list[int] = []
+        seen_set: set[int] = set()
+        for _ in range(max_attempts * count):
+            rank = self.sample_one()
+            if rank not in seen_set:
+                seen_set.add(rank)
+                seen.append(rank)
+                if len(seen) == count:
+                    return np.array(seen)
+        remaining = count - len(seen)
+        pool = np.setdiff1d(np.arange(self._size), np.array(seen, dtype=int))
+        probs = self._weights[pool]
+        probs = probs / probs.sum()
+        extra = self._rng.choice(pool, size=remaining, replace=False, p=probs)
+        return np.concatenate([np.array(seen, dtype=int), extra])

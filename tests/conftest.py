@@ -1,0 +1,54 @@
+"""Shared fixtures for the test-suite.
+
+The fixtures build a deliberately small synthetic world (tiny vocabulary,
+short documents, few queries) so that even the differential tests that run
+every algorithm side by side stay fast.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.documents.corpus import CorpusConfig, SyntheticCorpus
+from repro.documents.decay import ExponentialDecay
+from repro.documents.stream import DocumentStream, StreamConfig
+from repro.queries.workloads import UniformWorkload, WorkloadConfig
+
+
+@pytest.fixture(scope="session")
+def small_corpus_config() -> CorpusConfig:
+    return CorpusConfig(
+        vocabulary_size=500,
+        num_topics=8,
+        terms_per_topic=60,
+        topic_affinity=0.7,
+        mean_tokens=60.0,
+        sigma_tokens=0.4,
+        min_tokens=20,
+        max_tokens=200,
+        seed=123,
+    )
+
+
+@pytest.fixture()
+def small_corpus(small_corpus_config) -> SyntheticCorpus:
+    return SyntheticCorpus(small_corpus_config)
+
+
+@pytest.fixture()
+def small_queries(small_corpus):
+    workload = UniformWorkload(
+        small_corpus, config=WorkloadConfig(min_terms=2, max_terms=4, k=5, seed=7), seed=7
+    )
+    return workload.generate(120)
+
+
+@pytest.fixture()
+def small_documents(small_corpus):
+    stream = DocumentStream(small_corpus, StreamConfig(seed=11))
+    return stream.take(40)
+
+
+@pytest.fixture()
+def decay() -> ExponentialDecay:
+    return ExponentialDecay(lam=1e-3)

@@ -1,0 +1,149 @@
+"""Focused unit tests for the baseline algorithms (RTA, SortQuer, TPS, exhaustive).
+
+The heavy correctness guarantees live in the differential suite
+(``test_integration_differential.py``); these tests target the structures
+and maintenance policies specific to each baseline.
+"""
+
+import pytest
+
+from repro.baselines.exhaustive import ExhaustiveAlgorithm
+from repro.baselines.rta import RTAAlgorithm
+from repro.baselines.sortquer import SortQuerAlgorithm
+from repro.baselines.tps import TPSAlgorithm
+from repro.documents.decay import ExponentialDecay
+from tests.helpers import make_document, make_query
+
+
+def _register_basic(algo):
+    algo.register(make_query(0, {1: 1.0}, k=1))
+    algo.register(make_query(1, {1: 0.8, 2: 0.6}, k=2))
+    algo.register(make_query(2, {3: 1.0}, k=1))
+    return algo
+
+
+class TestExhaustive:
+    def test_matching_only_skips_disjoint_queries(self):
+        algo = _register_basic(ExhaustiveAlgorithm())
+        algo.process(make_document(0, {1: 1.0}, 1.0))
+        # Query 2 shares no term with the document, so it is never scored.
+        assert algo.counters.full_evaluations == 2
+
+    def test_full_scan_mode(self):
+        algo = _register_basic(ExhaustiveAlgorithm(matching_only=False))
+        algo.process(make_document(0, {1: 1.0}, 1.0))
+        assert algo.counters.full_evaluations == 3
+
+    def test_both_modes_agree(self, small_queries, small_documents):
+        fast = ExhaustiveAlgorithm(matching_only=True)
+        slow = ExhaustiveAlgorithm(matching_only=False)
+        for algo in (fast, slow):
+            algo.register_all(small_queries)
+            for doc in small_documents:
+                algo.process(doc)
+        for query in small_queries:
+            assert [e.doc_id for e in fast.top_k(query.query_id)] == [
+                e.doc_id for e in slow.top_k(query.query_id)
+            ]
+
+    def test_unregister_cleans_term_map(self):
+        algo = _register_basic(ExhaustiveAlgorithm())
+        algo.unregister(2)
+        algo.process(make_document(0, {3: 1.0}, 1.0))
+        assert algo.counters.full_evaluations == 0
+
+
+class TestRTA:
+    def test_impact_lists_sorted_descending(self):
+        algo = _register_basic(RTAAlgorithm())
+        algo.process(make_document(0, {1: 1.0, 2: 1.0}, 1.0))
+        for impact_list in algo._lists.values():
+            ratios = [entry[0] for entry in impact_list.entries]
+            assert ratios == sorted(ratios, reverse=True)
+
+    def test_periodic_refresh_tightens_ratios(self):
+        algo = RTAAlgorithm(min_stale=1, stale_fraction=0.0)
+        algo.register(make_query(0, {1: 1.0}, k=1))
+        algo.process(make_document(0, {1: 1.0}, 1.0))
+        # The threshold change marked the list for refresh; the next document
+        # must see a finite ratio instead of the registration-time infinity.
+        algo.process(make_document(1, {1: 1.0}, 2.0))
+        entries = algo._lists[1].entries
+        assert all(entry[0] != float("inf") for entry in entries)
+
+    def test_unregister_removes_entries(self):
+        algo = _register_basic(RTAAlgorithm())
+        algo.unregister(1)
+        assert 1 not in algo._lists.get(2, algo._lists[1]).by_query
+
+    def test_stops_early_on_hopeless_documents(self):
+        algo = RTAAlgorithm(min_stale=1, stale_fraction=0.0, decay=ExponentialDecay(lam=0.0))
+        for qid in range(30):
+            algo.register(make_query(qid, {1: 1.0}, k=1))
+        algo.process(make_document(0, {1: 1.0}, 1.0))
+        algo.process(make_document(1, {1: 1.0}, 2.0))  # triggers refresh next time
+        evals_before = algo.counters.full_evaluations
+        algo.process(make_document(2, {1: 0.05, 2: 0.999}, 3.0))
+        # All thresholds are 1.0 and the document offers at most ~0.05 on the
+        # only shared term, so the TA threshold prunes every query.
+        assert algo.counters.full_evaluations == evals_before
+
+
+class TestSortQuer:
+    def test_threshold_lists_sorted_ascending(self):
+        algo = _register_basic(SortQuerAlgorithm())
+        algo.process(make_document(0, {1: 1.0, 2: 1.0}, 1.0))
+        algo.process(make_document(1, {1: 1.0}, 2.0))
+        for threshold_list in algo._lists.values():
+            thresholds = [entry[0] for entry in threshold_list.entries]
+            assert thresholds == sorted(thresholds)
+
+    def test_scan_stops_at_unreachable_thresholds(self):
+        algo = SortQuerAlgorithm(min_stale=1, stale_fraction=0.0, decay=ExponentialDecay(lam=0.0))
+        for qid in range(20):
+            algo.register(make_query(qid, {1: 1.0}, k=1))
+        algo.process(make_document(0, {1: 1.0}, 1.0))   # thresholds -> 1.0
+        algo.process(make_document(1, {1: 1.0}, 2.0))   # forces refresh of stored values
+        scanned_before = algo.counters.postings_scanned
+        evals_before = algo.counters.full_evaluations
+        # Shared-term weight is ~0.12, so no threshold of 1.0 is reachable.
+        algo.process(make_document(2, {1: 0.12, 2: 0.99}, 3.0))
+        assert algo.counters.full_evaluations == evals_before
+        assert algo.counters.postings_scanned == scanned_before
+
+    def test_unregister_removes_entries(self):
+        algo = _register_basic(SortQuerAlgorithm())
+        algo.unregister(0)
+        assert 0 not in algo._lists[1].by_query
+
+
+class TestTPS:
+    def test_weight_lists_sorted_descending(self):
+        algo = _register_basic(TPSAlgorithm())
+        algo.process(make_document(0, {1: 1.0, 2: 1.0, 3: 1.0}, 1.0))
+        for weight_list in algo._lists.values():
+            weights = [entry[0] for entry in weight_list.entries]
+            assert weights == sorted(weights, reverse=True)
+
+    def test_accumulators_skip_hopeless_new_queries(self):
+        algo = TPSAlgorithm(decay=ExponentialDecay(lam=0.0))
+        for qid in range(10):
+            algo.register(make_query(qid, {1: 1.0}, k=1))
+        algo.process(make_document(0, {1: 1.0}, 1.0))  # thresholds 1.0
+        evals_before = algo.counters.full_evaluations
+        algo.process(make_document(1, {1: 0.1, 2: 0.995}, 2.0))
+        # Upper bound ~0.1 < threshold 1.0 for every query: no accumulator is
+        # created, hence no evaluation happens.
+        assert algo.counters.full_evaluations == evals_before
+
+    def test_unregister_removes_entries(self):
+        algo = _register_basic(TPSAlgorithm())
+        algo.unregister(1)
+        assert all(qid != 1 for _, qid in algo._lists[1].entries)
+
+    def test_full_scores_despite_term_order(self):
+        algo = TPSAlgorithm(decay=ExponentialDecay(lam=0.0))
+        algo.register(make_query(0, {1: 1.0, 2: 1.0}, k=1))
+        algo.process(make_document(0, {1: 3.0, 2: 4.0}, 1.0))
+        expected = (0.6 + 0.8) / (2 ** 0.5)
+        assert algo.top_k(0)[0].score == pytest.approx(expected)

@@ -1,0 +1,205 @@
+"""Unit tests for the bound maintainers (global and zone UB* variants)."""
+
+import math
+
+import pytest
+
+from repro.core.bounds import (
+    BlockZoneBounds,
+    ExactZoneBounds,
+    GlobalMaxBounds,
+    TreeZoneBounds,
+    make_zone_bounds,
+    preference_ratio,
+)
+from repro.core.results import ResultStore
+from repro.exceptions import ConfigurationError
+from repro.index.query_index import QueryIndex
+from repro.index.rangemax import NEG_INF
+from tests.helpers import make_query
+
+INF = float("inf")
+
+
+def _setup(num_queries=6):
+    """Index of single-keyword queries all sharing term 1.
+
+    Single keywords keep the normalized weight at exactly 1.0, so the
+    expected ratios in the assertions are simply ``1 / S_k``.
+    """
+    index = QueryIndex()
+    results = ResultStore()
+    queries = []
+    for qid in range(num_queries):
+        query = make_query(qid, {1: 1.0}, k=2)
+        index.register(query)
+        results.add_query(query)
+        queries.append(query)
+    return index, results, queries
+
+
+def _fill(results, query, scores):
+    for doc_id, score in enumerate(scores):
+        results.offer(query.query_id, doc_id, score)
+
+
+class TestPreferenceRatio:
+    def test_infinite_while_not_full(self):
+        assert preference_ratio(0.5, 0.0) == INF
+
+    def test_plain_ratio(self):
+        assert preference_ratio(0.5, 2.0) == pytest.approx(0.25)
+
+
+@pytest.mark.parametrize("maker", ["global", "exact", "tree", "block"])
+class TestAllMaintainersAgreeOnSafety:
+    """Every maintainer must return upper bounds of the true zone maxima."""
+
+    def _true_zone_max(self, index, results, term_id, start_pos, boundary):
+        plist = index.get(term_id)
+        best = NEG_INF
+        for pos in range(start_pos, len(plist)):
+            qid, weight = plist.entry(pos)
+            if qid >= boundary:
+                break
+            best = max(best, preference_ratio(weight, results.threshold(qid)))
+        return best
+
+    def test_zone_upper_bound_property(self, maker):
+        index, results, queries = _setup()
+        bounds = make_zone_bounds(maker, index, results)
+        # Give some queries full heaps (finite thresholds), leave others open.
+        _fill(results, queries[1], [0.4, 0.6])
+        _fill(results, queries[3], [0.2, 0.9])
+        for query in (queries[1], queries[3]):
+            bounds.on_threshold_change(query)
+        plist = index.get(1)
+        for start in range(len(plist)):
+            for boundary in range(0, 8):
+                true_max = self._true_zone_max(index, results, 1, start, boundary)
+                got = bounds.zone_max(plist, start, boundary)
+                if true_max == NEG_INF:
+                    continue
+                assert got >= true_max - 1e-12
+
+    def test_global_upper_bound_property(self, maker):
+        index, results, queries = _setup()
+        bounds = make_zone_bounds(maker, index, results)
+        _fill(results, queries[0], [0.5, 0.7])
+        bounds.on_threshold_change(queries[0])
+        plist = index.get(1)
+        true_max = self._true_zone_max(index, results, 1, 0, 10**9)
+        assert bounds.global_max(plist) >= true_max - 1e-12
+
+
+class TestGlobalMaxBounds:
+    def test_infinite_until_all_heaps_full(self):
+        index, results, queries = _setup(3)
+        bounds = GlobalMaxBounds(index, results)
+        plist = index.get(1)
+        assert bounds.global_max(plist) == INF
+        for query in queries:
+            _fill(results, query, [0.5, 0.5 + 0.1 * query.query_id])
+            bounds.on_threshold_change(query)
+        assert math.isfinite(bounds.global_max(plist))
+
+    def test_tracks_the_maximizer(self):
+        index, results, queries = _setup(2)
+        bounds = GlobalMaxBounds(index, results)
+        # query 0 threshold 0.4 -> ratio 2.5; query 1 threshold 1.5 -> ratio 2/3
+        _fill(results, queries[0], [0.4, 0.5])
+        _fill(results, queries[1], [1.5, 2.0])
+        bounds.on_threshold_change(queries[0])
+        bounds.on_threshold_change(queries[1])
+        plist = index.get(1)
+        assert bounds.global_max(plist) == pytest.approx(1.0 / 0.4)
+        # Raising query 0's threshold (0.4 -> 0.5) must tighten the cached max.
+        results.offer(0, 99, 4.0)
+        bounds.on_threshold_change(queries[0])
+        assert bounds.global_max(plist) == pytest.approx(1.0 / 0.5)
+
+    def test_threshold_decrease_raises_bound(self):
+        index, results, queries = _setup(2)
+        bounds = GlobalMaxBounds(index, results)
+        for query in queries:
+            _fill(results, query, [1.0, 2.0])
+            bounds.on_threshold_change(query)
+        plist = index.get(1)
+        before = bounds.global_max(plist)
+        # Simulate expiration: wipe query 0's results so its threshold drops.
+        results.get(0).clear()
+        bounds.on_threshold_change(queries[0])
+        assert bounds.global_max(plist) == INF
+        assert bounds.global_max(plist) >= before
+
+    def test_unregister_maximizer_recomputes(self):
+        index, results, queries = _setup(2)
+        bounds = GlobalMaxBounds(index, results)
+        _fill(results, queries[0], [0.1, 0.2])   # threshold 0.1 -> ratio 10
+        _fill(results, queries[1], [1.0, 1.0])   # threshold 1.0 -> ratio 1
+        bounds.on_threshold_change(queries[0])
+        bounds.on_threshold_change(queries[1])
+        index.unregister(0)
+        results.remove_query(0)
+        plist = index.get(1)
+        assert bounds.global_max(plist) == pytest.approx(1.0)
+
+    def test_renormalize_scales_cached_maxima(self):
+        index, results, queries = _setup(2)
+        bounds = GlobalMaxBounds(index, results)
+        for query in queries:
+            _fill(results, query, [1.0, 2.0])
+            bounds.on_threshold_change(query)
+        plist = index.get(1)
+        before = bounds.global_max(plist)
+        results.scale_all(4.0)
+        bounds.on_renormalize(4.0)
+        assert bounds.global_max(plist) == pytest.approx(before * 4.0)
+
+
+class TestStoredRatioMaintainers:
+    @pytest.mark.parametrize("maker", ["tree", "block"])
+    def test_registration_marks_dirty_and_rebuilds(self, maker):
+        index, results, queries = _setup(3)
+        bounds = make_zone_bounds(maker, index, results)
+        plist = index.get(1)
+        assert bounds.global_max(plist) == INF
+        new_query = make_query(10, {1: 1.0}, k=1)
+        index.register(new_query)
+        results.add_query(new_query)
+        # Rebuild on next access covers the new entry.
+        assert bounds.zone_max(index.get(1), 0, 11) == INF
+
+    def test_block_size_configurable(self):
+        index, results, _ = _setup(3)
+        bounds = BlockZoneBounds(index, results, block_size=2)
+        assert bounds.block_size == 2
+        with pytest.raises(ConfigurationError):
+            BlockZoneBounds(index, results, block_size=0)
+
+    def test_unknown_variant_rejected(self):
+        index, results, _ = _setup(1)
+        with pytest.raises(ConfigurationError):
+            make_zone_bounds("hashmap", index, results)
+
+    def test_exact_bounds_reflect_thresholds_immediately(self):
+        index, results, queries = _setup(2)
+        bounds = ExactZoneBounds(index, results)
+        plist = index.get(1)
+        assert bounds.zone_max(plist, 0, 10) == INF
+        for query in queries:
+            _fill(results, query, [4.0, 5.0])
+        # No on_threshold_change call needed: exact bounds read live values.
+        assert bounds.zone_max(plist, 0, 10) == pytest.approx(0.25)
+
+    def test_tree_point_updates(self):
+        index, results, queries = _setup(2)
+        bounds = TreeZoneBounds(index, results)
+        plist = index.get(1)
+        bounds.global_max(plist)  # force structure build
+        _fill(results, queries[0], [2.0, 3.0])
+        bounds.on_threshold_change(queries[0])
+        # Query 1 still has an empty heap -> the zone containing it is infinite.
+        assert bounds.zone_max(plist, 0, 2) == INF
+        # The zone covering only query 0 is finite now (threshold 2.0).
+        assert bounds.zone_max(plist, 0, 1) == pytest.approx(0.5)

@@ -1,0 +1,170 @@
+"""Unit and property tests for top-k result maintenance."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.results import ResultStore, TopKResult
+from repro.exceptions import UnknownQueryError
+from tests.helpers import make_query
+
+
+class TestTopKResult:
+    def test_fills_up_then_replaces(self):
+        result = TopKResult(k=2)
+        assert result.offer(1, 0.5) == (True, None)
+        assert result.offer(2, 0.3) == (True, None)
+        assert result.full
+        assert result.threshold == pytest.approx(0.3)
+        accepted, evicted = result.offer(3, 0.4)
+        assert accepted and evicted == 2
+        assert result.threshold == pytest.approx(0.4)
+
+    def test_threshold_zero_while_not_full(self):
+        result = TopKResult(k=3)
+        result.offer(1, 5.0)
+        assert result.threshold == 0.0
+
+    def test_strict_acceptance(self):
+        result = TopKResult(k=1)
+        result.offer(1, 0.5)
+        assert result.offer(2, 0.5) == (False, None)
+        assert result.offer(2, 0.500001) == (True, 1)
+
+    def test_rejects_duplicates_and_non_positive(self):
+        result = TopKResult(k=3)
+        result.offer(1, 0.5)
+        assert result.offer(1, 0.9) == (False, None)
+        assert result.offer(2, 0.0) == (False, None)
+        assert result.offer(2, -1.0) == (False, None)
+
+    def test_entries_sorted_best_first(self):
+        result = TopKResult(k=3)
+        for doc_id, score in [(1, 0.2), (2, 0.9), (3, 0.5)]:
+            result.offer(doc_id, score)
+        assert [e.doc_id for e in result.entries()] == [2, 3, 1]
+        assert [e.score for e in result.entries()] == sorted(
+            [e.score for e in result.entries()], reverse=True
+        )
+
+    def test_membership_and_score_of(self):
+        result = TopKResult(k=2)
+        result.offer(5, 0.7)
+        assert 5 in result
+        assert 6 not in result
+        assert result.score_of(5) == pytest.approx(0.7)
+        assert result.score_of(6) is None
+
+    def test_remove(self):
+        result = TopKResult(k=2)
+        result.offer(1, 0.5)
+        result.offer(2, 0.8)
+        assert result.remove(1)
+        assert not result.remove(1)
+        assert len(result) == 1
+        assert result.threshold == 0.0  # no longer full
+
+    def test_scale(self):
+        result = TopKResult(k=2)
+        result.offer(1, 4.0)
+        result.offer(2, 2.0)
+        result.scale(2.0)
+        assert result.score_of(1) == pytest.approx(2.0)
+        assert result.threshold == pytest.approx(1.0)
+
+    def test_scale_invalid_factor(self):
+        with pytest.raises(ValueError):
+            TopKResult(k=1).scale(0.0)
+
+    def test_replace_all(self):
+        result = TopKResult(k=2)
+        result.offer(1, 0.5)
+        result.replace_all([(10, 0.9), (11, 0.1), (12, 0.4)])
+        assert [e.doc_id for e in result.entries()] == [10, 12]
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            TopKResult(k=0)
+
+    @given(
+        st.lists(
+            st.floats(min_value=0.001, max_value=100.0, allow_nan=False),
+            min_size=1,
+            max_size=60,
+        ),
+        st.integers(min_value=1, max_value=8),
+    )
+    def test_matches_offline_topk(self, scores, k):
+        """Incremental maintenance equals sorting all offers offline.
+
+        Doc ids are unique per offer, mirroring the real system where a
+        stream document is offered to a query at most once.
+        """
+        result = TopKResult(k=k)
+        for doc_id, score in enumerate(scores):
+            result.offer(doc_id, score)
+        expected = sorted(enumerate(scores), key=lambda item: (-item[1], item[0]))[:k]
+        got = [(e.doc_id, e.score) for e in result.entries()]
+        # Scores must match exactly; document identity may differ only on ties.
+        assert [round(s, 12) for _, s in got] == [round(s, 12) for _, s in expected]
+
+    @given(
+        st.lists(st.floats(min_value=0.001, max_value=10.0, allow_nan=False), min_size=1, max_size=40)
+    )
+    def test_threshold_monotone_without_removals(self, scores):
+        """S_k never decreases while documents only arrive (no expiration)."""
+        result = TopKResult(k=5)
+        previous = 0.0
+        for doc_id, score in enumerate(scores):
+            result.offer(doc_id, score)
+            assert result.threshold >= previous
+            previous = result.threshold
+
+
+class TestResultStore:
+    def test_add_and_offer(self):
+        store = ResultStore()
+        store.add_query(make_query(1, {1: 1.0}, k=2))
+        update = store.offer(1, 10, 0.5)
+        assert update is not None
+        assert update.query_id == 1
+        assert update.doc_id == 10
+        assert update.evicted_doc_id is None
+        assert store.threshold(1) == 0.0
+
+    def test_offer_rejection_returns_none(self):
+        store = ResultStore()
+        store.add_query(make_query(1, {1: 1.0}, k=1))
+        store.offer(1, 10, 0.9)
+        assert store.offer(1, 11, 0.1) is None
+
+    def test_unknown_query(self):
+        store = ResultStore()
+        assert store.threshold(42) == 0.0
+        with pytest.raises(UnknownQueryError):
+            store.get(42)
+        with pytest.raises(UnknownQueryError):
+            store.offer(42, 1, 0.5)
+
+    def test_remove_query(self):
+        store = ResultStore()
+        store.add_query(make_query(1, {1: 1.0}, k=1))
+        store.remove_query(1)
+        assert 1 not in store
+        assert len(store) == 0
+
+    def test_scale_all(self):
+        store = ResultStore()
+        store.add_query(make_query(1, {1: 1.0}, k=1))
+        store.add_query(make_query(2, {1: 1.0}, k=1))
+        store.offer(1, 10, 4.0)
+        store.offer(2, 10, 6.0)
+        store.scale_all(2.0)
+        assert store.threshold(1) == pytest.approx(2.0)
+        assert store.threshold(2) == pytest.approx(3.0)
+
+    def test_eviction_reported(self):
+        store = ResultStore()
+        store.add_query(make_query(1, {1: 1.0}, k=1))
+        store.offer(1, 10, 0.5)
+        update = store.offer(1, 11, 0.8)
+        assert update.evicted_doc_id == 10

@@ -1,0 +1,120 @@
+"""Focused unit tests for RIO and MRIO (beyond the differential suite)."""
+
+import pytest
+
+from repro.core.mrio import MRIOAlgorithm
+from repro.core.rio import RIOAlgorithm
+from repro.documents.decay import ExponentialDecay
+from repro.exceptions import ConfigurationError
+from tests.helpers import make_document, make_query
+
+
+def _simple_setup(algo):
+    """Three single-term queries over two terms."""
+    algo.register(make_query(0, {1: 1.0}, k=1))
+    algo.register(make_query(1, {2: 1.0}, k=1))
+    algo.register(make_query(2, {1: 0.6, 2: 0.8}, k=1))
+    return algo
+
+
+class TestRIO:
+    def test_basic_matching(self):
+        algo = _simple_setup(RIOAlgorithm(decay=ExponentialDecay(lam=0.0)))
+        algo.process(make_document(0, {1: 1.0}, 1.0))
+        assert [e.doc_id for e in algo.top_k(0)] == [0]
+        assert algo.top_k(1) == []
+        assert len(algo.top_k(2)) == 1
+
+    def test_document_with_no_indexed_terms(self):
+        algo = _simple_setup(RIOAlgorithm())
+        updates = algo.process(make_document(0, {99: 1.0}, 1.0))
+        assert updates == []
+        assert algo.counters.full_evaluations == 0
+
+    def test_pruning_kicks_in_once_results_are_strong(self):
+        algo = RIOAlgorithm(decay=ExponentialDecay(lam=0.0))
+        # Many queries on term 1, plus a perfect document already seen.
+        for qid in range(50):
+            algo.register(make_query(qid, {1: 1.0}, k=1))
+        algo.process(make_document(0, {1: 1.0}, 1.0))          # perfect score 1.0
+        evals_after_warm = algo.counters.full_evaluations
+        algo.process(make_document(1, {1: 0.2, 2: 0.98}, 2.0))  # weak on term 1
+        # The weak document cannot beat any query's perfect result, and the
+        # global bound proves it without evaluating all 50 queries again.
+        assert algo.counters.full_evaluations == evals_after_warm
+
+    def test_index_reflects_registration(self):
+        algo = _simple_setup(RIOAlgorithm())
+        assert algo.index.num_queries == 3
+        algo.unregister(2)
+        assert algo.index.num_queries == 2
+        assert algo.index.get(2).qids == [1]
+
+    def test_describe_mentions_bounds(self):
+        info = _simple_setup(RIOAlgorithm()).describe()
+        assert info["bounds"] == "global"
+        assert info["indexed_postings"] == 4
+
+
+class TestMRIO:
+    @pytest.mark.parametrize("variant", ["exact", "tree", "block"])
+    def test_basic_matching_all_variants(self, variant):
+        algo = _simple_setup(MRIOAlgorithm(ub_variant=variant, decay=ExponentialDecay(lam=0.0)))
+        algo.process(make_document(0, {1: 1.0, 2: 1.0}, 1.0))
+        assert len(algo.top_k(0)) == 1
+        assert len(algo.top_k(1)) == 1
+        assert len(algo.top_k(2)) == 1
+
+    def test_invalid_variant_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MRIOAlgorithm(ub_variant="hash")
+
+    def test_zone_bounds_prune_more_than_global(self, small_corpus, small_queries, small_documents):
+        rio = RIOAlgorithm(decay=ExponentialDecay(lam=1e-3))
+        mrio = MRIOAlgorithm(decay=ExponentialDecay(lam=1e-3), ub_variant="exact")
+        for algo in (rio, mrio):
+            algo.register_all(small_queries)
+            for doc in small_documents:
+                algo.process(doc)
+        # Identical results...
+        for query in small_queries:
+            assert [e.doc_id for e in rio.top_k(query.query_id)] == [
+                e.doc_id for e in mrio.top_k(query.query_id)
+            ]
+        # ...but MRIO's tighter bounds evaluate no more queries than RIO's
+        # (up to a tiny tolerance for divergent cursor trajectories).
+        assert mrio.counters.full_evaluations <= rio.counters.full_evaluations * 1.02 + 5
+
+    def test_optimality_considered_queries_close_to_updates(
+        self, small_corpus, small_queries, small_documents
+    ):
+        """Claim (i): MRIO computes scores for close to the minimum number of queries.
+
+        A lower bound on the necessary evaluations is the number of accepted
+        result updates (a query whose result changes must have been scored).
+        """
+        mrio = MRIOAlgorithm(decay=ExponentialDecay(lam=1e-3), ub_variant="exact")
+        mrio.register_all(small_queries)
+        for doc in small_documents:
+            mrio.process(doc)
+        evals = mrio.counters.full_evaluations
+        updates = mrio.counters.result_updates
+        assert evals >= updates
+        # At this scale the overhead over the lower bound stays small.
+        assert evals <= updates * 1.5 + 10 * len(small_documents)
+
+    def test_describe_mentions_variant(self):
+        info = MRIOAlgorithm(ub_variant="block").describe()
+        assert info["ub_variant"] == "block"
+
+    def test_no_pivot_continues_past_zone(self):
+        # Construct a case where the first zone cannot qualify but a later
+        # query (with an unfilled heap) must still be found.
+        algo = MRIOAlgorithm(decay=ExponentialDecay(lam=0.0), ub_variant="exact")
+        algo.register(make_query(0, {1: 1.0}, k=1))
+        algo.register(make_query(5, {2: 1.0}, k=1))
+        # Fill query 0 with a perfect document so it cannot be beaten.
+        algo.process(make_document(0, {1: 1.0}, 1.0))
+        # This document is weak on term 1 but is the first match for query 5.
+        updates = algo.process(make_document(1, {1: 0.1, 2: 0.995}, 2.0))
+        assert any(u.query_id == 5 for u in updates)

@@ -1,0 +1,110 @@
+"""Unit tests for the synthetic corpus generator."""
+
+import pytest
+
+from repro.documents.corpus import CorpusConfig, SyntheticCorpus
+from repro.exceptions import ConfigurationError
+from repro.text.analyzer import Analyzer
+from repro.text.similarity import is_normalized
+
+
+class TestCorpusConfig:
+    def test_defaults_are_valid(self):
+        CorpusConfig()
+
+    def test_invalid_vocabulary_size(self):
+        with pytest.raises(ConfigurationError):
+            CorpusConfig(vocabulary_size=0)
+
+    def test_invalid_affinity(self):
+        with pytest.raises(ConfigurationError):
+            CorpusConfig(topic_affinity=1.5)
+
+    def test_terms_per_topic_bounded_by_vocab(self):
+        with pytest.raises(ConfigurationError):
+            CorpusConfig(vocabulary_size=10, terms_per_topic=100)
+
+    def test_token_bounds(self):
+        with pytest.raises(ConfigurationError):
+            CorpusConfig(min_tokens=100, max_tokens=10)
+
+
+class TestSyntheticCorpus:
+    @pytest.fixture()
+    def corpus(self, small_corpus_config):
+        return SyntheticCorpus(small_corpus_config)
+
+    def test_documents_are_normalized(self, corpus):
+        for doc in corpus.generate_documents(10):
+            assert is_normalized(doc.vector)
+            assert doc.num_terms > 0
+
+    def test_doc_ids_are_sequential(self, corpus):
+        docs = corpus.generate_documents(5)
+        assert [d.doc_id for d in docs] == [0, 1, 2, 3, 4]
+
+    def test_term_ids_within_vocabulary(self, corpus, small_corpus_config):
+        for doc in corpus.generate_documents(10):
+            assert all(0 <= t < small_corpus_config.vocabulary_size for t in doc.vector)
+
+    def test_document_lengths_respect_bounds(self, small_corpus_config):
+        corpus = SyntheticCorpus(small_corpus_config)
+        for doc in corpus.generate_documents(20):
+            assert doc.num_terms <= small_corpus_config.max_tokens
+
+    def test_same_seed_same_corpus(self, small_corpus_config):
+        docs_a = SyntheticCorpus(small_corpus_config).generate_documents(5)
+        docs_b = SyntheticCorpus(small_corpus_config).generate_documents(5)
+        for a, b in zip(docs_a, docs_b):
+            assert a.vector == b.vector
+
+    def test_different_seed_different_corpus(self, small_corpus_config):
+        docs_a = SyntheticCorpus(small_corpus_config, seed=1).generate_documents(3)
+        docs_b = SyntheticCorpus(small_corpus_config, seed=2).generate_documents(3)
+        assert any(a.vector != b.vector for a, b in zip(docs_a, docs_b))
+
+    def test_iter_documents_bounded(self, corpus):
+        docs = list(corpus.iter_documents(7))
+        assert len(docs) == 7
+
+    def test_topic_term_ids(self, corpus, small_corpus_config):
+        pool = corpus.topic_term_ids(0)
+        assert len(pool) == small_corpus_config.terms_per_topic
+        assert all(0 <= t < small_corpus_config.vocabulary_size for t in pool)
+
+    def test_topic_out_of_range(self, corpus):
+        with pytest.raises(ValueError):
+            corpus.topic_term_ids(corpus.num_topics)
+
+    def test_term_probabilities(self, corpus, small_corpus_config):
+        probs = corpus.term_probabilities
+        assert len(probs) == small_corpus_config.vocabulary_size
+        assert probs.sum() == pytest.approx(1.0)
+        # Zipf: the most frequent term dominates a mid-rank term.
+        assert probs[0] > probs[len(probs) // 2]
+
+    def test_topic_documents_share_terms(self, corpus):
+        # Two documents from the same topic should overlap far more than two
+        # documents from different topics (this is what "Connected" exploits).
+        same_a = corpus.generate_document(topic=0)
+        same_b = corpus.generate_document(topic=0)
+        other = corpus.generate_document(topic=corpus.num_topics - 1)
+        overlap_same = len(set(same_a.vector) & set(same_b.vector))
+        overlap_other = len(set(same_a.vector) & set(other.vector))
+        assert overlap_same >= overlap_other
+
+    def test_generate_text_goes_through_pipeline(self, corpus):
+        text = corpus.generate_text(topic=0)
+        assert isinstance(text, str)
+        tokens = Analyzer(use_stemming=False, use_stopwords=False).analyze(text)
+        assert len(tokens) > 0
+        assert all(token.startswith("term") for token in tokens)
+
+    def test_reset_restarts_ids(self, corpus):
+        corpus.generate_documents(3)
+        corpus.reset()
+        assert corpus.generate_document().doc_id == 0
+
+    def test_vocabulary_is_frozen(self, corpus):
+        assert corpus.vocabulary.frozen
+        assert len(corpus.vocabulary) == corpus.config.vocabulary_size

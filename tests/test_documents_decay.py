@@ -1,0 +1,77 @@
+"""Unit tests for the exponential decay / amplification model."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.documents.decay import ExponentialDecay
+from repro.exceptions import ConfigurationError
+
+
+class TestExponentialDecay:
+    def test_amplification_at_origin_is_one(self):
+        assert ExponentialDecay(lam=0.1).amplification(0.0) == pytest.approx(1.0)
+
+    def test_amplification_grows_with_time(self):
+        decay = ExponentialDecay(lam=0.01)
+        assert decay.amplification(200.0) > decay.amplification(100.0) > 1.0
+
+    def test_zero_lambda_disables_decay(self):
+        decay = ExponentialDecay(lam=0.0)
+        assert decay.amplification(1e6) == 1.0
+        assert not decay.needs_renormalization(1e12)
+        assert decay.half_life() == math.inf
+
+    def test_score_matches_formula(self):
+        decay = ExponentialDecay(lam=0.05)
+        # S(q, d) = c(q, d) / exp(-lam * tau)
+        assert decay.score(0.4, 10.0) == pytest.approx(0.4 / math.exp(-0.05 * 10.0))
+
+    def test_negative_lambda_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ExponentialDecay(lam=-0.1)
+
+    def test_needs_renormalization(self):
+        decay = ExponentialDecay(lam=1.0, max_amplification=math.exp(10.0) - 1)
+        assert not decay.needs_renormalization(9.0)
+        assert decay.needs_renormalization(11.0)
+
+    def test_rebase_returns_scale_factor(self):
+        decay = ExponentialDecay(lam=0.1)
+        factor = decay.rebase(50.0)
+        assert factor == pytest.approx(math.exp(0.1 * 50.0))
+        assert decay.origin == 50.0
+        # After rebasing, the amplification at the new origin is 1 again.
+        assert decay.amplification(50.0) == pytest.approx(1.0)
+
+    def test_half_life(self):
+        decay = ExponentialDecay(lam=math.log(2.0))
+        assert decay.half_life() == pytest.approx(1.0)
+
+    @given(
+        st.floats(min_value=0.0, max_value=0.1),
+        st.floats(min_value=0.0, max_value=1000.0),
+        st.floats(min_value=0.0, max_value=1000.0),
+    )
+    def test_order_preservation_property(self, lam, tau_a, tau_b):
+        """The relative order of two documents' scores never changes over time.
+
+        This is the property that makes arrival-time amplification correct:
+        scores are fixed at arrival, so a result list never needs reordering.
+        """
+        decay = ExponentialDecay(lam=lam)
+        sim_a, sim_b = 0.6, 0.4
+        score_a = decay.score(sim_a, tau_a)
+        score_b = decay.score(sim_b, tau_b)
+        # Rebase (renormalize) and check the order is preserved.
+        factor = decay.rebase(max(tau_a, tau_b))
+        assert (score_a > score_b) == (score_a / factor > score_b / factor)
+
+    @given(st.floats(min_value=1e-6, max_value=1e-3), st.floats(min_value=1.0, max_value=1e4))
+    def test_rebase_factor_consistency(self, lam, new_origin):
+        decay = ExponentialDecay(lam=lam)
+        before = decay.amplification(new_origin + 10.0)
+        factor = decay.rebase(new_origin)
+        after = decay.amplification(new_origin + 10.0)
+        assert before == pytest.approx(after * factor, rel=1e-9)

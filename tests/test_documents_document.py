@@ -1,0 +1,50 @@
+"""Unit tests for the Document model."""
+
+import pytest
+
+from repro.documents.document import Document
+from repro.exceptions import DocumentError
+from repro.text.similarity import l2_normalize
+
+
+class TestDocument:
+    def test_valid_document(self):
+        doc = Document(doc_id=1, vector=l2_normalize({1: 1.0, 2: 2.0}))
+        assert doc.num_terms == 2
+        assert set(doc.terms()) == {1, 2}
+
+    def test_weight_lookup(self):
+        doc = Document(doc_id=1, vector={5: 1.0})
+        assert doc.weight(5) == 1.0
+        assert doc.weight(6) == 0.0
+
+    def test_negative_doc_id_rejected(self):
+        with pytest.raises(DocumentError):
+            Document(doc_id=-1, vector={1: 1.0})
+
+    def test_empty_vector_rejected(self):
+        with pytest.raises(DocumentError):
+            Document(doc_id=1, vector={})
+
+    def test_non_positive_weight_rejected(self):
+        with pytest.raises(DocumentError):
+            Document(doc_id=1, vector={1: 0.0})
+        with pytest.raises(DocumentError):
+            Document(doc_id=1, vector=l2_normalize({1: 1.0}) | {2: -0.1})
+
+    def test_unnormalized_vector_rejected(self):
+        with pytest.raises(DocumentError):
+            Document(doc_id=1, vector={1: 2.0})
+
+    def test_with_arrival_time_returns_stamped_copy(self):
+        doc = Document(doc_id=3, vector={1: 1.0})
+        stamped = doc.with_arrival_time(12.5)
+        assert stamped.arrival_time == 12.5
+        assert doc.arrival_time is None
+        assert stamped.doc_id == doc.doc_id
+        assert stamped.vector == doc.vector
+
+    def test_documents_are_frozen(self):
+        doc = Document(doc_id=1, vector={1: 1.0})
+        with pytest.raises(AttributeError):
+            doc.doc_id = 2  # type: ignore[misc]

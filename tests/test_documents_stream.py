@@ -1,0 +1,77 @@
+"""Unit tests for the document stream simulator."""
+
+import pytest
+
+from repro.documents.corpus import SyntheticCorpus
+from repro.documents.document import Document
+from repro.documents.stream import DocumentStream, StreamConfig
+from repro.exceptions import ConfigurationError
+
+
+class TestStreamConfig:
+    def test_defaults(self):
+        config = StreamConfig()
+        assert config.interval == 1.0
+        assert not config.poisson
+
+    def test_invalid_interval(self):
+        with pytest.raises(ConfigurationError):
+            StreamConfig(interval=0.0)
+
+    def test_invalid_rate(self):
+        with pytest.raises(ConfigurationError):
+            StreamConfig(rate=-1.0)
+
+
+class TestDocumentStream:
+    def test_stamps_arrival_times(self, small_corpus):
+        stream = DocumentStream(small_corpus, StreamConfig(interval=2.0, start_time=10.0))
+        docs = stream.take(3)
+        assert [d.arrival_time for d in docs] == [12.0, 14.0, 16.0]
+
+    def test_arrival_times_monotone(self, small_corpus):
+        stream = DocumentStream(small_corpus, StreamConfig(poisson=True, rate=5.0, seed=3))
+        docs = stream.take(50)
+        times = [d.arrival_time for d in docs]
+        assert all(times[i] < times[i + 1] for i in range(len(times) - 1))
+
+    def test_take_and_emitted_counter(self, small_corpus):
+        stream = DocumentStream(small_corpus)
+        stream.take(7)
+        assert stream.emitted == 7
+        assert stream.clock == pytest.approx(7.0)
+
+    def test_take_negative_rejected(self, small_corpus):
+        with pytest.raises(ConfigurationError):
+            DocumentStream(small_corpus).take(-1)
+
+    def test_wraps_plain_iterables(self):
+        raw = [Document(doc_id=i, vector={1: 1.0}) for i in range(3)]
+        stream = DocumentStream(raw)
+        docs = stream.take(5)  # only 3 available
+        assert len(docs) == 3
+        assert all(d.arrival_time is not None for d in docs)
+
+    def test_iterator_protocol(self, small_corpus):
+        stream = DocumentStream(small_corpus)
+        first = next(stream)
+        second = next(stream)
+        assert second.arrival_time > first.arrival_time
+
+    def test_poisson_and_fixed_differ(self, small_corpus_config):
+        fixed = DocumentStream(
+            SyntheticCorpus(small_corpus_config), StreamConfig(poisson=False)
+        ).take(10)
+        poisson = DocumentStream(
+            SyntheticCorpus(small_corpus_config), StreamConfig(poisson=True, seed=5)
+        ).take(10)
+        gaps_fixed = {
+            round(b.arrival_time - a.arrival_time, 9)
+            for a, b in zip(fixed, fixed[1:])
+        }
+        gaps_poisson = {
+            round(b.arrival_time - a.arrival_time, 9)
+            for a, b in zip(poisson, poisson[1:])
+        }
+        assert len(gaps_fixed) == 1
+        assert len(gaps_poisson) > 1

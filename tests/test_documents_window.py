@@ -1,0 +1,70 @@
+"""Unit tests for the sliding-window store."""
+
+import pytest
+
+from repro.documents.document import Document
+from repro.documents.window import SlidingWindowStore
+from repro.exceptions import ConfigurationError, StreamError
+
+
+def _doc(doc_id: int, tau: float) -> Document:
+    return Document(doc_id=doc_id, vector={1: 1.0}, arrival_time=tau)
+
+
+class TestSlidingWindowStore:
+    def test_add_and_len(self):
+        store = SlidingWindowStore(horizon=10.0)
+        store.add(_doc(1, 1.0))
+        store.add(_doc(2, 2.0))
+        assert len(store) == 2
+        assert 1 in store
+        assert 3 not in store
+
+    def test_invalid_horizon(self):
+        with pytest.raises(ConfigurationError):
+            SlidingWindowStore(horizon=0.0)
+
+    def test_document_without_arrival_time_rejected(self):
+        store = SlidingWindowStore(horizon=5.0)
+        with pytest.raises(StreamError):
+            store.add(Document(doc_id=1, vector={1: 1.0}))
+
+    def test_out_of_order_add_rejected(self):
+        store = SlidingWindowStore(horizon=5.0)
+        store.add(_doc(1, 10.0))
+        with pytest.raises(StreamError):
+            store.add(_doc(2, 5.0))
+
+    def test_expire_removes_old_documents(self):
+        store = SlidingWindowStore(horizon=5.0)
+        for i, tau in enumerate([1.0, 2.0, 6.0, 9.0]):
+            store.add(_doc(i, tau))
+        expired = store.expire(now=8.5)  # cutoff 3.5 -> docs at 1.0 and 2.0 expire
+        assert [d.doc_id for d in expired] == [0, 1]
+        assert len(store) == 2
+        assert 0 not in store
+
+    def test_expire_nothing(self):
+        store = SlidingWindowStore(horizon=100.0)
+        store.add(_doc(1, 1.0))
+        assert store.expire(now=50.0) == []
+
+    def test_live_documents_in_arrival_order(self):
+        store = SlidingWindowStore(horizon=100.0)
+        for i in range(5):
+            store.add(_doc(i, float(i)))
+        assert [d.doc_id for d in store.live_documents()] == [0, 1, 2, 3, 4]
+        assert [d.doc_id for d in store] == [0, 1, 2, 3, 4]
+
+    def test_get(self):
+        store = SlidingWindowStore(horizon=10.0)
+        store.add(_doc(7, 1.0))
+        assert store.get(7).doc_id == 7
+        assert store.get(8) is None
+
+    def test_repeated_expiration_is_idempotent(self):
+        store = SlidingWindowStore(horizon=2.0)
+        store.add(_doc(1, 0.0))
+        store.expire(now=10.0)
+        assert store.expire(now=10.0) == []
+        assert len(store) == 0

@@ -1,0 +1,65 @@
+"""Unit tests for the document-side inverted file."""
+
+import pytest
+
+from repro.index.doc_index import DocumentIndex
+from tests.helpers import make_document
+
+
+class TestDocumentIndex:
+    def test_add_and_lookup(self):
+        index = DocumentIndex()
+        index.add(make_document(0, {1: 1.0, 2: 2.0}, arrival_time=0.0))
+        index.add(make_document(1, {2: 1.0}, arrival_time=1.0))
+        assert index.num_documents == 2
+        assert index.num_terms == 2
+        assert index.num_postings == 3
+        assert 0 in index
+        assert index.document(0).doc_id == 0
+        assert index.document(42) is None
+
+    def test_duplicate_add_is_ignored(self):
+        index = DocumentIndex()
+        doc = make_document(0, {1: 1.0}, arrival_time=0.0)
+        index.add(doc)
+        index.add(doc)
+        assert index.num_documents == 1
+        assert index.num_postings == 1
+
+    def test_remove(self):
+        index = DocumentIndex()
+        index.add(make_document(0, {1: 1.0}, arrival_time=0.0))
+        assert index.remove(0)
+        assert not index.remove(0)
+        assert index.num_documents == 0
+        assert list(index.get(1).iter_live()) == []
+
+    def test_remove_triggers_compaction(self):
+        index = DocumentIndex(compact_threshold=0.4)
+        for i in range(4):
+            index.add(make_document(i, {7: 1.0}, arrival_time=float(i)))
+        index.remove(0)
+        index.remove(1)
+        plist = index.get(7)
+        # More than 40% garbage -> compacted.
+        assert plist.garbage_ratio == 0.0
+        assert plist.doc_ids == [2, 3]
+
+    def test_max_weight(self):
+        index = DocumentIndex()
+        index.add(make_document(0, {1: 3.0, 2: 4.0}, arrival_time=0.0))
+        assert index.max_weight(2) == pytest.approx(0.8)
+        assert index.max_weight(99) == 0.0
+
+    def test_clear(self):
+        index = DocumentIndex()
+        index.add(make_document(0, {1: 1.0}, arrival_time=0.0))
+        index.clear()
+        assert index.num_documents == 0
+        assert index.num_terms == 0
+
+    def test_documents_iterator(self):
+        index = DocumentIndex()
+        for i in range(3):
+            index.add(make_document(i, {1: 1.0}, arrival_time=float(i)))
+        assert sorted(d.doc_id for d in index.documents()) == [0, 1, 2]

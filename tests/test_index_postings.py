@@ -1,0 +1,131 @@
+"""Unit and property tests for the ID-ordered posting lists."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.exceptions import IndexError_
+from repro.index.postings import DocPostingList, QueryPostingList
+
+
+class TestQueryPostingList:
+    def test_append_and_iterate(self):
+        plist = QueryPostingList(term_id=3)
+        plist.append(1, 0.5)
+        plist.append(4, 0.7)
+        assert len(plist) == 2
+        assert list(plist) == [(1, 0.5), (4, 0.7)]
+
+    def test_append_out_of_order_rejected(self):
+        plist = QueryPostingList(0)
+        plist.append(5, 1.0)
+        with pytest.raises(IndexError_):
+            plist.append(5, 1.0)
+        with pytest.raises(IndexError_):
+            plist.append(3, 1.0)
+
+    def test_insert_keeps_order(self):
+        plist = QueryPostingList(0)
+        plist.append(2, 0.2)
+        plist.append(8, 0.8)
+        plist.insert(5, 0.5)
+        assert plist.qids == [2, 5, 8]
+        assert plist.weights == [0.2, 0.5, 0.8]
+
+    def test_insert_duplicate_rejected(self):
+        plist = QueryPostingList(0)
+        plist.append(2, 0.2)
+        with pytest.raises(IndexError_):
+            plist.insert(2, 0.3)
+
+    def test_remove(self):
+        plist = QueryPostingList(0)
+        plist.append(1, 0.1)
+        plist.append(2, 0.2)
+        assert plist.remove(1)
+        assert not plist.remove(99)
+        assert plist.qids == [2]
+
+    def test_position_of(self):
+        plist = QueryPostingList(0)
+        for qid in (3, 6, 9):
+            plist.append(qid, 1.0)
+        assert plist.position_of(6) == 1
+        assert plist.position_of(5) is None
+
+    def test_first_geq(self):
+        plist = QueryPostingList(0)
+        for qid in (2, 4, 8, 16):
+            plist.append(qid, 1.0)
+        assert plist.first_geq(1) == 0
+        assert plist.first_geq(4) == 1
+        assert plist.first_geq(5) == 2
+        assert plist.first_geq(100) == 4
+        assert plist.first_geq(4, start=2) == 2
+
+    def test_entry_and_max_weight(self):
+        plist = QueryPostingList(0)
+        plist.append(1, 0.3)
+        plist.append(2, 0.9)
+        assert plist.entry(1) == (2, 0.9)
+        assert plist.max_weight() == 0.9
+        assert QueryPostingList(1).max_weight() == 0.0
+
+    @given(st.lists(st.integers(min_value=0, max_value=1000), unique=True, min_size=1, max_size=50))
+    def test_first_geq_matches_linear_scan(self, qids):
+        qids = sorted(qids)
+        plist = QueryPostingList(0)
+        for qid in qids:
+            plist.append(qid, 1.0)
+        for probe in range(0, 1002, 7):
+            expected = next((i for i, q in enumerate(qids) if q >= probe), len(qids))
+            assert plist.first_geq(probe) == expected
+
+
+class TestDocPostingList:
+    def test_append_and_live_iteration(self):
+        plist = DocPostingList(0)
+        plist.append(1, 0.5)
+        plist.append(3, 0.7)
+        assert len(plist) == 2
+        assert list(plist.iter_live()) == [(1, 0.5), (3, 0.7)]
+
+    def test_out_of_order_rejected(self):
+        plist = DocPostingList(0)
+        plist.append(2, 1.0)
+        with pytest.raises(IndexError_):
+            plist.append(1, 1.0)
+
+    def test_delete_is_lazy(self):
+        plist = DocPostingList(0)
+        plist.append(1, 0.5)
+        plist.append(2, 0.6)
+        assert plist.delete(1)
+        assert not plist.delete(1)
+        assert not plist.delete(42)
+        assert len(plist) == 1
+        assert list(plist.iter_live()) == [(2, 0.6)]
+        assert plist.is_deleted(1)
+
+    def test_garbage_ratio_and_compact(self):
+        plist = DocPostingList(0)
+        for i in range(4):
+            plist.append(i, 1.0)
+        plist.delete(0)
+        plist.delete(1)
+        assert plist.garbage_ratio == pytest.approx(0.5)
+        plist.compact()
+        assert plist.garbage_ratio == 0.0
+        assert plist.doc_ids == [2, 3]
+        assert len(plist) == 2
+
+    def test_max_weight_ignores_deleted(self):
+        plist = DocPostingList(0)
+        plist.append(1, 0.9)
+        plist.append(2, 0.4)
+        plist.delete(1)
+        assert plist.max_weight() == pytest.approx(0.4)
+
+    def test_empty_compact_is_noop(self):
+        plist = DocPostingList(0)
+        plist.compact()
+        assert len(plist) == 0

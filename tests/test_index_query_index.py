@@ -1,0 +1,92 @@
+"""Unit tests for the query-side inverted file."""
+
+import pytest
+
+from repro.exceptions import DuplicateQueryError, UnknownQueryError
+from repro.index.query_index import QueryIndex, QueryIndexListener
+from tests.helpers import make_query
+
+
+class _RecordingListener(QueryIndexListener):
+    def __init__(self):
+        self.registered = []
+        self.unregistered = []
+
+    def on_query_registered(self, query):
+        self.registered.append(query.query_id)
+
+    def on_query_unregistered(self, query):
+        self.unregistered.append(query.query_id)
+
+
+class TestQueryIndex:
+    def test_register_builds_posting_lists(self):
+        index = QueryIndex()
+        index.register(make_query(0, {1: 1.0, 2: 0.5}, k=3))
+        index.register(make_query(1, {2: 1.0}, k=3))
+        assert index.num_queries == 2
+        assert index.num_terms == 2
+        assert index.num_postings == 3
+        assert index.get(2).qids == [0, 1]
+        assert index.get(99) is None
+
+    def test_postings_are_id_ordered_even_with_gaps(self):
+        index = QueryIndex()
+        index.register(make_query(10, {5: 1.0}, k=1))
+        index.register(make_query(3, {5: 1.0}, k=1))
+        index.register(make_query(7, {5: 1.0}, k=1))
+        assert index.get(5).qids == [3, 7, 10]
+
+    def test_duplicate_registration_rejected(self):
+        index = QueryIndex()
+        index.register(make_query(1, {1: 1.0}, k=1))
+        with pytest.raises(DuplicateQueryError):
+            index.register(make_query(1, {2: 1.0}, k=1))
+
+    def test_unregister_removes_postings(self):
+        index = QueryIndex()
+        index.register(make_query(0, {1: 1.0, 2: 1.0}, k=1))
+        index.register(make_query(1, {2: 1.0}, k=1))
+        index.unregister(0)
+        assert index.num_queries == 1
+        assert index.get(1) is None  # term 1 only belonged to query 0
+        assert index.get(2).qids == [1]
+
+    def test_unregister_unknown_rejected(self):
+        with pytest.raises(UnknownQueryError):
+            QueryIndex().unregister(5)
+
+    def test_query_lookup(self):
+        index = QueryIndex()
+        query = make_query(4, {1: 1.0}, k=2)
+        index.register(query)
+        assert index.query(4) is query
+        assert index.has_query(4)
+        assert not index.has_query(5)
+        with pytest.raises(UnknownQueryError):
+            index.query(5)
+
+    def test_listeners_notified(self):
+        index = QueryIndex()
+        listener = _RecordingListener()
+        index.add_listener(listener)
+        index.register(make_query(0, {1: 1.0}, k=1))
+        index.unregister(0)
+        assert listener.registered == [0]
+        assert listener.unregistered == [0]
+
+    def test_positions_of(self):
+        index = QueryIndex()
+        index.register(make_query(0, {1: 1.0, 2: 1.0}, k=1))
+        index.register(make_query(1, {2: 1.0}, k=1))
+        positions = dict(index.positions_of(index.query(1)))
+        assert positions == {2: 1}
+
+    def test_iteration_helpers(self):
+        index = QueryIndex()
+        index.register(make_query(0, {1: 1.0}, k=1))
+        index.register(make_query(1, {2: 1.0}, k=1))
+        assert sorted(q.query_id for q in index.queries()) == [0, 1]
+        assert sorted(index.query_ids()) == [0, 1]
+        assert sorted(index.term_ids()) == [1, 2]
+        assert len(list(index.posting_lists())) == 2

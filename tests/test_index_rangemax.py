@@ -1,0 +1,115 @@
+"""Unit and property tests for the range-maximum structures."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.index.rangemax import NEG_INF, BlockMax, SegmentTreeMax
+
+values_strategy = st.lists(
+    st.floats(min_value=-100.0, max_value=100.0, allow_nan=False), min_size=1, max_size=80
+)
+
+
+class TestSegmentTreeMax:
+    def test_basic_query(self):
+        tree = SegmentTreeMax([1.0, 5.0, 3.0, 2.0])
+        assert tree.query(0, 4) == 5.0
+        assert tree.query(2, 4) == 3.0
+        assert tree.query(0, 1) == 1.0
+
+    def test_empty_range(self):
+        tree = SegmentTreeMax([1.0, 2.0])
+        assert tree.query(1, 1) == NEG_INF
+        assert tree.query(2, 1) == NEG_INF
+
+    def test_out_of_bounds_clamped(self):
+        tree = SegmentTreeMax([1.0, 2.0, 3.0])
+        assert tree.query(-5, 100) == 3.0
+
+    def test_update(self):
+        tree = SegmentTreeMax([1.0, 2.0, 3.0])
+        tree.update(0, 10.0)
+        assert tree.query(0, 3) == 10.0
+        tree.update(0, 0.5)
+        assert tree.query(0, 3) == 3.0
+        assert tree.value_at(0) == 0.5
+
+    def test_update_out_of_range(self):
+        tree = SegmentTreeMax([1.0])
+        with pytest.raises(IndexError):
+            tree.update(1, 2.0)
+
+    def test_global_max(self):
+        assert SegmentTreeMax([4.0, 9.0, 1.0]).global_max() == 9.0
+        assert SegmentTreeMax([]).global_max() == NEG_INF
+
+    def test_handles_infinity(self):
+        tree = SegmentTreeMax([1.0, float("inf"), 2.0])
+        assert tree.query(0, 3) == float("inf")
+        tree.update(1, 0.0)
+        assert tree.query(0, 3) == 2.0
+
+    @given(values_strategy, st.data())
+    def test_matches_naive_max(self, values, data):
+        tree = SegmentTreeMax(values)
+        lo = data.draw(st.integers(min_value=0, max_value=len(values)))
+        hi = data.draw(st.integers(min_value=0, max_value=len(values)))
+        expected = max(values[lo:hi]) if lo < hi else NEG_INF
+        assert tree.query(lo, hi) == expected
+
+    @given(values_strategy, st.data())
+    def test_matches_naive_after_updates(self, values, data):
+        tree = SegmentTreeMax(values)
+        current = list(values)
+        for _ in range(5):
+            pos = data.draw(st.integers(min_value=0, max_value=len(values) - 1))
+            new_value = data.draw(st.floats(min_value=-100.0, max_value=100.0, allow_nan=False))
+            tree.update(pos, new_value)
+            current[pos] = new_value
+        lo = data.draw(st.integers(min_value=0, max_value=len(values)))
+        hi = data.draw(st.integers(min_value=0, max_value=len(values)))
+        expected = max(current[lo:hi]) if lo < hi else NEG_INF
+        assert tree.query(lo, hi) == expected
+
+
+class TestBlockMax:
+    def test_query_is_upper_bound(self):
+        block = BlockMax([1.0, 9.0, 2.0, 3.0], block_size=2)
+        # True max over [2, 4) is 3, but block answers may overshoot -- they
+        # must never undershoot.
+        assert block.query(2, 4) >= 3.0
+        assert block.exact_query(2, 4) == 3.0
+
+    def test_invalid_block_size(self):
+        with pytest.raises(ValueError):
+            BlockMax([1.0], block_size=0)
+
+    def test_update_raise_and_lower(self):
+        block = BlockMax([1.0, 2.0, 3.0, 4.0], block_size=2)
+        block.update(0, 10.0)
+        assert block.query(0, 2) == 10.0
+        block.update(0, 0.5)  # lowering rescans the block
+        assert block.query(0, 2) == 2.0
+        assert block.value_at(0) == 0.5
+
+    def test_update_out_of_range(self):
+        block = BlockMax([1.0], block_size=4)
+        with pytest.raises(IndexError):
+            block.update(5, 1.0)
+
+    def test_global_max(self):
+        assert BlockMax([3.0, 7.0, 5.0], block_size=2).global_max() == 7.0
+        assert BlockMax([], block_size=2).global_max() == NEG_INF
+
+    def test_empty_range(self):
+        block = BlockMax([1.0, 2.0], block_size=2)
+        assert block.query(1, 1) == NEG_INF
+
+    @given(values_strategy, st.integers(min_value=1, max_value=16), st.data())
+    def test_block_query_never_undershoots(self, values, block_size, data):
+        block = BlockMax(values, block_size=block_size)
+        lo = data.draw(st.integers(min_value=0, max_value=len(values)))
+        hi = data.draw(st.integers(min_value=0, max_value=len(values)))
+        exact = max(values[lo:hi]) if lo < hi else NEG_INF
+        assert block.query(lo, hi) >= exact
+        assert block.exact_query(lo, hi) == exact

@@ -1,0 +1,226 @@
+"""Differential correctness tests: every algorithm against the exhaustive oracle.
+
+This is the centrepiece of the correctness story (DESIGN.md §7): on the same
+stream and query workload, RIO, MRIO (all three UB* variants), RTA, SortQuer
+and TPS must maintain the same top-k results as the exhaustive per-event
+scan — and the exhaustive scan itself must agree with an offline sort over
+all documents seen so far.
+
+Comparison rule: result lengths and scores must match (to floating-point
+tolerance); a document-id difference is only tolerated when the scores at
+that rank are tied, because summation order legitimately differs between
+algorithms and may flip the strict-acceptance outcome for mathematically
+tied candidates.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.factory import create_algorithm
+from repro.documents.decay import ExponentialDecay
+from repro.queries.workloads import ConnectedWorkload, WorkloadConfig
+from tests.helpers import brute_force_topk, make_document, make_query, sparse_vector_strategy
+
+ALGORITHMS = [
+    ("rio", {}),
+    ("mrio", {"ub_variant": "exact"}),
+    ("mrio", {"ub_variant": "tree"}),
+    ("mrio", {"ub_variant": "block", "block_size": 4}),
+    ("rta", {"min_stale": 2, "stale_fraction": 0.0}),
+    ("sortquer", {"min_stale": 2, "stale_fraction": 0.0}),
+    ("tps", {}),
+]
+
+
+def _run(algorithm_name, kwargs, queries, documents, lam):
+    algo = create_algorithm(algorithm_name, ExponentialDecay(lam=lam), **kwargs)
+    algo.register_all(queries)
+    for doc in documents:
+        algo.process(doc)
+    return algo
+
+
+def _assert_same_results(candidate, oracle, queries, label=""):
+    for query in queries:
+        got = candidate.top_k(query.query_id)
+        want = oracle.top_k(query.query_id)
+        assert len(got) == len(want), f"{label}: result size differs for query {query.query_id}"
+        for rank, (g, w) in enumerate(zip(got, want)):
+            assert g.score == pytest.approx(w.score, rel=1e-9, abs=1e-12), (
+                f"{label}: score differs for query {query.query_id} at rank {rank}"
+            )
+            if g.doc_id != w.doc_id:
+                # Only permissible for (near-)tied scores; the score assertion
+                # above already established the tie.
+                continue
+
+
+def _assert_matches_reference(entries, reference, label=""):
+    """Compare a result list against an offline (doc_id, score) reference."""
+    assert len(entries) == len(reference), label
+    for rank, (entry, (want_doc, want_score)) in enumerate(zip(entries, reference)):
+        assert entry.score == pytest.approx(want_score, rel=1e-9, abs=1e-12), (
+            f"{label}: score differs at rank {rank}"
+        )
+        if entry.doc_id != want_doc:
+            assert entry.score == pytest.approx(want_score, rel=1e-9, abs=1e-12)
+
+
+class TestAgainstOracleOnCorpus:
+    """Seeded medium-size scenario over the synthetic corpus (both workloads)."""
+
+    @pytest.mark.parametrize("name, kwargs", ALGORITHMS)
+    def test_uniform_workload(self, name, kwargs, small_queries, small_documents):
+        lam = 1e-3
+        oracle = _run("exhaustive", {}, small_queries, small_documents, lam)
+        candidate = _run(name, kwargs, small_queries, small_documents, lam)
+        _assert_same_results(candidate, oracle, small_queries, label=f"{name}{kwargs}")
+
+    @pytest.mark.parametrize("name, kwargs", ALGORITHMS)
+    def test_connected_workload(self, name, kwargs, small_corpus, small_documents):
+        lam = 1e-3
+        queries = ConnectedWorkload(
+            small_corpus, config=WorkloadConfig(min_terms=2, max_terms=4, k=4, seed=19), seed=19
+        ).generate(80)
+        oracle = _run("exhaustive", {}, queries, small_documents, lam)
+        candidate = _run(name, kwargs, queries, small_documents, lam)
+        _assert_same_results(candidate, oracle, queries, label=f"{name}{kwargs}")
+
+    def test_oracle_matches_offline_sort(self, small_queries, small_documents):
+        """The exhaustive oracle itself equals an offline top-k over the prefix."""
+        lam = 1e-3
+        oracle = _run("exhaustive", {}, small_queries, small_documents, lam)
+        for query in small_queries[::7]:
+            expected = brute_force_topk(query, small_documents, lam)
+            _assert_matches_reference(
+                oracle.top_k(query.query_id), expected, label=f"query {query.query_id}"
+            )
+
+    def test_work_counters_are_consistent(self, small_queries, small_documents):
+        """Sanity relations between the work counters of the main algorithms."""
+        lam = 1e-3
+        oracle = _run("exhaustive", {}, small_queries, small_documents, lam)
+        rio = _run("rio", {}, small_queries, small_documents, lam)
+        mrio = _run("mrio", {"ub_variant": "exact"}, small_queries, small_documents, lam)
+        # Nobody updates more often than results actually changed.
+        assert rio.counters.result_updates == oracle.counters.result_updates
+        assert mrio.counters.result_updates == oracle.counters.result_updates
+        # Full evaluations are at least the number of accepted updates and at
+        # most what the exhaustive scan performs.
+        for algo in (rio, mrio):
+            assert algo.counters.result_updates <= algo.counters.full_evaluations
+            assert algo.counters.full_evaluations <= oracle.counters.full_evaluations
+
+
+class TestAgainstOracleRandomized:
+    """Hypothesis-driven micro worlds shrinkable to minimal counterexamples."""
+
+    @settings(
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        query_vectors=st.lists(
+            sparse_vector_strategy(vocab_size=12, max_terms=3), min_size=1, max_size=12
+        ),
+        doc_vectors=st.lists(
+            sparse_vector_strategy(vocab_size=12, max_terms=6), min_size=1, max_size=20
+        ),
+        k=st.integers(min_value=1, max_value=4),
+        lam=st.sampled_from([0.0, 1e-3, 0.05]),
+    )
+    def test_all_algorithms_agree_with_oracle(self, query_vectors, doc_vectors, k, lam):
+        queries = [make_query(i, vec, k) for i, vec in enumerate(query_vectors)]
+        documents = [
+            make_document(i, vec, arrival_time=float(i + 1)) for i, vec in enumerate(doc_vectors)
+        ]
+        oracle = _run("exhaustive", {}, queries, documents, lam)
+        for name, kwargs in ALGORITHMS:
+            candidate = _run(name, kwargs, queries, documents, lam)
+            _assert_same_results(candidate, oracle, queries, label=f"{name}{kwargs}")
+
+    @settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(
+        doc_vectors=st.lists(
+            sparse_vector_strategy(vocab_size=8, max_terms=4), min_size=1, max_size=15
+        ),
+        k=st.integers(min_value=1, max_value=3),
+    )
+    def test_scores_match_equation_1(self, doc_vectors, k):
+        """Every reported score equals cosine similarity amplified per Eq. 1."""
+        lam = 0.01
+        query = make_query(0, {1: 1.0, 2: 0.7, 3: 0.4}, k)
+        documents = [
+            make_document(i, vec, arrival_time=float(i + 1)) for i, vec in enumerate(doc_vectors)
+        ]
+        expected = brute_force_topk(query, documents, lam)
+        for name, kwargs in [("mrio", {"ub_variant": "exact"}), ("rio", {})]:
+            algo = _run(name, kwargs, [query], documents, lam)
+            _assert_matches_reference(algo.top_k(0), expected, label=name)
+
+
+class TestDynamicRegistration:
+    """Queries arriving and leaving in the middle of the stream."""
+
+    def test_mid_stream_registration_sees_only_future_documents(self, small_corpus):
+        lam = 1e-3
+        stream_docs = [
+            doc.with_arrival_time(float(i + 1))
+            for i, doc in enumerate(small_corpus.generate_documents(30))
+        ]
+        late_query = make_query(500, dict(stream_docs[20].vector), k=3)
+
+        for name, kwargs in [("mrio", {}), ("rio", {}), ("tps", {})]:
+            algo = create_algorithm(name, ExponentialDecay(lam=lam), **kwargs)
+            for doc in stream_docs[:15]:
+                algo.process(doc)
+            algo.register(late_query)
+            for doc in stream_docs[15:]:
+                algo.process(doc)
+            expected = brute_force_topk(late_query, stream_docs[15:], lam)
+            _assert_matches_reference(algo.top_k(500), expected, label=name)
+
+    def test_mid_stream_unregistration(self, small_queries, small_documents):
+        lam = 1e-3
+        removed = small_queries[0].query_id
+        survivors = [q for q in small_queries if q.query_id != removed]
+
+        oracle = create_algorithm("exhaustive", ExponentialDecay(lam=lam))
+        oracle.register_all(small_queries)
+        for doc in small_documents[:10]:
+            oracle.process(doc)
+        oracle.unregister(removed)
+        for doc in small_documents[10:]:
+            oracle.process(doc)
+
+        for name in ("mrio", "rio", "rta", "sortquer", "tps"):
+            algo = create_algorithm(name, ExponentialDecay(lam=lam))
+            algo.register_all(small_queries)
+            for doc in small_documents[:10]:
+                algo.process(doc)
+            algo.unregister(removed)
+            for doc in small_documents[10:]:
+                algo.process(doc)
+            assert removed not in algo.queries
+            _assert_same_results(algo, oracle, survivors, label=name)
+
+
+class TestRenormalizationEquivalence:
+    """Aggressive renormalization must not change any result set."""
+
+    def test_results_invariant_under_renormalization(self, small_queries, small_documents):
+        lam = 0.05
+        relaxed = create_algorithm("mrio", ExponentialDecay(lam=lam, max_amplification=1e300))
+        aggressive = create_algorithm(
+            "mrio", ExponentialDecay(lam=lam, max_amplification=1.5)
+        )
+        for algo in (relaxed, aggressive):
+            algo.register_all(small_queries)
+            for doc in small_documents:
+                algo.process(doc)
+        assert aggressive.decay.origin > 0.0
+        for query in small_queries:
+            assert [e.doc_id for e in relaxed.top_k(query.query_id)] == [
+                e.doc_id for e in aggressive.top_k(query.query_id)
+            ]

@@ -1,0 +1,70 @@
+"""Unit tests for counters and run statistics."""
+
+import pytest
+
+from repro.metrics.counters import EventCounters
+from repro.metrics.runstats import RunStatistics, summarize_times
+
+
+class TestEventCounters:
+    def test_snapshot_and_reset(self):
+        counters = EventCounters()
+        counters.documents = 4
+        counters.full_evaluations = 10
+        snap = counters.snapshot()
+        assert snap["documents"] == 4
+        assert snap["full_evaluations"] == 10
+        counters.reset()
+        assert counters.documents == 0
+        assert counters.snapshot()["full_evaluations"] == 0
+
+    def test_per_document_averages(self):
+        counters = EventCounters(documents=4, full_evaluations=10, iterations=8)
+        per_doc = counters.per_document()
+        assert per_doc["full_evaluations"] == pytest.approx(2.5)
+        assert per_doc["iterations"] == pytest.approx(2.0)
+        assert "documents" not in per_doc
+
+    def test_per_document_with_zero_documents(self):
+        assert EventCounters().per_document()["full_evaluations"] == 0.0
+
+    def test_merge(self):
+        a = EventCounters(documents=1, result_updates=2, elapsed_seconds=0.5)
+        b = EventCounters(documents=2, result_updates=3, elapsed_seconds=1.0)
+        a.merge(b)
+        assert a.documents == 3
+        assert a.result_updates == 5
+        assert a.elapsed_seconds == pytest.approx(1.5)
+
+
+class TestRunStatistics:
+    def test_summarize_times_empty(self):
+        summary = summarize_times([])
+        assert summary["count"] == 0
+        assert summary["mean_ms"] == 0.0
+
+    def test_summarize_times_values(self):
+        summary = summarize_times([0.001, 0.002, 0.003])
+        assert summary["count"] == 3
+        assert summary["mean_ms"] == pytest.approx(2.0)
+        assert summary["median_ms"] == pytest.approx(2.0)
+        assert summary["max_ms"] == pytest.approx(3.0)
+        assert summary["total_ms"] == pytest.approx(6.0)
+        assert summary["p95_ms"] <= summary["max_ms"]
+
+    def test_run_statistics_summary(self):
+        run = RunStatistics(
+            algorithm="mrio",
+            num_queries=100,
+            num_events=10,
+            response_times=[0.001] * 10,
+            counters={"full_evaluations": 5.0},
+            extra={"note": 1.0},
+        )
+        assert run.mean_response_ms == pytest.approx(1.0)
+        assert run.median_response_ms == pytest.approx(1.0)
+        assert run.p95_response_ms == pytest.approx(1.0)
+        summary = run.summary()
+        assert summary["algorithm"] == "mrio"
+        assert summary["counter_full_evaluations"] == 5.0
+        assert summary["note"] == 1.0

@@ -1,0 +1,65 @@
+"""Unit tests for the term co-occurrence graph."""
+
+import pytest
+
+from repro.documents.document import Document
+from repro.queries.cooccurrence import CooccurrenceGraph
+from repro.text.similarity import l2_normalize
+
+
+def _doc(doc_id, terms):
+    return Document(doc_id=doc_id, vector=l2_normalize({t: 1.0 for t in terms}), arrival_time=0.0)
+
+
+class TestCooccurrenceGraph:
+    def test_counts_pairs(self):
+        graph = CooccurrenceGraph()
+        graph.add_document(_doc(0, [1, 2, 3]))
+        graph.add_document(_doc(1, [2, 3]))
+        assert graph.cooccurrence_count(2, 3) == 2
+        assert graph.cooccurrence_count(1, 2) == 1
+        assert graph.cooccurrence_count(1, 9) == 0
+
+    def test_from_documents(self):
+        graph = CooccurrenceGraph.from_documents([_doc(0, [1, 2]), _doc(1, [3, 4])])
+        assert graph.num_terms == 4
+        assert graph.num_edges == 2
+
+    def test_neighbours_strongest_first(self):
+        graph = CooccurrenceGraph()
+        graph.add_document(_doc(0, [1, 2]))
+        graph.add_document(_doc(1, [1, 2]))
+        graph.add_document(_doc(2, [1, 3]))
+        assert graph.neighbours(1) == [2, 3]
+        assert graph.neighbours(1, limit=1) == [2]
+        assert graph.neighbours(99) == []
+
+    def test_frequent_terms(self):
+        graph = CooccurrenceGraph()
+        for i in range(3):
+            graph.add_document(_doc(i, [7, i + 10]))
+        assert graph.frequent_terms(1) == [7]
+
+    def test_sample_connected_terms(self):
+        graph = CooccurrenceGraph()
+        for i in range(5):
+            graph.add_document(_doc(i, [1, 2, 3, 4]))
+        terms = graph.sample_connected_terms(3, seed=11)
+        assert len(terms) == 3
+        assert len(set(terms)) == 3
+        assert set(terms) <= {1, 2, 3, 4}
+
+    def test_sample_connected_terms_empty_graph(self):
+        assert CooccurrenceGraph().sample_connected_terms(3, seed=1) == []
+
+    def test_max_terms_per_doc_truncation(self):
+        graph = CooccurrenceGraph(max_terms_per_doc=2)
+        graph.add_document(_doc(0, [1, 2, 3, 4, 5]))
+        # Only the two highest-weighted terms contribute a single edge.
+        assert graph.num_edges == 1
+
+    def test_average_pair_cooccurrence(self):
+        graph = CooccurrenceGraph()
+        graph.add_document(_doc(0, [1, 2, 3]))
+        assert graph.average_pair_cooccurrence([1, 2, 3]) == pytest.approx(1.0)
+        assert graph.average_pair_cooccurrence([1]) == 0.0

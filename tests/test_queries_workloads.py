@@ -1,0 +1,133 @@
+"""Unit tests for the Uniform and Connected query workload generators."""
+
+import pytest
+
+from repro.documents.corpus import SyntheticCorpus
+from repro.exceptions import ConfigurationError
+from repro.queries.cooccurrence import CooccurrenceGraph
+from repro.queries.workloads import (
+    ConnectedWorkload,
+    UniformWorkload,
+    WorkloadConfig,
+    generate_workload,
+)
+from repro.text.similarity import is_normalized
+
+
+class TestWorkloadConfig:
+    def test_defaults_valid(self):
+        WorkloadConfig()
+
+    def test_invalid_term_bounds(self):
+        with pytest.raises(ConfigurationError):
+            WorkloadConfig(min_terms=5, max_terms=2)
+
+    def test_invalid_k(self):
+        with pytest.raises(ConfigurationError):
+            WorkloadConfig(k=0)
+
+    def test_invalid_weight_range(self):
+        with pytest.raises(ConfigurationError):
+            WorkloadConfig(weight_low=1.0, weight_high=0.5)
+
+    def test_invalid_bias(self):
+        with pytest.raises(ConfigurationError):
+            WorkloadConfig(frequency_bias=1.5)
+
+
+class TestWorkloads:
+    @pytest.fixture()
+    def config(self):
+        return WorkloadConfig(min_terms=2, max_terms=4, k=7, seed=3)
+
+    def test_uniform_generates_valid_queries(self, small_corpus, config):
+        queries = UniformWorkload(small_corpus, config=config, seed=3).generate(50)
+        assert len(queries) == 50
+        for query in queries:
+            assert is_normalized(query.vector)
+            assert config.min_terms <= query.num_terms <= config.max_terms
+            assert query.k == 7
+
+    def test_connected_generates_valid_queries(self, small_corpus, config):
+        queries = ConnectedWorkload(small_corpus, config=config, seed=3).generate(50)
+        for query in queries:
+            assert is_normalized(query.vector)
+            assert config.min_terms <= query.num_terms <= config.max_terms
+
+    def test_query_ids_are_consecutive(self, small_corpus, config):
+        workload = UniformWorkload(small_corpus, config=config, seed=3)
+        queries = workload.generate(10)
+        assert [q.query_id for q in queries] == list(range(10))
+        more = workload.generate(5)
+        assert [q.query_id for q in more] == list(range(10, 15))
+
+    def test_reset_restarts_ids(self, small_corpus, config):
+        workload = UniformWorkload(small_corpus, config=config, seed=3)
+        workload.generate(3)
+        workload.reset()
+        assert workload.generate_query().query_id == 0
+
+    def test_same_seed_reproducible(self, small_corpus_config, config):
+        corpus_a = SyntheticCorpus(small_corpus_config)
+        corpus_b = SyntheticCorpus(small_corpus_config)
+        queries_a = UniformWorkload(corpus_a, config=config, seed=9).generate(20)
+        queries_b = UniformWorkload(corpus_b, config=config, seed=9).generate(20)
+        assert [q.vector for q in queries_a] == [q.vector for q in queries_b]
+
+    def test_randomized_k(self, small_corpus):
+        config = WorkloadConfig(k=10, randomize_k=True, seed=3)
+        queries = UniformWorkload(small_corpus, config=config, seed=3).generate(50)
+        ks = {q.k for q in queries}
+        assert all(1 <= k <= 10 for k in ks)
+        assert len(ks) > 1
+
+    def test_connected_terms_within_single_topic_pool(self, small_corpus):
+        config = WorkloadConfig(min_terms=3, max_terms=3, seed=3)
+        workload = ConnectedWorkload(small_corpus, config=config, seed=3)
+        pools = [set(small_corpus.topic_term_ids(t)) for t in range(small_corpus.num_topics)]
+        for query in workload.generate(30):
+            terms = set(query.terms())
+            assert any(terms <= pool for pool in pools)
+
+    def test_connected_cooccurs_more_than_uniform(self, small_corpus):
+        """The defining property of the two workloads (paper Sec. IV)."""
+        config = WorkloadConfig(min_terms=3, max_terms=3, seed=3, frequency_bias=0.0)
+        uniform = UniformWorkload(small_corpus, config=config, seed=3).generate(40)
+        connected = ConnectedWorkload(small_corpus, config=config, seed=3).generate(40)
+        sample = small_corpus.generate_documents(150)
+        graph = CooccurrenceGraph.from_documents(sample, max_terms_per_doc=80)
+
+        def mean_cooccurrence(queries):
+            values = [graph.average_pair_cooccurrence(q.terms()) for q in queries]
+            return sum(values) / len(values)
+
+        assert mean_cooccurrence(connected) > mean_cooccurrence(uniform)
+
+    def test_connected_with_explicit_graph(self, small_corpus):
+        sample = small_corpus.generate_documents(50)
+        graph = CooccurrenceGraph.from_documents(sample)
+        config = WorkloadConfig(min_terms=2, max_terms=3, seed=3)
+        queries = ConnectedWorkload(small_corpus, config=config, seed=3, graph=graph).generate(20)
+        assert len(queries) == 20
+        for query in queries:
+            assert is_normalized(query.vector)
+
+    def test_generate_workload_factory(self, small_corpus):
+        uniform = generate_workload("uniform", small_corpus, 5)
+        connected = generate_workload("Connected", small_corpus, 5)
+        assert len(uniform) == 5
+        assert len(connected) == 5
+
+    def test_generate_workload_unknown_name(self, small_corpus):
+        with pytest.raises(ConfigurationError):
+            generate_workload("zipfian", small_corpus, 5)
+
+    def test_zero_bias_samples_rare_terms(self, small_corpus):
+        # With bias 0 the keyword distribution is uniform over the dictionary,
+        # so a sizable fraction of keywords must come from the rare half.
+        config = WorkloadConfig(min_terms=2, max_terms=4, seed=3, frequency_bias=0.0)
+        queries = UniformWorkload(small_corpus, config=config, seed=3).generate(100)
+        vocab_size = len(small_corpus.term_probabilities)
+        rare = sum(1 for q in queries for t in q.terms() if t >= vocab_size // 2)
+        total = sum(q.num_terms for q in queries)
+        assert rare / total > 0.25

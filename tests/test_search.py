@@ -1,0 +1,129 @@
+"""Unit, differential and property tests for the static top-k search substrate."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.index.doc_index import DocumentIndex
+from repro.search.daat import daat_search
+from repro.search.engine import SearchEngine
+from repro.search.taat import taat_search
+from repro.search.topk_heap import TopKHeap
+from repro.search.wand import wand_search
+from repro.exceptions import ConfigurationError
+from repro.text.similarity import l2_normalize
+from tests.helpers import make_document, sparse_vector_strategy
+
+
+class TestTopKHeap:
+    def test_keeps_best_k(self):
+        heap = TopKHeap(2)
+        for doc_id, score in [(1, 0.1), (2, 0.9), (3, 0.5), (4, 0.7)]:
+            heap.offer(doc_id, score)
+        hits = heap.hits()
+        assert [h.doc_id for h in hits] == [2, 4]
+        assert heap.threshold == pytest.approx(0.7)
+
+    def test_rejects_non_positive_scores(self):
+        heap = TopKHeap(3)
+        assert not heap.offer(1, 0.0)
+        assert len(heap) == 0
+
+    def test_strict_acceptance_on_ties(self):
+        heap = TopKHeap(1)
+        assert heap.offer(1, 0.5)
+        assert not heap.offer(2, 0.5)
+        assert [h.doc_id for h in heap.hits()] == [1]
+
+    def test_would_accept(self):
+        heap = TopKHeap(1)
+        assert heap.would_accept(0.1)
+        heap.offer(1, 0.5)
+        assert not heap.would_accept(0.5)
+        assert heap.would_accept(0.6)
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            TopKHeap(0)
+
+
+def _brute_force(index: DocumentIndex, query_vector, k):
+    scored = []
+    for document in index.documents():
+        score = sum(w * document.vector.get(t, 0.0) for t, w in query_vector.items())
+        if score > 0:
+            scored.append((document.doc_id, score))
+    scored.sort(key=lambda item: (-item[1], item[0]))
+    return scored[:k]
+
+
+@pytest.fixture()
+def indexed_corpus(small_corpus):
+    index = DocumentIndex()
+    for doc in small_corpus.generate_documents(80):
+        index.add(doc.with_arrival_time(float(doc.doc_id)))
+    return index
+
+
+class TestSearchStrategies:
+    @pytest.mark.parametrize("strategy", [taat_search, daat_search, wand_search])
+    def test_matches_brute_force_on_corpus(self, indexed_corpus, small_corpus, strategy):
+        query_vector = l2_normalize({10: 1.0, 25: 0.5, 100: 0.7})
+        expected = _brute_force(indexed_corpus, query_vector, 10)
+        hits = strategy(indexed_corpus, query_vector, 10)
+        assert [h.doc_id for h in hits] == [doc_id for doc_id, _ in expected]
+        for hit, (_, score) in zip(hits, expected):
+            assert hit.score == pytest.approx(score)
+
+    @pytest.mark.parametrize("strategy", [taat_search, daat_search, wand_search])
+    def test_query_with_unknown_terms(self, indexed_corpus, strategy):
+        assert strategy(indexed_corpus, {999999: 1.0}, 5) == []
+
+    @pytest.mark.parametrize("strategy", [taat_search, daat_search, wand_search])
+    def test_respects_deletions(self, strategy):
+        index = DocumentIndex()
+        index.add(make_document(0, {1: 1.0}, 0.0))
+        index.add(make_document(1, {1: 0.5, 2: 0.5}, 1.0))
+        index.remove(0)
+        hits = strategy(index, {1: 1.0}, 5)
+        assert [h.doc_id for h in hits] == [1]
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        docs=st.lists(sparse_vector_strategy(vocab_size=15), min_size=1, max_size=25),
+        query=sparse_vector_strategy(vocab_size=15),
+        k=st.integers(min_value=1, max_value=8),
+    )
+    def test_all_strategies_agree(self, docs, query, k):
+        index = DocumentIndex()
+        for i, raw in enumerate(docs):
+            index.add(make_document(i, raw, float(i)))
+        query_vector = l2_normalize(query)
+        expected = _brute_force(index, query_vector, k)
+        for strategy in (taat_search, daat_search, wand_search):
+            hits = strategy(index, query_vector, k)
+            assert [h.doc_id for h in hits] == [doc_id for doc_id, _ in expected]
+
+
+class TestSearchEngine:
+    def test_end_to_end(self, small_corpus):
+        engine = SearchEngine(strategy="wand")
+        engine.add_all(small_corpus.generate_documents(50))
+        assert engine.num_documents == 50
+        hits = engine.search({5: 0.8, 40: 0.6}, k=5)
+        assert len(hits) <= 5
+        scores = [h.score for h in hits]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_remove(self, small_corpus):
+        engine = SearchEngine()
+        docs = small_corpus.generate_documents(5)
+        engine.add_all(docs)
+        assert engine.remove(docs[0].doc_id)
+        assert engine.num_documents == 4
+
+    def test_unknown_strategy(self):
+        with pytest.raises(ConfigurationError):
+            SearchEngine(strategy="bm25")
+
+    def test_available_strategies(self):
+        assert SearchEngine.available_strategies() == ["daat", "taat", "wand"]

@@ -1,0 +1,57 @@
+"""Unit tests for the analysis pipeline."""
+
+from repro.text.analyzer import Analyzer
+from repro.text.stopwords import StopwordFilter
+from repro.text.tokenizer import Tokenizer
+
+
+class TestAnalyzer:
+    def test_full_pipeline(self):
+        analyzer = Analyzer()
+        tokens = analyzer.analyze("The servers are continuously monitoring document streams")
+        # Stopwords removed, remaining words stemmed.
+        assert "the" not in tokens
+        assert "are" not in tokens
+        assert "monitor" in tokens
+        assert "stream" in tokens
+
+    def test_without_stemming(self):
+        analyzer = Analyzer(use_stemming=False)
+        tokens = analyzer.analyze("monitoring streams")
+        assert tokens == ["monitoring", "streams"]
+
+    def test_without_stopwords(self):
+        analyzer = Analyzer(use_stopwords=False, use_stemming=False)
+        tokens = analyzer.analyze("the stream")
+        assert tokens == ["the", "stream"]
+
+    def test_term_frequencies(self):
+        analyzer = Analyzer(use_stemming=False)
+        counts = analyzer.term_frequencies("query query document")
+        assert counts == {"query": 2, "document": 1}
+
+    def test_term_frequencies_merge_stems(self):
+        analyzer = Analyzer()
+        counts = analyzer.term_frequencies("connected connection connects")
+        assert len(counts) == 1
+        assert sum(counts.values()) == 3
+
+    def test_analyze_many(self):
+        analyzer = Analyzer(use_stemming=False)
+        assert analyzer.analyze_many(["alpha beta", "gamma"]) == [["alpha", "beta"], ["gamma"]]
+
+    def test_callable_interface(self):
+        analyzer = Analyzer()
+        assert analyzer("hello streams") == analyzer.analyze("hello streams")
+
+    def test_custom_components(self):
+        analyzer = Analyzer(
+            tokenizer=Tokenizer(min_length=4),
+            stopword_filter=StopwordFilter(stopwords=["alpha"]),
+            use_stemming=False,
+        )
+        assert analyzer.analyze("alpha beta ok") == ["beta"]
+
+    def test_empty_text(self):
+        assert Analyzer().analyze("") == []
+        assert Analyzer().term_frequencies("") == {}

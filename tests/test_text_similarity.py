@@ -1,0 +1,89 @@
+"""Unit and property tests for sparse-vector similarity primitives."""
+
+import math
+
+import pytest
+from hypothesis import given
+
+from repro.text.similarity import (
+    cosine_similarity,
+    dot_product,
+    is_normalized,
+    jaccard_terms,
+    l2_norm,
+    l2_normalize,
+)
+from tests.helpers import sparse_vector_strategy
+
+
+class TestDotProduct:
+    def test_shared_terms(self):
+        assert dot_product({1: 2.0, 2: 1.0}, {1: 3.0, 3: 5.0}) == pytest.approx(6.0)
+
+    def test_disjoint_terms(self):
+        assert dot_product({1: 1.0}, {2: 1.0}) == 0.0
+
+    def test_empty_vector(self):
+        assert dot_product({}, {1: 1.0}) == 0.0
+
+    def test_symmetry(self):
+        a = {1: 0.3, 4: 0.7}
+        b = {1: 0.5, 2: 0.1}
+        assert dot_product(a, b) == pytest.approx(dot_product(b, a))
+
+
+class TestNormalization:
+    def test_l2_norm(self):
+        assert l2_norm({1: 3.0, 2: 4.0}) == pytest.approx(5.0)
+
+    def test_normalize_produces_unit_norm(self):
+        normalized = l2_normalize({1: 3.0, 2: 4.0})
+        assert l2_norm(normalized) == pytest.approx(1.0)
+
+    def test_normalize_empty_vector(self):
+        assert l2_normalize({}) == {}
+
+    def test_is_normalized(self):
+        assert is_normalized(l2_normalize({1: 2.0, 5: 9.0}))
+        assert not is_normalized({1: 2.0})
+        assert is_normalized({})
+
+    @given(sparse_vector_strategy())
+    def test_normalize_property(self, raw):
+        normalized = l2_normalize(raw)
+        assert is_normalized(normalized, tolerance=1e-6)
+        # Direction is preserved: ratios between weights are unchanged.
+        keys = sorted(raw)
+        if len(keys) >= 2:
+            a, b = keys[0], keys[1]
+            assert normalized[a] * raw[b] == pytest.approx(normalized[b] * raw[a], rel=1e-6)
+
+
+class TestCosine:
+    def test_identical_vectors(self):
+        v = {1: 1.0, 2: 2.0}
+        assert cosine_similarity(v, v) == pytest.approx(1.0)
+
+    def test_orthogonal_vectors(self):
+        assert cosine_similarity({1: 1.0}, {2: 1.0}) == 0.0
+
+    def test_zero_vector(self):
+        assert cosine_similarity({}, {1: 1.0}) == 0.0
+
+    @given(sparse_vector_strategy(), sparse_vector_strategy())
+    def test_cosine_bounded(self, a, b):
+        value = cosine_similarity(a, b)
+        assert -1e-9 <= value <= 1.0 + 1e-9
+
+    @given(sparse_vector_strategy(), sparse_vector_strategy())
+    def test_cosine_equals_dot_of_normalized(self, a, b):
+        expected = dot_product(l2_normalize(a), l2_normalize(b))
+        assert cosine_similarity(a, b) == pytest.approx(expected, abs=1e-9)
+
+
+class TestJaccard:
+    def test_jaccard_basic(self):
+        assert jaccard_terms({1: 1.0, 2: 1.0}, {2: 1.0, 3: 1.0}) == pytest.approx(1 / 3)
+
+    def test_jaccard_empty(self):
+        assert jaccard_terms({}, {}) == 0.0

@@ -1,0 +1,132 @@
+"""Unit tests for the Porter stemmer."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.text.stemmer import PorterStemmer
+
+
+@pytest.fixture(scope="module")
+def stemmer():
+    return PorterStemmer()
+
+
+class TestKnownStems:
+    """Spot checks against the canonical examples from Porter's paper."""
+
+    @pytest.mark.parametrize(
+        "word, expected",
+        [
+            ("caresses", "caress"),
+            ("ponies", "poni"),
+            ("caress", "caress"),
+            ("cats", "cat"),
+            ("feed", "feed"),
+            ("agreed", "agre"),
+            ("plastered", "plaster"),
+            ("bled", "bled"),
+            ("motoring", "motor"),
+            ("sing", "sing"),
+            ("conflated", "conflat"),
+            ("troubled", "troubl"),
+            ("sized", "size"),
+            ("hopping", "hop"),
+            ("tanned", "tan"),
+            ("falling", "fall"),
+            ("hissing", "hiss"),
+            ("fizzed", "fizz"),
+            ("failing", "fail"),
+            ("filing", "file"),
+            ("happy", "happi"),
+            ("sky", "sky"),
+            ("relational", "relat"),
+            ("conditional", "condit"),
+            ("rational", "ration"),
+            ("valenci", "valenc"),
+            ("hesitanci", "hesit"),
+            ("digitizer", "digit"),
+            ("conformabli", "conform"),
+            ("radicalli", "radic"),
+            ("differentli", "differ"),
+            ("vileli", "vile"),
+            ("analogousli", "analog"),
+            ("vietnamization", "vietnam"),
+            ("predication", "predic"),
+            ("operator", "oper"),
+            ("feudalism", "feudal"),
+            ("decisiveness", "decis"),
+            ("hopefulness", "hope"),
+            ("callousness", "callous"),
+            ("formaliti", "formal"),
+            ("sensitiviti", "sensit"),
+            ("sensibiliti", "sensibl"),
+            ("triplicate", "triplic"),
+            ("formative", "form"),
+            ("formalize", "formal"),
+            ("electriciti", "electr"),
+            ("electrical", "electr"),
+            ("hopeful", "hope"),
+            ("goodness", "good"),
+            ("revival", "reviv"),
+            ("allowance", "allow"),
+            ("inference", "infer"),
+            ("airliner", "airlin"),
+            ("gyroscopic", "gyroscop"),
+            ("adjustable", "adjust"),
+            ("defensible", "defens"),
+            ("irritant", "irrit"),
+            ("replacement", "replac"),
+            ("adjustment", "adjust"),
+            ("dependent", "depend"),
+            ("adoption", "adopt"),
+            ("homologou", "homolog"),
+            ("communism", "commun"),
+            ("activate", "activ"),
+            ("angulariti", "angular"),
+            ("homologous", "homolog"),
+            ("effective", "effect"),
+            ("bowdlerize", "bowdler"),
+            ("probate", "probat"),
+            ("rate", "rate"),
+            ("cease", "ceas"),
+            ("controll", "control"),
+            ("roll", "roll"),
+        ],
+    )
+    def test_examples(self, stemmer, word, expected):
+        assert stemmer.stem(word) == expected
+
+
+class TestStemmerBehaviour:
+    def test_short_words_untouched(self, stemmer):
+        assert stemmer.stem("is") == "is"
+        assert stemmer.stem("go") == "go"
+        assert stemmer.stem("a") == "a"
+
+    def test_related_forms_map_to_same_stem(self, stemmer):
+        forms = ["connect", "connected", "connecting", "connection", "connections"]
+        stems = {stemmer.stem(word) for word in forms}
+        assert len(stems) == 1
+
+    def test_monitoring_family(self, stemmer):
+        assert stemmer.stem("monitoring") == stemmer.stem("monitored") == "monitor"
+
+    def test_stem_many(self, stemmer):
+        assert stemmer.stem_many(["cats", "dogs"]) == ["cat", "dog"]
+
+    def test_callable_interface(self, stemmer):
+        assert stemmer("streams") == stemmer.stem("streams")
+
+    @given(st.text(alphabet=st.sampled_from("abcdefghijklmnopqrstuvwxyz"), min_size=0, max_size=15))
+    def test_never_longer_than_input(self, word):
+        stemmer = PorterStemmer()
+        assert len(stemmer.stem(word)) <= max(len(word), 2)
+
+    @given(st.text(alphabet=st.sampled_from("abcdefghijklmnopqrstuvwxyz"), min_size=1, max_size=15))
+    def test_idempotent_for_most_words(self, word):
+        # Porter is not strictly idempotent for every input, but double
+        # stemming must at least never crash and must return a string.
+        stemmer = PorterStemmer()
+        once = stemmer.stem(word)
+        twice = stemmer.stem(once)
+        assert isinstance(twice, str)

@@ -1,0 +1,43 @@
+"""Unit tests for the stopword filter."""
+
+from repro.text.stopwords import ENGLISH_STOPWORDS, StopwordFilter
+
+
+class TestStopwordFilter:
+    def test_default_contains_common_words(self):
+        for word in ("the", "and", "is", "of"):
+            assert word in ENGLISH_STOPWORDS
+
+    def test_filter_removes_stopwords(self):
+        filtered = StopwordFilter().filter(["the", "document", "is", "relevant"])
+        assert filtered == ["document", "relevant"]
+
+    def test_filter_keeps_order(self):
+        filtered = StopwordFilter().filter(["stream", "the", "event", "a", "arrives"])
+        assert filtered == ["stream", "event", "arrives"]
+
+    def test_custom_stopword_set(self):
+        custom = StopwordFilter(stopwords=["foo", "BAR"])
+        assert custom.is_stopword("foo")
+        assert custom.is_stopword("bar")
+        assert not custom.is_stopword("the")
+
+    def test_add_extra_words(self):
+        stopword_filter = StopwordFilter()
+        stopword_filter.add("wikipedia", "Infobox")
+        assert stopword_filter.is_stopword("wikipedia")
+        assert stopword_filter.is_stopword("infobox")
+
+    def test_callable_interface(self):
+        stopword_filter = StopwordFilter()
+        assert stopword_filter(["a", "query"]) == ["query"]
+
+    def test_len_reports_size(self):
+        assert len(StopwordFilter(stopwords=["x", "y"])) == 2
+
+    def test_stopwords_property_is_frozen(self):
+        stopwords = StopwordFilter().stopwords
+        assert isinstance(stopwords, frozenset)
+
+    def test_empty_input(self):
+        assert StopwordFilter().filter([]) == []

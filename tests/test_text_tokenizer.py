@@ -1,0 +1,64 @@
+"""Unit tests for the regex tokenizer."""
+
+import pytest
+
+from repro.text.tokenizer import Tokenizer
+
+
+class TestTokenizer:
+    def test_basic_split_and_lowercase(self):
+        tokens = Tokenizer().tokenize("Continuous Top-k Monitoring, on Document Streams!")
+        assert tokens == ["continuous", "top", "monitoring", "on", "document", "streams"]
+
+    def test_empty_text(self):
+        assert Tokenizer().tokenize("") == []
+
+    def test_none_like_whitespace(self):
+        assert Tokenizer().tokenize("   \n\t ") == []
+
+    def test_min_length_filter(self):
+        tokens = Tokenizer(min_length=3).tokenize("a an the cat sat")
+        assert tokens == ["the", "cat", "sat"]
+
+    def test_max_length_filter(self):
+        long_token = "x" * 50
+        tokens = Tokenizer(max_length=10).tokenize(f"short {long_token}")
+        assert tokens == ["short"]
+
+    def test_numbers_dropped_by_default(self):
+        tokens = Tokenizer().tokenize("in 2018 the icde conference")
+        assert "2018" not in tokens
+        assert tokens == ["in", "the", "icde", "conference"]
+
+    def test_numbers_kept_when_requested(self):
+        tokens = Tokenizer(keep_numbers=True).tokenize("error 404 page")
+        assert "404" in tokens
+
+    def test_alphanumeric_tokens_are_kept(self):
+        tokens = Tokenizer().tokenize("ipv6 and web2 apps")
+        assert "ipv6" in tokens
+        assert "web2" in tokens
+
+    def test_no_lowercase_option(self):
+        tokens = Tokenizer(lowercase=False).tokenize("Wiki Connected")
+        assert tokens == ["Wiki", "Connected"]
+
+    def test_tokenize_many(self):
+        result = Tokenizer().tokenize_many(["one two", "three"])
+        assert result == [["one", "two"], ["three"]]
+
+    def test_callable_interface(self):
+        tokenizer = Tokenizer()
+        assert tokenizer("hello world") == tokenizer.tokenize("hello world")
+
+    def test_invalid_min_length(self):
+        with pytest.raises(ValueError):
+            Tokenizer(min_length=0)
+
+    def test_invalid_max_length(self):
+        with pytest.raises(ValueError):
+            Tokenizer(min_length=5, max_length=2)
+
+    def test_unicode_text_does_not_crash(self):
+        tokens = Tokenizer().tokenize("naïve café — résumé 日本語")
+        assert isinstance(tokens, list)

@@ -1,0 +1,84 @@
+"""Unit tests for the vectorizer (TF / log-TF / TF-IDF weighting)."""
+
+import math
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.text.analyzer import Analyzer
+from repro.text.similarity import is_normalized
+from repro.text.vectorizer import Vectorizer, WeightingScheme
+from repro.text.vocabulary import Vocabulary
+
+
+@pytest.fixture()
+def vocab():
+    return Vocabulary()
+
+
+class TestVectorizer:
+    def test_output_is_normalized(self, vocab):
+        vector = Vectorizer(vocab).vectorize_counts({"stream": 3, "query": 1})
+        assert is_normalized(vector)
+        assert len(vector) == 2
+
+    def test_tf_scheme_weights_proportional_to_counts(self, vocab):
+        vectorizer = Vectorizer(vocab, scheme=WeightingScheme.TF)
+        vector = vectorizer.vectorize_counts({"a": 4, "b": 2})
+        a, b = vocab.id_of("a"), vocab.id_of("b")
+        assert vector[a] / vector[b] == pytest.approx(2.0)
+
+    def test_log_tf_dampens_counts(self, vocab):
+        vectorizer = Vectorizer(vocab, scheme=WeightingScheme.LOG_TF)
+        vector = vectorizer.vectorize_counts({"a": 100, "b": 1})
+        a, b = vocab.id_of("a"), vocab.id_of("b")
+        assert vector[a] / vector[b] == pytest.approx(1.0 + math.log(100), rel=1e-6)
+
+    def test_tf_idf_downweights_common_terms(self):
+        vocab = Vocabulary()
+        # "common" appears in every observed document, "rare" in one.
+        for _ in range(50):
+            vocab.observe_document(["common"])
+        vocab.observe_document(["rare", "common"])
+        vectorizer = Vectorizer(vocab, scheme=WeightingScheme.TF_IDF)
+        vector = vectorizer.vectorize_counts({"common": 1, "rare": 1})
+        assert vector[vocab.id_of("rare")] > vector[vocab.id_of("common")]
+
+    def test_scheme_from_string(self, vocab):
+        vectorizer = Vectorizer(vocab, scheme="tf")
+        assert vectorizer.scheme is WeightingScheme.TF
+
+    def test_unknown_scheme_rejected(self, vocab):
+        with pytest.raises(ConfigurationError):
+            Vectorizer(vocab, scheme="bm25")
+
+    def test_vectorize_text_runs_pipeline(self, vocab):
+        vectorizer = Vectorizer(vocab, analyzer=Analyzer())
+        vector = vectorizer.vectorize_text("The monitored streams are monitored")
+        assert is_normalized(vector)
+        stems = {vocab.term_of(tid) for tid in vector}
+        assert "monitor" in stems
+        assert "the" not in stems
+
+    def test_vectorize_keywords(self, vocab):
+        vectorizer = Vectorizer(vocab)
+        vector = vectorizer.vectorize_keywords(["breaking news", "football"])
+        assert is_normalized(vector)
+        assert len(vector) >= 2
+
+    def test_frozen_vocabulary_skips_unknown_terms(self):
+        vocab = Vocabulary.from_terms(["known"])
+        vocab.freeze()
+        vectorizer = Vectorizer(vocab, add_unknown_terms=False)
+        vector = vectorizer.vectorize_counts({"known": 1, "unknown": 5})
+        assert list(vector.keys()) == [vocab.id_of("known")]
+
+    def test_vectorize_id_counts(self, vocab):
+        vocab.add("a")
+        vocab.add("b")
+        vector = Vectorizer(vocab).vectorize_id_counts({0: 2, 1: 2})
+        assert is_normalized(vector)
+        assert set(vector) == {0, 1}
+
+    def test_empty_counts_give_empty_vector(self, vocab):
+        assert Vectorizer(vocab).vectorize_counts({}) == {}

@@ -1,0 +1,74 @@
+"""Unit tests for the vocabulary / term dictionary."""
+
+import pytest
+
+from repro.exceptions import VocabularyError
+from repro.text.vocabulary import Vocabulary
+
+
+class TestVocabulary:
+    def test_add_and_lookup(self):
+        vocab = Vocabulary()
+        tid = vocab.add("stream")
+        assert vocab.id_of("stream") == tid
+        assert vocab.term_of(tid) == "stream"
+
+    def test_add_is_idempotent(self):
+        vocab = Vocabulary()
+        first = vocab.add("query")
+        second = vocab.add("query")
+        assert first == second
+        assert len(vocab) == 1
+
+    def test_ids_are_dense(self):
+        vocab = Vocabulary.from_terms(["a", "b", "c"])
+        assert [vocab.id_of(t) for t in ("a", "b", "c")] == [0, 1, 2]
+
+    def test_unknown_term_raises(self):
+        with pytest.raises(VocabularyError):
+            Vocabulary().id_of("missing")
+
+    def test_unknown_term_get_returns_none(self):
+        assert Vocabulary().get("missing") is None
+
+    def test_unknown_id_raises(self):
+        with pytest.raises(VocabularyError):
+            Vocabulary().term_of(3)
+
+    def test_contains_and_iter(self):
+        vocab = Vocabulary.from_terms(["x", "y"])
+        assert "x" in vocab
+        assert "z" not in vocab
+        assert list(vocab) == ["x", "y"]
+
+    def test_frozen_vocabulary_rejects_new_terms(self):
+        vocab = Vocabulary.from_terms(["known"])
+        vocab.freeze()
+        assert vocab.frozen
+        with pytest.raises(VocabularyError):
+            vocab.add("new")
+
+    def test_synthetic_vocabulary(self):
+        vocab = Vocabulary.synthetic(10)
+        assert len(vocab) == 10
+        assert vocab.term_of(0) == "term000000"
+        assert vocab.id_of("term000009") == 9
+
+    def test_document_frequency_tracking(self):
+        vocab = Vocabulary()
+        vocab.observe_document(["a", "b", "a"])
+        vocab.observe_document(["a", "c"])
+        assert vocab.num_documents == 2
+        assert vocab.doc_frequency(vocab.id_of("a")) == 2
+        assert vocab.doc_frequency(vocab.id_of("b")) == 1
+        assert vocab.doc_frequency(vocab.id_of("c")) == 1
+
+    def test_observe_document_without_adding_unknown(self):
+        vocab = Vocabulary.from_terms(["a"])
+        vocab.observe_document(["a", "b"], add_unknown=False)
+        assert "b" not in vocab
+        assert vocab.doc_frequency(vocab.id_of("a")) == 1
+
+    def test_doc_frequency_unknown_id_raises(self):
+        with pytest.raises(VocabularyError):
+            Vocabulary().doc_frequency(0)
