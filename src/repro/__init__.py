@@ -27,18 +27,25 @@ Quickstart::
     monitor.register_queries(UniformWorkload(corpus).generate(1000))
     for document in DocumentStream(corpus).take(100):
         updates = monitor.process(document)
+
+High-throughput ingestion uses the batch fast path instead::
+
+    from repro.documents import BatchingStream
+
+    for batch in BatchingStream(DocumentStream(corpus), max_batch=64):
+        batch_updates = monitor.process_batch(batch)
 """
 
 from repro.core.config import MonitorConfig
 from repro.core.monitor import ContinuousMonitor
 from repro.core.factory import available_algorithms, create_algorithm
-from repro.core.results import ResultEntry, ResultUpdate
+from repro.core.results import BatchUpdate, ResultEntry, ResultUpdate, coalesce_updates
 from repro.core.rio import RIOAlgorithm
 from repro.core.mrio import MRIOAlgorithm
 from repro.documents.corpus import CorpusConfig, SyntheticCorpus
 from repro.documents.decay import ExponentialDecay
 from repro.documents.document import Document
-from repro.documents.stream import DocumentStream, StreamConfig
+from repro.documents.stream import BatchingStream, DocumentStream, StreamConfig
 from repro.queries.query import Query
 from repro.queries.workloads import (
     ConnectedWorkload,
@@ -59,6 +66,8 @@ __all__ = [
     "create_algorithm",
     "ResultEntry",
     "ResultUpdate",
+    "BatchUpdate",
+    "coalesce_updates",
     "RIOAlgorithm",
     "MRIOAlgorithm",
     "CorpusConfig",
@@ -66,6 +75,7 @@ __all__ = [
     "ExponentialDecay",
     "Document",
     "DocumentStream",
+    "BatchingStream",
     "StreamConfig",
     "Query",
     "ConnectedWorkload",

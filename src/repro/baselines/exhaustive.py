@@ -12,7 +12,7 @@ Two modes exist:
 
 from __future__ import annotations
 
-from typing import Dict, List, Set
+from typing import Dict, List, Sequence, Set
 
 from repro.core.base import StreamAlgorithm
 from repro.core.results import ResultUpdate
@@ -54,6 +54,8 @@ class ExhaustiveAlgorithm(StreamAlgorithm):
     # ------------------------------------------------------------------ #
 
     def _candidates(self, document: Document) -> Set[QueryId]:
+        """Queries sharing a term with ``document`` (all queries when
+        ``matching_only`` is off)."""
         if not self.matching_only:
             return set(self.queries)
         candidates: Set[QueryId] = set()
@@ -66,16 +68,58 @@ class ExhaustiveAlgorithm(StreamAlgorithm):
     def _process_document(
         self, document: Document, amplification: float
     ) -> List[ResultUpdate]:
+        # One traversal implementation: the per-event path is the batched
+        # walk over a single document.
+        return self._process_batch_documents([document], [amplification])
+
+    def _process_batch_documents(
+        self, documents: Sequence[Document], amplifications: Sequence[float]
+    ) -> List[ResultUpdate]:
+        """Scoring walk shared by both ingestion paths.
+
+        The candidate set is reused (cleared, not reallocated) and the
+        similarity accumulation runs on local bindings, which matters when
+        every document visits hundreds of candidate queries.
+        """
         updates: List[ResultUpdate] = []
-        for query_id in self._candidates(document):
-            query = self.queries[query_id]
-            score = self.exact_score(query, document, amplification)
-            self.counters.full_evaluations += 1
-            self.counters.postings_scanned += len(query.vector)
-            if score <= 0.0:
-                continue
-            update = self.offer(query_id, document.doc_id, score)
-            if update is not None:
-                updates.append(update)
-        self.counters.iterations += 1
+        term_to_queries = self._term_to_queries
+        queries = self.queries
+        counters = self.counters
+        offer = self.offer
+        matching_only = self.matching_only
+        candidates: Set[QueryId] = set()
+        for document, amplification in zip(documents, amplifications):
+            candidates.clear()
+            if matching_only:
+                for term_id in document.vector:
+                    members = term_to_queries.get(term_id)
+                    if members:
+                        candidates.update(members)
+            else:
+                candidates.update(queries)
+            doc_id = document.doc_id
+            doc_vector = document.vector
+            doc_get = doc_vector.get
+            for query_id in candidates:
+                query_vector = queries[query_id].vector
+                similarity = 0.0
+                if len(query_vector) > len(doc_vector):
+                    query_get = query_vector.get
+                    for term_id, doc_weight in doc_vector.items():
+                        other = query_get(term_id)
+                        if other is not None:
+                            similarity += doc_weight * other
+                else:
+                    for term_id, query_weight in query_vector.items():
+                        other = doc_get(term_id)
+                        if other is not None:
+                            similarity += query_weight * other
+                counters.full_evaluations += 1
+                counters.postings_scanned += len(query_vector)
+                if similarity <= 0.0:
+                    continue
+                update = offer(query_id, doc_id, similarity * amplification)
+                if update is not None:
+                    updates.append(update)
+            counters.iterations += 1
         return updates

@@ -17,7 +17,7 @@ cost inherent to this paradigm.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set
+from typing import Dict, List, Optional, Sequence, Set
 
 from repro.core.base import StreamAlgorithm
 from repro.core.bounds import preference_ratio
@@ -155,55 +155,77 @@ class RTAAlgorithm(StreamAlgorithm):
     def _process_document(
         self, document: Document, amplification: float
     ) -> List[ResultUpdate]:
-        involved = []
-        for term_id, doc_weight in document.vector.items():
-            impact_list = self._lists.get(term_id)
-            if impact_list is not None and impact_list.entries:
-                impact_list.ensure_ready(self._ratio)
-                involved.append((doc_weight, impact_list))
-        if not involved:
-            return []
+        # One traversal implementation: the per-event path is the batched
+        # walk over a single document.
+        return self._process_batch_documents([document], [amplification])
 
-        cursors = [0] * len(involved)
-        seen: Set[QueryId] = set()
+    def _process_batch_documents(
+        self, documents: Sequence[Document], amplifications: Sequence[float]
+    ) -> List[ResultUpdate]:
+        """TA traversal shared by both ingestion paths (lookups hoisted,
+        scratch sets reused across documents).
+
+        ``ensure_ready`` runs on each list's first touch to apply flags
+        pending from *before* the batch.  It cannot fire mid-batch: inside
+        ``process_batch`` threshold propagation is deferred to the batch
+        boundary, so no new maintenance flags are raised while the batch's
+        documents traverse the lists.
+        """
         updates: List[ResultUpdate] = []
+        lists = self._lists
+        counters = self.counters
+        queries_get = self.queries.get
+        offer = self.offer
+        ratio_of = self._ratio
+        exact_score = self.exact_score
+        involved: List[tuple] = []
+        seen: Set[QueryId] = set()
+        for document, amplification in zip(documents, amplifications):
+            involved.clear()
+            for term_id, doc_weight in document.vector.items():
+                impact_list = lists.get(term_id)
+                if impact_list is not None and impact_list.entries:
+                    impact_list.ensure_ready(ratio_of)
+                    involved.append((doc_weight, impact_list))
+            if not involved:
+                continue
 
-        while True:
-            # Threshold over the current cursor positions; also pick the list
-            # with the largest remaining contribution for the next access.
-            threshold_sum = 0.0
-            best_index = -1
-            best_contribution = -1.0
-            for idx, (doc_weight, impact_list) in enumerate(involved):
-                pos = cursors[idx]
-                if pos >= len(impact_list.entries):
+            cursors = [0] * len(involved)
+            seen.clear()
+            doc_id = document.doc_id
+            while True:
+                threshold_sum = 0.0
+                best_index = -1
+                best_contribution = -1.0
+                for idx, (doc_weight, impact_list) in enumerate(involved):
+                    pos = cursors[idx]
+                    if pos >= len(impact_list.entries):
+                        continue
+                    contribution = doc_weight * impact_list.entries[pos][0]
+                    threshold_sum += contribution
+                    if contribution > best_contribution:
+                        best_contribution = contribution
+                        best_index = idx
+                if best_index < 0:
+                    break
+                if not threshold_sum * amplification >= 1.0:
+                    break
+
+                counters.iterations += 1
+                doc_weight, impact_list = involved[best_index]
+                entry = impact_list.entries[cursors[best_index]]
+                cursors[best_index] += 1
+                counters.postings_scanned += 1
+                query_id = int(entry[1])
+                if query_id in seen:
                     continue
-                contribution = doc_weight * impact_list.entries[pos][0]
-                threshold_sum += contribution
-                if contribution > best_contribution:
-                    best_contribution = contribution
-                    best_index = idx
-            if best_index < 0:
-                break
-            if not threshold_sum * amplification >= 1.0:
-                # No unseen query can be affected by this document any more.
-                break
-
-            self.counters.iterations += 1
-            doc_weight, impact_list = involved[best_index]
-            entry = impact_list.entries[cursors[best_index]]
-            cursors[best_index] += 1
-            self.counters.postings_scanned += 1
-            query_id = int(entry[1])
-            if query_id in seen:
-                continue
-            seen.add(query_id)
-            query = self.queries.get(query_id)
-            if query is None:
-                continue
-            score = self.exact_score(query, document, amplification)
-            self.counters.full_evaluations += 1
-            update = self.offer(query_id, document.doc_id, score)
-            if update is not None:
-                updates.append(update)
+                seen.add(query_id)
+                query = queries_get(query_id)
+                if query is None:
+                    continue
+                score = exact_score(query, document, amplification)
+                counters.full_evaluations += 1
+                update = offer(query_id, doc_id, score)
+                if update is not None:
+                    updates.append(update)
         return updates

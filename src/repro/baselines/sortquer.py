@@ -16,7 +16,7 @@ handled in :meth:`_on_threshold_change`.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set
+from typing import Dict, List, Optional, Sequence, Set
 
 from repro.core.base import StreamAlgorithm
 from repro.core.results import ResultUpdate
@@ -149,38 +149,63 @@ class SortQuerAlgorithm(StreamAlgorithm):
     def _process_document(
         self, document: Document, amplification: float
     ) -> List[ResultUpdate]:
-        involved = []
-        reachable_sum = 0.0
-        for term_id, doc_weight in document.vector.items():
-            threshold_list = self._lists.get(term_id)
-            if threshold_list is not None and threshold_list.entries:
-                threshold_list.ensure_ready(self.results.threshold)
-                involved.append(threshold_list)
-                reachable_sum += doc_weight
-        if not involved:
-            return []
-        # No query keyword weight exceeds 1 (vectors are normalized), so no
-        # query can score above ``amplification * reachable_sum``.
-        score_cap = amplification * reachable_sum
+        # One traversal implementation: the per-event path is the batched
+        # walk over a single document.
+        return self._process_batch_documents([document], [amplification])
 
-        seen: Set[QueryId] = set()
+    def _process_batch_documents(
+        self, documents: Sequence[Document], amplifications: Sequence[float]
+    ) -> List[ResultUpdate]:
+        """Threshold-ordered scans shared by both ingestion paths (lookups
+        hoisted, scratch sets reused across documents).
+
+        ``ensure_ready`` runs on each list's first touch to apply flags
+        pending from *before* the batch; inside ``process_batch`` threshold
+        propagation is deferred to the batch boundary, so no new flags are
+        raised mid-batch.
+        """
         updates: List[ResultUpdate] = []
-        for threshold_list in involved:
-            self.counters.iterations += 1
-            for entry in threshold_list.entries:
-                if entry[0] >= score_cap:
-                    break
-                self.counters.postings_scanned += 1
-                query_id = int(entry[1])
-                if query_id in seen:
-                    continue
-                seen.add(query_id)
-                query = self.queries.get(query_id)
-                if query is None:
-                    continue
-                score = self.exact_score(query, document, amplification)
-                self.counters.full_evaluations += 1
-                update = self.offer(query_id, document.doc_id, score)
-                if update is not None:
-                    updates.append(update)
+        lists = self._lists
+        counters = self.counters
+        queries_get = self.queries.get
+        offer = self.offer
+        threshold_of = self.results.threshold
+        exact_score = self.exact_score
+        involved: List[_ThresholdList] = []
+        seen: Set[QueryId] = set()
+        for document, amplification in zip(documents, amplifications):
+            involved.clear()
+            reachable_sum = 0.0
+            for term_id, doc_weight in document.vector.items():
+                threshold_list = lists.get(term_id)
+                if threshold_list is not None and threshold_list.entries:
+                    threshold_list.ensure_ready(threshold_of)
+                    involved.append(threshold_list)
+                    reachable_sum += doc_weight
+            if not involved:
+                continue
+            # No query keyword weight exceeds 1 (vectors are normalized), so
+            # no query can score above ``amplification * reachable_sum``.
+            score_cap = amplification * reachable_sum
+
+            seen.clear()
+            doc_id = document.doc_id
+            for threshold_list in involved:
+                counters.iterations += 1
+                for entry in threshold_list.entries:
+                    if entry[0] >= score_cap:
+                        break
+                    counters.postings_scanned += 1
+                    query_id = int(entry[1])
+                    if query_id in seen:
+                        continue
+                    seen.add(query_id)
+                    query = queries_get(query_id)
+                    if query is None:
+                        continue
+                    score = exact_score(query, document, amplification)
+                    counters.full_evaluations += 1
+                    update = offer(query_id, doc_id, score)
+                    if update is not None:
+                        updates.append(update)
         return updates

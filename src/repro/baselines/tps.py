@@ -11,7 +11,7 @@ current k-th score — the pub/sub "skipping" optimization.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.base import StreamAlgorithm
 from repro.core.results import ResultUpdate
@@ -91,50 +91,70 @@ class TPSAlgorithm(StreamAlgorithm):
     def _process_document(
         self, document: Document, amplification: float
     ) -> List[ResultUpdate]:
-        involved = []
-        for term_id, doc_weight in document.vector.items():
-            weight_list = self._lists.get(term_id)
-            if weight_list is not None and weight_list.entries:
-                weight_list.ensure_sorted()
-                involved.append((doc_weight, weight_list))
-        if not involved:
-            return []
+        # One traversal implementation: the per-event path is the batched
+        # walk over a single document.
+        return self._process_batch_documents([document], [amplification])
 
-        # Process terms in decreasing contribution caps so that "remaining"
-        # upper bounds shrink as fast as possible, maximizing skips.
-        involved.sort(key=lambda item: item[0] * item[1].max_weight(), reverse=True)
-        caps = [doc_weight * weight_list.max_weight() for doc_weight, weight_list in involved]
-        remaining_after = [0.0] * len(involved)
-        running = 0.0
-        for idx in range(len(involved) - 1, -1, -1):
-            remaining_after[idx] = running
-            running += caps[idx]
-
-        accumulators: Dict[QueryId, float] = {}
-        thresholds = self.results.threshold
-        for idx, (doc_weight, weight_list) in enumerate(involved):
-            self.counters.iterations += 1
-            remaining = remaining_after[idx]
-            for weight, query_id in weight_list.entries:
-                self.counters.postings_scanned += 1
-                contribution = doc_weight * weight
-                current = accumulators.get(query_id)
-                if current is not None:
-                    accumulators[query_id] = current + contribution
-                    continue
-                threshold = thresholds(query_id)
-                if threshold > 0.0:
-                    upper_bound = amplification * (contribution + remaining)
-                    if upper_bound <= threshold:
-                        # Even with every remaining term at its maximum this
-                        # query cannot be affected; skip the accumulator.
-                        continue
-                accumulators[query_id] = contribution
-
+    def _process_batch_documents(
+        self, documents: Sequence[Document], amplifications: Sequence[float]
+    ) -> List[ResultUpdate]:
+        """Term-at-a-time walk shared by both ingestion paths (lookups
+        hoisted, accumulator table cleared between documents rather than
+        reallocated)."""
         updates: List[ResultUpdate] = []
-        for query_id, similarity in accumulators.items():
-            self.counters.full_evaluations += 1
-            update = self.offer(query_id, document.doc_id, similarity * amplification)
-            if update is not None:
-                updates.append(update)
+        lists = self._lists
+        counters = self.counters
+        offer = self.offer
+        thresholds = self.results.threshold
+        involved: List[Tuple[float, _WeightList]] = []
+        accumulators: Dict[QueryId, float] = {}
+        for document, amplification in zip(documents, amplifications):
+            involved.clear()
+            for term_id, doc_weight in document.vector.items():
+                weight_list = lists.get(term_id)
+                if weight_list is not None and weight_list.entries:
+                    weight_list.ensure_sorted()
+                    involved.append((doc_weight, weight_list))
+            if not involved:
+                continue
+
+            # Process terms in decreasing contribution caps so that
+            # "remaining" upper bounds shrink as fast as possible,
+            # maximizing skips.
+            involved.sort(key=lambda item: item[0] * item[1].max_weight(), reverse=True)
+            caps = [doc_weight * weight_list.max_weight() for doc_weight, weight_list in involved]
+            remaining_after = [0.0] * len(involved)
+            running = 0.0
+            for idx in range(len(involved) - 1, -1, -1):
+                remaining_after[idx] = running
+                running += caps[idx]
+
+            accumulators.clear()
+            accumulators_get = accumulators.get
+            for idx, (doc_weight, weight_list) in enumerate(involved):
+                counters.iterations += 1
+                remaining = remaining_after[idx]
+                for weight, query_id in weight_list.entries:
+                    counters.postings_scanned += 1
+                    contribution = doc_weight * weight
+                    current = accumulators_get(query_id)
+                    if current is not None:
+                        accumulators[query_id] = current + contribution
+                        continue
+                    threshold = thresholds(query_id)
+                    if threshold > 0.0:
+                        upper_bound = amplification * (contribution + remaining)
+                        if upper_bound <= threshold:
+                            # Even with every remaining term at its maximum
+                            # this query cannot be affected; skip the
+                            # accumulator.
+                            continue
+                    accumulators[query_id] = contribution
+
+            doc_id = document.doc_id
+            for query_id, similarity in accumulators.items():
+                counters.full_evaluations += 1
+                update = offer(query_id, doc_id, similarity * amplification)
+                if update is not None:
+                    updates.append(update)
         return updates

@@ -11,7 +11,14 @@ Public entry points:
   any algorithm (including the baselines).
 """
 
-from repro.core.results import ResultEntry, ResultUpdate, TopKResult, ResultStore
+from repro.core.results import (
+    BatchUpdate,
+    ResultEntry,
+    ResultStore,
+    ResultUpdate,
+    TopKResult,
+    coalesce_updates,
+)
 from repro.core.config import MonitorConfig
 from repro.core.base import StreamAlgorithm
 from repro.core.bounds import (
@@ -29,6 +36,8 @@ from repro.core.monitor import ContinuousMonitor
 __all__ = [
     "ResultEntry",
     "ResultUpdate",
+    "BatchUpdate",
+    "coalesce_updates",
     "TopKResult",
     "ResultStore",
     "MonitorConfig",

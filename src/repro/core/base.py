@@ -16,9 +16,15 @@ from __future__ import annotations
 
 import abc
 import time
-from typing import Callable, Dict, Iterable, List, Optional
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
 
-from repro.core.results import ResultEntry, ResultStore, ResultUpdate
+from repro.core.results import (
+    BatchUpdate,
+    ResultEntry,
+    ResultStore,
+    ResultUpdate,
+    coalesce_updates,
+)
 from repro.documents.decay import ExponentialDecay
 from repro.documents.document import Document
 from repro.exceptions import DuplicateQueryError, StreamError, UnknownQueryError
@@ -30,7 +36,20 @@ UpdateListener = Callable[[ResultUpdate], None]
 
 
 class StreamAlgorithm(abc.ABC):
-    """A continuous top-k monitoring algorithm over a document stream."""
+    """A continuous top-k monitoring algorithm over a document stream.
+
+    Documents can be ingested one event at a time (:meth:`process`) or in
+    arrival-ordered batches (:meth:`process_batch`), which amortizes the
+    per-event fixed costs and coalesces the resulting notifications.
+
+    Example::
+
+        algorithm = create_algorithm("mrio", ExponentialDecay(lam=1e-3))
+        algorithm.register(Query(query_id=0, vector={7: 1.0}, k=10))
+        for batch in BatchingStream(stream, max_batch=64):
+            for update in algorithm.process_batch(batch):
+                print(update.query_id, update.entries)
+    """
 
     #: Short name used by the factory, the reports and the benchmarks.
     name = "abstract"
@@ -40,9 +59,20 @@ class StreamAlgorithm(abc.ABC):
         self.results = ResultStore()
         self.counters = EventCounters()
         self.queries: Dict[QueryId, Query] = {}
+        #: Per-event processing seconds.  Events ingested via
+        #: :meth:`process_batch` contribute their batch's *mean* — correct
+        #: for averages but not for tail percentiles; use
+        #: :attr:`batch_response_times` for honest batch-level latency.
         self.response_times: List[float] = []
+        #: One ``(batch_size, elapsed_seconds)`` pair per processed batch.
+        self.batch_response_times: List[tuple] = []
         self._update_listeners: List[UpdateListener] = []
         self._last_arrival: Optional[float] = None
+        #: Non-None while a batch is being processed: query ids whose
+        #: threshold changed and whose structure refresh is deferred to the
+        #: batch boundary (safe: thresholds only grow during stream
+        #: processing, so a stale bound stays an upper bound).
+        self._deferred_threshold_queries: Optional[set] = None
 
     # ------------------------------------------------------------------ #
     # Registration
@@ -99,19 +129,23 @@ class StreamAlgorithm(abc.ABC):
     # Stream processing
     # ------------------------------------------------------------------ #
 
-    def process(self, document: Document) -> List[ResultUpdate]:
-        """Process one stream event and return the result updates it caused."""
+    def _check_arrival(self, document: Document, previous: Optional[float]) -> float:
+        """Validate a document's arrival time against the stream order."""
         if document.arrival_time is None:
             raise StreamError(
                 f"document {document.doc_id} has no arrival time; route it "
                 "through a DocumentStream or call with_arrival_time()"
             )
-        if self._last_arrival is not None and document.arrival_time < self._last_arrival:
+        if previous is not None and document.arrival_time < previous:
             raise StreamError(
                 f"document {document.doc_id} arrives at {document.arrival_time}, "
-                f"before the previous event at {self._last_arrival}"
+                f"before the previous event at {previous}"
             )
-        self._last_arrival = document.arrival_time
+        return document.arrival_time
+
+    def process(self, document: Document) -> List[ResultUpdate]:
+        """Process one stream event and return the result updates it caused."""
+        self._last_arrival = self._check_arrival(document, self._last_arrival)
         if self.decay.needs_renormalization(document.arrival_time):
             self.renormalize(document.arrival_time)
         amplification = self.decay.amplification(document.arrival_time)
@@ -129,10 +163,90 @@ class StreamAlgorithm(abc.ABC):
         return updates
 
     def process_all(self, documents: Iterable[Document]) -> List[ResultUpdate]:
-        """Process a batch of stream events."""
+        """Process several stream events through the per-event path."""
         updates: List[ResultUpdate] = []
         for document in documents:
             updates.extend(self.process(document))
+        return updates
+
+    def process_batch(self, documents: Sequence[Document]) -> List[BatchUpdate]:
+        """Process an arrival-ordered batch of stream events as one unit.
+
+        The batch fast path amortizes everything :meth:`process` pays per
+        event — the renormalization check (and the renormalization itself, at
+        most once per batch), the wall-clock probes, and the notification
+        dispatch — and concrete algorithms additionally reuse their traversal
+        structures across the batch's documents.  The final top-k state is
+        identical to feeding the same documents through :meth:`process` one
+        by one.
+
+        Per-update listeners still receive every individual
+        :class:`ResultUpdate` (window expiration needs the full eviction
+        chain); the *return value* is coalesced to at most one
+        :class:`BatchUpdate` per affected query.
+        """
+        docs = documents if isinstance(documents, list) else list(documents)
+        if not docs:
+            return []
+        previous = self._last_arrival
+        for document in docs:
+            previous = self._check_arrival(document, previous)
+        self._last_arrival = previous
+
+        # One renormalization covers the whole batch: rebasing to the *last*
+        # arrival keeps every amplification of the batch at or below 1, so no
+        # score produced here can exceed the safe range.
+        if self.decay.needs_renormalization(docs[-1].arrival_time):
+            self.renormalize(docs[-1].arrival_time)
+        amplification_of = self.decay.amplification
+        amplifications: List[float] = []
+        cached_time: Optional[float] = None
+        cached_amp = 1.0
+        for document in docs:
+            if document.arrival_time != cached_time:
+                cached_time = document.arrival_time
+                cached_amp = amplification_of(cached_time)
+            amplifications.append(cached_amp)
+
+        started = time.perf_counter()
+        self._deferred_threshold_queries = dirty = set()
+        try:
+            updates = self._process_batch_documents(docs, amplifications)
+        finally:
+            self._deferred_threshold_queries = None
+            queries = self.queries
+            for query_id in dirty:
+                query = queries.get(query_id)
+                if query is not None:
+                    self._on_threshold_change(query)
+        elapsed = time.perf_counter() - started
+
+        self.counters.documents += len(docs)
+        self.counters.elapsed_seconds += elapsed
+        self.batch_response_times.append((len(docs), elapsed))
+        # Mean-preserving per-event attribution; tail percentiles over
+        # response_times are not meaningful for batched ingestion (every
+        # event of a batch gets the same value) — see batch_response_times.
+        per_event = elapsed / len(docs)
+        self.response_times.extend([per_event] * len(docs))
+        if self._update_listeners:
+            for update in updates:
+                for listener in self._update_listeners:
+                    listener(update)
+        return coalesce_updates(updates)
+
+    def _process_batch_documents(
+        self, documents: Sequence[Document], amplifications: Sequence[float]
+    ) -> List[ResultUpdate]:
+        """Refresh all query results for one batch of documents.
+
+        The default simply loops :meth:`_process_document`; algorithms with
+        reusable traversal state override this with a true batched walk.
+        """
+        updates: List[ResultUpdate] = []
+        process_document = self._process_document
+        for document, amplification in zip(documents, amplifications):
+            updates.extend(process_document(document, amplification))
         return updates
 
     # ------------------------------------------------------------------ #
@@ -153,15 +267,28 @@ class StreamAlgorithm(abc.ABC):
         return similarity * amplification
 
     def offer(self, query_id: QueryId, doc_id: DocId, score: float) -> Optional[ResultUpdate]:
-        """Offer a scored document to a query's result, propagating threshold changes."""
+        """Offer a scored document to a query's result, propagating threshold changes.
+
+        During a batch the propagation is *deferred*: the query is only
+        marked dirty and every per-term structure refresh happens once at the
+        batch boundary, no matter how many of the batch's documents entered
+        the result.  Pruning stays safe because a threshold can only increase
+        here, which makes any stale stored bound an over-estimate.
+        """
         result = self.results.get(query_id)
-        old_threshold = result.threshold
-        update = self.results.offer(query_id, doc_id, score)
-        if update is not None:
-            self.counters.result_updates += 1
-            if result.threshold != old_threshold:
+        accepted, evicted, threshold_changed = result.offer_tracked(doc_id, score)
+        if not accepted:
+            return None
+        self.counters.result_updates += 1
+        if threshold_changed:
+            deferred = self._deferred_threshold_queries
+            if deferred is None:
                 self._on_threshold_change(self.queries[query_id])
-        return update
+            else:
+                deferred.add(query_id)
+        return ResultUpdate(
+            query_id=query_id, doc_id=doc_id, score=score, evicted_doc_id=evicted
+        )
 
     # ------------------------------------------------------------------ #
     # Results, notifications, maintenance

@@ -89,6 +89,22 @@ class BoundMaintainer(QueryIndexListener):
         """
         raise NotImplementedError
 
+    def zone_query_fn(self, plist: QueryPostingList):
+        """A ``(start_pos, end_pos) -> zone max`` callable for one term.
+
+        The batched MRIO driver resolves this once per (term, batch) and
+        calls it directly on memo misses, skipping the per-call dispatch
+        through :meth:`zone_max_range`.  The callable is only valid until
+        the term's underlying structure changes (threshold point update,
+        rebuild, registration, renormalization), so callers must not hold
+        it across batches.
+        """
+
+        def query(start_pos: int, end_pos: int) -> float:
+            return self.zone_max_range(plist, start_pos, end_pos)
+
+        return query
+
     def on_threshold_change(self, query: Query) -> None:
         """The query's ``S_k`` changed (either direction)."""
         raise NotImplementedError
@@ -113,6 +129,11 @@ class GlobalMaxBounds(BoundMaintainer):
     recomputed only when the cached maximizer's own threshold changes (or it
     is unregistered), otherwise a threshold increase elsewhere leaves the
     cached value a valid upper bound.
+
+    Example::
+
+        bounds = GlobalMaxBounds(index, results)   # what RIO constructs
+        ub = bounds.global_max(index.get(term_id))
     """
 
     name = "global"
@@ -195,7 +216,13 @@ class GlobalMaxBounds(BoundMaintainer):
 
 
 class ExactZoneBounds(BoundMaintainer):
-    """Zone maxima computed by scanning the zone with *current* thresholds."""
+    """Zone maxima computed by scanning the zone with *current* thresholds.
+
+    Example::
+
+        bounds = make_zone_bounds("exact", index, results)
+        ub = bounds.zone_max_range(plist, start_pos, end_pos)
+    """
 
     name = "exact"
 
@@ -289,6 +316,20 @@ class _StoredRatioZoneBounds(BoundMaintainer):
             return NEG_INF
         return self._structure_query(structure, start_pos, end_pos)
 
+    def zone_query_fn(self, plist: QueryPostingList):
+        structure = self._ensure_structure(plist)
+        if structure is None:
+            return super().zone_query_fn(plist)
+        return self._structure_query_fn(structure)
+
+    def _structure_query_fn(self, structure: object):
+        """A bound ``(lo, hi) -> max`` callable of one structure (hook)."""
+
+        def query(lo: int, hi: int) -> float:
+            return self._structure_query(structure, lo, hi)
+
+        return query
+
     def on_threshold_change(self, query: Query) -> None:
         for term_id, weight in query.vector.items():
             if term_id in self._dirty:
@@ -316,7 +357,13 @@ class _StoredRatioZoneBounds(BoundMaintainer):
 
 
 class TreeZoneBounds(_StoredRatioZoneBounds):
-    """Segment-tree range maxima over stored ratios (exact w.r.t. stored values)."""
+    """Segment-tree range maxima over stored ratios (exact w.r.t. stored values).
+
+    Example::
+
+        bounds = make_zone_bounds("tree", index, results)   # MRIO's default
+        ub = bounds.zone_max_range(plist, start_pos, end_pos)
+    """
 
     name = "tree"
 
@@ -329,12 +376,21 @@ class TreeZoneBounds(_StoredRatioZoneBounds):
     def _structure_query(self, structure: SegmentTreeMax, lo: int, hi: int) -> float:
         return structure.query(lo, hi)
 
+    def _structure_query_fn(self, structure: SegmentTreeMax):
+        return structure.query
+
     def _structure_global(self, structure: SegmentTreeMax) -> float:
         return structure.global_max()
 
 
 class BlockZoneBounds(_StoredRatioZoneBounds):
-    """Block maxima over stored ratios (loosest bounds, cheapest queries)."""
+    """Block maxima over stored ratios (loosest bounds, cheapest queries).
+
+    Example::
+
+        bounds = make_zone_bounds("block", index, results, block_size=64)
+        ub = bounds.zone_max_range(plist, start_pos, end_pos)
+    """
 
     name = "block"
 
@@ -352,6 +408,9 @@ class BlockZoneBounds(_StoredRatioZoneBounds):
 
     def _structure_query(self, structure: BlockMax, lo: int, hi: int) -> float:
         return structure.query(lo, hi)
+
+    def _structure_query_fn(self, structure: BlockMax):
+        return structure.query
 
     def _structure_global(self, structure: BlockMax) -> float:
         return structure.global_max()

@@ -13,6 +13,12 @@ from repro.utils.validation import require_non_negative, require_positive
 class MonitorConfig:
     """End-to-end configuration of the monitoring server facade.
 
+    Example::
+
+        config = MonitorConfig(algorithm="mrio", lam=1e-3, default_k=10,
+                               window_horizon=3600.0)
+        monitor = ContinuousMonitor(config)
+
     Attributes
     ----------
     algorithm:

@@ -17,12 +17,17 @@ The two algorithms differ only in how the per-term upper bounds are obtained
 what a failed pivot search implies (RIO's global bound covers every remaining
 query, so it terminates; MRIO's local bound only covers the current zone, so
 it jumps past it and continues).
+
+Batched ingestion (:meth:`StreamAlgorithm.process_batch`) runs the same
+pivot loop per document but keeps one :class:`ListCursor` per term alive for
+the whole batch: the posting-list lookups and the cursor allocations are
+paid once per (term, batch) instead of once per (term, document).
 """
 
 from __future__ import annotations
 
-from bisect import insort
-from typing import List, Optional
+from bisect import bisect_left, bisect_right
+from typing import Dict, List, Optional, Sequence
 
 from repro.core.base import StreamAlgorithm
 from repro.core.bounds import BoundMaintainer
@@ -32,6 +37,7 @@ from repro.documents.decay import ExponentialDecay
 from repro.documents.document import Document
 from repro.index.query_index import QueryIndex
 from repro.queries.query import Query
+from repro.types import TermId
 
 
 def _cursor_qid(cursor: ListCursor) -> int:
@@ -46,10 +52,31 @@ class ReverseIDOrderingBase(StreamAlgorithm):
     #: affected (true only for bounds that cover the whole remaining id range).
     prunes_all_on_no_pivot = True
 
+    #: Total-entry cap of the persistent zone-bound memo.  Terms whose
+    #: queries never change threshold are never invalidated, so without a
+    #: cap a long-running stream accumulates windows forever (worst case
+    #: quadratic in the posting-list length per term).  Checked once per
+    #: batch; exceeding it clears the memo wholesale.
+    zone_cache_limit = 1 << 18
+
     def __init__(self, decay: Optional[ExponentialDecay] = None) -> None:
         super().__init__(decay)
         self.index = QueryIndex()
         self.bounds: BoundMaintainer = self._make_bounds()
+        #: Persistent two-level memo of zone-bound lookups:
+        #: ``term_id -> {(start_pos, boundary_qid): (end_pos, zone_value)}``.
+        #: Only consulted while a batch is processed (``_bound_cache`` points
+        #: here), but kept across batches: a term's sub-map is dropped
+        #: whenever any query containing the term changes its threshold, is
+        #: (un)registered, or scores are renormalized, so cold terms keep
+        #: their memo indefinitely while hot terms re-compute.
+        self._zone_cache: Dict[TermId, Dict] = {}
+        #: Alias of :attr:`_zone_cache` while a batch is in flight, ``None``
+        #: otherwise (the pivot search keys its fast path off this).
+        self._bound_cache: Optional[Dict[TermId, Dict]] = None
+        #: Per-batch cache of ``bounds.zone_query_fn`` handles; reset every
+        #: batch because structure rebuilds may occur between batches.
+        self._batch_zone_fns: Dict[TermId, object] = {}
 
     # ------------------------------------------------------------------ #
     # Hooks
@@ -58,9 +85,16 @@ class ReverseIDOrderingBase(StreamAlgorithm):
     def _make_bounds(self) -> BoundMaintainer:  # pragma: no cover - abstract
         raise NotImplementedError
 
-    def _find_pivot(self, active: List[ListCursor], amplification: float) -> Optional[int]:
+    def _find_pivot(
+        self, active: List[ListCursor], aqids: List[int], amplification: float
+    ) -> Optional[int]:
         """Return the pivot index in ``active`` or ``None`` when no prefix
-        of upper bounds reaches 1."""
+        of upper bounds reaches 1.
+
+        ``aqids`` mirrors ``active``: ``aqids[i]`` is the query id under
+        ``active[i]``, maintained by the driver so the pivot search reads
+        plain ints instead of chasing cursor attributes.
+        """
         raise NotImplementedError
 
     # ------------------------------------------------------------------ #
@@ -69,15 +103,26 @@ class ReverseIDOrderingBase(StreamAlgorithm):
 
     def _register_structures(self, query: Query) -> None:
         self.index.register(query)
+        # Posting positions shifted; every memoized window is stale.
+        self._zone_cache.clear()
 
     def _unregister_structures(self, query: Query) -> None:
         self.index.unregister(query.query_id)
+        self._zone_cache.clear()
 
     def _on_threshold_change(self, query: Query) -> None:
         self.bounds.on_threshold_change(query)
+        # A zone of term t can only contain queries that have term t, so
+        # dropping the changed query's terms is exactly the set of memoized
+        # windows the new threshold can affect.
+        cache = self._zone_cache
+        if cache:
+            for term_id in query.vector:
+                cache.pop(term_id, None)
 
     def _on_renormalize(self, factor: float) -> None:
         self.bounds.on_renormalize(factor)
+        self._zone_cache.clear()
 
     # ------------------------------------------------------------------ #
     # Document processing
@@ -93,65 +138,166 @@ class ReverseIDOrderingBase(StreamAlgorithm):
         if not cursors:
             return []
         self._prepare_cursors(cursors, amplification)
-
-        # ``active`` is kept sorted by the query id under each cursor; only
-        # cursors that actually moved are re-inserted, instead of re-sorting
-        # the whole set on every iteration.
-        qid_key = _cursor_qid
-        active = sorted(cursors, key=qid_key)
         updates: List[ResultUpdate] = []
+        self._drive_cursors(document.doc_id, cursors, amplification, updates)
+        return updates
+
+    def _process_batch_documents(
+        self, documents: Sequence[Document], amplifications: Sequence[float]
+    ) -> List[ResultUpdate]:
+        """Batched walk: reuse one cursor per term across the whole batch.
+
+        Registration cannot happen mid-batch, so a term's posting list (and
+        its emptiness) is stable for the duration: the ``index.get`` lookup
+        and the :class:`ListCursor` allocation happen once per distinct term
+        instead of once per document, and every cursor is rewound in place.
+        """
+        index_get = self.index.get
+        prepare = self._prepare_cursors
+        drive = self._batch_drive_cursors
+        cursor_cache: Dict[TermId, Optional[ListCursor]] = {}
+        updates: List[ResultUpdate] = []
+        self._bound_cache = self._zone_cache
+        self._batch_zone_fns = {}
+        try:
+            for document, amplification in zip(documents, amplifications):
+                cursors: List[ListCursor] = []
+                for term_id, doc_weight in document.vector.items():
+                    cursor = cursor_cache.get(term_id)
+                    if cursor is None:
+                        if term_id in cursor_cache:
+                            continue  # known term without any registered query
+                        plist = index_get(term_id)
+                        if plist is None or len(plist) == 0:
+                            cursor_cache[term_id] = None
+                            continue
+                        cursor = ListCursor(plist, doc_weight)
+                        cursor_cache[term_id] = cursor
+                    else:
+                        # ``cached_bound`` needs no reset: RIO overwrites it
+                        # for every cursor in _prepare_cursors and MRIO never
+                        # reads it.
+                        cursor.doc_weight = doc_weight
+                        cursor.pos = 0
+                    cursors.append(cursor)
+                if not cursors:
+                    continue
+                prepare(cursors, amplification)
+                drive(document.doc_id, cursors, amplification, updates)
+        finally:
+            self._bound_cache = None
+            zone_cache = self._zone_cache
+            if (
+                len(zone_cache) > 0
+                and sum(map(len, zone_cache.values())) > self.zone_cache_limit
+            ):
+                zone_cache.clear()
+        return updates
+
+    def _batch_drive_cursors(
+        self,
+        doc_id: int,
+        cursors: List[ListCursor],
+        amplification: float,
+        updates: List[ResultUpdate],
+    ) -> None:
+        """Pivot loop used by the batch driver.
+
+        Defaults to the per-event :meth:`_drive_cursors`; MRIO overrides it
+        with a fused loop that inlines the pivot search and the result offer
+        (batch mode trades the modular per-event structure for lower
+        Python-level dispatch cost).
+        """
+        self._drive_cursors(doc_id, cursors, amplification, updates)
+
+    def _drive_cursors(
+        self,
+        doc_id: int,
+        cursors: List[ListCursor],
+        amplification: float,
+        updates: List[ResultUpdate],
+    ) -> None:
+        """Run the pivot loop for one document, appending accepted updates."""
+        # ``active`` is kept sorted by the query id under each cursor, with
+        # ``aqids`` as a parallel plain-int mirror of those ids: re-insertion
+        # of moved cursors and the prefix scan then run on C ``bisect`` over
+        # an int list instead of Python-level comparisons through cursor
+        # attributes.  Only cursors that actually moved are re-inserted,
+        # instead of re-sorting the whole set on every iteration.
+        active = sorted(cursors, key=_cursor_qid)
+        aqids = [cursor.plist.qids[cursor.pos] for cursor in active]
         counters = self.counters
-        doc_id = document.doc_id
+        find_pivot = self._find_pivot
+        offer = self.offer
+        iterations = 0
+        postings_scanned = 0
+        full_evaluations = 0
 
         while active:
-            counters.iterations += 1
-            pivot_index = self._find_pivot(active, amplification)
+            iterations += 1
+            pivot_index = find_pivot(active, aqids, amplification)
             if pivot_index is None:
                 if self.prunes_all_on_no_pivot:
                     break
                 # The local bound only covered ids up to the largest cursor;
                 # skip past that zone and keep going.
-                target = active[-1].current_qid + 1
+                target = aqids[-1] + 1
                 moved = active
                 active = []
+                aqids = []
                 for cursor in moved:
-                    cursor.seek(target)
-                    if not cursor.exhausted:
-                        insort(active, cursor, key=qid_key)
+                    qids = cursor.plist.qids
+                    pos = bisect_left(qids, target, cursor.pos)
+                    cursor.pos = pos
+                    if pos < len(qids):
+                        qid = qids[pos]
+                        at = bisect_left(aqids, qid)
+                        aqids.insert(at, qid)
+                        active.insert(at, cursor)
                 continue
 
-            pivot_qid = active[pivot_index].current_qid
-            if active[0].current_qid == pivot_qid:
+            pivot_qid = aqids[pivot_index]
+            if aqids[0] == pivot_qid:
                 # Full evaluation: every cursor positioned on the pivot forms
-                # a prefix of the sorted order.
-                prefix_end = 0
+                # a prefix of the sorted order (the equal run of ``aqids``).
+                prefix_end = bisect_right(aqids, pivot_qid)
                 similarity = 0.0
-                size = len(active)
-                while prefix_end < size:
-                    cursor = active[prefix_end]
-                    if cursor.plist.qids[cursor.pos] != pivot_qid:
-                        break
-                    similarity += cursor.doc_weight * cursor.plist.weights[cursor.pos]
-                    prefix_end += 1
-                counters.postings_scanned += prefix_end
-                counters.full_evaluations += 1
                 moved = active[:prefix_end]
+                for cursor in moved:
+                    similarity += cursor.doc_weight * cursor.plist.weights[cursor.pos]
+                postings_scanned += prefix_end
+                full_evaluations += 1
                 del active[:prefix_end]
-                update = self.offer(pivot_qid, doc_id, similarity * amplification)
+                del aqids[:prefix_end]
+                update = offer(pivot_qid, doc_id, similarity * amplification)
                 if update is not None:
                     updates.append(update)
                 for cursor in moved:
-                    cursor.pos += 1
-                    if cursor.pos < len(cursor.plist.qids):
-                        insort(active, cursor, key=qid_key)
+                    pos = cursor.pos + 1
+                    cursor.pos = pos
+                    qids = cursor.plist.qids
+                    if pos < len(qids):
+                        qid = qids[pos]
+                        at = bisect_left(aqids, qid)
+                        aqids.insert(at, qid)
+                        active.insert(at, cursor)
             else:
                 moved = active[:pivot_index]
                 del active[:pivot_index]
+                del aqids[:pivot_index]
                 for cursor in moved:
-                    cursor.seek(pivot_qid)
-                    if not cursor.exhausted:
-                        insort(active, cursor, key=qid_key)
-        return updates
+                    qids = cursor.plist.qids
+                    pos = bisect_left(qids, pivot_qid, cursor.pos)
+                    cursor.pos = pos
+                    if pos < len(qids):
+                        qid = qids[pos]
+                        at = bisect_left(aqids, qid)
+                        aqids.insert(at, qid)
+                        active.insert(at, cursor)
+
+        counters.iterations += iterations
+        counters.postings_scanned += postings_scanned
+        counters.full_evaluations += full_evaluations
 
     # ------------------------------------------------------------------ #
     # Diagnostics

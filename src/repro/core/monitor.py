@@ -14,17 +14,23 @@ Typical usage::
         updates = monitor.process(document)
         for update in updates:
             notify_user(update.query_id, update.doc_id)
+
+High-throughput ingestion goes through the batch fast path instead::
+
+    for batch in BatchingStream(stream, max_batch=64):
+        for update in monitor.process_batch(batch):
+            notify_user(update.query_id, update.entries)
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, List, Optional
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
 
 from repro.core.base import StreamAlgorithm, UpdateListener
 from repro.core.config import MonitorConfig
 from repro.core.expiration import ExpirationManager
 from repro.core.factory import create_algorithm
-from repro.core.results import ResultEntry, ResultUpdate
+from repro.core.results import BatchUpdate, ResultEntry, ResultUpdate
 from repro.documents.decay import ExponentialDecay
 from repro.documents.document import Document
 from repro.exceptions import ConfigurationError
@@ -36,7 +42,16 @@ from repro.types import QueryId, SparseVector
 
 
 class ContinuousMonitor:
-    """Hosts continuous top-k queries and refreshes them on every stream event."""
+    """Hosts continuous top-k queries and refreshes them on every stream event.
+
+    Example::
+
+        monitor = ContinuousMonitor(MonitorConfig(algorithm="mrio"))
+        query = monitor.register_vector({7: 0.8, 9: 0.6}, k=10)
+        monitor.process(document)                  # per-event ingestion
+        monitor.process_batch(batch)               # batched fast path
+        entries = monitor.top_k(query.query_id)    # best first
+    """
 
     def __init__(
         self,
@@ -150,12 +165,44 @@ class ContinuousMonitor:
     def process_stream(
         self, documents: Iterable[Document], limit: Optional[int] = None
     ) -> List[ResultUpdate]:
-        """Process a batch (or a bounded prefix) of stream documents."""
+        """Process a sequence (or a bounded prefix) of stream documents
+        through the per-event path."""
         updates: List[ResultUpdate] = []
         for count, document in enumerate(documents):
             if limit is not None and count >= limit:
                 break
             updates.extend(self.process(document))
+        return updates
+
+    def process_batch(self, documents: Sequence[Document]) -> List[BatchUpdate]:
+        """Process an arrival-ordered batch of documents as one unit.
+
+        This is the high-throughput ingestion path: decay renormalization and
+        timing run once per batch, the algorithm reuses its traversal
+        structures across the batch's documents, and the returned updates are
+        coalesced to at most one :class:`BatchUpdate` per affected query.
+        Window expiration (when configured) runs once at the batch boundary;
+        because expiration re-evaluates affected queries over the live
+        window, the final top-k state matches per-event processing.
+        """
+        docs = documents if isinstance(documents, list) else list(documents)
+        updates = self.algorithm.process_batch(docs)
+        if self._expiration is not None and docs:
+            for document in docs:
+                self._expiration.observe(document)
+            assert docs[-1].arrival_time is not None
+            self._expiration.expire(docs[-1].arrival_time)
+        return updates
+
+    def process_batches(
+        self, batches: Iterable[Sequence[Document]]
+    ) -> List[BatchUpdate]:
+        """Drain an iterable of batches (e.g. a
+        :class:`~repro.documents.stream.BatchingStream`) through
+        :meth:`process_batch`."""
+        updates: List[BatchUpdate] = []
+        for batch in batches:
+            updates.extend(self.process_batch(batch))
         return updates
 
     # ------------------------------------------------------------------ #

@@ -15,17 +15,26 @@ via ``ub_variant``.
 
 from __future__ import annotations
 
+from bisect import bisect_left, bisect_right
 from typing import List, Optional
 
 from repro.core.bounds import BoundMaintainer, INF, NEG_INF, make_zone_bounds
 from repro.core.cursors import ListCursor
-from repro.core.idordering import ReverseIDOrderingBase
+from repro.core.idordering import ReverseIDOrderingBase, _cursor_qid
+from repro.core.results import ResultUpdate
 from repro.documents.decay import ExponentialDecay
 from repro.exceptions import ConfigurationError
 
 
 class MRIOAlgorithm(ReverseIDOrderingBase):
-    """Minimal RIO with locally adaptive zone bounds (Eq. 3)."""
+    """Minimal RIO with locally adaptive zone bounds (Eq. 3).
+
+    Example::
+
+        algorithm = MRIOAlgorithm(ExponentialDecay(lam=1e-3), ub_variant="tree")
+        algorithm.register(Query(query_id=0, vector={3: 1.0}, k=5))
+        updates = algorithm.process(document)   # or process_batch([...])
+    """
 
     name = "mrio"
     #: The zone bound only covers ids up to the largest cursor, so a failed
@@ -45,34 +54,44 @@ class MRIOAlgorithm(ReverseIDOrderingBase):
         self.ub_variant = ub_variant
         self.block_size = block_size
         super().__init__(decay)
+        # Scratch columns of the pivot search, reused across calls to avoid
+        # two list allocations per iteration of the driver loop.
+        self._fp_contributions: List[float] = []
+        self._fp_window_start: List[int] = []
 
     def _make_bounds(self) -> BoundMaintainer:
         kwargs = {"block_size": self.block_size} if self.ub_variant == "block" else {}
         return make_zone_bounds(self.ub_variant, self.index, self.results, **kwargs)
 
-    def _find_pivot(self, active: List[ListCursor], amplification: float) -> Optional[int]:
+    def _find_pivot(
+        self, active: List[ListCursor], aqids: List[int], amplification: float
+    ) -> Optional[int]:
         num_lists = len(active)
         zone_max_range = self.bounds.zone_max_range
         counters = self.counters
+        # Within a batch the stored ratios are frozen (threshold propagation
+        # is deferred), so zone maxima are pure in (term, window) and can be
+        # memoized across the batch's documents, which share many terms and
+        # therefore many early-iteration windows.
+        bound_cache = self._bound_cache
         # contributions[j]: f_j times the max normalized preference of list j
         # over the zone covered so far (0 while nothing of list j is in the
         # zone); window_start[j]: first position of list j not yet covered.
         # Both grow lazily with the prefix, because the pivot is usually found
         # after only a few lists.
-        contributions: List[float] = []
-        window_start: List[int] = []
-        previous_boundary = active[0].current_qid
+        contributions = self._fp_contributions
+        window_start = self._fp_window_start
+        contributions.clear()
+        window_start.clear()
+        previous_boundary = aqids[0]
+        last_boundary = aqids[-1] + 1
         upper_bound = 0.0
 
         for i in range(num_lists):
             cursor_i = active[i]
             contributions.append(0.0)
             window_start.append(cursor_i.pos)
-            boundary = (
-                active[i + 1].plist.qids[active[i + 1].pos]
-                if i + 1 < num_lists
-                else active[num_lists - 1].current_qid + 1
-            )
+            boundary = aqids[i + 1] if i + 1 < num_lists else last_boundary
             if boundary > previous_boundary:
                 # Extend every list of the prefix by the id window
                 # [previous_boundary, boundary).
@@ -83,10 +102,29 @@ class MRIOAlgorithm(ReverseIDOrderingBase):
                     qids = plist.qids
                     if start_pos >= len(qids) or qids[start_pos] >= boundary:
                         continue
-                    end_pos = plist.first_geq(boundary, start=start_pos)
+                    if bound_cache is None:
+                        end_pos = plist.first_geq(boundary, start=start_pos)
+                        value = zone_max_range(plist, start_pos, end_pos)
+                        counters.bound_computations += 1
+                    else:
+                        # The batch memo is keyed by the *boundary* id, which
+                        # folds the boundary bisect and the zone lookup into
+                        # one cache probe (both are pure while the term's
+                        # postings and stored ratios are unchanged — the
+                        # term's sub-map is dropped whenever they change).
+                        term_cache = bound_cache.get(plist.term_id)
+                        if term_cache is None:
+                            term_cache = bound_cache[plist.term_id] = {}
+                        key = (start_pos, boundary)
+                        cached = term_cache.get(key)
+                        if cached is None:
+                            end_pos = plist.first_geq(boundary, start=start_pos)
+                            value = zone_max_range(plist, start_pos, end_pos)
+                            counters.bound_computations += 1
+                            term_cache[key] = (end_pos, value)
+                        else:
+                            end_pos, value = cached
                     window_start[j] = end_pos
-                    value = zone_max_range(plist, start_pos, end_pos)
-                    counters.bound_computations += 1
                     if value != NEG_INF:
                         contribution = cursor.doc_weight * value
                         if contribution > contributions[j]:
@@ -101,6 +139,160 @@ class MRIOAlgorithm(ReverseIDOrderingBase):
             if upper_bound * amplification >= 1.0:
                 return i
         return None
+
+    def _batch_drive_cursors(
+        self,
+        doc_id: int,
+        cursors: List[ListCursor],
+        amplification: float,
+        updates: List[ResultUpdate],
+    ) -> None:
+        """Fused batch drive loop: pivot search and result offer inlined.
+
+        Semantically identical to :meth:`_drive_cursors` +
+        :meth:`_find_pivot` + ``offer``, but with the per-iteration function
+        dispatch flattened into one loop — the "Python-level dispatch" cost
+        the batch fast path exists to amortize.  Counters are accumulated in
+        locals and flushed once per document.
+        """
+        dirty = self._deferred_threshold_queries
+        bound_cache = self._bound_cache
+        if dirty is None or bound_cache is None:  # pragma: no cover - defensive
+            self._drive_cursors(doc_id, cursors, amplification, updates)
+            return
+        zone_fns = self._batch_zone_fns
+        zone_query_fn = self.bounds.zone_query_fn
+        results_get = self.results.get
+        counters = self.counters
+        contributions = self._fp_contributions
+        window_start = self._fp_window_start
+        dirty_add = dirty.add
+
+        active = sorted(cursors, key=_cursor_qid)
+        aqids = [cursor.plist.qids[cursor.pos] for cursor in active]
+        iterations = 0
+        postings_scanned = 0
+        full_evaluations = 0
+        bound_computations = 0
+        result_updates = 0
+
+        while active:
+            iterations += 1
+            # ---- pivot search (Eq. 3), inlined from _find_pivot ---- #
+            num_lists = len(active)
+            contributions.clear()
+            window_start.clear()
+            previous_boundary = aqids[0]
+            last_boundary = aqids[-1] + 1
+            upper_bound = 0.0
+            pivot_index: Optional[int] = None
+            for i in range(num_lists):
+                contributions.append(0.0)
+                window_start.append(active[i].pos)
+                boundary = aqids[i + 1] if i + 1 < num_lists else last_boundary
+                if boundary > previous_boundary:
+                    for j in range(i + 1):
+                        cursor = active[j]
+                        start_pos = window_start[j]
+                        plist = cursor.plist
+                        qids = plist.qids
+                        if start_pos >= len(qids) or qids[start_pos] >= boundary:
+                            continue
+                        term_id = plist.term_id
+                        term_cache = bound_cache.get(term_id)
+                        if term_cache is None:
+                            term_cache = bound_cache[term_id] = {}
+                        key = (start_pos, boundary)
+                        cached = term_cache.get(key)
+                        if cached is None:
+                            end_pos = bisect_left(qids, boundary, start_pos)
+                            zone_fn = zone_fns.get(term_id)
+                            if zone_fn is None:
+                                zone_fn = zone_fns[term_id] = zone_query_fn(plist)
+                            value = zone_fn(start_pos, end_pos)
+                            bound_computations += 1
+                            term_cache[key] = (end_pos, value)
+                        else:
+                            end_pos, value = cached
+                        window_start[j] = end_pos
+                        if value != NEG_INF:
+                            contribution = cursor.doc_weight * value
+                            if contribution > contributions[j]:
+                                upper_bound += contribution - contributions[j]
+                                contributions[j] = contribution
+                    previous_boundary = boundary
+                if upper_bound != upper_bound or upper_bound == INF:
+                    pivot_index = i
+                    break
+                if upper_bound * amplification >= 1.0:
+                    pivot_index = i
+                    break
+
+            # ---- act on the pivot, inlined from _drive_cursors ---- #
+            if pivot_index is None:
+                target = aqids[-1] + 1
+                moved = active
+                active = []
+                aqids = []
+                for cursor in moved:
+                    qids = cursor.plist.qids
+                    pos = bisect_left(qids, target, cursor.pos)
+                    cursor.pos = pos
+                    if pos < len(qids):
+                        qid = qids[pos]
+                        at = bisect_left(aqids, qid)
+                        aqids.insert(at, qid)
+                        active.insert(at, cursor)
+                continue
+
+            pivot_qid = aqids[pivot_index]
+            if aqids[0] == pivot_qid:
+                prefix_end = bisect_right(aqids, pivot_qid)
+                similarity = 0.0
+                moved = active[:prefix_end]
+                for cursor in moved:
+                    similarity += cursor.doc_weight * cursor.plist.weights[cursor.pos]
+                postings_scanned += prefix_end
+                full_evaluations += 1
+                del active[:prefix_end]
+                del aqids[:prefix_end]
+                score = similarity * amplification
+                accepted, evicted, threshold_changed = results_get(
+                    pivot_qid
+                ).offer_tracked(doc_id, score)
+                if accepted:
+                    result_updates += 1
+                    updates.append(ResultUpdate(pivot_qid, doc_id, score, evicted))
+                    if threshold_changed:
+                        dirty_add(pivot_qid)
+                for cursor in moved:
+                    pos = cursor.pos + 1
+                    cursor.pos = pos
+                    qids = cursor.plist.qids
+                    if pos < len(qids):
+                        qid = qids[pos]
+                        at = bisect_left(aqids, qid)
+                        aqids.insert(at, qid)
+                        active.insert(at, cursor)
+            else:
+                moved = active[:pivot_index]
+                del active[:pivot_index]
+                del aqids[:pivot_index]
+                for cursor in moved:
+                    qids = cursor.plist.qids
+                    pos = bisect_left(qids, pivot_qid, cursor.pos)
+                    cursor.pos = pos
+                    if pos < len(qids):
+                        qid = qids[pos]
+                        at = bisect_left(aqids, qid)
+                        aqids.insert(at, qid)
+                        active.insert(at, cursor)
+
+        counters.iterations += iterations
+        counters.postings_scanned += postings_scanned
+        counters.full_evaluations += full_evaluations
+        counters.bound_computations += bound_computations
+        counters.result_updates += result_updates
 
     def describe(self) -> dict:
         info = super().describe()

@@ -5,34 +5,55 @@ k highest amplified scores seen so far.  Its *threshold* ``S_k(q)`` — the
 amplified score of the k-th best document, or 0 while fewer than k documents
 have matched — is the normalization factor of every pruning bound in the
 paper (Eq. 2 and 3).
+
+Two notification granularities exist:
+
+* :class:`ResultUpdate` — one accepted (document, query) insertion, emitted
+  by the per-event path and fed to update listeners;
+* :class:`BatchUpdate` — the *net* effect of one ingestion batch on one
+  query, produced by :func:`coalesce_updates`: documents admitted and then
+  evicted within the same batch cancel out, so a consumer sees at most one
+  consolidated notification per query per batch.
 """
 
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterable, List, NamedTuple, Optional, Tuple
 
 from repro.exceptions import UnknownQueryError
 from repro.queries.query import Query
 from repro.types import DocId, QueryId
 
 
-@dataclass(frozen=True)
-class ResultEntry:
-    """One entry of a query's current top-k: a document and its amplified score."""
+class ResultEntry(NamedTuple):
+    """One entry of a query's current top-k: a document and its amplified score.
+
+    A :class:`~typing.NamedTuple` rather than a dataclass: these records are
+    created on every accepted result update and construction cost is visible
+    in the hot path.
+
+    Example::
+
+        for entry in monitor.top_k(query_id):
+            print(entry.doc_id, entry.score)
+    """
 
     doc_id: DocId
     score: float
 
 
-@dataclass(frozen=True)
-class ResultUpdate:
+class ResultUpdate(NamedTuple):
     """Notification that a query's top-k changed because of a stream event.
 
     ``evicted_doc_id`` is the document that dropped out of the top-k to make
     room (``None`` while the result was not yet full or after an expiration
     refill).
+
+    Example::
+
+        for update in monitor.process(document):
+            notify_user(update.query_id, update.doc_id, update.score)
     """
 
     query_id: QueryId
@@ -41,12 +62,99 @@ class ResultUpdate:
     evicted_doc_id: Optional[DocId] = None
 
 
+class BatchUpdate(NamedTuple):
+    """The net effect of one ingestion batch on one query's top-k.
+
+    ``entries`` are the documents the batch added to the query's result *and*
+    that are still members when the batch ends, best score first.  A document
+    admitted and evicted by later arrivals of the same batch appears in
+    neither tuple.  ``evicted_doc_ids`` are the documents that were in the
+    top-k before the batch and were pushed out by it, ascending by id.
+
+    Example::
+
+        updates = algorithm.process_batch(batch)
+        for update in updates:
+            best = update.entries[0]
+            notify_user(update.query_id, best.doc_id, best.score)
+    """
+
+    query_id: QueryId
+    entries: Tuple[ResultEntry, ...]
+    evicted_doc_ids: Tuple[DocId, ...] = ()
+
+
+def coalesce_updates(updates: Iterable[ResultUpdate]) -> List[BatchUpdate]:
+    """Collapse per-event :class:`ResultUpdate` notifications into at most one
+    :class:`BatchUpdate` per query.
+
+    Within a batch a document can be admitted to a query's result and later
+    evicted by a stronger arrival of the same batch; such churn is invisible
+    in the batch's net effect and is cancelled here.  Queries whose churn
+    fully cancels (everything admitted was also evicted and nothing
+    pre-existing was displaced) produce no batch update at all.
+
+    The returned list preserves the order in which queries were first
+    touched, which keeps batch output deterministic.
+    """
+    by_query: Dict[QueryId, List[ResultUpdate]] = {}
+    for update in updates:
+        group = by_query.get(update.query_id)
+        if group is None:
+            by_query[update.query_id] = [update]
+        else:
+            group.append(update)
+
+    batch_updates: List[BatchUpdate] = []
+    for query_id, group in by_query.items():
+        if len(group) == 1:
+            # Overwhelmingly common case: one admission, nothing to cancel.
+            update = group[0]
+            batch_updates.append(
+                BatchUpdate(
+                    query_id,
+                    (ResultEntry(update.doc_id, update.score),),
+                    () if update.evicted_doc_id is None else (update.evicted_doc_id,),
+                )
+            )
+            continue
+        docs: Dict[DocId, float] = {}
+        gone: set = set()
+        for update in group:
+            docs[update.doc_id] = update.score
+            gone.discard(update.doc_id)
+            evicted_doc = update.evicted_doc_id
+            if evicted_doc is not None:
+                if evicted_doc in docs:
+                    # Admitted earlier in this batch and displaced again: the
+                    # two notifications cancel out.
+                    del docs[evicted_doc]
+                else:
+                    gone.add(evicted_doc)
+        if not docs and not gone:
+            continue
+        entries = tuple(
+            ResultEntry(doc_id, score)
+            for doc_id, score in sorted(docs.items(), key=lambda item: (-item[1], item[0]))
+        )
+        batch_updates.append(BatchUpdate(query_id, entries, tuple(sorted(gone))))
+    return batch_updates
+
+
 class TopKResult:
     """Bounded container of the k best (amplified score, doc) pairs.
 
     Acceptance is *strict*: a new document replaces the current k-th result
     only when its amplified score is strictly larger, matching the pruning
     rule (a bound equal to the threshold may be pruned safely).
+
+    Example::
+
+        result = TopKResult(k=2)
+        result.offer(doc_id=1, score=0.5)
+        result.offer(doc_id=2, score=0.9)
+        assert result.threshold == 0.5          # S_k once full
+        assert result.entries()[0].doc_id == 2  # best first
     """
 
     __slots__ = ("k", "_heap", "_scores")
@@ -91,18 +199,35 @@ class TopKResult:
 
     def offer(self, doc_id: DocId, score: float) -> Tuple[bool, Optional[DocId]]:
         """Consider a candidate; returns ``(accepted, evicted_doc_id)``."""
-        if score <= 0.0 or doc_id in self._scores:
-            return False, None
-        if not self.full:
-            heapq.heappush(self._heap, (score, doc_id))
-            self._scores[doc_id] = score
-            return True, None
-        if score > self._heap[0][0]:
-            evicted_score, evicted_doc = heapq.heapreplace(self._heap, (score, doc_id))
-            del self._scores[evicted_doc]
-            self._scores[doc_id] = score
-            return True, evicted_doc
-        return False, None
+        accepted, evicted, _ = self.offer_tracked(doc_id, score)
+        return accepted, evicted
+
+    def offer_tracked(
+        self, doc_id: DocId, score: float
+    ) -> Tuple[bool, Optional[DocId], bool]:
+        """Like :meth:`offer` but also reports whether ``S_k`` changed.
+
+        Returns ``(accepted, evicted_doc_id, threshold_changed)``; the hot
+        ingestion paths use the flag directly instead of sampling the
+        :attr:`threshold` property around the call.
+        """
+        scores = self._scores
+        if score <= 0.0 or doc_id in scores:
+            return False, None, False
+        heap = self._heap
+        if len(scores) < self.k:
+            heapq.heappush(heap, (score, doc_id))
+            scores[doc_id] = score
+            # The threshold switches from 0 to the heap head when the k-th
+            # slot fills; before that it stays 0.
+            return True, None, len(scores) >= self.k
+        head = heap[0][0]
+        if score > head:
+            _, evicted_doc = heapq.heapreplace(heap, (score, doc_id))
+            del scores[evicted_doc]
+            scores[doc_id] = score
+            return True, evicted_doc, heap[0][0] != head
+        return False, None, False
 
     def would_accept(self, score: float) -> bool:
         """True when ``offer`` with this score could change the result."""
@@ -137,7 +262,15 @@ class TopKResult:
 
 
 class ResultStore:
-    """Holds the :class:`TopKResult` of every registered query."""
+    """Holds the :class:`TopKResult` of every registered query.
+
+    Example::
+
+        store = ResultStore()
+        store.add_query(query)
+        update = store.offer(query.query_id, doc_id=7, score=1.2)
+        threshold = store.threshold(query.query_id)
+    """
 
     def __init__(self) -> None:
         self._results: Dict[QueryId, TopKResult] = {}

@@ -1,10 +1,22 @@
-"""RIO — Reverse ID-Ordering (the paper's preliminary method).
+"""RIO — Reverse ID-Ordering (the paper's preliminary method, Sec. 4).
 
-RIO indexes the registered queries in an ID-ordered inverted file and probes
-every arriving document against it.  The per-term upper bound of Eq. 2 uses
-the maximum normalized preference ``max_q w_j / S_k(q)`` over the *entire*
-posting list, maintained incrementally by
-:class:`~repro.core.bounds.GlobalMaxBounds`.
+RIO introduces the ID-ordering paradigm that MRIO refines: the registered
+queries live in an ID-ordered inverted file (:mod:`repro.index.query_index`)
+and every arriving document is probed against it with the shared pivot loop
+of :class:`~repro.core.idordering.ReverseIDOrderingBase`.
+
+Its per-term upper bound (Eq. 2) is the maximum normalized preference
+``max_q w_j / S_k(q)`` over the *entire* posting list, maintained
+incrementally by :class:`~repro.core.bounds.GlobalMaxBounds`.  Relative to
+MRIO this makes RIO cheaper per bound lookup but far less selective: one
+hard-to-satisfy query anywhere in a list inflates the bound for every zone,
+so cursor jumps are shorter and more queries are fully evaluated.  Because
+the global bound covers every remaining query id, a failed pivot search
+terminates the event (MRIO's local bound, by contrast, only prunes the
+current zone — see :mod:`repro.core.mrio`).
+
+RIO is kept both as the paper's baseline for MRIO's ablations and as the
+reference implementation of the paradigm without zone machinery.
 """
 
 from __future__ import annotations
@@ -18,7 +30,14 @@ from repro.documents.decay import ExponentialDecay
 
 
 class RIOAlgorithm(ReverseIDOrderingBase):
-    """Reverse ID-Ordering with the global per-list bound (Eq. 2)."""
+    """Reverse ID-Ordering with the global per-list bound (Eq. 2).
+
+    Example::
+
+        algorithm = RIOAlgorithm(ExponentialDecay(lam=1e-3))
+        algorithm.register(Query(query_id=0, vector={3: 1.0}, k=5))
+        updates = algorithm.process(document)   # or process_batch([...])
+    """
 
     name = "rio"
     #: The global bound covers every query id at or after the first cursor,
@@ -44,7 +63,9 @@ class RIOAlgorithm(ReverseIDOrderingBase):
             else:
                 cursor.cached_bound = cursor.doc_weight * bound * amplification
 
-    def _find_pivot(self, active: List[ListCursor], amplification: float) -> Optional[int]:
+    def _find_pivot(
+        self, active: List[ListCursor], aqids: List[int], amplification: float
+    ) -> Optional[int]:
         accumulated = 0.0
         for index, cursor in enumerate(active):
             accumulated += cursor.cached_bound

@@ -2,7 +2,7 @@
 
 from repro.documents.document import Document
 from repro.documents.corpus import SyntheticCorpus, CorpusConfig
-from repro.documents.stream import DocumentStream, StreamConfig
+from repro.documents.stream import BatchingStream, DocumentStream, StreamConfig
 from repro.documents.decay import ExponentialDecay
 from repro.documents.window import SlidingWindowStore
 
@@ -11,6 +11,7 @@ __all__ = [
     "SyntheticCorpus",
     "CorpusConfig",
     "DocumentStream",
+    "BatchingStream",
     "StreamConfig",
     "ExponentialDecay",
     "SlidingWindowStore",

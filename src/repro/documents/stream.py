@@ -1,9 +1,15 @@
-"""Document stream simulator.
+"""Document stream simulator and batching adapter.
 
-Wraps any document source (typically :class:`SyntheticCorpus`) and assigns
-monotonically increasing arrival timestamps, either on a fixed grid (one
-event per ``interval``) or with exponentially distributed inter-arrival times
-(Poisson arrivals at a given ``rate``).
+:class:`DocumentStream` wraps any document source (typically
+:class:`SyntheticCorpus`) and assigns monotonically increasing arrival
+timestamps, either on a fixed grid (one event per ``interval``) or with
+exponentially distributed inter-arrival times (Poisson arrivals at a given
+``rate``).
+
+:class:`BatchingStream` groups any stamped document iterable into
+arrival-ordered batches for the ``process_batch`` fast path, flushing on a
+size cap and, optionally, on a stream-time horizon (so a batch never spans
+more simulated time than a latency budget allows).
 """
 
 from __future__ import annotations
@@ -112,3 +118,85 @@ class DocumentStream:
     def clock(self) -> float:
         """The current simulated stream time."""
         return self._clock
+
+
+class BatchingStream:
+    """Groups a stamped document stream into batches for ``process_batch``.
+
+    A batch is flushed when it holds ``max_batch`` documents, or — when a
+    ``horizon`` is set — before admitting a document that would stretch the
+    batch's arrival-time span beyond the horizon (so consumers never wait
+    longer than the horizon for the events already buffered).  The final,
+    possibly short batch is flushed when the source is exhausted; empty
+    batches are never yielded.
+
+    Example::
+
+        stream = DocumentStream(corpus)
+        for batch in BatchingStream(stream, max_batch=64, horizon=10.0):
+            monitor.process_batch(batch)
+    """
+
+    def __init__(
+        self,
+        source: Iterable[Document],
+        max_batch: int = 64,
+        horizon: Optional[float] = None,
+    ) -> None:
+        require_positive(max_batch, "max_batch")
+        if horizon is not None:
+            require_positive(horizon, "horizon")
+        self.max_batch = int(max_batch)
+        self.horizon = horizon
+        self._source = iter(source)
+        self._pending: Optional[Document] = None
+        self._batches_emitted = 0
+
+    def __iter__(self) -> Iterator[List[Document]]:
+        return self
+
+    def __next__(self) -> List[Document]:
+        batch: List[Document] = []
+        if self._pending is not None:
+            batch.append(self._pending)
+            self._pending = None
+        horizon = self.horizon
+        for document in self._source:
+            if horizon is not None:
+                if document.arrival_time is None:
+                    raise StreamError(
+                        f"document {document.doc_id} has no arrival time; "
+                        "horizon-based batching needs stamped documents"
+                    )
+                if batch:
+                    first_arrival = batch[0].arrival_time
+                    assert first_arrival is not None
+                    if document.arrival_time - first_arrival > horizon:
+                        self._pending = document
+                        self._batches_emitted += 1
+                        return batch
+            batch.append(document)
+            if len(batch) >= self.max_batch:
+                self._batches_emitted += 1
+                return batch
+        if batch:
+            self._batches_emitted += 1
+            return batch
+        raise StopIteration
+
+    def take(self, count: int) -> List[List[Document]]:
+        """Return the next ``count`` batches as a list."""
+        if count < 0:
+            raise ConfigurationError(f"count must be >= 0, got {count}")
+        batches: List[List[Document]] = []
+        for _ in range(count):
+            try:
+                batches.append(next(self))
+            except StopIteration:
+                break
+        return batches
+
+    @property
+    def batches_emitted(self) -> int:
+        """Number of batches yielded so far."""
+        return self._batches_emitted

@@ -9,30 +9,43 @@ Two flavours exist:
 * :class:`DocPostingList` — the per-term list of the *document* inverted file
   used by the static search substrate and the expiration re-evaluation path.
   Entries are ``(doc id, weight)`` sorted by doc id with lazy deletion.
+
+Both store their columns in :mod:`array` arrays rather than Python lists:
+ids are packed 8-byte integers (``"q"``) and weights packed doubles
+(``"d"``), an order of magnitude less memory than lists of boxed objects and
+contiguous in memory, which keeps the binary searches (:meth:`first_geq`)
+and the batched cursor walks of ``process_batch`` cache-friendly.  Appends
+remain amortized O(1).
 """
 
 from __future__ import annotations
 
-from bisect import bisect_left, insort
-from typing import Iterator, List, Optional, Tuple
+from array import array
+from bisect import bisect_left
+from typing import Iterator, Optional, Tuple
 
 from repro.exceptions import IndexError_
 from repro.types import DocId, QueryId
+
+#: Array type codes of the id and weight columns (8-byte int / double).
+ID_TYPECODE = "q"
+WEIGHT_TYPECODE = "d"
 
 
 class QueryPostingList:
     """Per-term, query-id-ordered posting list of the query index.
 
-    The two parallel arrays keep memory compact and make position-based
-    access (needed by the range-max bound structures) trivial.
+    The two parallel packed arrays keep memory compact and make
+    position-based access (needed by the range-max bound structures)
+    trivial.
     """
 
     __slots__ = ("term_id", "qids", "weights")
 
     def __init__(self, term_id: int) -> None:
         self.term_id = term_id
-        self.qids: List[QueryId] = []
-        self.weights: List[float] = []
+        self.qids: array = array(ID_TYPECODE)
+        self.weights: array = array(WEIGHT_TYPECODE)
 
     def __len__(self) -> int:
         return len(self.qids)
@@ -108,8 +121,8 @@ class DocPostingList:
 
     def __init__(self, term_id: int) -> None:
         self.term_id = term_id
-        self.doc_ids: List[DocId] = []
-        self.weights: List[float] = []
+        self.doc_ids: array = array(ID_TYPECODE)
+        self.weights: array = array(WEIGHT_TYPECODE)
         self._deleted: set[DocId] = set()
 
     def __len__(self) -> int:
@@ -144,14 +157,16 @@ class DocPostingList:
         """Physically remove tombstoned entries."""
         if not self._deleted:
             return
-        pairs = [
-            (doc_id, weight)
-            for doc_id, weight in zip(self.doc_ids, self.weights)
-            if doc_id not in self._deleted
-        ]
-        self.doc_ids = [doc_id for doc_id, _ in pairs]
-        self.weights = [weight for _, weight in pairs]
-        self._deleted.clear()
+        deleted = self._deleted
+        live_ids = array(ID_TYPECODE)
+        live_weights = array(WEIGHT_TYPECODE)
+        for doc_id, weight in zip(self.doc_ids, self.weights):
+            if doc_id not in deleted:
+                live_ids.append(doc_id)
+                live_weights.append(weight)
+        self.doc_ids = live_ids
+        self.weights = live_weights
+        self._deleted = set()
 
     def iter_live(self) -> Iterator[Tuple[DocId, float]]:
         """Iterate over live postings in doc-id order."""

@@ -1,11 +1,20 @@
-"""Static top-k search substrate over a document inverted file.
+"""Static top-k search substrate over a *document* inverted file.
 
-The paper's introduction contrasts the streaming problem with classical
-top-k retrieval over static collections, where the standard tool is an
-ID-ordered inverted file traversed term-at-a-time (TAAT),
-document-at-a-time (DAAT) or with WAND-style pruning.  These evaluators are
-implemented here; the expiration re-evaluation path and one benchmark use
-them directly.
+This package is the classical-retrieval counterpart of the streaming engine
+in :mod:`repro.core`: where MRIO indexes the **queries** and probes each
+arriving document against that index, the evaluators here index the
+**documents** (:class:`repro.index.doc_index.DocumentIndex`) and answer one
+ad-hoc query at a time — the setting the paper's introduction contrasts the
+streaming problem with.  The standard strategies over an ID-ordered
+inverted file are provided: term-at-a-time (:func:`taat_search`),
+document-at-a-time (:func:`daat_search`) and WAND-style dynamic pruning
+(:func:`wand_search`), wrapped by the :class:`SearchEngine` facade.
+
+Inside the monitoring system the window-expiration manager
+(:mod:`repro.core.expiration`) re-evaluates affected queries over the same
+:class:`~repro.index.doc_index.DocumentIndex` with a specialized TAAT
+accumulation, and ``benchmarks/bench_static_search.py`` measures the three
+strategies here head-to-head.
 """
 
 from repro.search.topk_heap import TopKHeap, SearchHit

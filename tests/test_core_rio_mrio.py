@@ -48,7 +48,7 @@ class TestRIO:
         assert algo.index.num_queries == 3
         algo.unregister(2)
         assert algo.index.num_queries == 2
-        assert algo.index.get(2).qids == [1]
+        assert list(algo.index.get(2).qids) == [1]
 
     def test_describe_mentions_bounds(self):
         info = _simple_setup(RIOAlgorithm()).describe()

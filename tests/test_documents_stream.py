@@ -1,11 +1,11 @@
-"""Unit tests for the document stream simulator."""
+"""Unit tests for the document stream simulator and the batching adapter."""
 
 import pytest
 
 from repro.documents.corpus import SyntheticCorpus
 from repro.documents.document import Document
-from repro.documents.stream import DocumentStream, StreamConfig
-from repro.exceptions import ConfigurationError
+from repro.documents.stream import BatchingStream, DocumentStream, StreamConfig
+from repro.exceptions import ConfigurationError, StreamError
 
 
 class TestStreamConfig:
@@ -75,3 +75,58 @@ class TestDocumentStream:
         }
         assert len(gaps_fixed) == 1
         assert len(gaps_poisson) > 1
+
+
+class TestBatchingStream:
+    def test_flushes_on_size(self, small_corpus):
+        stream = DocumentStream(small_corpus)
+        batching = BatchingStream(stream, max_batch=8)
+        batches = batching.take(3)
+        assert [len(batch) for batch in batches] == [8, 8, 8]
+        assert batching.batches_emitted == 3
+
+    def test_final_short_batch_is_flushed(self, small_corpus):
+        documents = DocumentStream(small_corpus).take(10)
+        batches = list(BatchingStream(iter(documents), max_batch=4))
+        assert [len(batch) for batch in batches] == [4, 4, 2]
+        flattened = [doc.doc_id for batch in batches for doc in batch]
+        assert flattened == [doc.doc_id for doc in documents]
+
+    def test_flushes_on_time_horizon(self, small_corpus):
+        # One event per time unit: a horizon of 2.5 admits at most 3 events
+        # per batch even though the size cap would allow far more.
+        stream = DocumentStream(small_corpus, StreamConfig(interval=1.0))
+        batching = BatchingStream(stream, max_batch=100, horizon=2.5)
+        batches = batching.take(4)
+        assert all(len(batch) == 3 for batch in batches)
+        for batch in batches:
+            span = batch[-1].arrival_time - batch[0].arrival_time
+            assert span <= 2.5
+
+    def test_no_document_is_dropped_between_batches(self, small_corpus):
+        documents = DocumentStream(small_corpus).take(20)
+        batches = list(BatchingStream(iter(documents), max_batch=100, horizon=6.5))
+        flattened = [doc.doc_id for batch in batches for doc in batch]
+        assert flattened == [doc.doc_id for doc in documents]
+
+    def test_horizon_requires_arrival_times(self):
+        raw = [Document(doc_id=i, vector={1: 1.0}) for i in range(3)]
+        batching = BatchingStream(raw, max_batch=10, horizon=1.0)
+        with pytest.raises(StreamError):
+            next(batching)
+
+    def test_unstamped_documents_allowed_without_horizon(self):
+        raw = [Document(doc_id=i, vector={1: 1.0}) for i in range(3)]
+        (batch,) = list(BatchingStream(raw, max_batch=10))
+        assert len(batch) == 3
+
+    def test_invalid_configuration_rejected(self, small_corpus):
+        with pytest.raises(ConfigurationError):
+            BatchingStream(DocumentStream(small_corpus), max_batch=0)
+        with pytest.raises(ConfigurationError):
+            BatchingStream(DocumentStream(small_corpus), horizon=-1.0)
+        with pytest.raises(ConfigurationError):
+            BatchingStream(DocumentStream(small_corpus)).take(-1)
+
+    def test_empty_source_yields_no_batches(self):
+        assert list(BatchingStream([], max_batch=4)) == []

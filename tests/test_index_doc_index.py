@@ -43,7 +43,7 @@ class TestDocumentIndex:
         plist = index.get(7)
         # More than 40% garbage -> compacted.
         assert plist.garbage_ratio == 0.0
-        assert plist.doc_ids == [2, 3]
+        assert list(plist.doc_ids) == [2, 3]
 
     def test_max_weight(self):
         index = DocumentIndex()

@@ -28,8 +28,8 @@ class TestQueryPostingList:
         plist.append(2, 0.2)
         plist.append(8, 0.8)
         plist.insert(5, 0.5)
-        assert plist.qids == [2, 5, 8]
-        assert plist.weights == [0.2, 0.5, 0.8]
+        assert list(plist.qids) == [2, 5, 8]
+        assert list(plist.weights) == [0.2, 0.5, 0.8]
 
     def test_insert_duplicate_rejected(self):
         plist = QueryPostingList(0)
@@ -43,7 +43,7 @@ class TestQueryPostingList:
         plist.append(2, 0.2)
         assert plist.remove(1)
         assert not plist.remove(99)
-        assert plist.qids == [2]
+        assert list(plist.qids) == [2]
 
     def test_position_of(self):
         plist = QueryPostingList(0)
@@ -115,7 +115,7 @@ class TestDocPostingList:
         assert plist.garbage_ratio == pytest.approx(0.5)
         plist.compact()
         assert plist.garbage_ratio == 0.0
-        assert plist.doc_ids == [2, 3]
+        assert list(plist.doc_ids) == [2, 3]
         assert len(plist) == 2
 
     def test_max_weight_ignores_deleted(self):

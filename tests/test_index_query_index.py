@@ -27,7 +27,7 @@ class TestQueryIndex:
         assert index.num_queries == 2
         assert index.num_terms == 2
         assert index.num_postings == 3
-        assert index.get(2).qids == [0, 1]
+        assert list(index.get(2).qids) == [0, 1]
         assert index.get(99) is None
 
     def test_postings_are_id_ordered_even_with_gaps(self):
@@ -35,7 +35,7 @@ class TestQueryIndex:
         index.register(make_query(10, {5: 1.0}, k=1))
         index.register(make_query(3, {5: 1.0}, k=1))
         index.register(make_query(7, {5: 1.0}, k=1))
-        assert index.get(5).qids == [3, 7, 10]
+        assert list(index.get(5).qids) == [3, 7, 10]
 
     def test_duplicate_registration_rejected(self):
         index = QueryIndex()
@@ -50,7 +50,7 @@ class TestQueryIndex:
         index.unregister(0)
         assert index.num_queries == 1
         assert index.get(1) is None  # term 1 only belonged to query 0
-        assert index.get(2).qids == [1]
+        assert list(index.get(2).qids) == [1]
 
     def test_unregister_unknown_rejected(self):
         with pytest.raises(UnknownQueryError):
