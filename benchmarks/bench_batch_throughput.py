@@ -149,13 +149,15 @@ def test_batch_equivalence_on_bench_workload(benchmark, report):
         batched, _ = _build()
         for start in range(0, len(documents), 64):
             batched.process_batch(documents[start : start + 64])
-        snapshot = lambda algo: {
-            query_id: [
-                (entry.doc_id, round(entry.score, 9))
-                for entry in algo.top_k(query_id)
-            ]
-            for query_id in algo.queries
-        }
+        def snapshot(algo):
+            return {
+                query_id: [
+                    (entry.doc_id, round(entry.score, 9))
+                    for entry in algo.top_k(query_id)
+                ]
+                for query_id in algo.queries
+            }
+
         assert snapshot(sequential) == snapshot(batched)
         return True
 

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.bench.figures import figure1_connected_spec, figure1_uniform_spec
+from repro.bench.figures import figure1_connected_spec
 from repro.bench.harness import run_experiment
 from repro.bench.reporting import (
     format_counter_table,

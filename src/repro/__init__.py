@@ -53,6 +53,7 @@ from repro.queries.workloads import (
     WorkloadConfig,
     generate_workload,
 )
+from repro.runtime.sharded import ShardedMonitor
 from repro.text.analyzer import Analyzer
 from repro.text.vectorizer import Vectorizer, WeightingScheme
 from repro.text.vocabulary import Vocabulary
@@ -78,6 +79,7 @@ __all__ = [
     "BatchingStream",
     "StreamConfig",
     "Query",
+    "ShardedMonitor",
     "ConnectedWorkload",
     "UniformWorkload",
     "WorkloadConfig",

@@ -15,6 +15,7 @@ from __future__ import annotations
 from typing import Dict, List, Sequence, Set
 
 from repro.core.base import StreamAlgorithm
+from repro.core.registry import register_algorithm
 from repro.core.results import ResultUpdate
 from repro.documents.decay import ExponentialDecay
 from repro.documents.document import Document
@@ -22,6 +23,7 @@ from repro.queries.query import Query
 from repro.types import QueryId, TermId
 
 
+@register_algorithm("exhaustive")
 class ExhaustiveAlgorithm(StreamAlgorithm):
     """Scores the arriving document against all (matching) queries."""
 

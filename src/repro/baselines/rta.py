@@ -21,6 +21,7 @@ from typing import Dict, List, Optional, Sequence, Set
 
 from repro.core.base import StreamAlgorithm
 from repro.core.bounds import preference_ratio
+from repro.core.registry import register_algorithm
 from repro.core.results import ResultUpdate
 from repro.documents.decay import ExponentialDecay
 from repro.documents.document import Document
@@ -82,6 +83,7 @@ class _ImpactList:
             self.resort()
 
 
+@register_algorithm("rta")
 class RTAAlgorithm(StreamAlgorithm):
     """TA-style traversal of impact-ordered per-term query lists."""
 

@@ -19,6 +19,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence, Set
 
 from repro.core.base import StreamAlgorithm
+from repro.core.registry import register_algorithm
 from repro.core.results import ResultUpdate
 from repro.documents.decay import ExponentialDecay
 from repro.documents.document import Document
@@ -78,6 +79,7 @@ class _ThresholdList:
             self.resort()
 
 
+@register_algorithm("sortquer")
 class SortQuerAlgorithm(StreamAlgorithm):
     """Threshold-ordered per-term query lists with unreachable-cutoff scans."""
 

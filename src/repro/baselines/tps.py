@@ -14,6 +14,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.base import StreamAlgorithm
+from repro.core.registry import register_algorithm
 from repro.core.results import ResultUpdate
 from repro.documents.decay import ExponentialDecay
 from repro.documents.document import Document
@@ -50,6 +51,7 @@ class _WeightList:
         return len(self.entries)
 
 
+@register_algorithm("tps")
 class TPSAlgorithm(StreamAlgorithm):
     """Term-at-a-time accumulator evaluation with per-query skipping."""
 

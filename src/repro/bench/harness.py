@@ -14,12 +14,14 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from repro.bench.spec import ExperimentSpec
+from repro.core.config import MonitorConfig
 from repro.core.factory import create_algorithm
 from repro.documents.corpus import SyntheticCorpus
 from repro.documents.decay import ExponentialDecay
 from repro.documents.stream import DocumentStream, StreamConfig
 from repro.metrics.runstats import RunStatistics
 from repro.queries.workloads import generate_workload
+from repro.runtime.sharded import ShardedMonitor
 
 
 @dataclass
@@ -58,13 +60,31 @@ def _build_algorithm(spec: ExperimentSpec, name: str):
     return create_algorithm(name, decay, **kwargs)
 
 
+def _build_sharded_monitor(spec: ExperimentSpec, name: str) -> ShardedMonitor:
+    kwargs: Dict[str, str] = {}
+    if name == "mrio":
+        kwargs["ub_variant"] = spec.ub_variant
+    return ShardedMonitor(
+        MonitorConfig(algorithm=name, lam=spec.lam, **kwargs),
+        n_shards=spec.shards,
+        policy=spec.shard_policy,
+        executor=spec.shard_executor,
+    )
+
+
 def run_cell(
     spec: ExperimentSpec,
     algorithm: str,
     num_queries: int,
     extra_counters: bool = True,
 ) -> RunStatistics:
-    """Run one (algorithm, query count) cell of an experiment."""
+    """Run one (algorithm, query count) cell of an experiment.
+
+    With ``spec.shards > 1`` the cell is hosted behind a
+    :class:`~repro.runtime.sharded.ShardedMonitor` (same workload, same
+    stream) and the reported response times are the per-event totals across
+    shards.
+    """
     corpus = SyntheticCorpus(spec.corpus, seed=spec.seed)
     queries = generate_workload(
         spec.workload,
@@ -73,27 +93,45 @@ def run_cell(
         config=spec.workload_config(),
         seed=spec.seed + 101,
     )
-    algo = _build_algorithm(spec, algorithm)
-    algo.register_all(queries)
+    sharded = spec.shards > 1
+    if sharded:
+        engine = _build_sharded_monitor(spec, algorithm)
+        engine.register_queries(queries)
+    else:
+        engine = _build_algorithm(spec, algorithm)
+        engine.register_all(queries)
 
     stream = DocumentStream(corpus, StreamConfig(seed=spec.seed + 202))
     # Warm-up: fill the result heaps so thresholds (and thus pruning) are in
     # steady state, exactly like the paper measures a warmed-up server.
     for document in stream.take(spec.warmup_events):
-        algo.process(document)
-    algo.response_times.clear()
-    algo.counters.reset()
+        engine.process(document)
+    if sharded:
+        engine.reset_statistics()
+    else:
+        engine.response_times.clear()
+        engine.counters.reset()
 
     for document in stream.take(spec.num_events):
-        algo.process(document)
+        engine.process(document)
 
-    counters = algo.counters.per_document() if extra_counters else {}
+    if extra_counters:
+        counters = (
+            engine.statistics.per_document() if sharded else engine.counters.per_document()
+        )
+    else:
+        counters = {}
+    extra: Dict[str, float] = {}
+    if sharded:
+        extra = {"shards": float(spec.shards)}
+        engine.close()
     return RunStatistics(
         algorithm=algorithm,
         num_queries=num_queries,
         num_events=spec.num_events,
-        response_times=list(algo.response_times),
+        response_times=list(engine.response_times),
         counters=counters,
+        extra=extra,
     )
 
 

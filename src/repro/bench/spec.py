@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass, field, replace
-from typing import Dict, Optional, Tuple
+from typing import Dict, Tuple
 
 from repro.documents.corpus import CorpusConfig
 from repro.exceptions import BenchmarkError
@@ -79,6 +79,14 @@ class ExperimentSpec:
     min_terms: int = 2
     max_terms: int = 5
     ub_variant: str = "tree"
+    #: Number of engine shards per cell.  1 runs the plain single-engine
+    #: path; > 1 hosts each cell behind a ShardedMonitor.
+    shards: int = 1
+    #: Shard executor (``"serial"``/``"threads"``); only used when
+    #: ``shards > 1``.
+    shard_executor: str = "serial"
+    #: Partitioning policy (``"hash"``/``"affinity"``) for sharded cells.
+    shard_policy: str = "hash"
     corpus: CorpusConfig = field(default_factory=CorpusConfig)
     seed: int = 42
 
@@ -94,6 +102,16 @@ class ExperimentSpec:
         if self.workload not in ("uniform", "connected"):
             raise BenchmarkError(
                 f"experiment {self.name}: workload must be 'uniform' or 'connected'"
+            )
+        if self.shards <= 0:
+            raise BenchmarkError(f"experiment {self.name}: shards must be > 0")
+        if self.shard_executor not in ("serial", "threads"):
+            raise BenchmarkError(
+                f"experiment {self.name}: shard_executor must be 'serial' or 'threads'"
+            )
+        if self.shard_policy not in ("hash", "affinity"):
+            raise BenchmarkError(
+                f"experiment {self.name}: shard_policy must be 'hash' or 'affinity'"
             )
 
     def workload_config(self) -> WorkloadConfig:

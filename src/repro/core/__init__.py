@@ -30,7 +30,7 @@ from repro.core.bounds import (
 )
 from repro.core.rio import RIOAlgorithm
 from repro.core.mrio import MRIOAlgorithm
-from repro.core.factory import create_algorithm, available_algorithms
+from repro.core.factory import create_algorithm, available_algorithms, register_algorithm
 from repro.core.monitor import ContinuousMonitor
 
 __all__ = [
@@ -51,5 +51,6 @@ __all__ = [
     "MRIOAlgorithm",
     "create_algorithm",
     "available_algorithms",
+    "register_algorithm",
     "ContinuousMonitor",
 ]

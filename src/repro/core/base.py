@@ -313,6 +313,78 @@ class StreamAlgorithm(abc.ABC):
             self._on_renormalize(factor)
         return factor
 
+    # ------------------------------------------------------------------ #
+    # Snapshot / restore (shard rebalancing)
+    # ------------------------------------------------------------------ #
+
+    def snapshot(self) -> Dict[str, object]:
+        """Capture the full engine state: queries, results, decay, counters.
+
+        The snapshot is a structural (in-memory) capture meant for handing
+        an engine's queries to other engine shards during rebalancing —
+        :class:`~repro.queries.query.Query` objects are shared by reference,
+        everything else is copied.  Timing samples (``response_times``) are
+        measurements, not state, and are not part of it.
+        """
+        return {
+            "algorithm": self.name,
+            "queries": list(self.queries.values()),
+            "results": self.results.snapshot(),
+            "decay": self.decay.snapshot(),
+            "counters": self.counters.snapshot(),
+            "last_arrival": self._last_arrival,
+        }
+
+    def restore(self, state: Dict[str, object]) -> None:
+        """Replace this engine's state with a :meth:`snapshot` capture.
+
+        Re-registers the captured queries (rebuilding the per-term
+        structures), restores each query's result heap, the decay origin,
+        the counters and the stream clock, then lets the algorithm refresh
+        whatever cached bounds depend on thresholds
+        (:meth:`_restore_structures`).  Restoring a snapshot taken from a
+        *different* engine is the rebalancing primitive: the restored
+        engine continues the stream exactly where the captured one stopped.
+        """
+        for query_id in list(self.queries):
+            self.unregister(query_id)
+        self.decay.restore(state["decay"])  # type: ignore[arg-type]
+        for query in state["queries"]:  # type: ignore[union-attr]
+            self.register(query)
+        self.results.restore(state["results"])  # type: ignore[arg-type]
+        self.counters.restore(state["counters"])  # type: ignore[arg-type]
+        self._last_arrival = state["last_arrival"]  # type: ignore[assignment]
+        self._restore_structures()
+
+    def restore_queries(self, queries: Iterable[Query], state: Dict[str, object]) -> None:
+        """Adopt a *subset* of a captured engine's queries into this engine.
+
+        Used when a router re-partitions one snapshot across several
+        shards: ``queries`` selects the partition, while decay, stream
+        clock and per-query results come from ``state``.  Counters are
+        intentionally not adopted (they cannot be attributed to a query
+        subset); the caller keeps them wherever it aggregates statistics.
+        """
+        self.decay.restore(state["decay"])  # type: ignore[arg-type]
+        captured_results = state["results"]  # type: ignore[assignment]
+        for query in queries:
+            self.register(query)
+            result_state = captured_results.get(query.query_id)  # type: ignore[union-attr]
+            if result_state is not None:
+                self.results.get(query.query_id).restore(result_state)
+        self._last_arrival = state["last_arrival"]  # type: ignore[assignment]
+        self._restore_structures()
+
+    def _restore_structures(self) -> None:
+        """Refresh threshold-dependent caches after a restore.
+
+        The default funnels every query through :meth:`_on_threshold_change`
+        — correct for all algorithms whose caches key off ``S_k``; engines
+        with wholesale invalidation override this.
+        """
+        for query in self.queries.values():
+            self._on_threshold_change(query)
+
     def notify_threshold_change(self, query_id: QueryId) -> None:
         """External notification that a query's threshold changed.
 

@@ -113,6 +113,17 @@ class BoundMaintainer(QueryIndexListener):
         """Every stored threshold was divided by ``factor`` (ratios grew)."""
         raise NotImplementedError
 
+    def restore(self) -> None:
+        """Engine state was restored from a snapshot; every threshold may
+        have changed in either direction, so any cached ratio is void.
+
+        The default rebuilds via :meth:`on_threshold_change` per query,
+        which is correct for every maintainer; subclasses override it when
+        a wholesale invalidation is cheaper.
+        """
+        for query in self.index.queries():
+            self.on_threshold_change(query)
+
     # -- QueryIndexListener ----------------------------------------------- #
 
     def on_query_registered(self, query: Query) -> None:  # pragma: no cover - overridden
@@ -202,6 +213,10 @@ class GlobalMaxBounds(BoundMaintainer):
             if math.isfinite(self._max[term_id]):
                 self._max[term_id] *= factor
 
+    def restore(self) -> None:
+        for term_id in list(self._max):
+            self._recompute_term(term_id)
+
     def on_query_registered(self, query: Query) -> None:
         for term_id, weight in query.vector.items():
             ratio = self.current_ratio(query.query_id, weight)
@@ -249,6 +264,9 @@ class ExactZoneBounds(BoundMaintainer):
         return
 
     def on_renormalize(self, factor: float) -> None:
+        return
+
+    def restore(self) -> None:
         return
 
     def on_query_registered(self, query: Query) -> None:
@@ -348,6 +366,10 @@ class _StoredRatioZoneBounds(BoundMaintainer):
         # Every stored ratio changes by the same factor; rebuilding lazily is
         # simpler than patching the structures in place.
         self._dirty.update(term_id for term_id in self._structures)
+
+    def restore(self) -> None:
+        # Restored thresholds void every stored ratio; rebuild lazily.
+        self._dirty.update(plist.term_id for plist in self.index.posting_lists())
 
     def on_query_registered(self, query: Query) -> None:
         self._dirty.update(query.vector.keys())

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List
 
 from repro.documents.document import Document
 from repro.index.postings import QueryPostingList

@@ -114,6 +114,32 @@ class ExpirationManager:
         self.algorithm.notify_threshold_change(query_id)
 
     # ------------------------------------------------------------------ #
+    # Snapshot / restore (shard rebalancing)
+    # ------------------------------------------------------------------ #
+
+    def snapshot(self) -> Dict[str, object]:
+        """The live window in arrival order (documents shared by reference)."""
+        return {"horizon": self.store.horizon, "live": self.store.live_documents()}
+
+    def restore(self, state: Dict[str, object]) -> None:
+        """Rebuild the window store, the document index and the reverse map.
+
+        The holder map is derived from the *algorithm's* current result
+        membership rather than captured, so a restore that adopted only a
+        subset of the captured queries (shard rebalancing) ends up exactly
+        consistent with what that subset holds.
+        """
+        self.store = SlidingWindowStore(float(state["horizon"]))  # type: ignore[arg-type]
+        self.doc_index = DocumentIndex()
+        for document in state["live"]:  # type: ignore[union-attr]
+            self.store.add(document)
+            self.doc_index.add(document)
+        self._holders = {}
+        for query_id in self.algorithm.queries:
+            for entry in self.algorithm.results.get(query_id).entries():
+                self._holders.setdefault(entry.doc_id, set()).add(query_id)
+
+    # ------------------------------------------------------------------ #
     # Introspection
     # ------------------------------------------------------------------ #
 

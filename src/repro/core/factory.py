@@ -1,5 +1,11 @@
 """Name-based construction of monitoring algorithms.
 
+The factory is a thin veneer over the decorator-based registry in
+:mod:`repro.core.registry`: importing this module imports every built-in
+algorithm module, whose ``@register_algorithm(...)`` decorators populate the
+registry.  Third-party algorithms register the same way and become
+constructible through :func:`create_algorithm` without touching this file.
+
 Keeping the factory in its own module (importing concrete submodules
 directly) avoids import cycles between :mod:`repro.core` and
 :mod:`repro.baselines`.
@@ -7,31 +13,36 @@ directly) avoids import cycles between :mod:`repro.core` and
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Type
+from typing import List, Optional
 
-from repro.baselines.exhaustive import ExhaustiveAlgorithm
-from repro.baselines.rta import RTAAlgorithm
-from repro.baselines.sortquer import SortQuerAlgorithm
-from repro.baselines.tps import TPSAlgorithm
+# Importing the concrete modules triggers their @register_algorithm
+# decorators; the imported names themselves are not used here.
+import repro.baselines.exhaustive  # noqa: F401
+import repro.baselines.rta  # noqa: F401
+import repro.baselines.sortquer  # noqa: F401
+import repro.baselines.tps  # noqa: F401
+import repro.core.mrio  # noqa: F401
+import repro.core.rio  # noqa: F401
 from repro.core.base import StreamAlgorithm
-from repro.core.mrio import MRIOAlgorithm
-from repro.core.rio import RIOAlgorithm
+from repro.core.registry import (
+    register_algorithm,
+    registered_algorithms,
+    resolve_algorithm,
+    unregister_algorithm,
+)
 from repro.documents.decay import ExponentialDecay
-from repro.exceptions import ConfigurationError
 
-_ALGORITHMS: Dict[str, Type[StreamAlgorithm]] = {
-    "rio": RIOAlgorithm,
-    "mrio": MRIOAlgorithm,
-    "rta": RTAAlgorithm,
-    "sortquer": SortQuerAlgorithm,
-    "tps": TPSAlgorithm,
-    "exhaustive": ExhaustiveAlgorithm,
-}
+__all__ = [
+    "available_algorithms",
+    "create_algorithm",
+    "register_algorithm",
+    "unregister_algorithm",
+]
 
 
 def available_algorithms() -> List[str]:
     """Names accepted by :func:`create_algorithm` (and the benchmarks)."""
-    return sorted(_ALGORITHMS)
+    return registered_algorithms()
 
 
 def create_algorithm(
@@ -52,9 +63,5 @@ def create_algorithm(
         Extra keyword arguments forwarded to the algorithm constructor
         (e.g. ``ub_variant="exact"`` for MRIO).
     """
-    cls = _ALGORITHMS.get(name.lower())
-    if cls is None:
-        raise ConfigurationError(
-            f"unknown algorithm {name!r}; expected one of {available_algorithms()}"
-        )
+    cls = resolve_algorithm(name)
     return cls(decay=decay, **kwargs)  # type: ignore[arg-type]

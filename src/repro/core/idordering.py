@@ -45,6 +45,18 @@ def _cursor_qid(cursor: ListCursor) -> int:
     return cursor.plist.qids[cursor.pos]
 
 
+def _cursor_term(cursor: ListCursor) -> int:
+    """Sort key: the term of the cursor's posting list.
+
+    Full evaluations accumulate a dot product over the prefix of cursors
+    sitting on the pivot query; summing those contributions in term order
+    makes the floating-point result independent of cursor insertion history
+    — and therefore identical across per-event/batched ingestion and any
+    partitioning of the query set over engine shards.
+    """
+    return cursor.plist.term_id
+
+
 class ReverseIDOrderingBase(StreamAlgorithm):
     """Common machinery of RIO and MRIO."""
 
@@ -123,6 +135,14 @@ class ReverseIDOrderingBase(StreamAlgorithm):
     def _on_renormalize(self, factor: float) -> None:
         self.bounds.on_renormalize(factor)
         self._zone_cache.clear()
+
+    def _restore_structures(self) -> None:
+        # A restore may move every threshold in either direction at once;
+        # wholesale invalidation of the bound structures and the zone memo
+        # is cheaper than per-query point updates.
+        self.bounds.restore()
+        self._zone_cache.clear()
+        self._batch_zone_fns = {}
 
     # ------------------------------------------------------------------ #
     # Document processing
@@ -263,6 +283,9 @@ class ReverseIDOrderingBase(StreamAlgorithm):
                 prefix_end = bisect_right(aqids, pivot_qid)
                 similarity = 0.0
                 moved = active[:prefix_end]
+                if prefix_end > 1:
+                    # Canonical (term-ordered) summation: see _cursor_term.
+                    moved.sort(key=_cursor_term)
                 for cursor in moved:
                     similarity += cursor.doc_weight * cursor.plist.weights[cursor.pos]
                 postings_scanned += prefix_end

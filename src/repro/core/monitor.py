@@ -24,7 +24,7 @@ High-throughput ingestion goes through the batch fast path instead::
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence
 
 from repro.core.base import StreamAlgorithm, UpdateListener
 from repro.core.config import MonitorConfig
@@ -244,3 +244,29 @@ class ContinuousMonitor:
         info = self.algorithm.describe()
         info["window_horizon"] = self.config.window_horizon
         return info
+
+    # ------------------------------------------------------------------ #
+    # Snapshot / restore
+    # ------------------------------------------------------------------ #
+
+    def snapshot(self) -> Dict[str, object]:
+        """Capture the full engine state (plus the live window if any).
+
+        The capture is what the sharded runtime moves between engine shards
+        when rebalancing; restoring it into a fresh monitor resumes the
+        stream exactly where this one stopped.
+        """
+        state = self.algorithm.snapshot()
+        if self._expiration is not None:
+            state["expiration"] = self._expiration.snapshot()
+        return state
+
+    def restore(self, state: Dict[str, object]) -> None:
+        """Restore a :meth:`snapshot` capture into this monitor."""
+        self.algorithm.restore(state)
+        if self._expiration is not None and "expiration" in state:
+            self._expiration.restore(state["expiration"])  # type: ignore[arg-type]
+        self._next_query_id = max(
+            (query_id + 1 for query_id in self.algorithm.queries),
+            default=self._next_query_id,
+        )

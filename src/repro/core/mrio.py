@@ -20,12 +20,14 @@ from typing import List, Optional
 
 from repro.core.bounds import BoundMaintainer, INF, NEG_INF, make_zone_bounds
 from repro.core.cursors import ListCursor
-from repro.core.idordering import ReverseIDOrderingBase, _cursor_qid
+from repro.core.idordering import ReverseIDOrderingBase, _cursor_qid, _cursor_term
+from repro.core.registry import register_algorithm
 from repro.core.results import ResultUpdate
 from repro.documents.decay import ExponentialDecay
 from repro.exceptions import ConfigurationError
 
 
+@register_algorithm("mrio")
 class MRIOAlgorithm(ReverseIDOrderingBase):
     """Minimal RIO with locally adaptive zone bounds (Eq. 3).
 
@@ -250,6 +252,9 @@ class MRIOAlgorithm(ReverseIDOrderingBase):
                 prefix_end = bisect_right(aqids, pivot_qid)
                 similarity = 0.0
                 moved = active[:prefix_end]
+                if prefix_end > 1:
+                    # Canonical (term-ordered) summation: see _cursor_term.
+                    moved.sort(key=_cursor_term)
                 for cursor in moved:
                     similarity += cursor.doc_weight * cursor.plist.weights[cursor.pos]
                 postings_scanned += prefix_end

@@ -1,0 +1,74 @@
+"""Decorator-based registry of stream-processing algorithms.
+
+Algorithms announce themselves with :func:`register_algorithm` instead of
+being hard-coded in the factory::
+
+    @register_algorithm("mrio")
+    class MRIOAlgorithm(ReverseIDOrderingBase):
+        ...
+
+which lets shard workers, tests and third-party extensions plug in new
+implementations without editing :mod:`repro.core.factory`.  The registry
+lives in its own module precisely so concrete algorithm modules can import
+it without creating a cycle through the factory (which must import the
+concrete modules to trigger their registration).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Type, Union
+
+from repro.exceptions import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.core.base import StreamAlgorithm
+
+#: name (lower case) -> algorithm class.  Populated by the decorator.
+_REGISTRY: Dict[str, Type["StreamAlgorithm"]] = {}
+
+
+def register_algorithm(
+    name: str, cls: Optional[Type["StreamAlgorithm"]] = None
+) -> Union[Callable[[Type["StreamAlgorithm"]], Type["StreamAlgorithm"]], Type["StreamAlgorithm"]]:
+    """Register an algorithm class under ``name``.
+
+    Usable both as a decorator (``@register_algorithm("mrio")``) and as a
+    plain call (``register_algorithm("mrio", MRIOAlgorithm)``).  Registering
+    an already-taken name raises unless it re-registers the same class
+    (which makes module reloads idempotent).
+    """
+    key = name.lower()
+
+    def decorate(algorithm_cls: Type["StreamAlgorithm"]) -> Type["StreamAlgorithm"]:
+        existing = _REGISTRY.get(key)
+        if existing is not None and existing is not algorithm_cls:
+            raise ConfigurationError(
+                f"algorithm name {key!r} is already registered to "
+                f"{existing.__qualname__}"
+            )
+        _REGISTRY[key] = algorithm_cls
+        return algorithm_cls
+
+    if cls is not None:
+        return decorate(cls)
+    return decorate
+
+
+def unregister_algorithm(name: str) -> None:
+    """Remove ``name`` from the registry (primarily for test cleanup)."""
+    _REGISTRY.pop(name.lower(), None)
+
+
+def registered_algorithms() -> List[str]:
+    """Sorted names currently in the registry."""
+    return sorted(_REGISTRY)
+
+
+def resolve_algorithm(name: str) -> Type["StreamAlgorithm"]:
+    """Look up a registered algorithm class by (case-insensitive) name."""
+    cls = _REGISTRY.get(name.lower())
+    if cls is None:
+        raise ConfigurationError(
+            f"unknown algorithm {name!r}; expected one of {registered_algorithms()}"
+        )
+    return cls

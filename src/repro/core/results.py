@@ -260,6 +260,26 @@ class TopKResult:
         for doc_id, score in entries:
             self.offer(doc_id, score)
 
+    # ------------------------------------------------------------------ #
+    # Snapshot / restore (shard rebalancing)
+    # ------------------------------------------------------------------ #
+
+    def snapshot(self) -> Dict[str, object]:
+        """The result state as a plain dict of primitives.
+
+        The heap is stored as-is (score, doc_id) pairs; restoring heapifies
+        the same values, so the threshold and every stored score are
+        bit-for-bit identical to the captured state.
+        """
+        return {"k": self.k, "heap": list(self._heap)}
+
+    def restore(self, state: Dict[str, object]) -> None:
+        """Restore state captured by :meth:`snapshot`."""
+        self.k = int(state["k"])  # type: ignore[arg-type]
+        self._heap = [(float(score), doc_id) for score, doc_id in state["heap"]]  # type: ignore[union-attr]
+        heapq.heapify(self._heap)
+        self._scores = {doc_id: score for score, doc_id in self._heap}
+
 
 class ResultStore:
     """Holds the :class:`TopKResult` of every registered query.
@@ -306,6 +326,22 @@ class ResultStore:
     def scale_all(self, factor: float) -> None:
         for result in self._results.values():
             result.scale(factor)
+
+    def snapshot(self) -> Dict[QueryId, Dict[str, object]]:
+        """Per-query :meth:`TopKResult.snapshot` dicts (shard rebalancing)."""
+        return {query_id: result.snapshot() for query_id, result in self._results.items()}
+
+    def restore(self, state: Dict[QueryId, Dict[str, object]]) -> None:
+        """Restore every captured query result present in this store.
+
+        Queries are restored by id; a captured query that is not (or no
+        longer) registered here is skipped, which is what a router relies on
+        when it re-partitions one engine's snapshot across several shards.
+        """
+        for query_id, result_state in state.items():
+            result = self._results.get(query_id)
+            if result is not None:
+                result.restore(result_state)
 
     def query_ids(self) -> List[QueryId]:
         return list(self._results.keys())

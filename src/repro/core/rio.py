@@ -26,9 +26,11 @@ from typing import List, Optional
 from repro.core.bounds import GlobalMaxBounds, NEG_INF
 from repro.core.cursors import ListCursor
 from repro.core.idordering import ReverseIDOrderingBase
+from repro.core.registry import register_algorithm
 from repro.documents.decay import ExponentialDecay
 
 
+@register_algorithm("rio")
 class RIOAlgorithm(ReverseIDOrderingBase):
     """Reverse ID-Ordering with the global per-list bound (Eq. 2).
 

@@ -19,8 +19,8 @@ by benchmarks) or as raw text routed through the full analysis pipeline
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional
 
 import numpy as np
 

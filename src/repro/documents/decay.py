@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import Dict
 
 from repro.utils.validation import require_non_negative, require_positive
 
@@ -80,3 +81,27 @@ class ExponentialDecay:
         if self.lam == 0.0:
             return math.inf
         return math.log(2.0) / self.lam
+
+    # ------------------------------------------------------------------ #
+    # Snapshot / restore (shard rebalancing)
+    # ------------------------------------------------------------------ #
+
+    def snapshot(self) -> Dict[str, float]:
+        """The full decay state as a plain dict (see :meth:`restore`)."""
+        return {
+            "lam": self.lam,
+            "origin": self.origin,
+            "max_amplification": self.max_amplification,
+        }
+
+    def restore(self, state: Dict[str, float]) -> None:
+        """Restore state captured by :meth:`snapshot`.
+
+        Stored scores elsewhere are only comparable under the origin they
+        were amplified against, so a restore must always carry the origin
+        together with the results it accompanies.
+        """
+        self.lam = float(state["lam"])
+        self.origin = float(state["origin"])
+        self.max_amplification = float(state["max_amplification"])
+        self.__post_init__()

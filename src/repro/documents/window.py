@@ -11,7 +11,7 @@ of *live* documents, reports expirations, and backs the re-evaluation path in
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Dict, Iterator, List, Optional
+from typing import Iterator, List, Optional
 
 from repro.documents.document import Document
 from repro.exceptions import StreamError

@@ -9,7 +9,7 @@ one of its results expired).
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional
+from typing import Dict, Iterator, Optional
 
 from repro.documents.document import Document
 from repro.index.postings import DocPostingList

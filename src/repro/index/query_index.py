@@ -15,7 +15,7 @@ about thresholds or scores.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterator, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.exceptions import DuplicateQueryError, UnknownQueryError
 from repro.index.postings import QueryPostingList

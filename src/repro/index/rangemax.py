@@ -14,8 +14,7 @@ current pruning zone.  Two reusable structures are provided:
 
 from __future__ import annotations
 
-import math
-from typing import Iterable, List, Sequence
+from typing import List, Sequence
 
 NEG_INF = float("-inf")
 

@@ -5,12 +5,20 @@ optimality claim (claim (i) of the abstract) is about the *number of queries
 whose score is computed per event*.  The counters below track both, plus the
 lower-level quantities (iterations, postings touched, bound evaluations)
 that the ablation benchmarks report.
+
+Counters are *mergeable*: a sharded runtime keeps one instance per engine
+shard and aggregates them losslessly with :meth:`EventCounters.merge` (or
+``+=``).  Every field is a pure per-instance sum, so merging shard counters
+reconstructs exactly the totals a single engine would have counted — except
+``documents``, which each shard counts for every event it sees; a facade
+aggregating shards must take the stream's event count from the routing
+layer instead of summing it (see ``repro.runtime.sharded``).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict
+from dataclasses import dataclass
+from typing import Dict, Iterable
 
 
 @dataclass
@@ -63,8 +71,14 @@ class EventCounters:
             if name != "documents"
         }
 
-    def merge(self, other: "EventCounters") -> None:
-        """Add ``other``'s counts into this instance."""
+    def merge(self, other: "EventCounters") -> "EventCounters":
+        """Add ``other``'s counts into this instance; returns ``self``.
+
+        Merging is lossless: every field is a plain sum, so folding the
+        counters of independent engine shards yields exactly the totals of
+        the work they performed (``documents`` excepted — see the module
+        docstring).
+        """
         self.documents += other.documents
         self.full_evaluations += other.full_evaluations
         self.iterations += other.iterations
@@ -72,3 +86,26 @@ class EventCounters:
         self.bound_computations += other.bound_computations
         self.result_updates += other.result_updates
         self.elapsed_seconds += other.elapsed_seconds
+        return self
+
+    def __iadd__(self, other: "EventCounters") -> "EventCounters":
+        """``counters += other`` is an alias of :meth:`merge`."""
+        return self.merge(other)
+
+    def restore(self, state: Dict[str, float]) -> None:
+        """Overwrite every counter from a :meth:`snapshot` dict."""
+        self.documents = int(state["documents"])
+        self.full_evaluations = int(state["full_evaluations"])
+        self.iterations = int(state["iterations"])
+        self.postings_scanned = int(state["postings_scanned"])
+        self.bound_computations = int(state["bound_computations"])
+        self.result_updates = int(state["result_updates"])
+        self.elapsed_seconds = float(state["elapsed_seconds"])
+
+    @classmethod
+    def aggregate(cls, parts: Iterable["EventCounters"]) -> "EventCounters":
+        """A fresh instance holding the sum of ``parts``."""
+        total = cls()
+        for part in parts:
+            total.merge(part)
+        return total

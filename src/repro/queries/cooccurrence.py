@@ -12,7 +12,7 @@ differ in co-occurrence frequency, which a dedicated test does).
 from __future__ import annotations
 
 from itertools import combinations
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Iterable, List, Optional, Sequence
 
 import networkx as nx
 

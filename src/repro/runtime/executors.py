@@ -1,0 +1,121 @@
+"""Executors that run per-shard work, serially or on a thread pool.
+
+The sharded monitor fans every stream event (or batch) out to all shards;
+*how* those per-shard tasks run is pluggable:
+
+* :class:`SerialExecutor` — runs shard tasks one after another on the
+  calling thread.  Zero concurrency, zero overhead, fully deterministic —
+  the right choice for tests, differential runs and single-core boxes.
+* :class:`ThreadPoolShardExecutor` — runs shard tasks on a
+  :class:`concurrent.futures.ThreadPoolExecutor`.  Shards share no mutable
+  state, so they process the same event concurrently without locking; on
+  CPython the GIL serializes pure-Python bytecode, so wall-clock gains
+  need either multiple cores with GIL-releasing work or a free-threaded
+  build — the executor is the seam where that parallelism plugs in.
+
+Both return results in shard order and re-raise the first task exception,
+so callers observe identical semantics regardless of the executor.
+"""
+
+from __future__ import annotations
+
+import abc
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Dict, List, Optional, Sequence, Type, TypeVar, Union
+
+from repro.exceptions import ConfigurationError
+
+T = TypeVar("T")
+
+
+class ShardExecutor(abc.ABC):
+    """Runs a list of zero-argument shard tasks, preserving order."""
+
+    #: Short name used by :func:`make_executor` and the diagnostics.
+    name = "abstract"
+
+    @abc.abstractmethod
+    def run(self, tasks: Sequence[Callable[[], T]]) -> List[T]:
+        """Execute every task; returns their results in task order.
+
+        If any task raises, the exception propagates to the caller (after
+        all tasks were started, for pooled executors).
+        """
+
+    def close(self) -> None:
+        """Release any worker resources; the executor is unusable after."""
+
+    def __enter__(self) -> "ShardExecutor":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+class SerialExecutor(ShardExecutor):
+    """Run shard tasks sequentially on the calling thread."""
+
+    name = "serial"
+
+    def run(self, tasks: Sequence[Callable[[], T]]) -> List[T]:
+        return [task() for task in tasks]
+
+
+class ThreadPoolShardExecutor(ShardExecutor):
+    """Run shard tasks on a shared thread pool (one worker per shard).
+
+    The pool is created lazily on first use and must be :meth:`close`\\ d
+    (or the executor used as a context manager) to join the workers.
+    """
+
+    name = "threads"
+
+    def __init__(self, max_workers: int) -> None:
+        if max_workers <= 0:
+            raise ConfigurationError(f"max_workers must be > 0, got {max_workers}")
+        self.max_workers = max_workers
+        self._pool: Optional[ThreadPoolExecutor] = None
+
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.max_workers, thread_name_prefix="repro-shard"
+            )
+        return self._pool
+
+    def run(self, tasks: Sequence[Callable[[], T]]) -> List[T]:
+        if len(tasks) == 1:
+            # No point paying the submission round-trip for one shard.
+            return [tasks[0]()]
+        pool = self._ensure_pool()
+        futures = [pool.submit(task) for task in tasks]
+        # Collect in task order; Future.result re-raises task exceptions.
+        return [future.result() for future in futures]
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+
+_EXECUTORS: Dict[str, Type[ShardExecutor]] = {
+    SerialExecutor.name: SerialExecutor,
+    ThreadPoolShardExecutor.name: ThreadPoolShardExecutor,
+}
+
+
+def make_executor(spec: Union[str, ShardExecutor], n_shards: int) -> ShardExecutor:
+    """Resolve an executor name (``"serial"``/``"threads"``) or pass through.
+
+    ``n_shards`` sizes the worker pool for pooled executors.
+    """
+    if isinstance(spec, ShardExecutor):
+        return spec
+    cls = _EXECUTORS.get(str(spec).lower())
+    if cls is None:
+        raise ConfigurationError(
+            f"unknown shard executor {spec!r}; expected one of {sorted(_EXECUTORS)}"
+        )
+    if cls is ThreadPoolShardExecutor:
+        return ThreadPoolShardExecutor(max_workers=n_shards)
+    return cls()

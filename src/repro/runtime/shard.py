@@ -1,0 +1,180 @@
+"""One engine shard: a full monitoring engine owning a slice of the queries.
+
+An :class:`EngineShard` is a self-contained engine — its own
+:class:`~repro.core.base.StreamAlgorithm` (with query index and bound
+structures), its own :class:`~repro.documents.decay.ExponentialDecay`, its
+own :class:`~repro.core.expiration.ExpirationManager` when a window horizon
+is configured, and its own :class:`~repro.metrics.counters.EventCounters`.
+Shards share **no mutable state**, which is what lets the executor layer
+run them concurrently without locks.
+
+Every shard processes every stream event; because decay renormalization
+and window expiration are pure functions of the arrival-time sequence, all
+shards of a monitor keep *identical* decay origins and live windows, and a
+query's results are bit-for-bit what a single engine hosting all queries
+would maintain.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.base import StreamAlgorithm
+from repro.core.config import MonitorConfig
+from repro.core.expiration import ExpirationManager
+from repro.core.factory import create_algorithm
+from repro.core.results import BatchUpdate, ResultEntry, ResultUpdate
+from repro.documents.decay import ExponentialDecay
+from repro.documents.document import Document
+from repro.metrics.counters import EventCounters
+from repro.queries.query import Query
+from repro.types import QueryId
+
+
+class EngineShard:
+    """Hosts one partition of the registered queries behind one algorithm.
+
+    Example::
+
+        shard = EngineShard(0, MonitorConfig(algorithm="mrio"))
+        shard.register(query)
+        batch_updates = shard.process_batch(batch)
+    """
+
+    def __init__(self, shard_id: int, config: MonitorConfig) -> None:
+        self.shard_id = shard_id
+        self.config = config
+        decay = ExponentialDecay(
+            lam=config.lam, max_amplification=config.max_amplification
+        )
+        kwargs: Dict[str, object] = {}
+        if config.algorithm.lower() == "mrio":
+            kwargs["ub_variant"] = config.ub_variant
+        self.algorithm: StreamAlgorithm = create_algorithm(
+            config.algorithm, decay, **kwargs
+        )
+        self.expiration: Optional[ExpirationManager] = None
+        if config.window_horizon is not None:
+            self.expiration = ExpirationManager(self.algorithm, config.window_horizon)
+            self.algorithm.add_update_listener(self.expiration.on_result_update)
+        #: When True, raw per-event updates are buffered for the facade's
+        #: listeners (drained with :meth:`drain_raw_updates`).
+        self.capture_raw = False
+        self._raw_buffer: List[ResultUpdate] = []
+        self.algorithm.add_update_listener(self._on_raw_update)
+
+    # ------------------------------------------------------------------ #
+    # Query membership
+    # ------------------------------------------------------------------ #
+
+    def register(self, query: Query) -> None:
+        self.algorithm.register(query)
+
+    def unregister(self, query_id: QueryId) -> Query:
+        return self.algorithm.unregister(query_id)
+
+    @property
+    def queries(self) -> Dict[QueryId, Query]:
+        return self.algorithm.queries
+
+    @property
+    def num_queries(self) -> int:
+        return self.algorithm.num_queries
+
+    # ------------------------------------------------------------------ #
+    # Stream processing
+    # ------------------------------------------------------------------ #
+
+    def _on_raw_update(self, update: ResultUpdate) -> None:
+        if self.capture_raw:
+            self._raw_buffer.append(update)
+
+    def drain_raw_updates(self) -> List[ResultUpdate]:
+        """The raw updates buffered since the last drain (in emission order)."""
+        drained = self._raw_buffer
+        self._raw_buffer = []
+        return drained
+
+    def process(self, document: Document) -> List[ResultUpdate]:
+        """Process one stream event against this shard's queries."""
+        updates = self.algorithm.process(document)
+        if self.expiration is not None:
+            self.expiration.observe(document)
+            assert document.arrival_time is not None
+            self.expiration.expire(document.arrival_time)
+        return updates
+
+    def process_batch(self, documents: Sequence[Document]) -> List[BatchUpdate]:
+        """Process an arrival-ordered batch against this shard's queries."""
+        updates = self.algorithm.process_batch(documents)
+        if self.expiration is not None and documents:
+            for document in documents:
+                self.expiration.observe(document)
+            last = documents[-1]
+            assert last.arrival_time is not None
+            self.expiration.expire(last.arrival_time)
+        return updates
+
+    # ------------------------------------------------------------------ #
+    # Results and diagnostics
+    # ------------------------------------------------------------------ #
+
+    def top_k(self, query_id: QueryId) -> List[ResultEntry]:
+        return self.algorithm.top_k(query_id)
+
+    def threshold(self, query_id: QueryId) -> float:
+        return self.algorithm.threshold(query_id)
+
+    @property
+    def counters(self) -> EventCounters:
+        return self.algorithm.counters
+
+    @property
+    def response_times(self) -> List[float]:
+        return self.algorithm.response_times
+
+    @property
+    def live_window_size(self) -> Optional[int]:
+        if self.expiration is None:
+            return None
+        return self.expiration.live_documents
+
+    def describe(self) -> Dict[str, object]:
+        info = self.algorithm.describe()
+        info["shard_id"] = self.shard_id
+        return info
+
+    # ------------------------------------------------------------------ #
+    # Snapshot / restore (rebalancing)
+    # ------------------------------------------------------------------ #
+
+    def snapshot(self) -> Dict[str, object]:
+        """Capture engine state plus the live window (if any)."""
+        state: Dict[str, object] = {"engine": self.algorithm.snapshot()}
+        if self.expiration is not None:
+            state["expiration"] = self.expiration.snapshot()
+        return state
+
+    def restore(self, state: Dict[str, object]) -> None:
+        """Restore a full :meth:`snapshot` capture into this shard."""
+        self.algorithm.restore(state["engine"])  # type: ignore[arg-type]
+        if self.expiration is not None and "expiration" in state:
+            self.expiration.restore(state["expiration"])  # type: ignore[arg-type]
+
+    def adopt(
+        self,
+        queries: Sequence[Query],
+        engine_state: Dict[str, object],
+        expiration_state: Optional[Dict[str, object]] = None,
+    ) -> None:
+        """Adopt a partition of a captured engine into this (fresh) shard.
+
+        ``engine_state`` is a (possibly merged) engine snapshot providing
+        decay, stream clock and per-query results; ``queries`` selects the
+        partition this shard takes over.  The expiration window must be
+        restored *after* the results so the holder map reflects the adopted
+        partition only.
+        """
+        self.algorithm.restore_queries(queries, engine_state)
+        if self.expiration is not None and expiration_state is not None:
+            self.expiration.restore(expiration_state)

@@ -1,0 +1,414 @@
+"""The sharded monitoring facade: N engine shards behind one monitor API.
+
+:class:`ShardedMonitor` is drop-in API-compatible with
+:class:`~repro.core.monitor.ContinuousMonitor`: registration, per-event and
+batched processing, top-k lookups, listeners and statistics all behave the
+same — but behind the facade the registered queries are partitioned by a
+:class:`~repro.runtime.routing.QueryRouter` across independent
+:class:`~repro.runtime.shard.EngineShard` instances, and every stream event
+fans out to all shards through a pluggable
+:class:`~repro.runtime.executors.ShardExecutor`.
+
+Merge semantics
+---------------
+
+Each query lives in exactly one shard, so merging is concatenation, not
+reconciliation:
+
+* per-event and batched updates are merged across shards and ordered by
+  query id (stable, so each query's update sequence is preserved) — one
+  deterministic order regardless of the executor;
+* per-shard :class:`~repro.metrics.counters.EventCounters` merge losslessly
+  (every field is a sum over disjoint work), except ``documents``, which
+  every shard counts per event it sees; the facade reports the stream's
+  true event count, tracked at the routing layer;
+* listeners registered on the facade observe every raw
+  :class:`~repro.core.results.ResultUpdate`, replayed shard by shard after
+  the event (never concurrently).
+
+Because scoring, decay and expiration are per-query (or pure functions of
+the arrival sequence), a query's results, scores and thresholds are
+bit-for-bit identical to a single :class:`ContinuousMonitor` hosting the
+full query set — property-tested in ``tests/test_runtime_sharded.py``.
+
+Typical usage::
+
+    monitor = ShardedMonitor(MonitorConfig(algorithm="mrio"), n_shards=4,
+                             policy="affinity", executor="threads")
+    monitor.register_queries(queries)
+    for batch in BatchingStream(stream, max_batch=256):
+        for update in monitor.process_batch(batch):
+            notify_user(update.query_id, update.entries)
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Union
+
+from repro.core.config import MonitorConfig
+from repro.core.results import BatchUpdate, ResultEntry, ResultUpdate
+from repro.documents.document import Document
+from repro.exceptions import ConfigurationError
+from repro.metrics.counters import EventCounters
+from repro.queries.query import Query
+from repro.runtime.executors import ShardExecutor, ThreadPoolShardExecutor, make_executor
+from repro.runtime.routing import PartitionPolicy, QueryRouter, make_policy
+from repro.runtime.shard import EngineShard
+from repro.text.similarity import l2_normalize
+from repro.text.vectorizer import Vectorizer
+from repro.types import QueryId, SparseVector
+
+UpdateListener = Callable[[ResultUpdate], None]
+
+
+class ShardedMonitor:
+    """Hosts continuous top-k queries on parallel engine shards.
+
+    Example::
+
+        monitor = ShardedMonitor(n_shards=4, executor="threads")
+        query = monitor.register_vector({7: 0.8, 9: 0.6}, k=10)
+        monitor.process_batch(batch)
+        entries = monitor.top_k(query.query_id)
+    """
+
+    def __init__(
+        self,
+        config: Optional[MonitorConfig] = None,
+        n_shards: int = 2,
+        policy: Union[str, PartitionPolicy] = "hash",
+        executor: Union[str, ShardExecutor] = "serial",
+        vectorizer: Optional[Vectorizer] = None,
+    ) -> None:
+        if n_shards <= 0:
+            raise ConfigurationError(f"n_shards must be > 0, got {n_shards}")
+        self.config = config or MonitorConfig()
+        self.vectorizer = vectorizer
+        self._shards = [EngineShard(i, self.config) for i in range(n_shards)]
+        self._router = QueryRouter(n_shards, make_policy(policy))
+        self._executor = make_executor(executor, n_shards)
+        self._listeners: List[UpdateListener] = []
+        self._next_query_id = 0
+        #: Stream events processed, tracked here because every shard counts
+        #: each event once (see the counters module docstring).
+        self._documents_processed = 0
+        #: Counters of shards retired by past rebalances (kept so that
+        #: :attr:`statistics` stays lossless across rebalancing).
+        self._retired_counters = EventCounters()
+
+    # ------------------------------------------------------------------ #
+    # Topology
+    # ------------------------------------------------------------------ #
+
+    @property
+    def n_shards(self) -> int:
+        return len(self._shards)
+
+    @property
+    def shards(self) -> List[EngineShard]:
+        """The engine shards (read-only view; do not mutate them directly)."""
+        return list(self._shards)
+
+    @property
+    def router(self) -> QueryRouter:
+        return self._router
+
+    def close(self) -> None:
+        """Release executor workers (a no-op for the serial executor)."""
+        self._executor.close()
+
+    def __enter__(self) -> "ShardedMonitor":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # Query registration (ContinuousMonitor-compatible)
+    # ------------------------------------------------------------------ #
+
+    def _take_query_id(self) -> QueryId:
+        query_id = self._next_query_id
+        self._next_query_id += 1
+        return query_id
+
+    def register_query(self, query: Query) -> Query:
+        """Register a fully formed :class:`Query` (caller-assigned id)."""
+        shard = self._router.route(query)
+        self._shards[shard].register(query)
+        self._next_query_id = max(self._next_query_id, query.query_id + 1)
+        return query
+
+    def register_queries(self, queries: Iterable[Query]) -> List[Query]:
+        return [self.register_query(query) for query in queries]
+
+    def register_vector(
+        self, vector: SparseVector, k: Optional[int] = None, user: Optional[str] = None
+    ) -> Query:
+        """Register a query from a (possibly unnormalized) sparse vector."""
+        query = Query(
+            query_id=self._take_query_id(),
+            vector=l2_normalize(vector),
+            k=k or self.config.default_k,
+            user=user,
+        )
+        return self.register_query(query)
+
+    def register_keywords(
+        self,
+        keywords: Iterable[str],
+        k: Optional[int] = None,
+        user: Optional[str] = None,
+    ) -> Query:
+        """Register a query from raw keywords (requires a vectorizer)."""
+        if self.vectorizer is None:
+            raise ConfigurationError(
+                "register_keywords requires a Vectorizer; pass one to the monitor"
+            )
+        vector = self.vectorizer.vectorize_keywords(keywords)
+        if not vector:
+            raise ConfigurationError(
+                "the supplied keywords produced an empty vector (all stopwords "
+                "or unknown terms)"
+            )
+        return self.register_vector(vector, k=k, user=user)
+
+    def unregister(self, query_id: QueryId) -> Query:
+        """Remove a continuous query from its shard."""
+        shard = self._router.shard_of(query_id)
+        query = self._shards[shard].unregister(query_id)
+        self._router.release(query)
+        return query
+
+    @property
+    def num_queries(self) -> int:
+        return sum(shard.num_queries for shard in self._shards)
+
+    # ------------------------------------------------------------------ #
+    # Stream processing
+    # ------------------------------------------------------------------ #
+
+    def _dispatch_raw_updates(self) -> None:
+        """Replay buffered raw updates to the facade listeners, shard by shard."""
+        for shard in self._shards:
+            for update in shard.drain_raw_updates():
+                for listener in self._listeners:
+                    listener(update)
+
+    def process(self, document) -> List[ResultUpdate]:
+        """Process one stream event on every shard; merged updates, by query id."""
+        per_shard = self._executor.run(
+            [lambda shard=shard: shard.process(document) for shard in self._shards]
+        )
+        self._documents_processed += 1
+        if self._listeners:
+            self._dispatch_raw_updates()
+        merged: List[ResultUpdate] = []
+        for updates in per_shard:
+            merged.extend(updates)
+        merged.sort(key=lambda update: update.query_id)
+        return merged
+
+    def process_text(self, doc_id: int, text: str, arrival_time: float) -> List[ResultUpdate]:
+        """Vectorize raw text and process it (requires a vectorizer)."""
+        if self.vectorizer is None:
+            raise ConfigurationError(
+                "process_text requires a Vectorizer; pass one to the monitor"
+            )
+        vector = self.vectorizer.vectorize_text(text)
+        if not vector:
+            return []
+        document = Document(
+            doc_id=doc_id, vector=vector, arrival_time=arrival_time, text=text
+        )
+        return self.process(document)
+
+    def process_stream(self, documents, limit: Optional[int] = None) -> List[ResultUpdate]:
+        """Process a sequence (or bounded prefix) through the per-event path."""
+        updates: List[ResultUpdate] = []
+        for count, document in enumerate(documents):
+            if limit is not None and count >= limit:
+                break
+            updates.extend(self.process(document))
+        return updates
+
+    def process_batch(self, documents: Sequence) -> List[BatchUpdate]:
+        """Process an arrival-ordered batch on every shard in parallel.
+
+        Returns the shards' coalesced :class:`BatchUpdate` lists merged and
+        ordered by query id — at most one update per affected query, like
+        the single monitor, in one deterministic order regardless of the
+        executor.
+        """
+        docs = documents if isinstance(documents, list) else list(documents)
+        per_shard = self._executor.run(
+            [lambda shard=shard: shard.process_batch(docs) for shard in self._shards]
+        )
+        self._documents_processed += len(docs)
+        if self._listeners:
+            self._dispatch_raw_updates()
+        merged: List[BatchUpdate] = []
+        for updates in per_shard:
+            merged.extend(updates)
+        merged.sort(key=lambda update: update.query_id)
+        return merged
+
+    def process_batches(self, batches: Iterable[Sequence]) -> List[BatchUpdate]:
+        """Drain an iterable of batches through :meth:`process_batch`."""
+        updates: List[BatchUpdate] = []
+        for batch in batches:
+            updates.extend(self.process_batch(batch))
+        return updates
+
+    # ------------------------------------------------------------------ #
+    # Results and diagnostics
+    # ------------------------------------------------------------------ #
+
+    def top_k(self, query_id: QueryId) -> List[ResultEntry]:
+        """The current top-k of a query, best first."""
+        return self._shards[self._router.shard_of(query_id)].top_k(query_id)
+
+    def threshold(self, query_id: QueryId) -> float:
+        return self._shards[self._router.shard_of(query_id)].threshold(query_id)
+
+    def all_results(self) -> Dict[QueryId, List[ResultEntry]]:
+        """A snapshot of every query's current result, across all shards."""
+        results: Dict[QueryId, List[ResultEntry]] = {}
+        for shard in self._shards:
+            for query_id in shard.queries:
+                results[query_id] = shard.top_k(query_id)
+        return results
+
+    def add_update_listener(self, listener: UpdateListener) -> None:
+        """Register a callback invoked for every raw result update.
+
+        Listeners run on the caller's thread after each event/batch has
+        been merged — never concurrently — in shard order, with each
+        query's update sequence preserved.
+        """
+        self._listeners.append(listener)
+        for shard in self._shards:
+            shard.capture_raw = True
+
+    @property
+    def statistics(self) -> EventCounters:
+        """Lossless merge of per-shard counters, as one coherent view.
+
+        Work counters sum across shards (disjoint work).  ``documents`` is
+        the stream's true event count — summing it across shards would
+        multiply it by the shard count, the one counter that is global to
+        the monitor rather than per-partition.
+        """
+        merged = EventCounters.aggregate(shard.counters for shard in self._shards)
+        merged.merge(self._retired_counters)
+        merged.documents = self._documents_processed
+        return merged
+
+    @property
+    def response_times(self) -> List[float]:
+        """Per-event engine seconds, summed across shards (total work per event)."""
+        per_shard = [shard.response_times for shard in self._shards]
+        return [sum(samples) for samples in zip(*per_shard)]
+
+    def reset_statistics(self) -> None:
+        """Zero all counters and timing samples (e.g. after a warm-up phase)."""
+        for shard in self._shards:
+            shard.counters.reset()
+            shard.response_times.clear()
+            shard.algorithm.batch_response_times.clear()
+        self._retired_counters.reset()
+        self._documents_processed = 0
+
+    @property
+    def live_window_size(self) -> Optional[int]:
+        """Number of live documents when a window horizon is configured.
+
+        Every shard maintains an identical window (expiration is a pure
+        function of the arrival sequence), so shard 0 answers for all.
+        """
+        return self._shards[0].live_window_size
+
+    def describe(self) -> Dict[str, object]:
+        return {
+            "runtime": "sharded",
+            "algorithm": self.config.algorithm,
+            "n_shards": self.n_shards,
+            "policy": self._router.policy.name,
+            "executor": self._executor.name,
+            "num_queries": self.num_queries,
+            "shard_loads": self._router.loads(),
+            "documents_processed": self._documents_processed,
+            "window_horizon": self.config.window_horizon,
+        }
+
+    # ------------------------------------------------------------------ #
+    # Rebalancing
+    # ------------------------------------------------------------------ #
+
+    def rebalance(
+        self,
+        n_shards: Optional[int] = None,
+        policy: Optional[Union[str, PartitionPolicy]] = None,
+    ) -> None:
+        """Repartition the registered queries onto a new shard topology.
+
+        Captures every shard's engine state, rebuilds the shard set with
+        the requested size/policy, and re-routes each query (ascending id,
+        so placement is deterministic) together with its captured result
+        heap, the common decay origin, stream clock and live window.
+        Results, scores and thresholds are preserved bit-for-bit; the old
+        shards' work counters are retired into the facade so
+        :attr:`statistics` remains lossless.
+        """
+        new_n = n_shards if n_shards is not None else self.n_shards
+        if new_n <= 0:
+            raise ConfigurationError(f"n_shards must be > 0, got {new_n}")
+        snapshots = [shard.snapshot() for shard in self._shards]
+
+        # Merge the captures: queries and results are disjoint unions;
+        # decay, stream clock and live window are identical in every shard
+        # (pure functions of the arrival sequence), so the first shard's
+        # capture provides them.
+        reference = snapshots[0]["engine"]
+        merged_engine: Dict[str, object] = {
+            "decay": reference["decay"],  # type: ignore[index]
+            "last_arrival": reference["last_arrival"],  # type: ignore[index]
+            "results": {},
+        }
+        queries: List[Query] = []
+        for state in snapshots:
+            engine = state["engine"]
+            queries.extend(engine["queries"])  # type: ignore[index]
+            merged_engine["results"].update(engine["results"])  # type: ignore[union-attr, index]
+            self._retired_counters += EventCounters(
+                **{
+                    name: value
+                    for name, value in engine["counters"].items()  # type: ignore[index]
+                }
+            )
+        expiration_state = snapshots[0].get("expiration")
+        queries.sort(key=lambda query: query.query_id)
+
+        self._shards = [EngineShard(i, self.config) for i in range(new_n)]
+        if self._listeners:
+            for shard in self._shards:
+                shard.capture_raw = True
+        # Reuse the existing policy instance when none is requested:
+        # QueryRouter re-binds it, which resets its placement state for the
+        # new topology while preserving its configuration (and custom
+        # subclasses the by-name registry does not know).
+        next_policy = make_policy(policy) if policy is not None else self._router.policy
+        self._router = QueryRouter(new_n, next_policy)
+        partitions: List[List[Query]] = [[] for _ in range(new_n)]
+        for query in queries:
+            partitions[self._router.route(query)].append(query)
+        for shard, partition in zip(self._shards, partitions):
+            shard.adopt(partition, merged_engine, expiration_state)  # type: ignore[arg-type]
+
+        if (
+            isinstance(self._executor, ThreadPoolShardExecutor)
+            and self._executor.max_workers != new_n
+        ):
+            # Resize the worker pool to the new shard count.
+            self._executor.close()
+            self._executor = make_executor(self._executor.name, new_n)

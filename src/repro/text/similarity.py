@@ -9,7 +9,6 @@ stream algorithms use internally.
 from __future__ import annotations
 
 import math
-from typing import Dict
 
 from repro.types import SparseVector
 

@@ -128,6 +128,26 @@ class TestHarness:
             oracle.counters["result_updates"]
         )
 
+    def test_sharded_cell_matches_single_engine_work(self):
+        """shards=N cells process the same workload with the same outcome."""
+        single = run_cell(_micro_spec(), "mrio", 30)
+        sharded = run_cell(_micro_spec(shards=3), "mrio", 30)
+        assert sharded.extra["shards"] == 3.0
+        assert len(sharded.response_times) == len(single.response_times)
+        # Result admissions are partition-invariant; per-document counters
+        # are averaged over the same event count.
+        assert sharded.counters["result_updates"] == pytest.approx(
+            single.counters["result_updates"]
+        )
+
+    def test_sharded_cell_validates_spec(self):
+        with pytest.raises(BenchmarkError):
+            _micro_spec(shards=0)
+        with pytest.raises(BenchmarkError):
+            _micro_spec(shard_executor="processes")
+        with pytest.raises(BenchmarkError):
+            _micro_spec(shard_policy="afinity")
+
     def test_reporting_tables(self):
         spec = _micro_spec()
         result = run_experiment(spec)

@@ -18,7 +18,6 @@ from repro.core.results import BatchUpdate, ResultEntry, ResultUpdate, coalesce_
 from repro.documents.decay import ExponentialDecay
 from repro.documents.stream import BatchingStream, DocumentStream, StreamConfig
 from repro.exceptions import StreamError
-from repro.queries.workloads import UniformWorkload, WorkloadConfig
 
 from tests.helpers import make_document, make_query
 
@@ -121,7 +120,9 @@ class TestBatchEquivalence:
         # The origin moved (renormalization happened) but only at batch
         # boundaries, i.e. at most once per batch.
         assert len(set(origins)) > 1
-        ranked = lambda algo: [entry.doc_id for entry in algo.top_k(0)]
+        def ranked(algo):
+            return [entry.doc_id for entry in algo.top_k(0)]
+
         assert ranked(sequential) == ranked(batched)
 
     def test_empty_batch_is_a_noop(self, small_corpus, small_queries):
@@ -237,10 +238,12 @@ class TestMonitorBatch:
         for start in range(0, len(documents), 30):
             batched.process_batch(documents[start : start + 30])
 
-        snap = lambda monitor: {
-            query_id: [(e.doc_id, round(e.score, 9)) for e in entries]
-            for query_id, entries in monitor.all_results().items()
-        }
+        def snap(monitor):
+            return {
+                query_id: [(e.doc_id, round(e.score, 9)) for e in entries]
+                for query_id, entries in monitor.all_results().items()
+            }
+
         assert snap(sequential) == snap(batched)
         assert sequential.live_window_size == batched.live_window_size
 

@@ -4,7 +4,6 @@ import pytest
 
 from repro.core.config import MonitorConfig
 from repro.core.monitor import ContinuousMonitor
-from repro.documents.decay import ExponentialDecay
 from tests.helpers import make_document, make_query
 
 

@@ -31,10 +31,42 @@ class TestEventCounters:
     def test_merge(self):
         a = EventCounters(documents=1, result_updates=2, elapsed_seconds=0.5)
         b = EventCounters(documents=2, result_updates=3, elapsed_seconds=1.0)
-        a.merge(b)
+        assert a.merge(b) is a
         assert a.documents == 3
         assert a.result_updates == 5
         assert a.elapsed_seconds == pytest.approx(1.5)
+
+    def test_iadd_is_merge(self):
+        a = EventCounters(iterations=3, bound_computations=1)
+        a += EventCounters(iterations=4, bound_computations=2, postings_scanned=7)
+        assert a.iterations == 7
+        assert a.bound_computations == 3
+        assert a.postings_scanned == 7
+
+    def test_merge_is_lossless_over_partitions(self):
+        """Summing per-shard counters reconstructs the unsharded totals."""
+        shards = [
+            EventCounters(full_evaluations=i, iterations=2 * i, result_updates=i % 3)
+            for i in range(1, 6)
+        ]
+        total = EventCounters.aggregate(shards)
+        snap = total.snapshot()
+        for name in ("full_evaluations", "iterations", "result_updates"):
+            assert snap[name] == sum(shard.snapshot()[name] for shard in shards)
+
+    def test_snapshot_restore_roundtrip(self):
+        original = EventCounters(
+            documents=5,
+            full_evaluations=7,
+            iterations=11,
+            postings_scanned=13,
+            bound_computations=17,
+            result_updates=19,
+            elapsed_seconds=0.25,
+        )
+        restored = EventCounters()
+        restored.restore(original.snapshot())
+        assert restored == original
 
 
 class TestRunStatistics:

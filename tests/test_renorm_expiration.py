@@ -1,0 +1,196 @@
+"""Property tests for the renormalization × expiration interaction.
+
+Stream processing only ever *raises* thresholds, and the bound maintainers
+lean on that: a stale stored ratio ``w/S_k`` is an over-estimate, hence a
+safe upper bound.  Two maintenance events break the easy cases:
+
+* decay **renormalization** divides every stored score (and so every
+  threshold) by a common factor — ratios *grow* wholesale;
+* window **expiration** drops results and re-evaluates queries — the only
+  event that can *lower* a threshold, i.e. also grow its ratio, but per
+  query rather than wholesale.
+
+These tests interleave both (short horizon, aggressive ``max_amplification``,
+mixed per-event/batched ingestion) and assert, after every step and for all
+three MRIO bound variants, the safety invariant the pruning rests on: no
+maintained bound is ever below the true maximum preference ratio of its
+zone.  A final differential check against the exhaustive oracle confirms the
+results themselves stay correct.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.bounds import INF, NEG_INF
+from repro.core.config import MonitorConfig
+from repro.core.monitor import ContinuousMonitor
+from tests.helpers import make_document, make_query, sparse_vector_strategy
+
+UB_VARIANTS = ("exact", "tree", "block")
+
+LAM = 0.8
+MAX_AMPLIFICATION = 20.0  # renormalize roughly every ln(20)/0.8 ~ 3.7 time units
+HORIZON = 3.0  # expire documents older than 3 time units
+
+
+def _true_zone_max(plist, thresholds, lo, hi):
+    best = NEG_INF
+    for pos in range(lo, min(hi, len(plist))):
+        threshold = thresholds(plist.qids[pos])
+        if threshold <= 0.0:
+            return INF
+        best = max(best, plist.weights[pos] / threshold)
+    return best
+
+
+def _assert_bounds_safe(algorithm, label=""):
+    """No maintained bound may undercut the true ratio maximum of its zone."""
+    thresholds = algorithm.results.threshold
+    for plist in algorithm.index.posting_lists():
+        size = len(plist)
+        # Full list plus both halves: exercises the range-max structures
+        # beyond the root node.
+        windows = [(0, size), (0, size // 2), (size // 2, size)]
+        for lo, hi in windows:
+            true_max = _true_zone_max(plist, thresholds, lo, hi)
+            if true_max == NEG_INF:
+                continue
+            stored = algorithm.bounds.zone_max_range(plist, lo, hi)
+            if true_max == INF:
+                assert stored == INF, f"{label}: term {plist.term_id} lost an open query"
+            else:
+                assert stored >= true_max * (1.0 - 1e-9), (
+                    f"{label}: term {plist.term_id} window [{lo},{hi}) bound "
+                    f"{stored} below true maximum {true_max}"
+                )
+
+
+def _monitor(ub_variant, algorithm="mrio"):
+    kwargs = {"ub_variant": ub_variant} if algorithm == "mrio" else {}
+    return ContinuousMonitor(
+        MonitorConfig(
+            algorithm=algorithm,
+            lam=LAM,
+            max_amplification=MAX_AMPLIFICATION,
+            window_horizon=HORIZON,
+            **kwargs,
+        )
+    )
+
+
+class TestRenormalizationExpirationInterleaving:
+    @pytest.mark.parametrize("ub_variant", UB_VARIANTS)
+    @settings(
+        max_examples=15,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        query_vectors=st.lists(
+            sparse_vector_strategy(vocab_size=10, max_terms=3), min_size=2, max_size=10
+        ),
+        doc_vectors=st.lists(
+            sparse_vector_strategy(vocab_size=10, max_terms=5), min_size=14, max_size=28
+        ),
+        gaps=st.lists(
+            st.floats(min_value=0.3, max_value=1.5), min_size=14, max_size=28
+        ),
+        chunk_sizes=st.lists(st.integers(min_value=1, max_value=5), min_size=6, max_size=28),
+        k=st.integers(min_value=1, max_value=3),
+    )
+    def test_bounds_stay_safe_under_interleaved_rebasing_and_expiry(
+        self, ub_variant, query_vectors, doc_vectors, gaps, chunk_sizes, k
+    ):
+        queries = [make_query(i, vector, k) for i, vector in enumerate(query_vectors)]
+        arrival = 0.0
+        documents = []
+        for i, vector in enumerate(doc_vectors):
+            arrival += gaps[i % len(gaps)]
+            documents.append(make_document(i, vector, arrival_time=arrival))
+
+        candidate = _monitor(ub_variant)
+        oracle = _monitor(ub_variant=None, algorithm="exhaustive")
+        for monitor in (candidate, oracle):
+            monitor.register_queries(queries)
+
+        # Mixed ingestion: chunk size 1 goes through the per-event path
+        # (immediate threshold propagation), larger chunks through the batch
+        # path (deferred propagation) — expiration runs at each boundary.
+        position = 0
+        chunk_iter = iter(chunk_sizes)
+        while position < len(documents):
+            size = next(chunk_iter, 1)
+            chunk = documents[position : position + size]
+            position += size
+            if len(chunk) == 1:
+                candidate.process(chunk[0])
+                oracle.process(chunk[0])
+            else:
+                candidate.process_batch(chunk)
+                oracle.process_batch(chunk)
+            _assert_bounds_safe(candidate.algorithm, label=f"{ub_variant}@{position}")
+
+        # The scenario must actually have interleaved both events.
+        assert candidate.algorithm.decay.origin > 0.0, "no renormalization happened"
+        assert candidate.live_window_size < len(documents), "nothing expired"
+        assert candidate.live_window_size == oracle.live_window_size
+
+        for query in queries:
+            got = candidate.top_k(query.query_id)
+            want = oracle.top_k(query.query_id)
+            assert len(got) == len(want)
+            for g, w in zip(got, want):
+                assert g.score == pytest.approx(w.score, rel=1e-9, abs=1e-12)
+
+    @pytest.mark.parametrize("ub_variant", UB_VARIANTS)
+    def test_threshold_lowering_reopens_pruned_zones(self, ub_variant):
+        """After an expiration lowers S_k, previously prunable documents
+        must be considered again — the bound must have been raised."""
+        monitor = _monitor(ub_variant)
+        query = monitor.register_vector({1: 1.0}, k=2)
+
+        strong = [make_document(i, {1: 1.0}, arrival_time=0.1 * (i + 1)) for i in range(2)]
+        for document in strong:
+            monitor.process(document)
+        full_threshold = monitor.algorithm.threshold(query.query_id)
+        assert full_threshold > 0.0
+        _assert_bounds_safe(monitor.algorithm)
+
+        # Jump past the horizon: both strong results expire, the re-evaluated
+        # result is empty, the threshold collapses to 0 and the term's bound
+        # must reopen (become infinite).
+        reopener = make_document(99, {2: 1.0}, arrival_time=HORIZON + 1.0)
+        monitor.process(reopener)
+        assert monitor.algorithm.threshold(query.query_id) == 0.0
+        _assert_bounds_safe(monitor.algorithm)
+
+        # A weak document that the old threshold would have pruned must now
+        # enter the (emptied) result.
+        weak = make_document(100, {1: 0.05, 3: 0.999}, arrival_time=HORIZON + 1.2)
+        monitor.process(weak)
+        assert [entry.doc_id for entry in monitor.top_k(query.query_id)] == [100]
+
+    @pytest.mark.parametrize("ub_variant", UB_VARIANTS)
+    def test_corpus_stream_with_aggressive_rebasing(
+        self, ub_variant, small_queries, small_documents
+    ):
+        """Denser deterministic scenario over the corpus fixtures."""
+        candidate = _monitor(ub_variant)
+        oracle = _monitor(ub_variant=None, algorithm="exhaustive")
+        for monitor in (candidate, oracle):
+            monitor.register_queries(small_queries)
+        for start in range(0, len(small_documents), 4):
+            batch = small_documents[start : start + 4]
+            candidate.process_batch(batch)
+            oracle.process_batch(batch)
+            _assert_bounds_safe(candidate.algorithm, label=f"{ub_variant}@{start}")
+        assert candidate.algorithm.decay.origin > 0.0
+        assert candidate.live_window_size == oracle.live_window_size
+        for query in small_queries:
+            got = candidate.top_k(query.query_id)
+            want = oracle.top_k(query.query_id)
+            assert len(got) == len(want)
+            for g, w in zip(got, want):
+                assert g.score == pytest.approx(w.score, rel=1e-9, abs=1e-12)

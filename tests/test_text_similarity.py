@@ -1,7 +1,5 @@
 """Unit and property tests for sparse-vector similarity primitives."""
 
-import math
-
 import pytest
 from hypothesis import given
 
