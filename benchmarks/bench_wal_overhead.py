@@ -1,0 +1,177 @@
+"""Durability overhead: events/sec with and without the write-ahead log.
+
+Measures MRIO ingestion throughput on the synthetic stream with durability
+off (plain in-memory monitor) versus on (:class:`DurableMonitor` journaling
+every event), across group-commit sizes for the per-event path and for
+batched ingestion at batch 1024 (one WAL record per batch).
+
+Group commit is the throughput lever: at group 1 every event pays a write
+syscall, while at group 1024 the encode cost remains but the write cost
+amortizes over the whole group.  The acceptance bar for the subsystem is
+<= 25% events/sec overhead with group commit at 1024; the assertion below
+enforces it for both the per-event and the batched path (fsync stays off —
+this measures the journaling cost, not the disk's).
+
+Methodology mirrors ``bench_batch_throughput.py``: same warm-up through the
+measured path, interleaved rounds, minimum per mode, GC disabled inside the
+timed region only.
+"""
+
+from __future__ import annotations
+
+import gc
+import shutil
+import tempfile
+import time
+
+import pytest
+
+from repro.core.config import MonitorConfig
+from repro.core.monitor import ContinuousMonitor
+from repro.documents.corpus import CorpusConfig, SyntheticCorpus
+from repro.documents.stream import DocumentStream, StreamConfig
+from repro.persistence.durable import DurabilityConfig, DurableMonitor
+from repro.queries.workloads import UniformWorkload, WorkloadConfig
+
+NUM_QUERIES = 1000
+LAM = 1e-4
+K = 10
+WARMUP_EVENTS = 400
+MEASURED_EVENTS = 400
+GROUP_COMMITS = (1, 64, 1024)
+BATCH_SIZE = 1024
+ROUNDS = 3
+#: Acceptance bar: <= 25% events/sec overhead with group commit at 1024.
+MAX_OVERHEAD_AT_1024 = 0.25
+
+CORPUS = CorpusConfig(vocabulary_size=8_000, mean_tokens=110.0, seed=42)
+MONITOR = MonitorConfig(algorithm="mrio", lam=LAM)
+
+
+def _world():
+    corpus = SyntheticCorpus(CORPUS, seed=42)
+    queries = UniformWorkload(
+        corpus,
+        config=WorkloadConfig(min_terms=2, max_terms=5, k=K, seed=143),
+        seed=143,
+    ).generate(NUM_QUERIES)
+    stream = DocumentStream(corpus, StreamConfig(seed=244))
+    return queries, stream
+
+
+def _timed(fn) -> float:
+    gc.collect()
+    gc.disable()
+    started = time.process_time()
+    fn()
+    elapsed = time.process_time() - started
+    gc.enable()
+    return elapsed
+
+
+def _durable(queries, group_commit):
+    wal_dir = tempfile.mkdtemp(prefix="repro-walbench-")
+    durability = DurabilityConfig(
+        directory=wal_dir,
+        group_commit=group_commit,
+        fsync=False,
+        checkpoint_interval=None,
+    )
+    monitor = DurableMonitor(durability, MONITOR)
+    monitor.register_queries(queries)
+    return monitor, wal_dir
+
+
+def _run(group_commit, batched):
+    """One measured cell; ``group_commit`` None = durability off."""
+    queries, stream = _world()
+    wal_dir = None
+    if group_commit is None:
+        monitor = ContinuousMonitor(MONITOR)
+        monitor.register_queries(queries)
+    else:
+        monitor, wal_dir = _durable(queries, group_commit)
+    try:
+        warmup = stream.take(WARMUP_EVENTS)
+        documents = stream.take(MEASURED_EVENTS)
+        if batched:
+            for start in range(0, len(warmup), BATCH_SIZE):
+                monitor.process_batch(warmup[start : start + BATCH_SIZE])
+
+            def go():
+                for start in range(0, len(documents), BATCH_SIZE):
+                    monitor.process_batch(documents[start : start + BATCH_SIZE])
+
+        else:
+            for document in warmup:
+                monitor.process(document)
+
+            def go():
+                for document in documents:
+                    monitor.process(document)
+
+        return _timed(go)
+    finally:
+        if wal_dir is not None:
+            monitor.close()
+            shutil.rmtree(wal_dir, ignore_errors=True)
+
+
+def _measure():
+    cells = [("off", None, False), ("off-batched", None, True)]
+    cells += [(f"wal-g{g}", g, False) for g in GROUP_COMMITS]
+    cells += [(f"wal-g{BATCH_SIZE}-batched", BATCH_SIZE, True)]
+    times = {name: [] for name, _, _ in cells}
+    for _ in range(ROUNDS):
+        for name, group, batched in cells:
+            times[name].append(_run(group, batched))
+    return {name: min(samples) for name, samples in times.items()}
+
+
+@pytest.mark.benchmark(group="wal-overhead")
+def test_wal_overhead_mrio(benchmark, report):
+    best = benchmark.pedantic(_measure, rounds=1, iterations=1)
+
+    def rate(name):
+        return MEASURED_EVENTS / best[name]
+
+    def overhead(name, baseline):
+        return best[name] / best[baseline] - 1.0
+
+    lines = [
+        f"[wal overhead] mrio, {NUM_QUERIES} queries, lambda={LAM}, "
+        f"{MEASURED_EVENTS} events after {WARMUP_EVENTS} warm-up "
+        f"(min of {ROUNDS} interleaved rounds; fsync off)",
+        f"  per-event, durability off   {rate('off'):10.0f} events/sec",
+    ]
+    for group in GROUP_COMMITS:
+        name = f"wal-g{group}"
+        lines.append(
+            f"  per-event, group={group:<6d}    {rate(name):10.0f} events/sec   "
+            f"{overhead(name, 'off'):+7.1%} overhead"
+        )
+    lines.append(
+        f"  batch={BATCH_SIZE}, durability off {rate('off-batched'):10.0f} events/sec"
+    )
+    batched_name = f"wal-g{BATCH_SIZE}-batched"
+    lines.append(
+        f"  batch={BATCH_SIZE}, group={BATCH_SIZE}  {rate(batched_name):10.0f} events/sec   "
+        f"{overhead(batched_name, 'off-batched'):+7.1%} overhead"
+    )
+    per_event_1024 = overhead(f"wal-g{BATCH_SIZE}", "off")
+    batched_1024 = overhead(batched_name, "off-batched")
+    lines.append(
+        f"  overhead with group commit at {BATCH_SIZE}: per-event "
+        f"{per_event_1024:+.1%}, batched {batched_1024:+.1%} "
+        f"(bar <= {MAX_OVERHEAD_AT_1024:.0%})"
+    )
+    report("wal_overhead", "\n".join(lines))
+
+    assert per_event_1024 <= MAX_OVERHEAD_AT_1024, (
+        f"per-event WAL overhead at group commit {BATCH_SIZE} was "
+        f"{per_event_1024:+.1%} (bar {MAX_OVERHEAD_AT_1024:.0%})"
+    )
+    assert batched_1024 <= MAX_OVERHEAD_AT_1024, (
+        f"batched WAL overhead at group commit {BATCH_SIZE} was "
+        f"{batched_1024:+.1%} (bar {MAX_OVERHEAD_AT_1024:.0%})"
+    )

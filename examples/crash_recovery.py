@@ -1,0 +1,172 @@
+"""Crash-recovery demonstration: SIGKILL a durable monitor, recover, diff.
+
+The parent process spawns a child that ingests a deterministic synthetic
+stream through a :class:`~repro.persistence.durable.DurableMonitor`
+(``group_commit=1``: every event durable on return).  Mid-ingest the parent
+sends the child ``SIGKILL`` — no cleanup, no flush, the classic pulled
+plug.  It then recovers the monitor from the surviving directory, replays
+the same stream prefix through an ordinary in-memory monitor, and verifies
+that top-k sets, thresholds and work counters are byte-identical.
+
+Run it::
+
+    PYTHONPATH=src python examples/crash_recovery.py
+
+This script is also the crash-recovery smoke job in CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+from repro import ContinuousMonitor, DurabilityConfig, DurableMonitor, MonitorConfig
+from repro.documents.corpus import CorpusConfig, SyntheticCorpus
+from repro.documents.stream import DocumentStream, StreamConfig
+from repro.queries.workloads import UniformWorkload, WorkloadConfig
+
+NUM_QUERIES = 150
+NUM_EVENTS = 400
+SEED = 20180416  # ICDE'18 vintage
+
+MONITOR_CONFIG = MonitorConfig(algorithm="mrio", lam=1e-3)
+
+
+def build_world():
+    """The deterministic corpus, workload and stream both processes share."""
+    corpus = SyntheticCorpus(
+        CorpusConfig(vocabulary_size=2000, mean_tokens=60.0, seed=SEED), seed=SEED
+    )
+    queries = UniformWorkload(
+        corpus, config=WorkloadConfig(min_terms=2, max_terms=4, k=10, seed=SEED + 1)
+    ).generate(NUM_QUERIES)
+    stream = DocumentStream(corpus, StreamConfig(seed=SEED + 2))
+    return queries, stream
+
+
+def ingest(directory: str, progress_path: str, events: int) -> None:
+    """Child: ingest with durability, reporting progress after each event."""
+    queries, stream = build_world()
+    durability = DurabilityConfig(
+        directory=directory, group_commit=1, checkpoint_interval=64
+    )
+    monitor = DurableMonitor(durability, MONITOR_CONFIG)
+    monitor.register_queries(queries)
+    for count, document in enumerate(stream.take(events), start=1):
+        monitor.process(document)
+        with open(progress_path, "w") as handle:
+            handle.write(str(count))
+            handle.flush()
+    monitor.close()
+
+
+def read_progress(progress_path: str) -> int:
+    try:
+        with open(progress_path) as handle:
+            return int(handle.read() or 0)
+    except (FileNotFoundError, ValueError):
+        return 0
+
+
+def crash_and_recover(kill_after: int) -> int:
+    """Parent: spawn, SIGKILL mid-ingest, recover, diff. Returns exit code."""
+    with tempfile.TemporaryDirectory(prefix="repro-crash-") as root:
+        state_dir = os.path.join(root, "state")
+        progress_path = os.path.join(root, "progress")
+        child = subprocess.Popen(
+            [
+                sys.executable,
+                os.path.abspath(__file__),
+                "--ingest",
+                state_dir,
+                "--progress",
+                progress_path,
+                "--events",
+                str(NUM_EVENTS),
+            ],
+            env=os.environ.copy(),
+        )
+        try:
+            deadline = time.monotonic() + 120.0
+            while read_progress(progress_path) < kill_after:
+                if child.poll() is not None:
+                    print("child exited before the kill point", file=sys.stderr)
+                    return 1
+                if time.monotonic() > deadline:
+                    print("timed out waiting for ingest progress", file=sys.stderr)
+                    return 1
+                time.sleep(0.005)
+            child.send_signal(signal.SIGKILL)
+            child.wait()
+        finally:
+            if child.poll() is None:
+                child.kill()
+                child.wait()
+
+        durability = DurabilityConfig(directory=state_dir, group_commit=1)
+        recovered, report = DurableMonitor.recover(durability)
+        survived = recovered.statistics.documents
+        print(
+            f"killed at >= event {kill_after}; recovered {survived} events "
+            f"(checkpoint lsn {report.checkpoint_lsn}, "
+            f"{report.replayed_records} records replayed, "
+            f"{report.truncated_bytes} torn bytes truncated)"
+        )
+
+        # Uninterrupted reference over the exact surviving prefix.
+        queries, stream = build_world()
+        reference = ContinuousMonitor(MONITOR_CONFIG)
+        reference.register_queries(queries)
+        for document in stream.take(survived):
+            reference.process(document)
+
+        failures = 0
+        if recovered.all_results() != reference.all_results():
+            print("MISMATCH: top-k results differ", file=sys.stderr)
+            failures += 1
+        for query in queries:
+            if recovered.monitor.algorithm.threshold(
+                query.query_id
+            ) != reference.algorithm.threshold(query.query_id):
+                print(f"MISMATCH: threshold of query {query.query_id}", file=sys.stderr)
+                failures += 1
+                break
+        got = recovered.statistics.snapshot()
+        want = reference.statistics.snapshot()
+        got.pop("elapsed_seconds")
+        want.pop("elapsed_seconds")
+        if got != want:
+            print(f"MISMATCH: counters {got} != {want}", file=sys.stderr)
+            failures += 1
+        recovered.close()
+        if failures:
+            return 1
+        print("recovered state is byte-identical to the uninterrupted run ✓")
+        return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--ingest", metavar="DIR", help="(internal) child mode")
+    parser.add_argument("--progress", metavar="FILE", help="(internal) child mode")
+    parser.add_argument("--events", type=int, default=NUM_EVENTS)
+    parser.add_argument(
+        "--kill-after",
+        type=int,
+        default=NUM_EVENTS // 3,
+        help="minimum events ingested before SIGKILL (parent mode)",
+    )
+    args = parser.parse_args()
+    if args.ingest:
+        ingest(args.ingest, args.progress, args.events)
+        return 0
+    return crash_and_recover(args.kill_after)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

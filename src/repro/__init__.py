@@ -53,12 +53,15 @@ from repro.queries.workloads import (
     WorkloadConfig,
     generate_workload,
 )
+from repro.persistence.durable import DurabilityConfig, DurableMonitor
+from repro.persistence.recovery import RecoveryReport
 from repro.runtime.sharded import ShardedMonitor
 from repro.text.analyzer import Analyzer
 from repro.text.vectorizer import Vectorizer, WeightingScheme
 from repro.text.vocabulary import Vocabulary
 
-__version__ = "1.0.0"
+#: Single-sourced package version: ``setup.py`` parses it from this file.
+__version__ = "1.1.0"
 
 __all__ = [
     "MonitorConfig",
@@ -80,6 +83,9 @@ __all__ = [
     "StreamConfig",
     "Query",
     "ShardedMonitor",
+    "DurabilityConfig",
+    "DurableMonitor",
+    "RecoveryReport",
     "ConnectedWorkload",
     "UniformWorkload",
     "WorkloadConfig",

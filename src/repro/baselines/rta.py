@@ -150,6 +150,48 @@ class RTAAlgorithm(StreamAlgorithm):
             for entry in impact_list.entries:
                 entry[0] *= factor
 
+    def _snapshot_structures(self) -> Optional[Dict[str, object]]:
+        # Impact lists accumulate history: stored ratios lag the true ratios
+        # until maintenance refreshes them, and the stale counters decide
+        # *when* that happens.  Rebuilding the lists fresh on restore would
+        # be correct but would traverse differently from the captured
+        # engine; capturing them verbatim keeps recovery replay-exact.
+        return {
+            "lists": [
+                [
+                    term_id,
+                    {
+                        "entries": [
+                            [self._pack_float(entry[0]), entry[1], entry[2]]
+                            for entry in impact_list.entries
+                        ],
+                        "stale": impact_list.stale,
+                        "needs_sort": impact_list.needs_sort,
+                        "needs_refresh": impact_list.needs_refresh,
+                    },
+                ]
+                for term_id, impact_list in sorted(self._lists.items())
+            ]
+        }
+
+    def _restore_structures(self, structures: Optional[Dict[str, object]] = None) -> None:
+        if structures is None:
+            # Partial restore (e.g. shard rebalancing): registration already
+            # rebuilt fresh lists; fall back to the generic refresh.
+            super()._restore_structures(None)
+            return
+        self._lists = {}
+        for term_id, captured in structures["lists"]:  # type: ignore[union-attr]
+            impact_list = _ImpactList()
+            for ratio, query_id, weight in captured["entries"]:
+                entry = [self._unpack_float(ratio), float(query_id), float(weight)]
+                impact_list.entries.append(entry)
+                impact_list.by_query[int(query_id)] = entry
+            impact_list.stale = int(captured["stale"])
+            impact_list.needs_sort = bool(captured["needs_sort"])
+            impact_list.needs_refresh = bool(captured["needs_refresh"])
+            self._lists[term_id] = impact_list
+
     # ------------------------------------------------------------------ #
     # Processing
     # ------------------------------------------------------------------ #

@@ -10,6 +10,8 @@ a measured segment whose per-event response times feed the tables.
 
 from __future__ import annotations
 
+import shutil
+import tempfile
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
@@ -20,6 +22,7 @@ from repro.documents.corpus import SyntheticCorpus
 from repro.documents.decay import ExponentialDecay
 from repro.documents.stream import DocumentStream, StreamConfig
 from repro.metrics.runstats import RunStatistics
+from repro.persistence.durable import DurabilityConfig, DurableMonitor
 from repro.queries.workloads import generate_workload
 from repro.runtime.sharded import ShardedMonitor
 
@@ -61,15 +64,19 @@ def _build_algorithm(spec: ExperimentSpec, name: str):
 
 
 def _build_sharded_monitor(spec: ExperimentSpec, name: str) -> ShardedMonitor:
-    kwargs: Dict[str, str] = {}
-    if name == "mrio":
-        kwargs["ub_variant"] = spec.ub_variant
     return ShardedMonitor(
-        MonitorConfig(algorithm=name, lam=spec.lam, **kwargs),
+        _build_monitor_config(spec, name),
         n_shards=spec.shards,
         policy=spec.shard_policy,
         executor=spec.shard_executor,
     )
+
+
+def _build_monitor_config(spec: ExperimentSpec, name: str) -> MonitorConfig:
+    kwargs: Dict[str, str] = {}
+    if name == "mrio":
+        kwargs["ub_variant"] = spec.ub_variant
+    return MonitorConfig(algorithm=name, lam=spec.lam, **kwargs)
 
 
 def run_cell(
@@ -83,7 +90,10 @@ def run_cell(
     With ``spec.shards > 1`` the cell is hosted behind a
     :class:`~repro.runtime.sharded.ShardedMonitor` (same workload, same
     stream) and the reported response times are the per-event totals across
-    shards.
+    shards.  With ``spec.durability`` the engine is wrapped in a
+    :class:`~repro.persistence.durable.DurableMonitor` journaling to a
+    throwaway directory (removed when the cell ends), which is the
+    durability-overhead ablation axis.
     """
     corpus = SyntheticCorpus(spec.corpus, seed=spec.seed)
     queries = generate_workload(
@@ -94,42 +104,71 @@ def run_cell(
         seed=spec.seed + 101,
     )
     sharded = spec.shards > 1
-    if sharded:
+    wal_dir: Optional[str] = None
+    if spec.durability:
+        wal_dir = tempfile.mkdtemp(prefix="repro-bench-wal-")
+        durability = DurabilityConfig(
+            directory=wal_dir,
+            group_commit=spec.wal_group_commit,
+            fsync=spec.wal_fsync,
+            checkpoint_interval=None,
+        )
+        engine = DurableMonitor(
+            durability,
+            _build_monitor_config(spec, algorithm),
+            n_shards=spec.shards,
+            policy=spec.shard_policy,
+            executor=spec.shard_executor,
+        )
+        engine.register_queries(queries)
+    elif sharded:
         engine = _build_sharded_monitor(spec, algorithm)
         engine.register_queries(queries)
     else:
         engine = _build_algorithm(spec, algorithm)
         engine.register_all(queries)
+    monitor_style = spec.durability or sharded
 
-    stream = DocumentStream(corpus, StreamConfig(seed=spec.seed + 202))
-    # Warm-up: fill the result heaps so thresholds (and thus pruning) are in
-    # steady state, exactly like the paper measures a warmed-up server.
-    for document in stream.take(spec.warmup_events):
-        engine.process(document)
-    if sharded:
-        engine.reset_statistics()
-    else:
-        engine.response_times.clear()
-        engine.counters.reset()
+    try:
+        stream = DocumentStream(corpus, StreamConfig(seed=spec.seed + 202))
+        # Warm-up: fill the result heaps so thresholds (and thus pruning) are
+        # in steady state, exactly like the paper measures a warmed-up server.
+        for document in stream.take(spec.warmup_events):
+            engine.process(document)
+        if monitor_style:
+            engine.reset_statistics()
+        else:
+            engine.response_times.clear()
+            engine.counters.reset()
 
-    for document in stream.take(spec.num_events):
-        engine.process(document)
+        for document in stream.take(spec.num_events):
+            engine.process(document)
 
-    if extra_counters:
-        counters = (
-            engine.statistics.per_document() if sharded else engine.counters.per_document()
-        )
-    else:
-        counters = {}
-    extra: Dict[str, float] = {}
-    if sharded:
-        extra = {"shards": float(spec.shards)}
-        engine.close()
+        if extra_counters:
+            counters = (
+                engine.statistics.per_document()
+                if monitor_style
+                else engine.counters.per_document()
+            )
+        else:
+            counters = {}
+        extra: Dict[str, float] = {}
+        if sharded:
+            extra["shards"] = float(spec.shards)
+        if spec.durability:
+            extra["durability"] = 1.0
+            extra["wal_group_commit"] = float(spec.wal_group_commit)
+        response_times = list(engine.response_times)
+    finally:
+        if spec.durability or sharded:
+            engine.close()
+        if wal_dir is not None:
+            shutil.rmtree(wal_dir, ignore_errors=True)
     return RunStatistics(
         algorithm=algorithm,
         num_queries=num_queries,
         num_events=spec.num_events,
-        response_times=list(engine.response_times),
+        response_times=response_times,
         counters=counters,
         extra=extra,
     )

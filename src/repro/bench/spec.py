@@ -87,6 +87,14 @@ class ExperimentSpec:
     shard_executor: str = "serial"
     #: Partitioning policy (``"hash"``/``"affinity"``) for sharded cells.
     shard_policy: str = "hash"
+    #: When True the cell runs behind a ``DurableMonitor`` journaling to a
+    #: throwaway directory — the durability on/off ablation axis.
+    durability: bool = False
+    #: WAL group-commit size for durable cells (records per flushed group).
+    wal_group_commit: int = 1024
+    #: Whether durable cells fsync every commit group (off by default: the
+    #: benchmarks measure the journaling cost, not the disk's).
+    wal_fsync: bool = False
     corpus: CorpusConfig = field(default_factory=CorpusConfig)
     seed: int = 42
 
@@ -112,6 +120,10 @@ class ExperimentSpec:
         if self.shard_policy not in ("hash", "affinity"):
             raise BenchmarkError(
                 f"experiment {self.name}: shard_policy must be 'hash' or 'affinity'"
+            )
+        if self.wal_group_commit <= 0:
+            raise BenchmarkError(
+                f"experiment {self.name}: wal_group_commit must be > 0"
             )
 
     def workload_config(self) -> WorkloadConfig:

@@ -15,6 +15,7 @@ common:
 from __future__ import annotations
 
 import abc
+import math
 import time
 from typing import Callable, Dict, Iterable, List, Optional, Sequence
 
@@ -33,6 +34,8 @@ from repro.queries.query import Query
 from repro.types import DocId, QueryId
 
 UpdateListener = Callable[[ResultUpdate], None]
+#: Callback invoked after a decay rebase with ``(new_origin, factor)``.
+RenormalizeListener = Callable[[float, float], None]
 
 
 class StreamAlgorithm(abc.ABC):
@@ -67,6 +70,7 @@ class StreamAlgorithm(abc.ABC):
         #: One ``(batch_size, elapsed_seconds)`` pair per processed batch.
         self.batch_response_times: List[tuple] = []
         self._update_listeners: List[UpdateListener] = []
+        self._renormalize_listeners: List[RenormalizeListener] = []
         self._last_arrival: Optional[float] = None
         #: Non-None while a batch is being processed: query ids whose
         #: threshold changed and whose structure refresh is deferred to the
@@ -305,12 +309,24 @@ class StreamAlgorithm(abc.ABC):
         """Register a callback invoked for every result update."""
         self._update_listeners.append(listener)
 
+    def add_renormalize_listener(self, listener: RenormalizeListener) -> None:
+        """Register a callback invoked after every decay rebase.
+
+        A renormalization rescales every stored score, which is exactly the
+        worst case for delta-based consumers of the engine state — the
+        durability layer, for example, listens here to promote its next
+        incremental checkpoint to a full one.
+        """
+        self._renormalize_listeners.append(listener)
+
     def renormalize(self, new_origin: float) -> float:
         """Rebase the decay origin; divides every stored score by the factor."""
         factor = self.decay.rebase(new_origin)
         if factor != 1.0:
             self.results.scale_all(factor)
             self._on_renormalize(factor)
+            for listener in self._renormalize_listeners:
+                listener(new_origin, factor)
         return factor
 
     # ------------------------------------------------------------------ #
@@ -326,7 +342,7 @@ class StreamAlgorithm(abc.ABC):
         everything else is copied.  Timing samples (``response_times``) are
         measurements, not state, and are not part of it.
         """
-        return {
+        state: Dict[str, object] = {
             "algorithm": self.name,
             "queries": list(self.queries.values()),
             "results": self.results.snapshot(),
@@ -334,6 +350,10 @@ class StreamAlgorithm(abc.ABC):
             "counters": self.counters.snapshot(),
             "last_arrival": self._last_arrival,
         }
+        structures = self._snapshot_structures()
+        if structures is not None:
+            state["structures"] = structures
+        return state
 
     def restore(self, state: Dict[str, object]) -> None:
         """Replace this engine's state with a :meth:`snapshot` capture.
@@ -354,7 +374,7 @@ class StreamAlgorithm(abc.ABC):
         self.results.restore(state["results"])  # type: ignore[arg-type]
         self.counters.restore(state["counters"])  # type: ignore[arg-type]
         self._last_arrival = state["last_arrival"]  # type: ignore[assignment]
-        self._restore_structures()
+        self._restore_structures(state.get("structures"))  # type: ignore[arg-type]
 
     def restore_queries(self, queries: Iterable[Query], state: Dict[str, object]) -> None:
         """Adopt a *subset* of a captured engine's queries into this engine.
@@ -375,12 +395,52 @@ class StreamAlgorithm(abc.ABC):
         self._last_arrival = state["last_arrival"]  # type: ignore[assignment]
         self._restore_structures()
 
-    def _restore_structures(self) -> None:
+    def _snapshot_structures(self) -> Optional[Dict[str, object]]:
+        """Capture algorithm-specific structure state, or None when the
+        per-term structures are pure functions of queries + thresholds.
+
+        Engines whose structures accumulate *history* — stale stored bounds,
+        maintenance counters, persistent memo caches — override this so a
+        restored engine performs exactly the work the captured one would
+        have (work counters stay replay-exact across crash recovery).  The
+        returned value must be plain JSON-able data (lists, dicts with
+        string keys, numbers, booleans): the persistence codec embeds it in
+        checkpoints verbatim.
+        """
+        return None
+
+    @staticmethod
+    def _pack_float(value: float) -> object:
+        """JSON-safe float for structure captures: infinities become sentinels.
+
+        Stored bounds are ``weight / S_k`` ratios, which are infinite while a
+        result is not yet full; canonical JSON (rightly) refuses non-finite
+        floats, so captures spell them out.
+        """
+        if value == math.inf:
+            return "inf"
+        if value == -math.inf:
+            return "-inf"
+        return value
+
+    @staticmethod
+    def _unpack_float(value: object) -> float:
+        if value == "inf":
+            return math.inf
+        if value == "-inf":
+            return -math.inf
+        return float(value)  # type: ignore[arg-type]
+
+    def _restore_structures(self, structures: Optional[Dict[str, object]] = None) -> None:
         """Refresh threshold-dependent caches after a restore.
 
-        The default funnels every query through :meth:`_on_threshold_change`
-        — correct for all algorithms whose caches key off ``S_k``; engines
-        with wholesale invalidation override this.
+        ``structures`` is a :meth:`_snapshot_structures` capture when the
+        restored state carried one (absent for partial restores such as
+        shard rebalancing, where structure history cannot be attributed to
+        a query subset).  The default ignores it and funnels every query
+        through :meth:`_on_threshold_change` — correct for all algorithms
+        whose caches key off ``S_k``; engines with wholesale invalidation
+        or captured structure state override this.
         """
         for query in self.queries.values():
             self._on_threshold_change(query)

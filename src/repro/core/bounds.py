@@ -29,7 +29,7 @@ directions.
 from __future__ import annotations
 
 import math
-from typing import Dict, Optional
+from typing import Dict, Iterable, List, Optional
 
 from repro.core.results import ResultStore
 from repro.exceptions import ConfigurationError
@@ -67,6 +67,16 @@ class BoundMaintainer(QueryIndexListener):
 
     def current_ratio(self, query_id: QueryId, weight: float) -> float:
         return preference_ratio(weight, self.results.threshold(query_id))
+
+    # -- crash-recovery capture of lazily built structures ---------------- #
+
+    def built_terms(self) -> Optional[List[TermId]]:
+        """Clean-built structure terms, or None when the maintainer keeps no
+        lazily built per-term structures (see the stored-ratio override)."""
+        return None
+
+    def rebuild_terms(self, term_ids: Iterable[TermId]) -> None:
+        """Eagerly rebuild the given terms' structures (default: nothing)."""
 
     # -- interface used by the algorithms -------------------------------- #
 
@@ -361,6 +371,26 @@ class _StoredRatioZoneBounds(BoundMaintainer):
                 continue
             ratio = self.current_ratio(query.query_id, weight)
             self._structure_update(structure, pos, ratio)
+
+    def built_terms(self) -> Optional[List[TermId]]:
+        """Terms whose structure is built and clean (crash-recovery capture).
+
+        Which structures exist is access *history*: a term built two batches
+        ago carries stored ratios that are point-updated only at batch
+        boundaries, while a term rebuilt lazily mid-batch reads the batch's
+        already-risen thresholds — both are safe upper bounds, but they can
+        prune differently.  Capturing the clean-built term set (and eagerly
+        rebuilding it on restore, when stored ratios provably equal current
+        ratios) keeps a recovered engine's pruning replay-exact.
+        """
+        return sorted(term_id for term_id in self._structures if term_id not in self._dirty)
+
+    def rebuild_terms(self, term_ids: Iterable[TermId]) -> None:
+        """Eagerly build the structures of ``term_ids`` (crash recovery)."""
+        for term_id in term_ids:
+            plist = self.index.get(term_id)
+            if plist is not None:
+                self._ensure_structure(plist)
 
     def on_renormalize(self, factor: float) -> None:
         # Every stored ratio changes by the same factor; rebuilding lazily is

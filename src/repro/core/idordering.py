@@ -136,12 +136,51 @@ class ReverseIDOrderingBase(StreamAlgorithm):
         self.bounds.on_renormalize(factor)
         self._zone_cache.clear()
 
-    def _restore_structures(self) -> None:
+    def _snapshot_structures(self) -> Optional[Dict[str, object]]:
+        # The zone-bound memo is the one structure whose content depends on
+        # access *history*, not just on queries + thresholds: a memo miss is
+        # what ``bound_computations`` counts, so crash recovery must bring
+        # the memo back verbatim for work counters to stay replay-exact.
+        # (The bound structures' stored ratios are recomputed — pure
+        # functions of the current thresholds at a batch boundary — but
+        # *which* terms have built structures is history too: a structure
+        # missing at restore would be rebuilt lazily mid-batch from already
+        # risen thresholds and prune differently, so the clean-built term
+        # set rides along and is rebuilt eagerly.)
+        structures: Dict[str, object] = {
+            "zone_cache": [
+                [
+                    term_id,
+                    [
+                        [start_pos, boundary_qid, end_pos, self._pack_float(zone_value)]
+                        for (start_pos, boundary_qid), (end_pos, zone_value) in sorted(
+                            windows.items()
+                        )
+                    ],
+                ]
+                for term_id, windows in sorted(self._zone_cache.items())
+            ]
+        }
+        built = self.bounds.built_terms()
+        if built is not None:
+            structures["built_terms"] = built
+        return structures
+
+    def _restore_structures(self, structures: Optional[Dict[str, object]] = None) -> None:
         # A restore may move every threshold in either direction at once;
-        # wholesale invalidation of the bound structures and the zone memo
-        # is cheaper than per-query point updates.
+        # wholesale invalidation of the bound structures is cheaper than
+        # per-query point updates (stored ratios are recomputed lazily from
+        # the restored thresholds).  The zone memo is reinstated when the
+        # capture carried one, cleared otherwise.
         self.bounds.restore()
         self._zone_cache.clear()
+        if structures is not None:
+            for term_id, windows in structures["zone_cache"]:  # type: ignore[union-attr]
+                self._zone_cache[term_id] = {
+                    (start_pos, boundary_qid): (end_pos, self._unpack_float(zone_value))
+                    for start_pos, boundary_qid, end_pos, zone_value in windows
+                }
+            self.bounds.rebuild_terms(structures.get("built_terms", ()))  # type: ignore[arg-type]
         self._batch_zone_fns = {}
 
     # ------------------------------------------------------------------ #

@@ -240,6 +240,29 @@ class ContinuousMonitor:
             return None
         return self._expiration.live_documents
 
+    def renormalize(self, new_origin: float) -> float:
+        """Rebase the decay origin explicitly; returns the rescale factor.
+
+        The engine renormalizes by itself whenever amplification exceeds the
+        configured bound; this entry point exists for operational rebases
+        (e.g. before archiving scores) and is journaled as its own record by
+        the durability layer.
+        """
+        return self.algorithm.renormalize(new_origin)
+
+    @property
+    def next_query_id(self) -> int:
+        """The id the next ``register_vector``/``register_keywords`` will use."""
+        return self._next_query_id
+
+    def ensure_next_query_id(self, minimum: int) -> None:
+        """Never auto-assign a query id below ``minimum``.
+
+        Recovery uses this so ids of queries that were registered and later
+        unregistered are not reissued after a restart.
+        """
+        self._next_query_id = max(self._next_query_id, minimum)
+
     def describe(self) -> Dict[str, object]:
         info = self.algorithm.describe()
         info["window_horizon"] = self.config.window_horizon

@@ -109,6 +109,27 @@ class DocumentStream:
                 break
         return result
 
+    def fast_forward(self, count: int) -> int:
+        """Advance past ``count`` events without returning them.
+
+        Consumes the source documents *and* their arrival-time draws, so the
+        events emitted afterwards are byte-identical to what an uninterrupted
+        stream would have produced.  A recovered monitor uses this to resume
+        a deterministic stream right after its last durable event.  Returns
+        the number of events actually skipped (less than ``count`` only when
+        the source runs dry).
+        """
+        if count < 0:
+            raise ConfigurationError(f"count must be >= 0, got {count}")
+        skipped = 0
+        for _ in range(count):
+            try:
+                next(self)
+            except StopIteration:
+                break
+            skipped += 1
+        return skipped
+
     @property
     def emitted(self) -> int:
         """Number of documents emitted so far."""

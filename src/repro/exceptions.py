@@ -63,3 +63,19 @@ class ExpirationError(ReproError):
 
 class BenchmarkError(ReproError):
     """A benchmark specification is inconsistent or cannot be executed."""
+
+
+class PersistenceError(ReproError):
+    """The durability subsystem hit an invalid state or configuration."""
+
+
+class CorruptRecordError(PersistenceError):
+    """A WAL record or checkpoint failed its CRC / framing validation.
+
+    Raised for corruption in the *middle* of a log; a bad record at the very
+    end of the last segment is a torn tail and is truncated instead.
+    """
+
+
+class RecoveryError(PersistenceError):
+    """Crash recovery could not reconstruct a consistent monitor state."""

@@ -1,0 +1,298 @@
+"""Versioned, deterministic serialization of engine state and log records.
+
+Everything the durability subsystem puts on disk goes through this module:
+the write-ahead log (:mod:`repro.persistence.wal`), the checkpoint files
+(:mod:`repro.persistence.checkpoint`) and the shard-rebalancing path of the
+sharded runtime all speak the same encoded form, so there is exactly one
+serialization of a query, a document, a result heap or a full engine
+snapshot.
+
+The physical format is CRC-framed JSON lines:
+
+* one *record* is one line: an 8-hex-digit CRC-32 of the payload, a space,
+  the payload as canonical JSON, a newline;
+* canonical JSON means sorted keys, no whitespace, ``NaN``/``Infinity``
+  rejected — encoding the same state twice yields identical bytes;
+* floats survive exactly: :func:`json.dumps` emits ``repr(float)``, the
+  shortest string that round-trips to the same IEEE-754 double, so a
+  decoded snapshot restores scores, thresholds and decay origins
+  bit-for-bit.
+
+Sparse vectors are encoded as parallel term/weight arrays in the vector's
+own iteration order (scoring accumulates in that order, and float addition
+is not associative); result stores are encoded as query-id-sorted
+``[query_id, state]`` pairs.  :data:`CODEC_VERSION` is embedded in every
+snapshot and every WAL record envelope; decoding rejects versions it does
+not understand instead of misreading them.
+"""
+
+from __future__ import annotations
+
+import json
+import zlib
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.documents.document import Document
+from repro.exceptions import CorruptRecordError, PersistenceError
+from repro.queries.query import Query
+
+#: Version stamped into snapshots and WAL record envelopes.
+CODEC_VERSION = 1
+
+#: WAL record kinds (the event types recovery knows how to replay).
+KIND_DOCUMENT = "doc"
+KIND_BATCH = "batch"
+KIND_REGISTER = "register"
+KIND_UNREGISTER = "unregister"
+KIND_RENORMALIZE = "renorm"
+
+RECORD_KINDS = (
+    KIND_DOCUMENT,
+    KIND_BATCH,
+    KIND_REGISTER,
+    KIND_UNREGISTER,
+    KIND_RENORMALIZE,
+)
+
+
+# ---------------------------------------------------------------------- #
+# Canonical JSON + CRC framing
+# ---------------------------------------------------------------------- #
+
+
+def canonical_dumps(obj: object) -> str:
+    """Serialize to canonical JSON: sorted keys, no whitespace, no NaN."""
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"), allow_nan=False)
+
+
+def pack_line(obj: object) -> bytes:
+    """Frame one object as a CRC-checked JSON line (the on-disk record unit)."""
+    payload = canonical_dumps(obj).encode("utf-8")
+    return b"%08x " % (zlib.crc32(payload) & 0xFFFFFFFF,) + payload + b"\n"
+
+
+def unpack_line(line: bytes) -> object:
+    """Parse and CRC-verify one framed line; raises :class:`CorruptRecordError`.
+
+    A truncated, bit-flipped or garbage line raises — the WAL reader treats
+    that as a torn tail when (and only when) it occurs at the end of the
+    last segment.
+    """
+    if len(line) < 10 or line[8:9] != b" ":
+        raise CorruptRecordError("malformed record framing")
+    try:
+        expected = int(line[:8], 16)
+    except ValueError as exc:
+        raise CorruptRecordError("malformed record CRC field") from exc
+    payload = line[9:]
+    if payload.endswith(b"\n"):
+        payload = payload[:-1]
+    else:
+        # A record without its newline was cut mid-write.
+        raise CorruptRecordError("record is missing its terminating newline")
+    if zlib.crc32(payload) & 0xFFFFFFFF != expected:
+        raise CorruptRecordError("record CRC mismatch")
+    try:
+        return json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise CorruptRecordError("record payload is not valid JSON") from exc
+
+
+# ---------------------------------------------------------------------- #
+# Vectors, documents, queries
+# ---------------------------------------------------------------------- #
+
+
+# Sparse vectors are encoded as two parallel flat arrays ("t": term ids,
+# "w": weights) in the vector's own iteration order.  Flat arrays serialize
+# measurably faster than nested pairs (the document encode is on the hot
+# ingestion path), and preserving iteration order is load-bearing: scoring
+# accumulates ``sum(w_q * w_d)`` in iteration order and float addition is
+# not associative, so a reordered vector could score a future document one
+# ulp away from the original.  Values must be plain ints/floats (the
+# library's own vectors always are); exotic numeric types fail loudly in
+# ``json.dumps``.
+
+
+def _decode_vector(terms: Sequence[int], weights: Sequence[float]) -> Dict[int, float]:
+    return {int(term): float(weight) for term, weight in zip(terms, weights)}
+
+
+def encode_document(document: Document) -> Dict[str, object]:
+    """One document as a JSON-able dict (text kept when present)."""
+    encoded: Dict[str, object] = {
+        "i": document.doc_id,
+        "a": document.arrival_time,
+        "t": list(document.vector.keys()),
+        "w": list(document.vector.values()),
+    }
+    if document.text is not None:
+        encoded["x"] = document.text
+    return encoded
+
+
+def decode_document(encoded: Dict[str, object]) -> Document:
+    arrival = encoded["a"]
+    return Document(
+        doc_id=int(encoded["i"]),  # type: ignore[arg-type]
+        vector=_decode_vector(encoded["t"], encoded["w"]),  # type: ignore[arg-type]
+        arrival_time=None if arrival is None else float(arrival),  # type: ignore[arg-type]
+        text=encoded.get("x"),  # type: ignore[arg-type]
+    )
+
+
+def encode_query(query: Query) -> Dict[str, object]:
+    """One continuous query as a JSON-able dict."""
+    encoded: Dict[str, object] = {
+        "i": query.query_id,
+        "k": query.k,
+        "t": list(query.vector.keys()),
+        "w": list(query.vector.values()),
+    }
+    if query.user is not None:
+        encoded["u"] = query.user
+    return encoded
+
+
+def decode_query(encoded: Dict[str, object]) -> Query:
+    return Query(
+        query_id=int(encoded["i"]),  # type: ignore[arg-type]
+        vector=_decode_vector(encoded["t"], encoded["w"]),  # type: ignore[arg-type]
+        k=int(encoded["k"]),  # type: ignore[arg-type]
+        user=encoded.get("u"),  # type: ignore[arg-type]
+    )
+
+
+# ---------------------------------------------------------------------- #
+# Engine snapshots
+# ---------------------------------------------------------------------- #
+
+
+def _encode_result(state: Dict[str, object]) -> Dict[str, object]:
+    heap = state["heap"]
+    return {
+        "k": int(state["k"]),  # type: ignore[arg-type]
+        "heap": [[float(score), int(doc_id)] for score, doc_id in heap],  # type: ignore[union-attr]
+    }
+
+
+def _encode_expiration(state: Dict[str, object]) -> Dict[str, object]:
+    return {
+        "horizon": float(state["horizon"]),  # type: ignore[arg-type]
+        "live": [encode_document(doc) for doc in state["live"]],  # type: ignore[union-attr]
+    }
+
+
+def _decode_expiration(encoded: Dict[str, object]) -> Dict[str, object]:
+    return {
+        "horizon": float(encoded["horizon"]),  # type: ignore[arg-type]
+        "live": [decode_document(doc) for doc in encoded["live"]],  # type: ignore[union-attr]
+    }
+
+
+def encode_monitor_state(state: Dict[str, object]) -> Dict[str, object]:
+    """Encode a monitor/engine snapshot dict (the PR-2 ``snapshot()`` shape).
+
+    Accepts the capture of :meth:`ContinuousMonitor.snapshot` /
+    :meth:`StreamAlgorithm.snapshot` — queries, per-query result heaps,
+    decay, counters, stream clock, plus the live expiration window when
+    present — and returns plain JSON-able data.  Queries and results are
+    sorted by query id so the encoding is deterministic.
+    """
+    queries: List[Query] = state["queries"]  # type: ignore[assignment]
+    results: Dict[int, Dict[str, object]] = state["results"]  # type: ignore[assignment]
+    encoded: Dict[str, object] = {
+        "version": CODEC_VERSION,
+        "algorithm": state.get("algorithm"),
+        "queries": [
+            encode_query(query) for query in sorted(queries, key=lambda q: q.query_id)
+        ],
+        "results": [
+            [int(query_id), _encode_result(result_state)]
+            for query_id, result_state in sorted(results.items())
+        ],
+        "decay": dict(state["decay"]),  # type: ignore[arg-type]
+        "counters": dict(state["counters"]),  # type: ignore[arg-type]
+        "last_arrival": state["last_arrival"],
+    }
+    if "expiration" in state:
+        encoded["expiration"] = _encode_expiration(state["expiration"])  # type: ignore[arg-type]
+    if "structures" in state:
+        # Algorithm-specific structure capture; already plain JSON-able by
+        # the _snapshot_structures contract, embedded verbatim.
+        encoded["structures"] = state["structures"]
+    return encoded
+
+
+def decode_monitor_state(encoded: Dict[str, object]) -> Dict[str, object]:
+    """Invert :func:`encode_monitor_state` into a ``restore()``-ready dict."""
+    version = encoded.get("version")
+    if version != CODEC_VERSION:
+        raise PersistenceError(
+            f"snapshot codec version {version!r} is not supported "
+            f"(this build reads version {CODEC_VERSION})"
+        )
+    state: Dict[str, object] = {
+        "algorithm": encoded.get("algorithm"),
+        "queries": [decode_query(query) for query in encoded["queries"]],  # type: ignore[union-attr]
+        "results": {
+            int(query_id): {
+                "k": int(result_state["k"]),
+                "heap": [(float(score), int(doc_id)) for score, doc_id in result_state["heap"]],
+            }
+            for query_id, result_state in encoded["results"]  # type: ignore[union-attr]
+        },
+        "decay": {key: float(value) for key, value in encoded["decay"].items()},  # type: ignore[union-attr]
+        "counters": dict(encoded["counters"]),  # type: ignore[arg-type]
+        "last_arrival": encoded["last_arrival"],
+    }
+    if "expiration" in encoded:
+        state["expiration"] = _decode_expiration(encoded["expiration"])  # type: ignore[arg-type]
+    if "structures" in encoded:
+        state["structures"] = encoded["structures"]
+    return state
+
+
+# ---------------------------------------------------------------------- #
+# WAL record payloads
+# ---------------------------------------------------------------------- #
+
+
+def document_record(document: Document) -> Tuple[str, Dict[str, object]]:
+    """A WAL record for one per-event arrival."""
+    return KIND_DOCUMENT, {"doc": encode_document(document)}
+
+
+def batch_record(documents: Sequence[Document]) -> Tuple[str, Dict[str, object]]:
+    """A WAL record for one arrival-ordered ingestion batch."""
+    return KIND_BATCH, {"docs": [encode_document(doc) for doc in documents]}
+
+
+def register_record(
+    query: Query, shard: Optional[int] = None
+) -> Tuple[str, Dict[str, object]]:
+    """A WAL record for a query registration (``shard`` = routed owner)."""
+    data: Dict[str, object] = {"query": encode_query(query)}
+    if shard is not None:
+        data["shard"] = int(shard)
+    return KIND_REGISTER, data
+
+
+def unregister_record(
+    query_id: int, shard: Optional[int] = None
+) -> Tuple[str, Dict[str, object]]:
+    """A WAL record for a query unregistration."""
+    data: Dict[str, object] = {"query_id": int(query_id)}
+    if shard is not None:
+        data["shard"] = int(shard)
+    return KIND_UNREGISTER, data
+
+
+def renormalize_record(new_origin: float) -> Tuple[str, Dict[str, object]]:
+    """A WAL record for an *explicit* decay rebase through the facade API.
+
+    Renormalizations triggered implicitly while processing a document are
+    deterministic consequences of the event sequence and are regenerated by
+    replay; only direct ``renormalize()`` calls need their own record.
+    """
+    return KIND_RENORMALIZE, {"origin": float(new_origin)}

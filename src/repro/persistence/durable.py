@@ -1,0 +1,691 @@
+"""The durable monitoring facade: a monitor that survives being killed.
+
+:class:`DurableMonitor` wraps a :class:`~repro.core.monitor.ContinuousMonitor`
+(or, with ``n_shards > 1``, a :class:`~repro.runtime.sharded.ShardedMonitor`)
+and journals every state-changing operation — document arrivals, ingestion
+batches, query registration/unregistration, explicit decay rebases — to a
+write-ahead log before taking periodic checkpoints from the in-memory
+snapshot hooks.  Killing the process at an arbitrary event and calling
+:meth:`DurableMonitor.recover` reproduces the state of the longest durable
+log prefix *byte-identically*: top-k sets, scores, thresholds, decay origin,
+live window and work counters all match an uninterrupted run.
+
+Sharded monitors keep **one WAL and one checkpoint directory per shard**,
+each carrying the full record sequence with identical LSNs.  Recovery
+restores every shard independently (trivially parallelizable across
+processes) and clamps all shards to the shortest durable prefix, so a crash
+mid-fan-out can never leave shards at different stream positions.  A tiny
+facade sidecar — written atomically after each checkpoint round — serves as
+the round's commit marker and carries the facade-level statistics.
+
+On-disk layout under ``DurabilityConfig.directory``::
+
+    meta.json            # immutable identity: mode, shards, engine config
+    facade.json          # checkpoint commit marker + facade statistics
+    wal/                 # single-monitor WAL segments
+    checkpoints/         # single-monitor checkpoints
+    shard-0000/wal/ ...  # per-shard WAL + checkpoints (sharded mode)
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.core.config import MonitorConfig
+from repro.core.monitor import ContinuousMonitor
+from repro.core.results import BatchUpdate, ResultEntry, ResultUpdate
+from repro.documents.document import Document
+from repro.exceptions import (
+    ConfigurationError,
+    CorruptRecordError,
+    PersistenceError,
+    RecoveryError,
+)
+from repro.metrics.counters import EventCounters
+from repro.persistence import codec
+from repro.persistence.checkpoint import CheckpointManager
+from repro.persistence.recovery import (
+    RecoveryReport,
+    recover_engine,
+    scan_facade_state,
+)
+from repro.persistence.wal import WriteAheadLog
+from repro.queries.query import Query
+from repro.runtime.sharded import ShardedMonitor
+from repro.types import QueryId, SparseVector
+
+_META_NAME = "meta.json"
+_SIDECAR_NAME = "facade.json"
+
+_CONFIG_FIELDS = (
+    "algorithm",
+    "ub_variant",
+    "lam",
+    "max_amplification",
+    "window_horizon",
+    "default_k",
+)
+
+
+@dataclass
+class DurabilityConfig:
+    """Knobs of the durability subsystem.
+
+    Attributes
+    ----------
+    directory:
+        Root of the on-disk state (created if missing).
+    group_commit:
+        WAL records buffered per commit group.  1 makes every event durable
+        immediately; larger groups amortize the write cost and bound the
+        events a crash can lose to the last unflushed group.
+    segment_max_bytes:
+        WAL segment rotation threshold.
+    fsync:
+        ``False`` (default) flushes each group to the OS — state survives a
+        killed *process*.  ``True`` additionally fsyncs every flush, paying
+        a disk round-trip per group to also survive an OS crash.
+    checkpoint_interval:
+        Events between automatic checkpoints (``None`` disables them;
+        :meth:`DurableMonitor.checkpoint` stays available).
+    full_checkpoint_every:
+        Every Nth checkpoint is written full; the others are incremental
+        deltas.  A decay renormalization promotes the next checkpoint to
+        full automatically (after a rescale *every* result heap differs, so
+        a delta would be a full copy in disguise).
+    """
+
+    directory: str
+    group_commit: int = 256
+    segment_max_bytes: int = 4 * 1024 * 1024
+    fsync: bool = False
+    checkpoint_interval: Optional[int] = 2000
+    full_checkpoint_every: int = 4
+
+    def __post_init__(self) -> None:
+        if self.group_commit <= 0:
+            raise ConfigurationError(
+                f"group_commit must be > 0, got {self.group_commit}"
+            )
+        if self.segment_max_bytes <= 0:
+            raise ConfigurationError(
+                f"segment_max_bytes must be > 0, got {self.segment_max_bytes}"
+            )
+        if self.checkpoint_interval is not None and self.checkpoint_interval <= 0:
+            raise ConfigurationError(
+                f"checkpoint_interval must be > 0 or None, got {self.checkpoint_interval}"
+            )
+        if self.full_checkpoint_every <= 0:
+            raise ConfigurationError(
+                f"full_checkpoint_every must be > 0, got {self.full_checkpoint_every}"
+            )
+
+
+def _atomic_write(path: str, data: bytes) -> None:
+    tmp_path = path + ".tmp"
+    with open(tmp_path, "wb") as handle:
+        handle.write(data)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp_path, path)
+
+
+def _decode_shard_state(encoded: Dict[str, object]) -> Dict[str, object]:
+    """Encoded checkpoint -> the nested shape ``EngineShard.restore`` takes."""
+    state = codec.decode_monitor_state(encoded)
+    wrapped: Dict[str, object] = {}
+    if "expiration" in state:
+        wrapped["expiration"] = state.pop("expiration")
+    wrapped["engine"] = state
+    return wrapped
+
+
+class DurableMonitor:
+    """A crash-safe monitor: WAL + checkpoints around the in-memory engine.
+
+    Example::
+
+        durability = DurabilityConfig(directory="/var/lib/repro", group_commit=1)
+        monitor = DurableMonitor.open(durability, MonitorConfig(algorithm="mrio"))
+        monitor.register_vector({7: 0.8, 9: 0.6}, k=10)
+        monitor.process(document)            # journaled, then applied
+        # ... kill -9 ...
+        monitor, report = DurableMonitor.recover(durability)
+    """
+
+    def __init__(
+        self,
+        durability: DurabilityConfig,
+        config: Optional[MonitorConfig] = None,
+        n_shards: int = 1,
+        policy: str = "hash",
+        executor: str = "serial",
+        vectorizer=None,
+        _recovering: bool = False,
+    ) -> None:
+        if n_shards <= 0:
+            raise ConfigurationError(f"n_shards must be > 0, got {n_shards}")
+        self.durability = durability
+        self.config = config or MonitorConfig()
+        root = durability.directory
+        meta_path = os.path.join(root, _META_NAME)
+        if not _recovering and os.path.exists(meta_path):
+            raise PersistenceError(
+                f"{root} already holds durable monitor state; use "
+                "DurableMonitor.open() or DurableMonitor.recover()"
+            )
+        os.makedirs(root, exist_ok=True)
+
+        self._sharded = n_shards > 1
+        if self._sharded:
+            self._inner: Union[ContinuousMonitor, ShardedMonitor] = ShardedMonitor(
+                self.config,
+                n_shards=n_shards,
+                policy=policy,
+                executor=executor,
+                vectorizer=vectorizer,
+            )
+            shard_dirs = [
+                os.path.join(root, f"shard-{index:04d}") for index in range(n_shards)
+            ]
+        else:
+            self._inner = ContinuousMonitor(self.config, vectorizer=vectorizer)
+            shard_dirs = [root]
+        self._wals = [
+            WriteAheadLog(
+                os.path.join(shard_dir, "wal"),
+                group_commit=durability.group_commit,
+                segment_max_bytes=durability.segment_max_bytes,
+                fsync=durability.fsync,
+            )
+            for shard_dir in shard_dirs
+        ]
+        self._checkpoints = [
+            CheckpointManager(os.path.join(shard_dir, "checkpoints"))
+            for shard_dir in shard_dirs
+        ]
+        self._events_since_checkpoint = 0
+        self._checkpoints_taken = 0
+        self._force_full_checkpoint = False
+        self._closed = False
+        #: Per-event journaling seconds, aligned with the *tail* of the
+        #: engine's own response_times (replayed events have no journal
+        #: cost); see :attr:`response_times`.
+        self._journal_times: List[float] = []
+        self._last_journal_seconds = 0.0
+        if not _recovering:
+            self._write_meta(meta_path)
+            self._attach_renormalize_listener()
+
+    # ------------------------------------------------------------------ #
+    # Construction: open / recover
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def open(
+        cls,
+        durability: DurabilityConfig,
+        config: Optional[MonitorConfig] = None,
+        **kwargs,
+    ) -> "DurableMonitor":
+        """Recover an existing durable monitor, or create a fresh one."""
+        if os.path.exists(os.path.join(durability.directory, _META_NAME)):
+            monitor, _ = cls.recover(durability, config, **kwargs)
+            return monitor
+        return cls(durability, config, **kwargs)
+
+    @classmethod
+    def recover(
+        cls,
+        durability: DurabilityConfig,
+        config: Optional[MonitorConfig] = None,
+        executor: str = "serial",
+        vectorizer=None,
+    ) -> Tuple["DurableMonitor", RecoveryReport]:
+        """Rebuild a monitor from its directory; returns it with a report.
+
+        The engine configuration and topology are read back from the
+        directory's metadata; passing ``config`` merely cross-checks it
+        against what the state was written with (a mismatch raises — the
+        on-disk scores are only meaningful under the original scoring
+        configuration).
+        """
+        meta = cls._read_meta(durability.directory)
+        stored_config = MonitorConfig(**meta["config"])  # type: ignore[arg-type]
+        if config is not None:
+            for field_name in _CONFIG_FIELDS:
+                if getattr(config, field_name) != getattr(stored_config, field_name):
+                    raise RecoveryError(
+                        f"config mismatch on {field_name!r}: directory was written "
+                        f"with {getattr(stored_config, field_name)!r}, caller "
+                        f"supplied {getattr(config, field_name)!r}"
+                    )
+        monitor = cls(
+            durability,
+            stored_config,
+            n_shards=int(meta["n_shards"]),  # type: ignore[arg-type]
+            policy=str(meta["policy"]),
+            executor=executor,
+            vectorizer=vectorizer,
+            _recovering=True,
+        )
+        report = monitor._recover_state()
+        monitor._attach_renormalize_listener()
+        return monitor, report
+
+    def _recover_state(self) -> RecoveryReport:
+        sidecar = self._read_sidecar()
+        if not self._sharded:
+            report = recover_engine(
+                self._inner, self._wals[0], self._checkpoints[0]
+            )
+            self._inner.ensure_next_query_id(int(sidecar["next_query_id"]))
+            return report
+        inner: ShardedMonitor = self._inner  # type: ignore[assignment]
+        report = RecoveryReport()
+        # Clamp every shard to the shortest durable prefix: a crash while a
+        # commit group fanned out may have reached only some of the WALs.
+        common_lsn = min(wal.last_lsn for wal in self._wals)
+        sidecar_lsn = int(sidecar["lsn"])
+        for shard, wal, checkpoints in zip(
+            inner.shards, self._wals, self._checkpoints
+        ):
+            report.merge_shard(
+                recover_engine(
+                    shard,
+                    wal,
+                    checkpoints,
+                    shard_id=shard.shard_id,
+                    up_to_lsn=common_lsn,
+                    decode_state=_decode_shard_state,
+                    ckpt_max_lsn=sidecar_lsn,
+                )
+            )
+        inner.rebuild_router()
+        replayed_documents, next_query_id_floor = scan_facade_state(
+            self._wals[0], after_lsn=sidecar_lsn, up_to_lsn=common_lsn
+        )
+        documents = int(sidecar["documents_processed"]) + replayed_documents
+        retired = EventCounters()
+        retired.restore(sidecar["retired_counters"])  # type: ignore[arg-type]
+        inner.adopt_statistics(documents, retired)
+        # The floor from the WAL covers ids of queries registered and
+        # unregistered again after the sidecar (no shard hosts them, the
+        # replay targets shards directly); the sidecar covers everything
+        # before it.
+        inner.ensure_next_query_id(
+            max(int(sidecar["next_query_id"]), next_query_id_floor)
+        )
+        return report
+
+    # ------------------------------------------------------------------ #
+    # Metadata and sidecar
+    # ------------------------------------------------------------------ #
+
+    def _write_meta(self, path: str) -> None:
+        meta = {
+            "version": codec.CODEC_VERSION,
+            "mode": "sharded" if self._sharded else "single",
+            "n_shards": self._inner.n_shards if self._sharded else 1,  # type: ignore[union-attr]
+            "policy": self._inner.router.policy.name if self._sharded else "hash",  # type: ignore[union-attr]
+            "config": {
+                field_name: getattr(self.config, field_name)
+                for field_name in _CONFIG_FIELDS
+            },
+        }
+        _atomic_write(path, codec.pack_line(meta))
+
+    @staticmethod
+    def _read_meta(root: str) -> Dict[str, object]:
+        path = os.path.join(root, _META_NAME)
+        try:
+            with open(path, "rb") as handle:
+                meta = codec.unpack_line(handle.read())
+        except FileNotFoundError as exc:
+            raise RecoveryError(f"{root} holds no durable monitor state") from exc
+        except CorruptRecordError as exc:
+            raise RecoveryError(f"{path} is corrupt: {exc}") from exc
+        if not isinstance(meta, dict) or meta.get("version") != codec.CODEC_VERSION:
+            raise RecoveryError(f"{path} has an unsupported format version")
+        return meta
+
+    def _sidecar_path(self) -> str:
+        return os.path.join(self.durability.directory, _SIDECAR_NAME)
+
+    def _write_sidecar(self, lsn: int) -> None:
+        if self._sharded:
+            inner: ShardedMonitor = self._inner  # type: ignore[assignment]
+            # statistics.documents is the facade's own event count; the
+            # retired counters are facade-internal (rebalancing history).
+            documents = inner.statistics.documents
+            retired = inner._retired_counters.snapshot()
+        else:
+            documents = 0
+            retired = EventCounters().snapshot()
+        sidecar = {
+            "version": codec.CODEC_VERSION,
+            "lsn": lsn,
+            "next_query_id": self._inner.next_query_id,
+            "documents_processed": documents,
+            "retired_counters": retired,
+        }
+        _atomic_write(self._sidecar_path(), codec.pack_line(sidecar))
+
+    def _read_sidecar(self) -> Dict[str, object]:
+        try:
+            with open(self._sidecar_path(), "rb") as handle:
+                sidecar = codec.unpack_line(handle.read())
+        except FileNotFoundError:
+            return {
+                "lsn": 0,
+                "next_query_id": 0,
+                "documents_processed": 0,
+                "retired_counters": EventCounters().snapshot(),
+            }
+        except CorruptRecordError as exc:
+            raise RecoveryError(f"facade sidecar is corrupt: {exc}") from exc
+        if not isinstance(sidecar, dict):
+            raise RecoveryError("facade sidecar is malformed")
+        return sidecar
+
+    def _attach_renormalize_listener(self) -> None:
+        # All shards renormalize identically; one listener suffices.
+        if self._sharded:
+            algorithm = self._inner.shards[0].algorithm  # type: ignore[union-attr]
+        else:
+            algorithm = self._inner.algorithm  # type: ignore[union-attr]
+        algorithm.add_renormalize_listener(self._on_renormalize)
+
+    def _on_renormalize(self, new_origin: float, factor: float) -> None:
+        # A rescale touches every stored score; an incremental checkpoint
+        # after it would be a full copy in disguise, so promote the next one.
+        self._force_full_checkpoint = True
+
+    # ------------------------------------------------------------------ #
+    # Journaling
+    # ------------------------------------------------------------------ #
+
+    def _append(self, record: Tuple[str, Dict[str, object]]) -> int:
+        """Journal one record on every WAL (encoded and framed exactly once).
+
+        The per-shard logs advance in lockstep, so the envelope — including
+        its LSN — is identical everywhere; only the buffered bytes fan out.
+        """
+        kind, data = record
+        started = time.perf_counter()
+        lsn = self._wals[0].last_lsn + 1
+        line = codec.pack_line(
+            {"v": codec.CODEC_VERSION, "lsn": lsn, "kind": kind, "data": data}
+        )
+        for wal in self._wals:
+            wal.append_line(line, lsn)
+        self._last_journal_seconds = time.perf_counter() - started
+        return lsn
+
+    def _after_events(self, count: int) -> None:
+        self._events_since_checkpoint += count
+        interval = self.durability.checkpoint_interval
+        if interval is not None and self._events_since_checkpoint >= interval:
+            self.checkpoint()
+
+    def _log_register(self, query: Query) -> None:
+        shard = None
+        if self._sharded:
+            shard = self._inner.router.shard_of(query.query_id)  # type: ignore[union-attr]
+        self._append(codec.register_record(query, shard))
+
+    # ------------------------------------------------------------------ #
+    # Query registration (monitor-compatible, journaled)
+    # ------------------------------------------------------------------ #
+
+    def register_query(self, query: Query) -> Query:
+        registered = self._inner.register_query(query)
+        self._log_register(registered)
+        return registered
+
+    def register_queries(self, queries: Iterable[Query]) -> List[Query]:
+        return [self.register_query(query) for query in queries]
+
+    def register_vector(
+        self, vector: SparseVector, k: Optional[int] = None, user: Optional[str] = None
+    ) -> Query:
+        query = self._inner.register_vector(vector, k=k, user=user)
+        self._log_register(query)
+        return query
+
+    def register_keywords(
+        self,
+        keywords: Iterable[str],
+        k: Optional[int] = None,
+        user: Optional[str] = None,
+    ) -> Query:
+        query = self._inner.register_keywords(keywords, k=k, user=user)
+        self._log_register(query)
+        return query
+
+    def unregister(self, query_id: QueryId) -> Query:
+        shard = None
+        if self._sharded:
+            shard = self._inner.router.shard_of(query_id)  # type: ignore[union-attr]
+        query = self._inner.unregister(query_id)
+        self._append(codec.unregister_record(query_id, shard))
+        return query
+
+    @property
+    def num_queries(self) -> int:
+        return self._inner.num_queries
+
+    # ------------------------------------------------------------------ #
+    # Stream processing (journaled)
+    # ------------------------------------------------------------------ #
+
+    def process(self, document: Document) -> List[ResultUpdate]:
+        """Process one stream event and journal it.
+
+        The engine applies the event first (its stream-order validation
+        must reject a bad event *before* anything is logged), then the
+        record joins the current commit group; it becomes durable when the
+        group flushes.
+        """
+        updates = self._inner.process(document)
+        self._append(codec.document_record(document))
+        self._journal_times.append(self._last_journal_seconds)
+        self._after_events(1)
+        return updates
+
+    def process_text(self, doc_id: int, text: str, arrival_time: float) -> List[ResultUpdate]:
+        vectorizer = self._inner.vectorizer
+        if vectorizer is None:
+            raise ConfigurationError(
+                "process_text requires a Vectorizer; pass one to the monitor"
+            )
+        vector = vectorizer.vectorize_text(text)
+        if not vector:
+            return []
+        document = Document(
+            doc_id=doc_id, vector=vector, arrival_time=arrival_time, text=text
+        )
+        return self.process(document)
+
+    def process_stream(
+        self, documents: Iterable[Document], limit: Optional[int] = None
+    ) -> List[ResultUpdate]:
+        updates: List[ResultUpdate] = []
+        for count, document in enumerate(documents):
+            if limit is not None and count >= limit:
+                break
+            updates.extend(self.process(document))
+        return updates
+
+    def process_batch(self, documents: Sequence[Document]) -> List[BatchUpdate]:
+        """Process an arrival-ordered batch as one unit and one WAL record."""
+        docs = documents if isinstance(documents, list) else list(documents)
+        updates = self._inner.process_batch(docs)
+        if docs:
+            self._append(codec.batch_record(docs))
+            # Mean-preserving per-event attribution, mirroring how the
+            # engine attributes batch processing time.
+            per_event = self._last_journal_seconds / len(docs)
+            self._journal_times.extend([per_event] * len(docs))
+            self._after_events(len(docs))
+        return updates
+
+    def process_batches(
+        self, batches: Iterable[Sequence[Document]]
+    ) -> List[BatchUpdate]:
+        updates: List[BatchUpdate] = []
+        for batch in batches:
+            updates.extend(self.process_batch(batch))
+        return updates
+
+    def renormalize(self, new_origin: float) -> float:
+        """Explicitly rebase the decay origin; journaled as its own record."""
+        factor = self._inner.renormalize(new_origin)
+        self._append(codec.renormalize_record(new_origin))
+        return factor
+
+    # ------------------------------------------------------------------ #
+    # Durability control
+    # ------------------------------------------------------------------ #
+
+    def flush(self) -> None:
+        """Force the current commit group out on every WAL."""
+        for wal in self._wals:
+            wal.flush()
+
+    def sync(self) -> None:
+        """Flush and fsync every WAL (durable even across an OS crash)."""
+        for wal in self._wals:
+            wal.sync()
+
+    def checkpoint(self, full: Optional[bool] = None) -> int:
+        """Capture the engine state(s) at the current WAL position.
+
+        Returns the LSN the checkpoint covers.  ``full`` forces the kind;
+        by default every ``full_checkpoint_every``-th checkpoint is full
+        and the rest are incremental (a renormalization since the last
+        checkpoint also forces full).  The WAL prefix a successful
+        checkpoint round covers is rotated and compacted away.
+        """
+        if full is None:
+            full = (
+                self._force_full_checkpoint
+                or self._checkpoints_taken % self.durability.full_checkpoint_every == 0
+            )
+        # The WAL must be durable through the captured state's position
+        # before the checkpoint claims to cover it.
+        if self.durability.fsync:
+            self.sync()
+        else:
+            self.flush()
+        lsn = self._wals[0].last_lsn
+        if self._sharded:
+            for shard, manager in zip(self._inner.shards, self._checkpoints):  # type: ignore[union-attr]
+                captured = shard.snapshot()
+                flat: Dict[str, object] = dict(captured["engine"])  # type: ignore[arg-type]
+                if "expiration" in captured:
+                    flat["expiration"] = captured["expiration"]
+                manager.write(codec.encode_monitor_state(flat), lsn, full)
+        else:
+            state = self._inner.snapshot()  # type: ignore[union-attr]
+            self._checkpoints[0].write(codec.encode_monitor_state(state), lsn, full)
+        # The sidecar is the commit marker of the whole round: recovery
+        # ignores newer per-shard checkpoints until it exists.
+        self._write_sidecar(lsn)
+        for wal in self._wals:
+            wal.rotate()
+            wal.compact(lsn)
+        for manager in self._checkpoints:
+            manager.prune()
+        self._events_since_checkpoint = 0
+        self._checkpoints_taken += 1
+        self._force_full_checkpoint = False
+        return lsn
+
+    def close(self) -> None:
+        """Flush outstanding commit groups and release the engine."""
+        if self._closed:
+            return
+        self._closed = True
+        for wal in self._wals:
+            wal.close()
+        if self._sharded:
+            self._inner.close()  # type: ignore[union-attr]
+
+    def __enter__(self) -> "DurableMonitor":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # Results and diagnostics (delegated)
+    # ------------------------------------------------------------------ #
+
+    @property
+    def monitor(self) -> Union[ContinuousMonitor, ShardedMonitor]:
+        """The wrapped in-memory monitor (read-mostly escape hatch)."""
+        return self._inner
+
+    @property
+    def last_lsn(self) -> int:
+        """WAL position of the most recently journaled record."""
+        return self._wals[0].last_lsn
+
+    def top_k(self, query_id: QueryId) -> List[ResultEntry]:
+        return self._inner.top_k(query_id)
+
+    def all_results(self) -> Dict[QueryId, List[ResultEntry]]:
+        return self._inner.all_results()
+
+    def add_update_listener(self, listener) -> None:
+        self._inner.add_update_listener(listener)
+
+    @property
+    def statistics(self) -> EventCounters:
+        return self._inner.statistics
+
+    @property
+    def response_times(self) -> List[float]:
+        """Per-event seconds *including* journaling.
+
+        The engine's own samples cover the processing work; the journaling
+        cost of events that went through this facade is added onto the tail
+        (events replayed by recovery carry engine time only — their journal
+        cost was paid before the crash).
+        """
+        samples = list(self._inner.response_times)
+        journal = self._journal_times[-len(samples) :] if samples else []
+        offset = len(samples) - len(journal)
+        for index, extra in enumerate(journal):
+            samples[offset + index] += extra
+        return samples
+
+    def reset_statistics(self) -> None:
+        """Zero counters and timing samples (e.g. after a warm-up phase)."""
+        self._journal_times.clear()
+        if self._sharded:
+            self._inner.reset_statistics()  # type: ignore[union-attr]
+        else:
+            algorithm = self._inner.algorithm  # type: ignore[union-attr]
+            algorithm.counters.reset()
+            algorithm.response_times.clear()
+            algorithm.batch_response_times.clear()
+
+    @property
+    def live_window_size(self) -> Optional[int]:
+        return self._inner.live_window_size
+
+    def describe(self) -> Dict[str, object]:
+        info = self._inner.describe()
+        info["durability"] = {
+            "directory": self.durability.directory,
+            "group_commit": self.durability.group_commit,
+            "fsync": self.durability.fsync,
+            "checkpoint_interval": self.durability.checkpoint_interval,
+            "last_lsn": self.last_lsn,
+        }
+        return info

@@ -57,6 +57,18 @@ class PartitionPolicy(abc.ABC):
     def release(self, query: Query, shard: int) -> None:
         """``query`` left ``shard``; update any internal placement state."""
 
+    def adopt(self, query: Query, shard: int) -> None:
+        """``query`` already lives on ``shard``; absorb it into the placement state.
+
+        Crash recovery restores each engine shard's query set from its own
+        checkpoint and then rebuilds the routing layer from that membership;
+        policies whose future placements depend on accumulated state must
+        update it here exactly as :meth:`assign` would have.  Placement
+        state is a per-shard accumulation, so adopting queries in any order
+        reproduces the state the original registration sequence built.  The
+        default is a no-op, correct for stateless policies.
+        """
+
 
 class HashPartitionPolicy(PartitionPolicy):
     """Stateless ``query_id mod n_shards`` placement.
@@ -144,6 +156,12 @@ class TermAffinityPolicy(PartitionPolicy):
                 counts.pop(term_id, None)
         self._loads[shard] -= 1
 
+    def adopt(self, query: Query, shard: int) -> None:
+        counts = self._term_counts[shard]
+        for term_id in query.vector:
+            counts[term_id] = counts.get(term_id, 0) + 1
+        self._loads[shard] += 1
+
 
 _POLICIES: Dict[str, Type[PartitionPolicy]] = {
     HashPartitionPolicy.name: HashPartitionPolicy,
@@ -193,6 +211,22 @@ class QueryRouter:
             )
         self._assignments[query.query_id] = shard
         return shard
+
+    def adopt(self, query: Query, shard: int) -> None:
+        """Record that ``query`` already lives on ``shard`` (crash recovery).
+
+        Unlike :meth:`route` the placement is dictated, not chosen; the
+        policy only absorbs it so its future assignments see the same
+        accumulated state they would have after the original registrations.
+        """
+        if query.query_id in self._assignments:
+            raise ConfigurationError(f"query {query.query_id} is already routed")
+        if not 0 <= shard < self.n_shards:
+            raise ConfigurationError(
+                f"cannot adopt query {query.query_id} onto invalid shard {shard}"
+            )
+        self.policy.adopt(query, shard)
+        self._assignments[query.query_id] = shard
 
     def release(self, query: Query) -> int:
         """Remove a query's assignment; returns the shard that owned it."""

@@ -115,6 +115,10 @@ class EngineShard:
             self.expiration.expire(last.arrival_time)
         return updates
 
+    def renormalize(self, new_origin: float) -> float:
+        """Rebase this shard's decay origin (replayed per shard by recovery)."""
+        return self.algorithm.renormalize(new_origin)
+
     # ------------------------------------------------------------------ #
     # Results and diagnostics
     # ------------------------------------------------------------------ #

@@ -260,6 +260,18 @@ class ShardedMonitor:
             updates.extend(self.process_batch(batch))
         return updates
 
+    def renormalize(self, new_origin: float) -> float:
+        """Rebase every shard's decay origin; returns the common factor.
+
+        All shards share one decay origin (renormalization is a pure
+        function of the arrival sequence), so the rebase fans out to every
+        shard and each computes the same factor.
+        """
+        factor = 1.0
+        for shard in self._shards:
+            factor = shard.renormalize(new_origin)
+        return factor
+
     # ------------------------------------------------------------------ #
     # Results and diagnostics
     # ------------------------------------------------------------------ #
@@ -342,6 +354,53 @@ class ShardedMonitor:
         }
 
     # ------------------------------------------------------------------ #
+    # Crash-recovery adoption
+    # ------------------------------------------------------------------ #
+
+    @property
+    def next_query_id(self) -> int:
+        """The id the next ``register_vector``/``register_keywords`` will use."""
+        return self._next_query_id
+
+    def ensure_next_query_id(self, minimum: int) -> None:
+        """Never auto-assign a query id below ``minimum`` (recovery hook)."""
+        self._next_query_id = max(self._next_query_id, minimum)
+
+    def rebuild_router(self) -> None:
+        """Rebuild the routing layer from the shards' current query sets.
+
+        Crash recovery restores each :class:`EngineShard` from its own
+        checkpoint + WAL and then calls this to make the router agree with
+        the recovered placement.  The policy adopts each resident query, so
+        stateful policies (term affinity) accumulate exactly the placement
+        state the original registration sequence built — placement state is
+        a per-shard sum, independent of adoption order.
+        """
+        policy = self._router.policy
+        self._router = QueryRouter(self.n_shards, policy)
+        next_id = self._next_query_id
+        for shard in self._shards:
+            for query_id in sorted(shard.queries):
+                self._router.adopt(shard.queries[query_id], shard.shard_id)
+                next_id = max(next_id, query_id + 1)
+        self._next_query_id = next_id
+
+    def adopt_statistics(
+        self,
+        documents_processed: int,
+        retired_counters: Optional[EventCounters] = None,
+    ) -> None:
+        """Overwrite the facade-level statistics (recovery hook).
+
+        Per-shard counters live in the engines and are restored with them;
+        the stream's true event count and the counters of shards retired by
+        past rebalances belong to the facade and are reinstated here.
+        """
+        self._documents_processed = documents_processed
+        if retired_counters is not None:
+            self._retired_counters = retired_counters
+
+    # ------------------------------------------------------------------ #
     # Rebalancing
     # ------------------------------------------------------------------ #
 
@@ -363,27 +422,40 @@ class ShardedMonitor:
         new_n = n_shards if n_shards is not None else self.n_shards
         if new_n <= 0:
             raise ConfigurationError(f"n_shards must be > 0, got {new_n}")
-        snapshots = [shard.snapshot() for shard in self._shards]
+        # One serialization path for all state movement: every shard capture
+        # round-trips through the persistence codec, the same encoding a
+        # checkpoint writes to disk (function-level import — the durability
+        # facade imports this module).
+        from repro.persistence import codec
+
+        snapshots: List[Dict[str, object]] = []
+        for shard in self._shards:
+            captured = shard.snapshot()
+            flat: Dict[str, object] = dict(captured["engine"])  # type: ignore[arg-type]
+            if "expiration" in captured:
+                flat["expiration"] = captured["expiration"]
+            snapshots.append(
+                codec.decode_monitor_state(codec.encode_monitor_state(flat))
+            )
 
         # Merge the captures: queries and results are disjoint unions;
         # decay, stream clock and live window are identical in every shard
         # (pure functions of the arrival sequence), so the first shard's
         # capture provides them.
-        reference = snapshots[0]["engine"]
+        reference = snapshots[0]
         merged_engine: Dict[str, object] = {
-            "decay": reference["decay"],  # type: ignore[index]
-            "last_arrival": reference["last_arrival"],  # type: ignore[index]
+            "decay": reference["decay"],
+            "last_arrival": reference["last_arrival"],
             "results": {},
         }
         queries: List[Query] = []
         for state in snapshots:
-            engine = state["engine"]
-            queries.extend(engine["queries"])  # type: ignore[index]
-            merged_engine["results"].update(engine["results"])  # type: ignore[union-attr, index]
+            queries.extend(state["queries"])  # type: ignore[arg-type]
+            merged_engine["results"].update(state["results"])  # type: ignore[union-attr, arg-type]
             self._retired_counters += EventCounters(
                 **{
                     name: value
-                    for name, value in engine["counters"].items()  # type: ignore[index]
+                    for name, value in state["counters"].items()  # type: ignore[union-attr]
                 }
             )
         expiration_state = snapshots[0].get("expiration")

@@ -1,0 +1,35 @@
+"""End-to-end SIGKILL smoke: a real child process, really killed.
+
+Everything else in the durability suite simulates crashes by abandoning
+objects; this test runs ``examples/crash_recovery.py``, which SIGKILLs an
+actual ingesting process and diffs the recovered state against an
+uninterrupted run.  Kept small so it belongs in tier 1; CI runs the same
+script as a dedicated smoke job.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+SCRIPT = pathlib.Path(__file__).parent.parent / "examples" / "crash_recovery.py"
+
+
+@pytest.mark.skipif(os.name != "posix", reason="SIGKILL semantics are POSIX-only")
+def test_sigkill_mid_ingest_recovers_byte_identically():
+    env = os.environ.copy()
+    src = str(pathlib.Path(__file__).parent.parent / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    result = subprocess.run(
+        [sys.executable, str(SCRIPT), "--kill-after", "90"],
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=240,
+    )
+    assert result.returncode == 0, f"stdout:\n{result.stdout}\nstderr:\n{result.stderr}"
+    assert "byte-identical" in result.stdout

@@ -76,6 +76,30 @@ class TestDocumentStream:
         assert len(gaps_fixed) == 1
         assert len(gaps_poisson) > 1
 
+    @pytest.mark.parametrize("poisson", [False, True])
+    def test_fast_forward_preserves_the_remaining_stream(
+        self, small_corpus_config, poisson
+    ):
+        # A recovered monitor resumes a deterministic stream by skipping the
+        # events it already processed; what follows must be byte-identical
+        # to the uninterrupted stream (documents *and* arrival times, which
+        # for Poisson arrivals means the RNG draws are consumed too).
+        config = StreamConfig(poisson=poisson, seed=5)
+        full = DocumentStream(SyntheticCorpus(small_corpus_config), config).take(20)
+        resumed = DocumentStream(SyntheticCorpus(small_corpus_config), config)
+        assert resumed.fast_forward(12) == 12
+        assert resumed.emitted == 12
+        assert resumed.take(8) == full[12:]
+
+    def test_fast_forward_stops_at_exhaustion(self, small_corpus_config):
+        corpus = SyntheticCorpus(small_corpus_config)
+        stream = DocumentStream(corpus.generate_documents(5), StreamConfig())
+        assert stream.fast_forward(10) == 5
+
+    def test_fast_forward_rejects_negative_count(self, small_corpus):
+        with pytest.raises(ConfigurationError):
+            DocumentStream(small_corpus).fast_forward(-1)
+
 
 class TestBatchingStream:
     def test_flushes_on_size(self, small_corpus):

@@ -1,0 +1,138 @@
+"""The persistence codec: determinism, exact roundtrips, CRC framing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.factory import create_algorithm
+from repro.documents.decay import ExponentialDecay
+from repro.documents.document import Document
+from repro.exceptions import CorruptRecordError, PersistenceError
+from repro.persistence import codec
+
+from tests.helpers import make_document, make_query
+
+
+class TestFraming:
+    def test_pack_unpack_roundtrip(self):
+        obj = {"kind": "doc", "nested": [1, 2.5, None, "text"], "z": True}
+        assert codec.unpack_line(codec.pack_line(obj)) == obj
+
+    def test_pack_is_deterministic(self):
+        # Same content, different key insertion order: identical bytes.
+        assert codec.pack_line({"a": 1, "b": 2}) == codec.pack_line({"b": 2, "a": 1})
+
+    def test_crc_mismatch_detected(self):
+        line = bytearray(codec.pack_line({"a": 1}))
+        line[12] ^= 0xFF
+        with pytest.raises(CorruptRecordError):
+            codec.unpack_line(bytes(line))
+
+    def test_truncated_line_detected(self):
+        line = codec.pack_line({"a": 1, "long": "x" * 50})
+        with pytest.raises(CorruptRecordError):
+            codec.unpack_line(line[: len(line) // 2])
+
+    def test_missing_newline_detected(self):
+        line = codec.pack_line({"a": 1})
+        with pytest.raises(CorruptRecordError):
+            codec.unpack_line(line.rstrip(b"\n"))
+
+    def test_garbage_detected(self):
+        with pytest.raises(CorruptRecordError):
+            codec.unpack_line(b"not a record at all\n")
+
+    def test_nan_rejected_at_encode_time(self):
+        with pytest.raises(ValueError):
+            codec.canonical_dumps({"x": float("nan")})
+
+
+class TestDocumentAndQuery:
+    def test_document_roundtrip_exact(self):
+        document = make_document(7, {3: 0.4, 1: 1.1, 9: 0.77}, arrival_time=123.456)
+        decoded = codec.decode_document(codec.encode_document(document))
+        assert decoded == document
+        # Iteration order (the summation order of scoring) survives.
+        assert list(decoded.vector.items()) == list(document.vector.items())
+
+    def test_document_text_preserved(self):
+        document = Document(doc_id=1, vector={2: 1.0}, arrival_time=0.5, text="hello")
+        assert codec.decode_document(codec.encode_document(document)).text == "hello"
+
+    def test_query_roundtrip_exact(self):
+        query = make_query(11, {5: 0.2, 2: 0.9}, k=4)
+        decoded = codec.decode_query(codec.encode_query(query))
+        assert decoded == query
+        assert list(decoded.vector.items()) == list(query.vector.items())
+
+    def test_query_user_preserved(self):
+        from repro.queries.query import Query
+
+        query = Query(query_id=0, vector={1: 1.0}, k=1, user="alice")
+        assert codec.decode_query(codec.encode_query(query)).user == "alice"
+
+
+class TestMonitorState:
+    def _run_engine(self):
+        algorithm = create_algorithm("mrio", ExponentialDecay(lam=1e-3))
+        for index in range(6):
+            algorithm.register(make_query(index, {index % 3: 1.0, 5 + index: 0.5}, k=2))
+        for index in range(10):
+            algorithm.process(
+                make_document(index, {index % 3: 1.0, 5 + index % 6: 0.8}, float(index))
+            )
+        return algorithm
+
+    def test_snapshot_roundtrip_is_restorable_and_exact(self):
+        algorithm = self._run_engine()
+        state = algorithm.snapshot()
+        decoded = codec.decode_monitor_state(codec.encode_monitor_state(state))
+
+        fresh = create_algorithm("mrio", ExponentialDecay(lam=1e-3))
+        fresh.restore(decoded)
+        assert fresh.queries == algorithm.queries
+        for query_id in algorithm.queries:
+            assert fresh.top_k(query_id) == algorithm.top_k(query_id)
+            assert fresh.threshold(query_id) == algorithm.threshold(query_id)
+        assert fresh.counters.snapshot() == algorithm.counters.snapshot()
+        assert fresh.decay.snapshot() == algorithm.decay.snapshot()
+
+    def test_encoding_serializes_and_is_deterministic(self):
+        state = self._run_engine().snapshot()
+        first = codec.canonical_dumps(codec.encode_monitor_state(state))
+        second = codec.canonical_dumps(codec.encode_monitor_state(state))
+        assert first == second
+
+    def test_unknown_version_rejected(self):
+        state = self._run_engine().snapshot()
+        encoded = codec.encode_monitor_state(state)
+        encoded["version"] = 99
+        with pytest.raises(PersistenceError):
+            codec.decode_monitor_state(encoded)
+
+
+class TestRecords:
+    def test_document_record(self):
+        document = make_document(3, {1: 1.0}, 2.0)
+        kind, data = codec.document_record(document)
+        assert kind == codec.KIND_DOCUMENT
+        assert codec.decode_document(data["doc"]) == document
+
+    def test_batch_record(self):
+        documents = [make_document(i, {1: 1.0}, float(i)) for i in range(3)]
+        kind, data = codec.batch_record(documents)
+        assert kind == codec.KIND_BATCH
+        assert [codec.decode_document(doc) for doc in data["docs"]] == documents
+
+    def test_register_record_carries_shard(self):
+        query = make_query(4, {2: 1.0}, k=1)
+        kind, data = codec.register_record(query, shard=1)
+        assert kind == codec.KIND_REGISTER
+        assert data["shard"] == 1
+        assert codec.decode_query(data["query"]) == query
+
+    def test_unregister_and_renormalize_records(self):
+        kind, data = codec.unregister_record(9)
+        assert (kind, data) == (codec.KIND_UNREGISTER, {"query_id": 9})
+        kind, data = codec.renormalize_record(1234.5)
+        assert (kind, data) == (codec.KIND_RENORMALIZE, {"origin": 1234.5})

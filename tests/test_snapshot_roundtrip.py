@@ -1,0 +1,132 @@
+"""Property-based snapshot/restore roundtrips for every algorithm.
+
+For any randomized event sequence (registrations interleaved with document
+arrivals) and every registered algorithm, ``restore(snapshot())`` into a
+fresh engine must reproduce the captured engine byte-identically: the same
+snapshot again, the same top-k and thresholds, and — because structure
+captures carry maintenance history — the same behaviour on the *next*
+events.  The same must hold across the persistence codec (encode → bytes →
+decode), which is how the state actually travels through checkpoints.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.factory import available_algorithms, create_algorithm
+from repro.documents.decay import ExponentialDecay
+from repro.persistence import codec
+
+from tests.helpers import make_document, make_query, sparse_vector_strategy
+
+LAM = 1e-3
+
+
+def _algorithm_params():
+    params = []
+    for name in available_algorithms():
+        if name == "mrio":
+            for variant in ("tree", "exact", "block"):
+                params.append(pytest.param((name, variant), id=f"mrio-{variant}"))
+        else:
+            params.append(pytest.param((name, None), id=name))
+    return params
+
+
+def _build(spec):
+    name, variant = spec
+    kwargs = {} if variant is None else {"ub_variant": variant}
+    return create_algorithm(name, ExponentialDecay(lam=LAM), **kwargs)
+
+
+@st.composite
+def event_sequences(draw):
+    """A short random interleaving of registrations and document arrivals."""
+    num_queries = draw(st.integers(min_value=1, max_value=8))
+    queries = [
+        make_query(index, draw(sparse_vector_strategy()), k=draw(st.integers(1, 3)))
+        for index in range(num_queries)
+    ]
+    num_documents = draw(st.integers(min_value=1, max_value=15))
+    documents = [
+        make_document(index, draw(sparse_vector_strategy()), float(index + 1))
+        for index in range(num_documents)
+    ]
+    return queries, documents
+
+
+def _drive(algorithm, queries, documents):
+    # Register half up front, the rest mid-stream (mixes both histories).
+    split = max(1, len(queries) // 2)
+    for query in queries[:split]:
+        algorithm.register(query)
+    midpoint = len(documents) // 2
+    for document in documents[:midpoint]:
+        algorithm.process(document)
+    for query in queries[split:]:
+        algorithm.register(query)
+    for document in documents[midpoint:]:
+        algorithm.process(document)
+
+
+def _assert_same_engine(restored, original, queries):
+    for query in queries:
+        assert restored.top_k(query.query_id) == original.top_k(query.query_id)
+        assert restored.threshold(query.query_id) == original.threshold(query.query_id)
+    assert restored.counters.snapshot() == original.counters.snapshot()
+    assert restored.decay.snapshot() == original.decay.snapshot()
+    assert restored.queries == original.queries
+
+
+@pytest.mark.parametrize("spec", _algorithm_params())
+class TestSnapshotRestoreRoundtrip:
+    @settings(max_examples=25, deadline=None)
+    @given(data=event_sequences())
+    def test_restore_is_byte_identical(self, spec, data):
+        queries, documents = data
+        original = _build(spec)
+        _drive(original, queries, documents)
+
+        captured = original.snapshot()
+        restored_engine = _build(spec)
+        restored_engine.restore(captured)
+        _assert_same_engine(restored_engine, original, queries)
+
+        # The restored engine's own capture is the same capture.
+        assert codec.canonical_dumps(
+            codec.encode_monitor_state(restored_engine.snapshot())
+        ) == codec.canonical_dumps(codec.encode_monitor_state(captured))
+
+    @settings(max_examples=25, deadline=None)
+    @given(data=event_sequences())
+    def test_codec_roundtrip_preserves_future_behaviour(self, spec, data):
+        """State that crossed the codec behaves identically on future events."""
+        queries, documents = data
+        original = _build(spec)
+        _drive(original, queries, documents)
+
+        # snapshot -> encode -> serialized bytes -> decode -> restore.
+        line = codec.pack_line(codec.encode_monitor_state(original.snapshot()))
+        restored = _build(spec)
+        restored.restore(codec.decode_monitor_state(codec.unpack_line(line)))
+        _assert_same_engine(restored, original, queries)
+
+        # Work performed on subsequent events matches exactly, including the
+        # maintenance/pruning counters (structure history was captured).
+        last = documents[-1].arrival_time
+        followups = [
+            make_document(1000 + index, document.vector, last + index + 1)
+            for index, document in enumerate(documents[:5])
+        ]
+        for document in followups:
+            original.process(document)
+            restored.process(document)
+        counters_a = original.counters.snapshot()
+        counters_b = restored.counters.snapshot()
+        counters_a.pop("elapsed_seconds")
+        counters_b.pop("elapsed_seconds")
+        assert counters_a == counters_b
+        for query in queries:
+            assert restored.top_k(query.query_id) == original.top_k(query.query_id)
