@@ -7,10 +7,13 @@ batched ingestion at batch 1024 (one WAL record per batch).
 
 Group commit is the throughput lever: at group 1 every event pays a write
 syscall, while at group 1024 the encode cost remains but the write cost
-amortizes over the whole group.  The acceptance bar for the subsystem is
-<= 25% events/sec overhead with group commit at 1024; the assertion below
-enforces it for both the per-event and the batched path (fsync stays off —
-this measures the journaling cost, not the disk's).
+amortizes over the whole group.  The measured window is sized so group-1024
+flushes land *inside* the timed region, and every durable cell ends with a
+flush of the residual group — the figures include the amortized write cost,
+not just encoding.  The acceptance bar for the subsystem is <= 25%
+events/sec overhead with group commit at 1024; the assertion below enforces
+it for both the per-event and the batched path (fsync stays off — this
+measures the journaling cost, not the disk's).
 
 Methodology mirrors ``bench_batch_throughput.py``: same warm-up through the
 measured path, interleaved rounds, minimum per mode, GC disabled inside the
@@ -37,7 +40,7 @@ NUM_QUERIES = 1000
 LAM = 1e-4
 K = 10
 WARMUP_EVENTS = 400
-MEASURED_EVENTS = 400
+MEASURED_EVENTS = 2048
 GROUP_COMMITS = (1, 64, 1024)
 BATCH_SIZE = 1024
 ROUNDS = 3
@@ -94,21 +97,30 @@ def _run(group_commit, batched):
     try:
         warmup = stream.take(WARMUP_EVENTS)
         documents = stream.take(MEASURED_EVENTS)
+        durable = wal_dir is not None
         if batched:
             for start in range(0, len(warmup), BATCH_SIZE):
                 monitor.process_batch(warmup[start : start + BATCH_SIZE])
+            if durable:
+                monitor.flush()  # warm-up residue must not bill the window
 
             def go():
                 for start in range(0, len(documents), BATCH_SIZE):
                     monitor.process_batch(documents[start : start + BATCH_SIZE])
+                if durable:
+                    monitor.flush()
 
         else:
             for document in warmup:
                 monitor.process(document)
+            if durable:
+                monitor.flush()  # warm-up residue must not bill the window
 
             def go():
                 for document in documents:
                     monitor.process(document)
+                if durable:
+                    monitor.flush()
 
         return _timed(go)
     finally:

@@ -30,6 +30,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.exceptions import CorruptRecordError, PersistenceError
 from repro.persistence.codec import CODEC_VERSION, pack_line, unpack_line
+from repro.persistence.wal import atomic_write
 
 _PREFIX = "ckpt-"
 _FULL = "full"
@@ -119,8 +120,11 @@ class CheckpointManager:
             encoded_state, lsn = loaded
     """
 
-    def __init__(self, directory: str) -> None:
+    def __init__(self, directory: str, fsync: bool = True) -> None:
         self.directory = directory
+        #: Whether checkpoint renames are fsynced to survive an OS crash
+        #: (matches ``DurabilityConfig.fsync``; file contents always are).
+        self.fsync = fsync
         os.makedirs(directory, exist_ok=True)
         #: Encoded state as of the last checkpoint (diff base for the next
         #: incremental); populated by :meth:`write` and :meth:`load_latest`.
@@ -160,13 +164,11 @@ class CheckpointManager:
                 "delta": self._delta(self._last_state, encoded_state),
             }
             name = _file_name(lsn, _INCR)
-        path = os.path.join(self.directory, name)
-        tmp_path = path + ".tmp"
-        with open(tmp_path, "wb") as handle:
-            handle.write(pack_line(payload))
-            handle.flush()
-            os.fsync(handle.fileno())
-        os.replace(tmp_path, path)
+        atomic_write(
+            os.path.join(self.directory, name),
+            pack_line(payload),
+            fsync_dir=self.fsync,
+        )
         self._last_state = encoded_state
         self._last_lsn = lsn
         return name
@@ -181,9 +183,12 @@ class CheckpointManager:
         new_results = _index_results(new)
         return {
             "algorithm": new.get("algorithm"),
+            # Compare by value, not id membership: a query unregistered and
+            # re-registered under the same id between checkpoints changes
+            # the definition behind an id the base also has.
             "queries_added": [
                 query for query_id, query in sorted(new_queries.items())
-                if query_id not in base_queries
+                if base_queries.get(query_id) != query
             ],
             "queries_removed": sorted(
                 query_id for query_id in base_queries if query_id not in new_queries
@@ -315,6 +320,25 @@ class CheckpointManager:
     # ------------------------------------------------------------------ #
     # Pruning
     # ------------------------------------------------------------------ #
+
+    def purge_newer(self, lsn: int) -> int:
+        """Delete checkpoint files with a LSN past ``lsn``; returns count.
+
+        Recovery calls this after it succeeds, with the commit marker's
+        LSN: anything newer belongs to a crashed, rolled-back checkpoint
+        round.  Left on disk, such an orphan could later splice itself
+        into the incremental chain (a new incremental chains off the
+        *committed* state, so its ``base_lsn`` skips the orphan, and
+        ``load_latest`` would follow the orphan and then reject the real
+        successor) — stranding a recovery behind WAL records that a later
+        round already compacted away.
+        """
+        removed = 0
+        for entry_lsn, _, name in self._entries():
+            if entry_lsn > lsn:
+                os.remove(os.path.join(self.directory, name))
+                removed += 1
+        return removed
 
     def prune(self) -> int:
         """Drop files older than the previous full checkpoint; returns count.

@@ -52,7 +52,7 @@ from repro.persistence.recovery import (
     recover_engine,
     scan_facade_state,
 )
-from repro.persistence.wal import WriteAheadLog
+from repro.persistence.wal import WriteAheadLog, atomic_write
 from repro.queries.query import Query
 from repro.runtime.sharded import ShardedMonitor
 from repro.types import QueryId, SparseVector
@@ -124,15 +124,6 @@ class DurabilityConfig:
             )
 
 
-def _atomic_write(path: str, data: bytes) -> None:
-    tmp_path = path + ".tmp"
-    with open(tmp_path, "wb") as handle:
-        handle.write(data)
-        handle.flush()
-        os.fsync(handle.fileno())
-    os.replace(tmp_path, path)
-
-
 def _decode_shard_state(encoded: Dict[str, object]) -> Dict[str, object]:
     """Encoded checkpoint -> the nested shape ``EngineShard.restore`` takes."""
     state = codec.decode_monitor_state(encoded)
@@ -151,7 +142,7 @@ class DurableMonitor:
         durability = DurabilityConfig(directory="/var/lib/repro", group_commit=1)
         monitor = DurableMonitor.open(durability, MonitorConfig(algorithm="mrio"))
         monitor.register_vector({7: 0.8, 9: 0.6}, k=10)
-        monitor.process(document)            # journaled, then applied
+        monitor.process(document)            # applied, then journaled
         # ... kill -9 ...
         monitor, report = DurableMonitor.recover(durability)
     """
@@ -204,13 +195,16 @@ class DurableMonitor:
             for shard_dir in shard_dirs
         ]
         self._checkpoints = [
-            CheckpointManager(os.path.join(shard_dir, "checkpoints"))
+            CheckpointManager(
+                os.path.join(shard_dir, "checkpoints"), fsync=durability.fsync
+            )
             for shard_dir in shard_dirs
         ]
         self._events_since_checkpoint = 0
         self._checkpoints_taken = 0
         self._force_full_checkpoint = False
         self._closed = False
+        self._failed = False
         #: Per-event journaling seconds, aligned with the *tail* of the
         #: engine's own response_times (replayed events have no journal
         #: cost); see :attr:`response_times`.
@@ -231,11 +225,39 @@ class DurableMonitor:
         config: Optional[MonitorConfig] = None,
         **kwargs,
     ) -> "DurableMonitor":
-        """Recover an existing durable monitor, or create a fresh one."""
-        if os.path.exists(os.path.join(durability.directory, _META_NAME)):
-            monitor, _ = cls.recover(durability, config, **kwargs)
-            return monitor
-        return cls(durability, config, **kwargs)
+        """Recover an existing durable monitor, or create a fresh one.
+
+        Accepts the constructor's keyword arguments, so the create-or-
+        recover call looks the same on every start.  When the directory
+        already holds state, the topology (``n_shards``, ``policy``) is
+        read back from its metadata; passing either merely cross-checks
+        it against the stored value (a mismatch raises — the on-disk
+        record sequence only replays under the original topology).
+        """
+        if not os.path.exists(os.path.join(durability.directory, _META_NAME)):
+            return cls(durability, config, **kwargs)
+        meta = cls._read_meta(durability.directory)
+        stored_shards = int(meta["n_shards"])  # type: ignore[arg-type]
+        requested_shards = kwargs.pop("n_shards", None)
+        if requested_shards is not None and requested_shards != stored_shards:
+            raise RecoveryError(
+                f"topology mismatch on 'n_shards': directory was written "
+                f"with {stored_shards!r}, caller supplied {requested_shards!r}"
+            )
+        requested_policy = kwargs.pop("policy", None)
+        # A single-shard monitor has no router; the constructor ignored the
+        # policy at creation, so the identical call must keep working here.
+        if (
+            requested_policy is not None
+            and stored_shards > 1
+            and requested_policy != str(meta["policy"])
+        ):
+            raise RecoveryError(
+                f"topology mismatch on 'policy': directory was written "
+                f"with {meta['policy']!r}, caller supplied {requested_policy!r}"
+            )
+        monitor, _ = cls.recover(durability, config, **kwargs)
+        return monitor
 
     @classmethod
     def recover(
@@ -279,9 +301,18 @@ class DurableMonitor:
     def _recover_state(self) -> RecoveryReport:
         sidecar = self._read_sidecar()
         if not self._sharded:
+            # The sidecar gates checkpoints in single mode too: a crash
+            # between the checkpoint write and the sidecar write must roll
+            # the round back, or the replay would start past register/
+            # unregister records whose ids the stale sidecar cannot prove
+            # retired (and could therefore reissue).
             report = recover_engine(
-                self._inner, self._wals[0], self._checkpoints[0]
+                self._inner,
+                self._wals[0],
+                self._checkpoints[0],
+                ckpt_max_lsn=int(sidecar["lsn"]),
             )
+            self._checkpoints[0].purge_newer(int(sidecar["lsn"]))
             self._inner.ensure_next_query_id(int(sidecar["next_query_id"]))
             return report
         inner: ShardedMonitor = self._inner  # type: ignore[assignment]
@@ -304,6 +335,24 @@ class DurableMonitor:
                     ckpt_max_lsn=sidecar_lsn,
                 )
             )
+        # Every shard recovered: make the clamp physical.  Records past the
+        # common prefix are cut from the longer logs so appends resume in
+        # lockstep from the same LSN everywhere and no later recovery can
+        # replay records the clamped state never applied.  Deliberately
+        # *after* the per-shard recoveries — a recovery that is going to
+        # fail (a checkpoint ahead of a damaged log, say) must not destroy
+        # the healthy shards' tails first; until this point the clamp is
+        # only the logical ``up_to_lsn`` bound, so a failed recover() leaves
+        # the directory exactly as the crash did and can be retried after
+        # repair.
+        report.clamped_records = sum(
+            wal.truncate(common_lsn) for wal in self._wals
+        )
+        # Same deferral for checkpoints: orphans of a rolled-back round
+        # (newer than the commit marker) must not splice into a future
+        # incremental chain.
+        for manager in self._checkpoints:
+            manager.purge_newer(sidecar_lsn)
         inner.rebuild_router()
         replayed_documents, next_query_id_floor = scan_facade_state(
             self._wals[0], after_lsn=sidecar_lsn, up_to_lsn=common_lsn
@@ -336,7 +385,7 @@ class DurableMonitor:
                 for field_name in _CONFIG_FIELDS
             },
         }
-        _atomic_write(path, codec.pack_line(meta))
+        atomic_write(path, codec.pack_line(meta), fsync_dir=self.durability.fsync)
 
     @staticmethod
     def _read_meta(root: str) -> Dict[str, object]:
@@ -372,7 +421,10 @@ class DurableMonitor:
             "documents_processed": documents,
             "retired_counters": retired,
         }
-        _atomic_write(self._sidecar_path(), codec.pack_line(sidecar))
+        atomic_write(
+            self._sidecar_path(), codec.pack_line(sidecar),
+            fsync_dir=self.durability.fsync,
+        )
 
     def _read_sidecar(self) -> Dict[str, object]:
         try:
@@ -389,6 +441,11 @@ class DurableMonitor:
             raise RecoveryError(f"facade sidecar is corrupt: {exc}") from exc
         if not isinstance(sidecar, dict):
             raise RecoveryError("facade sidecar is malformed")
+        if sidecar.get("version") != codec.CODEC_VERSION:
+            raise RecoveryError(
+                f"facade sidecar format version {sidecar.get('version')!r} "
+                "is not supported"
+            )
         return sidecar
 
     def _attach_renormalize_listener(self) -> None:
@@ -408,11 +465,25 @@ class DurableMonitor:
     # Journaling
     # ------------------------------------------------------------------ #
 
+    def _ensure_usable(self) -> None:
+        if self._failed:
+            raise PersistenceError(
+                "durable monitor is failed: journaling raised after the "
+                "in-memory state was mutated, so memory and log have "
+                "diverged; discard this object and recover() from disk"
+            )
+
     def _append(self, record: Tuple[str, Dict[str, object]]) -> int:
         """Journal one record on every WAL (encoded and framed exactly once).
 
         The per-shard logs advance in lockstep, so the envelope — including
         its LSN — is identical everywhere; only the buffered bytes fan out.
+
+        The engine has already applied the operation by the time it is
+        journaled, so a write failure here leaves the in-memory state ahead
+        of the log: the monitor is marked failed and refuses every further
+        state-changing call — silently journaling *later* events on top of
+        the gap would make recovery reconstruct a different history.
         """
         kind, data = record
         started = time.perf_counter()
@@ -420,8 +491,12 @@ class DurableMonitor:
         line = codec.pack_line(
             {"v": codec.CODEC_VERSION, "lsn": lsn, "kind": kind, "data": data}
         )
-        for wal in self._wals:
-            wal.append_line(line, lsn)
+        try:
+            for wal in self._wals:
+                wal.append_line(line, lsn)
+        except Exception:
+            self._failed = True
+            raise
         self._last_journal_seconds = time.perf_counter() - started
         return lsn
 
@@ -442,6 +517,7 @@ class DurableMonitor:
     # ------------------------------------------------------------------ #
 
     def register_query(self, query: Query) -> Query:
+        self._ensure_usable()
         registered = self._inner.register_query(query)
         self._log_register(registered)
         return registered
@@ -452,6 +528,7 @@ class DurableMonitor:
     def register_vector(
         self, vector: SparseVector, k: Optional[int] = None, user: Optional[str] = None
     ) -> Query:
+        self._ensure_usable()
         query = self._inner.register_vector(vector, k=k, user=user)
         self._log_register(query)
         return query
@@ -462,11 +539,13 @@ class DurableMonitor:
         k: Optional[int] = None,
         user: Optional[str] = None,
     ) -> Query:
+        self._ensure_usable()
         query = self._inner.register_keywords(keywords, k=k, user=user)
         self._log_register(query)
         return query
 
     def unregister(self, query_id: QueryId) -> Query:
+        self._ensure_usable()
         shard = None
         if self._sharded:
             shard = self._inner.router.shard_of(query_id)  # type: ignore[union-attr]
@@ -490,6 +569,7 @@ class DurableMonitor:
         record joins the current commit group; it becomes durable when the
         group flushes.
         """
+        self._ensure_usable()
         updates = self._inner.process(document)
         self._append(codec.document_record(document))
         self._journal_times.append(self._last_journal_seconds)
@@ -522,6 +602,7 @@ class DurableMonitor:
 
     def process_batch(self, documents: Sequence[Document]) -> List[BatchUpdate]:
         """Process an arrival-ordered batch as one unit and one WAL record."""
+        self._ensure_usable()
         docs = documents if isinstance(documents, list) else list(documents)
         updates = self._inner.process_batch(docs)
         if docs:
@@ -543,6 +624,7 @@ class DurableMonitor:
 
     def renormalize(self, new_origin: float) -> float:
         """Explicitly rebase the decay origin; journaled as its own record."""
+        self._ensure_usable()
         factor = self._inner.renormalize(new_origin)
         self._append(codec.renormalize_record(new_origin))
         return factor
@@ -553,13 +635,25 @@ class DurableMonitor:
 
     def flush(self) -> None:
         """Force the current commit group out on every WAL."""
-        for wal in self._wals:
-            wal.flush()
+        self._ensure_usable()
+        try:
+            for wal in self._wals:
+                wal.flush()
+        except Exception:
+            # A failed flush drops a buffered group whose LSNs were already
+            # issued — same divergence as a failed append.
+            self._failed = True
+            raise
 
     def sync(self) -> None:
         """Flush and fsync every WAL (durable even across an OS crash)."""
-        for wal in self._wals:
-            wal.sync()
+        self._ensure_usable()
+        try:
+            for wal in self._wals:
+                wal.sync()
+        except Exception:
+            self._failed = True
+            raise
 
     def checkpoint(self, full: Optional[bool] = None) -> int:
         """Capture the engine state(s) at the current WAL position.
@@ -570,6 +664,7 @@ class DurableMonitor:
         checkpoint also forces full).  The WAL prefix a successful
         checkpoint round covers is rotated and compacted away.
         """
+        self._ensure_usable()
         if full is None:
             full = (
                 self._force_full_checkpoint

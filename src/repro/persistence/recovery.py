@@ -46,6 +46,9 @@ class RecoveryReport:
     replayed_documents: int = 0
     #: Bytes removed from torn WAL tails.
     truncated_bytes: int = 0
+    #: Records cut from longer per-shard WALs to make the clamp to the
+    #: common durable prefix physical (sharded recovery only).
+    clamped_records: int = 0
     #: WAL segments deleted because the checkpoint covers them.
     compacted_segments: int = 0
     #: Per-shard reports when recovering a sharded monitor.
@@ -127,6 +130,19 @@ def recover_engine(
                 f"log prefix (lsn {up_to_lsn}); the WAL was damaged beyond "
                 "its torn tail"
             )
+        # A committed checkpoint round leaves the WAL positioned at (or
+        # past) its LSN — the round flushes first and rotation names the
+        # next segment checkpoint_lsn + 1 — so a shorter log means the
+        # wal/ directory was lost or emptied.  Recovering anyway would
+        # restart LSNs below the checkpoint and every subsequent append
+        # would be invisible to later recoveries (replay filters
+        # lsn <= checkpoint_lsn): silent data loss, so refuse.
+        if wal.last_lsn < checkpoint_lsn:
+            raise RecoveryError(
+                f"checkpoint at lsn {checkpoint_lsn} is ahead of the WAL "
+                f"(last lsn {wal.last_lsn}); the log was lost or emptied "
+                "after the checkpoint round"
+            )
         target.restore(decode(encoded_state))
         start_lsn = checkpoint_lsn
         report.checkpoint_lsn = checkpoint_lsn
@@ -134,9 +150,27 @@ def recover_engine(
     for record in wal.replay(after_lsn=start_lsn):
         if up_to_lsn is not None and record.lsn > up_to_lsn:
             break
+        if record.lsn != report.recovered_lsn + 1:
+            raise RecoveryError(
+                f"WAL replay gap: expected lsn {report.recovered_lsn + 1}, "
+                f"found {record.lsn}; records between the checkpoint and the "
+                "durable tail are missing (refusing to reconstruct a state "
+                "that never existed)"
+            )
         report.replayed_documents += apply_record(target, record, shard_id=shard_id)
         report.replayed_records += 1
         report.recovered_lsn = record.lsn
+    # The replay must reach the durable tail.  Falling short means records
+    # were lost in the middle of the history — e.g. the newest checkpoint is
+    # corrupt and the WAL prefix it covered was already compacted away —
+    # and the surviving checkpoint + WAL cannot prove the full state.
+    tail = wal.last_lsn if up_to_lsn is None else min(wal.last_lsn, up_to_lsn)
+    if report.recovered_lsn < tail:
+        raise RecoveryError(
+            f"recovered state ends at lsn {report.recovered_lsn} but the "
+            f"durable log reaches lsn {tail}; the WAL records in between "
+            "were compacted against a checkpoint that can no longer be read"
+        )
     report.compacted_segments = wal.compact(start_lsn)
     return report
 

@@ -45,6 +45,38 @@ class WalRecord(NamedTuple):
     data: dict
 
 
+def fsync_directory(path: str) -> None:
+    """fsync a directory: file create/rename/remove entries are directory
+    *contents* and need their own fsync to survive an OS crash."""
+    fd = os.open(path, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def atomic_write(path: str, data: bytes, fsync_dir: bool = True) -> None:
+    """Write a file atomically (and, by default, durably).
+
+    Temp file + fsync + rename + directory fsync: the rename is what makes
+    the write atomic, and it is a directory mutation, so the directory
+    needs its own fsync — without it a commit marker (sidecar, checkpoint)
+    could vanish in an OS crash even though the state it gates was durably
+    compacted.  ``fsync_dir=False`` skips that directory round-trip for
+    monitors that only promise to survive a killed *process*
+    (``DurabilityConfig.fsync=False``), mirroring how the WAL gates its
+    own directory syncs.
+    """
+    tmp_path = path + ".tmp"
+    with open(tmp_path, "wb") as handle:
+        handle.write(data)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp_path, path)
+    if fsync_dir:
+        fsync_directory(os.path.dirname(path) or ".")
+
+
 def _segment_name(first_lsn: int) -> str:
     return f"{_SEGMENT_PREFIX}{first_lsn:020d}{_SEGMENT_SUFFIX}"
 
@@ -90,6 +122,8 @@ class WriteAheadLog:
         self._buffered_records = 0
         self._last_lsn = 0
         self._open_tail()
+        if self.fsync:
+            self._sync_directory()
 
     # ------------------------------------------------------------------ #
     # Opening and tail repair
@@ -238,7 +272,9 @@ class WriteAheadLog:
 
         The buffered records land in the segment that is active *before*
         the flush — which may seal and rotate it — so that segment is
-        fsynced as well as the (possibly new) active one.
+        fsynced as well as the (possibly new) active one.  The directory
+        itself is fsynced too: file contents are worthless after an OS
+        crash if the segment's directory entry was never made durable.
         """
         target = self._active_segment
         self.flush()
@@ -247,6 +283,11 @@ class WriteAheadLog:
             if os.path.exists(path):
                 with open(path, "ab") as handle:
                     os.fsync(handle.fileno())
+        self._sync_directory()
+
+    def _sync_directory(self) -> None:
+        """fsync the WAL directory so segment create/remove survives an OS crash."""
+        fsync_directory(self.directory)
 
     def rotate(self) -> None:
         """Seal the active segment and start a new one at the next LSN.
@@ -262,6 +303,65 @@ class WriteAheadLog:
         path = os.path.join(self.directory, self._active_segment)
         open(path, "ab").close()
         self._active_bytes = 0
+        if self.fsync:
+            self._sync_directory()
+
+    def truncate(self, up_to_lsn: int) -> int:
+        """Physically drop every record with ``lsn > up_to_lsn`` from the tail.
+
+        Sharded recovery clamps all per-shard logs to the shortest durable
+        prefix; the clamp must reach the disk, or the logs would reopen at
+        different positions — the next lockstep append would fail, and a
+        later recovery would replay records past the prefix that was never
+        applied.  Returns the number of records dropped (the clamp is
+        reported separately from torn-tail repair, which is what
+        :attr:`truncated_bytes` counts).
+        """
+        self.flush()
+        if self._last_lsn <= up_to_lsn:
+            return 0
+        dropped = 0
+        for name in reversed(self.segments()):
+            path = os.path.join(self.directory, name)
+            # Discarded bytes are never decoded — one record is one line, so
+            # counting lines suffices, and damage confined to the discarded
+            # suffix must not block the clamp that would remove it anyway.
+            if _segment_first_lsn(name) > up_to_lsn:
+                with open(path, "rb") as handle:
+                    dropped += sum(1 for _ in handle)
+                os.remove(path)
+                continue
+            # Boundary segment: keep the byte prefix of records <= up_to_lsn.
+            keep_bytes = 0
+            with open(path, "rb") as handle:
+                for line in handle:
+                    record = self._record_from_envelope(unpack_line(line))
+                    keep_bytes += len(line)
+                    if record.lsn == up_to_lsn:
+                        break
+                dropped += sum(1 for _ in handle)
+            with open(path, "r+b") as handle:
+                handle.truncate(keep_bytes)
+                if self.fsync:
+                    # The shrunk size must be durable before new records are
+                    # journaled at the cut LSNs: a crash must never be able
+                    # to resurrect the clamped-away tail under them.
+                    os.fsync(handle.fileno())
+            break
+        names = self.segments()
+        if names:
+            self._active_segment = names[-1]
+            self._active_bytes = os.path.getsize(
+                os.path.join(self.directory, self._active_segment)
+            )
+        else:
+            self._active_segment = _segment_name(up_to_lsn + 1)
+            open(os.path.join(self.directory, self._active_segment), "ab").close()
+            self._active_bytes = 0
+        self._last_lsn = up_to_lsn
+        if self.fsync:
+            self._sync_directory()
+        return dropped
 
     def close(self) -> None:
         """Flush any buffered group; the log can be reopened afterwards."""

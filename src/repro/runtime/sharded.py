@@ -432,6 +432,10 @@ class ShardedMonitor:
         for shard in self._shards:
             captured = shard.snapshot()
             flat: Dict[str, object] = dict(captured["engine"])  # type: ignore[arg-type]
+            # Structure captures (zone memo, impact lists) are rebuilt from
+            # scratch on a partial restore — don't pay their O(memo) encode
+            # for data the adopt path discards.
+            flat.pop("structures", None)
             if "expiration" in captured:
                 flat["expiration"] = captured["expiration"]
             snapshots.append(

@@ -296,10 +296,275 @@ class TestCrashWindows:
         with open(path, "wb") as handle:
             handle.writelines(lines[:-1])
 
-        recovered, _ = DurableMonitor.recover(durability)
+        recovered, report = DurableMonitor.recover(durability)
+        assert report.clamped_records == 1  # shard 0 held one record too many
         assert recovered.statistics.documents == 8
         reference = _reference(config, 2, small_queries[:20], small_documents, 8)
         _assert_recovered_equals(recovered, reference, small_queries[:20])
+
+        # The clamp is physical: both WALs were cut back to the common
+        # prefix, so journaling resumes in lockstep — processing after
+        # recovery must not trip the lockstep check on the shorter WAL.
+        for document in small_documents[9:14]:
+            recovered.process(document)
+            reference.process(document)
+        _assert_recovered_equals(recovered, reference, small_queries[:20])
+        recovered.close()
+
+        # And the record past the common prefix is gone for good: a second
+        # recovery replays the clamped history plus the new events, never
+        # the event the first recovery discarded.
+        recovered_again, _ = DurableMonitor.recover(durability)
+        _assert_recovered_equals(recovered_again, reference, small_queries[:20])
+        assert recovered_again.statistics.documents == 13
+        recovered_again.close()
+
+    def test_recovery_from_uneven_wals_without_new_events_is_stable(
+        self, tmp_path, small_queries, small_documents
+    ):
+        """Recover from uneven WALs, close without processing, recover again:
+        the discarded record must not resurface from the longer log."""
+        config = MonitorConfig(algorithm="mrio", lam=LAM)
+        durability = DurabilityConfig(directory=str(tmp_path), group_commit=1)
+        monitor = DurableMonitor(durability, config, n_shards=2)
+        monitor.register_queries(small_queries[:10])
+        for document in small_documents[:6]:
+            monitor.process(document)
+        del monitor
+
+        wal_dir = os.path.join(str(tmp_path), "shard-0000", "wal")
+        segment = sorted(os.listdir(wal_dir))[-1]
+        path = os.path.join(wal_dir, segment)
+        lines = open(path, "rb").readlines()
+        with open(path, "wb") as handle:
+            handle.writelines(lines[:-1])
+
+        first, first_report = DurableMonitor.recover(durability)
+        assert first.statistics.documents == 5
+        assert first_report.clamped_records == 1
+        first.close()
+        second, second_report = DurableMonitor.recover(durability)
+        assert second.statistics.documents == 5
+        assert second_report.clamped_records == 0  # first recovery cut it away
+        reference = _reference(config, 2, small_queries[:10], small_documents, 5)
+        _assert_recovered_equals(second, reference, small_queries[:10])
+        second.close()
+
+    def test_corrupt_newest_checkpoint_with_compacted_wal_refuses(
+        self, tmp_path, small_queries, small_documents
+    ):
+        """Regression: if the newest checkpoint is unreadable and the WAL
+        prefix it covered was already compacted, recovery must refuse rather
+        than silently present the previous checkpoint's state as current."""
+        config = MonitorConfig(algorithm="mrio", lam=LAM)
+        durability = DurabilityConfig(
+            directory=str(tmp_path), group_commit=1, checkpoint_interval=None
+        )
+        monitor = DurableMonitor(durability, config)
+        monitor.register_queries(small_queries[:5])
+        for document in small_documents[:4]:
+            monitor.process(document)
+        monitor.checkpoint(full=True)
+        for document in small_documents[4:8]:
+            monitor.process(document)
+        monitor.checkpoint(full=True)  # compacts the WAL through here
+        del monitor  # crash
+
+        ckpt_dir = os.path.join(str(tmp_path), "checkpoints")
+        newest = sorted(os.listdir(ckpt_dir))[-1]
+        path = os.path.join(ckpt_dir, newest)
+        blob = bytearray(open(path, "rb").read())
+        blob[len(blob) // 2] ^= 0xFF
+        with open(path, "wb") as handle:
+            handle.write(bytes(blob))
+
+        with pytest.raises(RecoveryError):
+            DurableMonitor.recover(durability)
+
+    def test_missing_middle_wal_segment_refuses(
+        self, tmp_path, small_queries, small_documents
+    ):
+        """A gap inside the replayed record sequence is damage, not a torn
+        tail — recovery must raise instead of splicing around it."""
+        config = MonitorConfig(algorithm="mrio", lam=LAM)
+        durability = DurabilityConfig(
+            directory=str(tmp_path), group_commit=1, checkpoint_interval=None,
+            segment_max_bytes=64,  # every record seals its own segment
+        )
+        monitor = DurableMonitor(durability, config)
+        monitor.register_queries(small_queries[:5])
+        for document in small_documents[:6]:
+            monitor.process(document)
+        del monitor
+
+        wal_dir = os.path.join(str(tmp_path), "wal")
+        segments = sorted(os.listdir(wal_dir))
+        assert len(segments) >= 3
+        os.remove(os.path.join(wal_dir, segments[len(segments) // 2]))
+        with pytest.raises(RecoveryError):
+            DurableMonitor.recover(durability)
+
+    def test_crash_between_checkpoint_and_sidecar_rolls_the_round_back(
+        self, tmp_path, small_queries, small_documents
+    ):
+        """Regression: a checkpoint round is only committed by its sidecar,
+        in single-monitor mode too.  A crash after the checkpoint write but
+        before the sidecar write must roll the round back — restoring the
+        uncommitted checkpoint would skip the replay of register/unregister
+        records and reissue a dead query's id from the stale sidecar."""
+        from repro.persistence import codec
+
+        config = MonitorConfig(algorithm="mrio", lam=LAM)
+        durability = DurabilityConfig(
+            directory=str(tmp_path), group_commit=1, checkpoint_interval=None
+        )
+        monitor = DurableMonitor(durability, config)
+        monitor.register_queries(small_queries[:5])
+        monitor.process(small_documents[0])
+        monitor.checkpoint(full=True)  # round 1: committed by its sidecar
+        dead = monitor.register_vector({1: 1.0}, k=3)
+        monitor.unregister(dead.query_id)
+        monitor.process(small_documents[1])
+        # Crash inside the next checkpoint(): the checkpoint file reached
+        # disk, the sidecar (the round's commit marker) did not.
+        monitor.flush()
+        monitor._checkpoints[0].write(
+            codec.encode_monitor_state(monitor._inner.snapshot()),
+            monitor.last_lsn,
+            full=True,
+        )
+        del monitor  # crash
+
+        recovered, report = DurableMonitor.recover(durability)
+        assert report.checkpoint_lsn == 6  # round 1: 5 registrations + 1 doc
+        fresh = recovered.register_vector({2: 1.0}, k=3)
+        assert fresh.query_id > dead.query_id
+        assert recovered.statistics.documents == 2
+        recovered.close()
+
+    def test_single_mode_lost_wal_behind_checkpoint_refuses(
+        self, tmp_path, small_queries, small_documents
+    ):
+        """Regression: losing the wal/ directory while the checkpoint and
+        sidecar survive must refuse recovery.  Recovering anyway would
+        restart LSNs below the checkpoint, making every acknowledged
+        post-recovery append invisible to later recoveries."""
+        import shutil
+
+        config = MonitorConfig(algorithm="mrio", lam=LAM)
+        durability = DurabilityConfig(
+            directory=str(tmp_path), group_commit=1, checkpoint_interval=None
+        )
+        monitor = DurableMonitor(durability, config)
+        monitor.register_queries(small_queries[:5])
+        for document in small_documents[:4]:
+            monitor.process(document)
+        monitor.checkpoint()
+        monitor.close()
+
+        shutil.rmtree(os.path.join(str(tmp_path), "wal"))
+        with pytest.raises(RecoveryError):
+            DurableMonitor.recover(durability)
+
+    def test_rolled_back_round_orphan_checkpoint_is_purged(
+        self, tmp_path, small_queries, small_documents
+    ):
+        """Regression: a checkpoint orphaned by a crash mid-round must be
+        deleted by the recovery that rolls the round back.  Left behind, it
+        would later splice into the incremental chain (the next incremental
+        chains off the *committed* state, skipping the orphan) and strand a
+        future recovery behind WAL records an honest round had compacted."""
+        from repro.persistence import codec
+
+        config = MonitorConfig(algorithm="mrio", lam=LAM)
+        durability = DurabilityConfig(
+            directory=str(tmp_path), group_commit=1, checkpoint_interval=None
+        )
+        monitor = DurableMonitor(durability, config)
+        monitor.register_queries(small_queries[:5])
+        monitor.process(small_documents[0])
+        monitor.checkpoint()  # round 1 committed (the first is always full)
+        monitor.process(small_documents[1])
+        # Crash mid-round-2: the incremental reached disk, the sidecar did not.
+        monitor.flush()
+        monitor._checkpoints[0].write(
+            codec.encode_monitor_state(monitor._inner.snapshot()),
+            monitor.last_lsn,
+            full=False,
+        )
+        del monitor  # crash
+
+        recovered, _ = DurableMonitor.recover(durability)
+        recovered.process(small_documents[2])
+        recovered.checkpoint(full=False)  # chains off the committed round
+        recovered.process(small_documents[3])
+        recovered.close()
+
+        again, _ = DurableMonitor.recover(durability)  # bricked before the fix
+        assert again.statistics.documents == 4
+        reference = _reference(config, 1, small_queries[:5], small_documents, 4)
+        _assert_recovered_equals(again, reference, small_queries[:5])
+        again.close()
+
+    def test_open_single_mode_ignores_policy_kwarg(
+        self, tmp_path, small_queries, small_documents
+    ):
+        """The constructor ignores ``policy`` when n_shards == 1, so the
+        byte-identical open() call must keep working after a restart."""
+        config = MonitorConfig(algorithm="mrio", lam=LAM)
+        durability = DurabilityConfig(directory=str(tmp_path), group_commit=1)
+        monitor = DurableMonitor.open(
+            durability, config, n_shards=1, policy="affinity"
+        )
+        monitor.register_queries(small_queries[:5])
+        monitor.process(small_documents[0])
+        monitor.close()
+        resumed = DurableMonitor.open(
+            durability, config, n_shards=1, policy="affinity"
+        )
+        assert resumed.statistics.documents == 1
+        resumed.close()
+
+    def test_failed_recovery_leaves_wals_untouched(
+        self, tmp_path, small_queries, small_documents
+    ):
+        """A recovery that is going to fail must not destroy healthy logs.
+
+        Losing one shard's WAL wholesale (deleted directory, lost disk)
+        drags the common durable prefix below the checkpoint — recovery
+        refuses.  The refusal must leave every other shard's WAL exactly
+        as the crash did, so restoring the missing log makes the state
+        recoverable again.
+        """
+        import shutil
+
+        config = MonitorConfig(algorithm="mrio", lam=LAM)
+        durability = DurabilityConfig(
+            directory=str(tmp_path), group_commit=1, checkpoint_interval=None
+        )
+        monitor = DurableMonitor(durability, config, n_shards=2)
+        monitor.register_queries(small_queries[:10])
+        for document in small_documents[:6]:
+            monitor.process(document)
+        monitor.checkpoint(full=True)
+        for document in small_documents[6:9]:
+            monitor.process(document)
+        del monitor  # crash
+
+        lost = os.path.join(str(tmp_path), "shard-0001", "wal")
+        backup = os.path.join(str(tmp_path), "wal-backup")
+        shutil.move(lost, backup)
+        with pytest.raises(RecoveryError):
+            DurableMonitor.recover(durability)
+
+        # The healthy shard's log kept its tail; putting the lost one back
+        # makes recovery succeed over the full history.
+        shutil.rmtree(lost, ignore_errors=True)
+        shutil.move(backup, lost)
+        recovered, _ = DurableMonitor.recover(durability)
+        assert recovered.statistics.documents == 9
+        reference = _reference(config, 2, small_queries[:10], small_documents, 9)
+        _assert_recovered_equals(recovered, reference, small_queries[:10])
         recovered.close()
 
 
@@ -317,6 +582,88 @@ class TestFacadeBehaviour:
         assert resumed.statistics.documents == 5
         assert resumed.num_queries == 10
         resumed.close()
+
+    def test_open_accepts_topology_kwargs_on_restart(
+        self, tmp_path, small_queries, small_documents
+    ):
+        """The documented create-or-recover idiom — identical open() call on
+        every start, topology kwargs included — must work on restarts too."""
+        config = MonitorConfig(algorithm="mrio", lam=LAM)
+        durability = DurabilityConfig(directory=str(tmp_path), group_commit=1)
+        monitor = DurableMonitor.open(durability, config, n_shards=2, policy="hash")
+        monitor.register_queries(small_queries[:8])
+        for document in small_documents[:5]:
+            monitor.process(document)
+        monitor.close()
+
+        resumed = DurableMonitor.open(durability, config, n_shards=2, policy="hash")
+        assert resumed.statistics.documents == 5
+        assert resumed.num_queries == 8
+        resumed.close()
+
+        # A topology that contradicts the stored state is an error, not a
+        # silent reshard.
+        with pytest.raises(RecoveryError):
+            DurableMonitor.open(durability, config, n_shards=3)
+        with pytest.raises(RecoveryError):
+            DurableMonitor.open(durability, config, policy="round_robin")
+
+    def test_journal_failure_poisons_the_monitor(
+        self, tmp_path, small_queries, small_documents
+    ):
+        """If journaling fails after the engine mutated, the monitor must
+        refuse further operations instead of compounding the divergence."""
+        config = MonitorConfig(algorithm="mrio", lam=LAM)
+        durability = DurabilityConfig(directory=str(tmp_path), group_commit=1)
+        monitor = DurableMonitor(durability, config)
+        monitor.register_queries(small_queries[:5])
+        monitor.process(small_documents[0])
+
+        def disk_full():
+            raise OSError(28, "No space left on device")
+
+        monitor._wals[0].flush = disk_full
+        with pytest.raises(OSError):
+            monitor.process(small_documents[1])
+        # The engine is one event ahead of the log; every state-changing
+        # call is now refused so the gap cannot grow silently.
+        with pytest.raises(PersistenceError):
+            monitor.process(small_documents[2])
+        with pytest.raises(PersistenceError):
+            monitor.register_vector({1: 1.0}, k=3)
+        with pytest.raises(PersistenceError):
+            monitor.checkpoint()
+        # Reads still work for post-mortem inspection.
+        assert monitor.num_queries == 5
+
+        # Recovery from disk sees only the durable prefix.
+        recovered, _ = DurableMonitor.recover(durability)
+        assert recovered.statistics.documents == 1
+        recovered.close()
+
+    def test_sidecar_version_mismatch_is_rejected(
+        self, tmp_path, small_queries, small_documents
+    ):
+        from repro.persistence import codec
+
+        config = MonitorConfig(algorithm="mrio", lam=LAM)
+        durability = DurabilityConfig(
+            directory=str(tmp_path), group_commit=1, checkpoint_interval=None
+        )
+        monitor = DurableMonitor(durability, config, n_shards=2)
+        monitor.register_queries(small_queries[:5])
+        monitor.process(small_documents[0])
+        monitor.checkpoint()
+        monitor.close()
+
+        sidecar_path = os.path.join(str(tmp_path), "facade.json")
+        with open(sidecar_path, "rb") as handle:
+            sidecar = codec.unpack_line(handle.read())
+        sidecar["version"] = codec.CODEC_VERSION + 1
+        with open(sidecar_path, "wb") as handle:
+            handle.write(codec.pack_line(sidecar))
+        with pytest.raises(RecoveryError):
+            DurableMonitor.recover(durability)
 
     def test_fresh_constructor_refuses_existing_state(self, tmp_path):
         durability = DurabilityConfig(directory=str(tmp_path))

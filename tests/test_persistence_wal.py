@@ -126,6 +126,70 @@ class TestWriteAheadLog:
         assert wal.compact(up_to_lsn=1) == 1
         assert [lsn for lsn, _, _ in _records(wal)] == [2]
 
+    def test_truncate_drops_tail_records(self, tmp_path):
+        wal = WriteAheadLog(str(tmp_path), group_commit=1)
+        for i in range(6):
+            wal.append("doc", {"n": i})
+        assert wal.truncate(4) == 2
+        assert wal.last_lsn == 4
+        assert [lsn for lsn, _, _ in _records(wal)] == [1, 2, 3, 4]
+        # The clamp is not torn-tail damage; it is reported separately.
+        assert wal.truncated_bytes == 0
+        # Appends resume exactly after the cut.
+        assert wal.append("doc", {"n": 99}) == 5
+        wal.flush()
+        assert _records(wal)[-1] == (5, "doc", {"n": 99})
+
+    def test_truncate_across_segment_boundaries(self, tmp_path):
+        wal = WriteAheadLog(str(tmp_path), group_commit=1, segment_max_bytes=1)
+        for i in range(5):
+            wal.append("doc", {"n": i})  # 1-byte cap: every record seals a segment
+        assert wal.truncate(2) == 3
+        assert wal.last_lsn == 2
+        assert [lsn for lsn, _, _ in _records(wal)] == [1, 2]
+        assert wal.append("doc", {"n": 9}) == 3
+        # A reopened log agrees with the truncated state.
+        wal.close()
+        reopened = WriteAheadLog(str(tmp_path), group_commit=1)
+        assert reopened.last_lsn == 3
+        assert [lsn for lsn, _, _ in _records(reopened)] == [1, 2, 3]
+
+    def test_truncate_entire_log_keeps_lsn_base(self, tmp_path):
+        wal = WriteAheadLog(str(tmp_path), group_commit=1)
+        for i in range(3):
+            wal.append("doc", {"n": i})
+        wal.rotate()
+        wal.compact(3)  # only lsn 4.. remain on disk
+        wal.append("doc", {"n": 3})
+        assert wal.truncate(3) == 1
+        assert wal.last_lsn == 3
+        assert _records(wal) == []
+        # The sequence still resumes after the compacted prefix.
+        assert wal.append("doc", {"n": 30}) == 4
+        wal.close()
+        assert WriteAheadLog(str(tmp_path), group_commit=1).last_lsn == 4
+
+    def test_truncate_ignores_damage_in_dropped_segments(self, tmp_path):
+        """Bytes the clamp is about to delete are never decoded: bit-rot
+        confined to the discarded suffix must not block recovery."""
+        wal = WriteAheadLog(str(tmp_path), group_commit=1, segment_max_bytes=1)
+        for i in range(5):
+            wal.append("doc", {"n": i})
+        victim = wal.segments()[3]  # holds lsn 4, strictly past the clamp
+        with open(os.path.join(str(tmp_path), victim), "r+b") as handle:
+            handle.write(b"XX")
+        assert wal.truncate(2) == 3
+        assert wal.last_lsn == 2
+        assert [lsn for lsn, _, _ in _records(wal)] == [1, 2]
+
+    def test_truncate_at_or_past_tail_is_a_noop(self, tmp_path):
+        wal = WriteAheadLog(str(tmp_path), group_commit=1)
+        for i in range(3):
+            wal.append("doc", {"n": i})
+        assert wal.truncate(3) == 0
+        assert wal.truncate(7) == 0
+        assert wal.last_lsn == 3
+
     def test_invalid_configuration_rejected(self, tmp_path):
         with pytest.raises(PersistenceError):
             WriteAheadLog(str(tmp_path), group_commit=0)
@@ -184,6 +248,23 @@ class TestCheckpointManager:
         state, lsn = loaded
         assert lsn == 9
         assert codec.canonical_dumps(state) == codec.canonical_dumps(final)
+
+    def test_incremental_detects_same_id_reregistration(self, tmp_path):
+        """Regression: a query unregistered and re-registered under the same
+        id between checkpoints changes the definition behind an id the base
+        also has — the delta must carry it, or recovery silently scores
+        against the old vector."""
+        manager = CheckpointManager(str(tmp_path))
+        algorithm = create_algorithm("rio", ExponentialDecay(lam=1e-3))
+        algorithm.register(make_query(5, {1: 1.0}, k=2))
+        manager.write(codec.encode_monitor_state(algorithm.snapshot()), 1, full=True)
+        algorithm.unregister(5)
+        algorithm.register(make_query(5, {2: 1.0}, k=2))
+        final = codec.encode_monitor_state(algorithm.snapshot())
+        manager.write(final, 3, full=False)
+        loaded = CheckpointManager(str(tmp_path)).load_latest()
+        assert loaded is not None
+        assert codec.canonical_dumps(loaded[0]) == codec.canonical_dumps(final)
 
     def test_incremental_delta_is_actually_small(self, tmp_path):
         # Only one of many queries changes: the incremental must not carry
