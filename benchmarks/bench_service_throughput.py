@@ -1,0 +1,184 @@
+"""Service throughput: events/sec through the socket path vs in-process.
+
+Measures MRIO ingestion on the synthetic stream four ways:
+
+* ``inproc-batch256`` — plain ``monitor.process_batch`` in-process, the
+  ceiling the service path is measured against;
+* ``socket-event`` — one ``publish`` RPC per document, each awaited before
+  the next is sent (the request/response lower bound: every event pays a
+  full loopback round-trip and is its own engine batch);
+* ``socket-batchN`` — ``publish_batch`` chunks of N documents (one RPC,
+  one-or-few engine batches, per chunk).
+
+Every socket cell runs a real :class:`MonitorServer` on a loopback socket
+with 8 subscribed queries and a subscriber draining its notifications
+concurrently — the measured path includes protocol encode/decode, arrival
+stamping, the micro-batch pipeline and the fan-out, not just the engine.
+
+The acceptance bar (ISSUE 4): micro-batched ingestion must beat per-event
+publishes at batch >= 256 — asserted at the end.  Set
+``REPRO_BENCH_PROFILE=tiny`` for a fast smoke run.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import gc
+import os
+import time
+
+import pytest
+
+from repro.core.config import MonitorConfig
+from repro.core.monitor import ContinuousMonitor
+from repro.documents.corpus import CorpusConfig, SyntheticCorpus
+from repro.documents.document import Document
+from repro.queries.workloads import UniformWorkload, WorkloadConfig
+from repro.service import MonitorClient, MonitorServer, ServiceConfig
+
+TINY = os.environ.get("REPRO_BENCH_PROFILE", "small") == "tiny"
+NUM_QUERIES = 200 if TINY else 500
+WARMUP_EVENTS = 128 if TINY else 256
+MEASURED_EVENTS = 512 if TINY else 2048
+SUBSCRIBED = 8
+BATCH_SIZES = (64, 256, 1024)
+ROUNDS = 2 if TINY else 3
+LAM = 1e-4
+K = 10
+
+CORPUS = CorpusConfig(vocabulary_size=8_000, mean_tokens=110.0, seed=42)
+MONITOR = MonitorConfig(algorithm="mrio", lam=LAM)
+
+
+def _world():
+    corpus = SyntheticCorpus(CORPUS, seed=42)
+    queries = UniformWorkload(
+        corpus,
+        config=WorkloadConfig(min_terms=2, max_terms=5, k=K, seed=143),
+        seed=143,
+    ).generate(NUM_QUERIES)
+    documents = [
+        Document(doc_id=doc.doc_id, vector=doc.vector)
+        for doc in corpus.iter_documents(count=WARMUP_EVENTS + MEASURED_EVENTS)
+    ]
+    return queries, documents[:WARMUP_EVENTS], documents[WARMUP_EVENTS:]
+
+
+def _run_inproc(batch_size: int) -> float:
+    queries, warmup, measured = _world()
+    monitor = ContinuousMonitor(MONITOR)
+    monitor.register_queries(queries)
+    stamped = [
+        doc.with_arrival_time(float(index + 1))
+        for index, doc in enumerate(warmup + measured)
+    ]
+    warm = stamped[: len(warmup)]
+    for start in range(0, len(warm), batch_size):
+        monitor.process_batch(warm[start : start + batch_size])
+    timed = stamped[len(warmup) :]
+    gc.collect()
+    gc.disable()
+    started = time.perf_counter()
+    for start in range(0, len(timed), batch_size):
+        monitor.process_batch(timed[start : start + batch_size])
+    elapsed = time.perf_counter() - started
+    gc.enable()
+    return elapsed
+
+
+def _run_socket(batch_size: int) -> float:
+    """One socket cell; ``batch_size`` 1 = per-event ``publish`` RPCs."""
+
+    async def cell():
+        queries, warmup, measured = _world()
+        monitor = ContinuousMonitor(MONITOR)
+        monitor.register_queries(queries[SUBSCRIBED:])
+        server = MonitorServer(monitor, ServiceConfig(shutdown_timeout=10.0))
+        await server.start()
+        subscriber = await MonitorClient.connect(*server.address)
+        for query in queries[:SUBSCRIBED]:
+            await subscriber.subscribe(query.vector, k=query.k)
+
+        async def drain_forever():
+            try:
+                while True:
+                    await subscriber.next_update()
+            except Exception:
+                return
+
+        drainer = asyncio.create_task(drain_forever())
+        publisher = await MonitorClient.connect(*server.address)
+
+        async def push(documents):
+            if batch_size == 1:
+                for document in documents:
+                    await publisher.publish(document)
+            else:
+                for start in range(0, len(documents), batch_size):
+                    await publisher.publish_batch(
+                        documents[start : start + batch_size]
+                    )
+
+        await push(warmup)
+        gc.collect()
+        gc.disable()
+        started = time.perf_counter()
+        await push(measured)
+        elapsed = time.perf_counter() - started
+        gc.enable()
+        drainer.cancel()
+        await publisher.close()
+        await subscriber.close()
+        await server.stop()
+        return elapsed
+
+    return asyncio.run(cell())
+
+
+def _measure():
+    cells = [("inproc-batch256", lambda: _run_inproc(256))]
+    cells.append(("socket-event", lambda: _run_socket(1)))
+    for batch_size in BATCH_SIZES:
+        cells.append(
+            (f"socket-batch{batch_size}", lambda b=batch_size: _run_socket(b))
+        )
+    times = {name: [] for name, _ in cells}
+    for _ in range(ROUNDS):
+        for name, cell in cells:
+            times[name].append(cell())
+    return {name: min(samples) for name, samples in times.items()}
+
+
+@pytest.mark.benchmark(group="service-throughput")
+def test_service_throughput(benchmark, report):
+    best = benchmark.pedantic(_measure, rounds=1, iterations=1)
+
+    def rate(name):
+        return MEASURED_EVENTS / best[name]
+
+    lines = [
+        f"[service throughput] mrio, {NUM_QUERIES} queries "
+        f"({SUBSCRIBED} subscribed over the socket), lambda={LAM}, "
+        f"{MEASURED_EVENTS} events after {WARMUP_EVENTS} warm-up "
+        f"(min of {ROUNDS} interleaved rounds; loopback sockets)",
+        f"  in-process, batch=256       {rate('inproc-batch256'):10.0f} events/sec"
+        f"   (engine ceiling)",
+        f"  socket, per-event publish   {rate('socket-event'):10.0f} events/sec"
+        f"   ({rate('socket-event') / rate('inproc-batch256'):5.1%} of ceiling)",
+    ]
+    for batch_size in BATCH_SIZES:
+        name = f"socket-batch{batch_size}"
+        speedup = rate(name) / rate("socket-event")
+        lines.append(
+            f"  socket, publish_batch={batch_size:<5d}{rate(name):10.0f} events/sec"
+            f"   ({speedup:4.1f}x per-event, "
+            f"{rate(name) / rate('inproc-batch256'):5.1%} of ceiling)"
+        )
+    report("service_throughput", "\n".join(lines))
+
+    # ISSUE 4 acceptance bar: micro-batched ingestion demonstrably faster
+    # than per-event publishes at batch >= 256.
+    assert rate("socket-batch256") > rate("socket-event"), (
+        f"publish_batch(256) at {rate('socket-batch256'):.0f} events/sec did "
+        f"not beat per-event publishes at {rate('socket-event'):.0f} events/sec"
+    )

@@ -1,0 +1,142 @@
+"""Live alerts: subscribe and unsubscribe while documents keep flowing.
+
+A :class:`~repro.service.server.MonitorServer` runs in-process on a
+loopback socket.  A publisher task streams synthetic documents through
+``publish_batch`` without ever pausing, while two subscriber clients live
+their lives mid-stream:
+
+* ``alice`` subscribes two queries up front and keeps both;
+* ``bob`` subscribes one query, receives a few alerts, *unsubscribes* it
+  mid-stream and subscribes a different one — all while the publisher
+  keeps pushing.
+
+At the end the example asserts the bookkeeping adds up (every received
+notification belongs to a query its subscriber owned at that moment, the
+engine processed every published document) and shuts the server down
+gracefully.  Run it::
+
+    PYTHONPATH=src python examples/live_alerts.py
+
+This script is part of the service smoke job in CI.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import sys
+
+from repro import ContinuousMonitor, MonitorConfig
+from repro.documents.corpus import CorpusConfig, SyntheticCorpus
+from repro.documents.document import Document
+from repro.service import MonitorClient, MonitorServer, ServiceConfig
+
+SEED = 20180712
+NUM_EVENTS = 300
+BATCH = 20
+K = 5
+
+
+async def publisher_task(address, documents):
+    """Stream every document through publish_batch, a batch at a time."""
+    client = await MonitorClient.connect(*address)
+    for start in range(0, len(documents), BATCH):
+        await client.publish_batch(documents[start : start + BATCH])
+        await asyncio.sleep(0)  # let subscribers breathe between batches
+    await client.close()
+
+
+async def drain(client, label, alerts):
+    """Print-and-count every alert a subscriber receives."""
+    try:
+        while True:
+            update = await client.next_update(timeout=1.0)
+            alerts[label] = alerts.get(label, 0) + 1
+            best = update.entries[0] if update.entries else None
+            if alerts[label] <= 3 and best is not None:
+                print(
+                    f"  [{label}] query {update.query_id}: doc {best.doc_id} "
+                    f"entered the top-{K} (score {best.score:.4f}, "
+                    f"batch {update.batch})"
+                )
+    except asyncio.TimeoutError:
+        return
+    except Exception:
+        return
+
+
+async def main() -> int:
+    corpus = SyntheticCorpus(
+        CorpusConfig(vocabulary_size=2000, mean_tokens=60.0, seed=SEED), seed=SEED
+    )
+    documents = [
+        Document(doc_id=doc.doc_id, vector=doc.vector)
+        for doc in corpus.iter_documents(count=NUM_EVENTS)
+    ]
+    # Frequent terms so the queries actually match the stream.
+    hot_terms = sorted(
+        {term for doc in documents[:50] for term in doc.vector}
+    )[:8]
+
+    monitor = ContinuousMonitor(MonitorConfig(algorithm="mrio", lam=1e-3))
+    server = MonitorServer(monitor, ServiceConfig(shutdown_timeout=10.0))
+    await server.start()
+    print(f"server listening on {server.address[0]}:{server.port}")
+
+    alice = await MonitorClient.connect(*server.address)
+    bob = await MonitorClient.connect(*server.address)
+    alice_q1 = await alice.subscribe({hot_terms[0]: 1.0, hot_terms[1]: 0.5}, k=K)
+    alice_q2 = await alice.subscribe({hot_terms[2]: 1.0}, k=K)
+    bob_q1 = await bob.subscribe({hot_terms[3]: 1.0, hot_terms[4]: 0.7}, k=K)
+    print(f"alice watches queries {alice_q1},{alice_q2}; bob watches {bob_q1}")
+
+    alerts: dict = {}
+    publisher = asyncio.create_task(
+        publisher_task(server.address, documents[: NUM_EVENTS // 2])
+    )
+    await drain(bob, "bob", alerts)
+    await publisher
+
+    # Mid-stream churn: bob drops his query and picks a new interest —
+    # documents keep flowing underneath.
+    await bob.unsubscribe(bob_q1)
+    bob_q2 = await bob.subscribe({hot_terms[5]: 1.0, hot_terms[6]: 0.9}, k=K)
+    print(f"bob unsubscribed {bob_q1} and now watches {bob_q2}")
+
+    publisher = asyncio.create_task(
+        publisher_task(server.address, documents[NUM_EVENTS // 2 :])
+    )
+    await asyncio.gather(drain(alice, "alice", alerts), drain(bob, "bob", alerts))
+    await publisher
+
+    stats = await alice.stats()
+    print(
+        f"served: {stats['service']['documents_ingested']} documents in "
+        f"{stats['service']['batches_processed']} engine batches, "
+        f"{stats['service']['notifications_sent']} notifications"
+    )
+
+    failures = 0
+    if stats["engine"]["documents"] != NUM_EVENTS:
+        print(f"MISMATCH: engine saw {stats['engine']['documents']} events", file=sys.stderr)
+        failures += 1
+    if stats["num_queries"] != 3:  # alice's two + bob's replacement
+        print(f"MISMATCH: {stats['num_queries']} registered queries", file=sys.stderr)
+        failures += 1
+    if stats["service"]["unsubscribes"] != 1 or stats["service"]["subscribes"] != 4:
+        print("MISMATCH: subscribe/unsubscribe bookkeeping", file=sys.stderr)
+        failures += 1
+    if not alerts:
+        print("MISMATCH: nobody received a single alert", file=sys.stderr)
+        failures += 1
+
+    await alice.close()
+    await bob.close()
+    await server.stop()
+    if failures:
+        return 1
+    print(f"alert counts: {alerts} — live subscribe/unsubscribe worked ✓")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(asyncio.run(main()))

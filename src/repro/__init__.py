@@ -56,6 +56,7 @@ from repro.queries.workloads import (
 from repro.persistence.durable import DurabilityConfig, DurableMonitor
 from repro.persistence.recovery import RecoveryReport
 from repro.runtime.sharded import ShardedMonitor
+from repro.service import MonitorClient, MonitorServer, ServiceConfig
 from repro.text.analyzer import Analyzer
 from repro.text.vectorizer import Vectorizer, WeightingScheme
 from repro.text.vocabulary import Vocabulary
@@ -86,6 +87,9 @@ __all__ = [
     "DurabilityConfig",
     "DurableMonitor",
     "RecoveryReport",
+    "MonitorClient",
+    "MonitorServer",
+    "ServiceConfig",
     "ConnectedWorkload",
     "UniformWorkload",
     "WorkloadConfig",

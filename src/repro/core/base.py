@@ -107,6 +107,14 @@ class StreamAlgorithm(abc.ABC):
     def num_queries(self) -> int:
         return len(self.queries)
 
+    @property
+    def last_arrival(self) -> Optional[float]:
+        """Arrival time of the most recently processed event (the stream
+        clock), or ``None`` before the first event.  The serving layer uses
+        this to stamp published documents with monotone arrival times that
+        resume correctly after a snapshot restore or crash recovery."""
+        return self._last_arrival
+
     # ------------------------------------------------------------------ #
     # Hooks concrete algorithms implement
     # ------------------------------------------------------------------ #

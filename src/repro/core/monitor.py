@@ -78,6 +78,24 @@ class ContinuousMonitor:
         self._next_query_id = 0
 
     # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+
+    def close(self) -> None:
+        """A no-op, deliberately: the in-memory engine holds no external
+        resources.  It exists so that every monitor flavour
+        (:class:`ContinuousMonitor`, :class:`~repro.runtime.sharded.ShardedMonitor`,
+        :class:`~repro.persistence.durable.DurableMonitor`) can be managed
+        uniformly, e.g. by the serving layer or a ``with`` block.  Reads
+        and writes keep working after ``close()``."""
+
+    def __enter__(self) -> "ContinuousMonitor":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
     # Query registration
     # ------------------------------------------------------------------ #
 
@@ -239,6 +257,11 @@ class ContinuousMonitor:
         if self._expiration is None:
             return None
         return self._expiration.live_documents
+
+    @property
+    def last_arrival(self) -> Optional[float]:
+        """Arrival time of the most recent event (``None`` before the first)."""
+        return self.algorithm.last_arrival
 
     def renormalize(self, new_origin: float) -> float:
         """Rebase the decay origin explicitly; returns the rescale factor.

@@ -79,3 +79,21 @@ class CorruptRecordError(PersistenceError):
 
 class RecoveryError(PersistenceError):
     """Crash recovery could not reconstruct a consistent monitor state."""
+
+
+class ServiceError(ReproError):
+    """The pub/sub serving layer rejected an operation.
+
+    Raised server-side for invalid requests (and sent back as an error
+    reply), and client-side when a request fails or the connection is
+    gone.
+    """
+
+
+class ProtocolError(ServiceError):
+    """A wire frame violated the length-prefixed JSON protocol.
+
+    Unlike :class:`ServiceError` — which is answered with an error reply on
+    a healthy connection — a protocol violation means the byte stream
+    itself cannot be trusted, and the connection is closed.
+    """

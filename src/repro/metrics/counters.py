@@ -51,7 +51,19 @@ class EventCounters:
         self.elapsed_seconds = 0.0
 
     def snapshot(self) -> Dict[str, float]:
-        """A plain-dict copy of the counters (used by reports)."""
+        """A plain-dict copy of the counters.
+
+        This dict is a **wire format**: the service layer returns it
+        verbatim as the ``engine`` section of the ``stats`` op, and the
+        durability sidecar embeds it, so its key set is a compatibility
+        contract — exactly the seven keys below, every value a plain
+        ``int``/``float`` that survives a JSON round-trip, and
+        :meth:`restore` inverts it.  Adding a field to the dataclass means
+        adding its key here, in :meth:`restore`, and in the service
+        protocol docs (``docs/service.md``); removing or renaming one is a
+        breaking protocol change.  Covered by
+        ``tests/test_metrics.py::TestEventCounters::test_snapshot_wire_format``.
+        """
         return {
             "documents": self.documents,
             "full_evaluations": self.full_evaluations,
@@ -109,3 +121,64 @@ class EventCounters:
         for part in parts:
             total.merge(part)
         return total
+
+
+@dataclass
+class ServiceCounters:
+    """Served-traffic counters maintained by the pub/sub serving layer.
+
+    One instance per :class:`~repro.service.server.MonitorServer`; exposed
+    verbatim as the ``service`` section of the ``stats`` op (the same
+    wire-format contract as :meth:`EventCounters.snapshot`).  The engine's
+    own work counters live in :class:`EventCounters`; these count the
+    traffic *around* the engine: connections, operations, ingestion batches
+    and the notification fan-out (including what the slow-consumer policy
+    dropped or disconnected — see ``docs/service.md``).
+    """
+
+    #: Client connections accepted / closed (for any reason).
+    subscribers_connected: int = 0
+    subscribers_disconnected: int = 0
+    #: Query-lifecycle operations served.
+    subscribes: int = 0
+    attaches: int = 0
+    unsubscribes: int = 0
+    #: ``publish`` + ``publish_batch`` operations accepted.
+    publishes: int = 0
+    #: Documents ingested into the engine through the service.
+    documents_ingested: int = 0
+    #: ``process_batch`` calls the micro-batcher issued.
+    batches_processed: int = 0
+    #: Notifications put on some subscriber's queue.
+    notifications_enqueued: int = 0
+    #: Notifications actually written to a socket.
+    notifications_sent: int = 0
+    #: Notifications evicted by the ``drop`` slow-consumer policy.
+    notifications_dropped: int = 0
+    #: Sessions force-closed by the ``disconnect`` slow-consumer policy.
+    slow_disconnects: int = 0
+    #: Requests answered with an error reply.
+    request_errors: int = 0
+
+    def reset(self) -> None:
+        """Zero every counter."""
+        for name in self.snapshot():
+            setattr(self, name, 0)
+
+    def snapshot(self) -> Dict[str, float]:
+        """A plain-dict copy (the ``service`` section of the ``stats`` op)."""
+        return {
+            "subscribers_connected": self.subscribers_connected,
+            "subscribers_disconnected": self.subscribers_disconnected,
+            "subscribes": self.subscribes,
+            "attaches": self.attaches,
+            "unsubscribes": self.unsubscribes,
+            "publishes": self.publishes,
+            "documents_ingested": self.documents_ingested,
+            "batches_processed": self.batches_processed,
+            "notifications_enqueued": self.notifications_enqueued,
+            "notifications_sent": self.notifications_sent,
+            "notifications_dropped": self.notifications_dropped,
+            "slow_disconnects": self.slow_disconnects,
+            "request_errors": self.request_errors,
+        }

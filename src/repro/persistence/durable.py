@@ -203,6 +203,10 @@ class DurableMonitor:
         self._events_since_checkpoint = 0
         self._checkpoints_taken = 0
         self._force_full_checkpoint = False
+        #: LSN the most recent committed checkpoint round covers (0 = none);
+        #: ``close(checkpoint=True)`` skips its final round when the WAL has
+        #: not advanced past this.
+        self._last_checkpoint_lsn = 0
         self._closed = False
         self._failed = False
         #: Per-event journaling seconds, aligned with the *tail* of the
@@ -300,6 +304,7 @@ class DurableMonitor:
 
     def _recover_state(self) -> RecoveryReport:
         sidecar = self._read_sidecar()
+        self._last_checkpoint_lsn = int(sidecar["lsn"])
         if not self._sharded:
             # The sidecar gates checkpoints in single mode too: a crash
             # between the checkpoint write and the sidecar write must roll
@@ -698,17 +703,37 @@ class DurableMonitor:
         self._events_since_checkpoint = 0
         self._checkpoints_taken += 1
         self._force_full_checkpoint = False
+        self._last_checkpoint_lsn = lsn
         return lsn
 
-    def close(self) -> None:
-        """Flush outstanding commit groups and release the engine."""
+    def close(self, checkpoint: bool = False) -> None:
+        """Flush outstanding commit groups and release the engine.
+
+        ``checkpoint=True`` takes one final checkpoint round before closing
+        (skipped when the monitor is failed or has journaled nothing since
+        the last round) — a graceful shutdown then restarts from a
+        checkpoint instead of replaying the whole WAL tail.  Idempotent.
+        """
         if self._closed:
             return
+        checkpoint_failure: Optional[BaseException] = None
+        if checkpoint and not self._failed and self.last_lsn > self._last_checkpoint_lsn:
+            try:
+                self.checkpoint()
+            except Exception as exc:
+                # A failed final checkpoint must not leave the WAL handles
+                # open: mark the monitor failed, finish the close, and
+                # re-raise — the WAL still holds the full record sequence,
+                # so recovery replays the tail instead of loading the
+                # checkpoint that never committed.
+                self._failed = True
+                checkpoint_failure = exc
         self._closed = True
         for wal in self._wals:
             wal.close()
-        if self._sharded:
-            self._inner.close()  # type: ignore[union-attr]
+        self._inner.close()
+        if checkpoint_failure is not None:
+            raise checkpoint_failure
 
     def __enter__(self) -> "DurableMonitor":
         return self
@@ -729,6 +754,11 @@ class DurableMonitor:
     def last_lsn(self) -> int:
         """WAL position of the most recently journaled record."""
         return self._wals[0].last_lsn
+
+    @property
+    def next_query_id(self) -> int:
+        """The id the next ``register_vector``/``register_keywords`` will use."""
+        return self._inner.next_query_id
 
     def top_k(self, query_id: QueryId) -> List[ResultEntry]:
         return self._inner.top_k(query_id)
@@ -773,6 +803,11 @@ class DurableMonitor:
     @property
     def live_window_size(self) -> Optional[int]:
         return self._inner.live_window_size
+
+    @property
+    def last_arrival(self) -> Optional[float]:
+        """Arrival time of the most recent event (``None`` before the first)."""
+        return self._inner.last_arrival
 
     def describe(self) -> Dict[str, object]:
         info = self._inner.describe()

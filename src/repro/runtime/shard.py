@@ -143,6 +143,10 @@ class EngineShard:
             return None
         return self.expiration.live_documents
 
+    @property
+    def last_arrival(self) -> Optional[float]:
+        return self.algorithm.last_arrival
+
     def describe(self) -> Dict[str, object]:
         info = self.algorithm.describe()
         info["shard_id"] = self.shard_id

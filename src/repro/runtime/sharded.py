@@ -340,6 +340,15 @@ class ShardedMonitor:
         """
         return self._shards[0].live_window_size
 
+    @property
+    def last_arrival(self) -> Optional[float]:
+        """Arrival time of the most recent event (``None`` before the first).
+
+        Every shard sees every event, so shard 0's stream clock answers for
+        the whole monitor.
+        """
+        return self._shards[0].last_arrival
+
     def describe(self) -> Dict[str, object]:
         return {
             "runtime": "sharded",

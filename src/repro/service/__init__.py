@@ -1,0 +1,38 @@
+"""The serving layer: a long-running pub/sub notification service.
+
+Everything above this package is a library you drive in-process; this
+package puts a *service boundary* around it — the paper's actual framing,
+where millions of users register continuous queries and are notified over
+the wire as documents stream in:
+
+* :mod:`repro.service.protocol` — the length-prefixed JSON wire protocol;
+* :mod:`repro.service.server` — :class:`MonitorServer`, the asyncio server
+  with micro-batched ingestion, bounded per-subscriber fan-out and
+  graceful checkpoint-on-shutdown;
+* :mod:`repro.service.registry` — query id → subscriber session routing;
+* :mod:`repro.service.client` — :class:`MonitorClient`, the asyncio client.
+
+See ``docs/service.md`` for the protocol specification, the slow-consumer
+policies, and the shutdown/restart semantics.
+"""
+
+from repro.service.client import BatchPublishAck, MonitorClient, PublishAck
+from repro.service.protocol import PROTOCOL_VERSION, Notification
+from repro.service.registry import SubscriptionRegistry
+from repro.service.server import (
+    SLOW_CONSUMER_POLICIES,
+    MonitorServer,
+    ServiceConfig,
+)
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "SLOW_CONSUMER_POLICIES",
+    "BatchPublishAck",
+    "MonitorClient",
+    "MonitorServer",
+    "Notification",
+    "PublishAck",
+    "ServiceConfig",
+    "SubscriptionRegistry",
+]

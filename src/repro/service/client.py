@@ -1,0 +1,322 @@
+"""The asyncio client of the pub/sub serving layer.
+
+:class:`MonitorClient` speaks the length-prefixed JSON protocol of
+:mod:`repro.service.protocol` against a
+:class:`~repro.service.server.MonitorServer`: a background reader task
+correlates replies to in-flight requests by id and parks ``update`` pushes
+on an internal queue, so requests can be pipelined (``asyncio.gather`` a
+burst of publishes and the server micro-batches them) while notifications
+are consumed independently via :meth:`MonitorClient.next_update`.
+
+Typical usage::
+
+    client = await MonitorClient.connect("127.0.0.1", 7171)
+    query_id = await client.subscribe({7: 0.8, 9: 0.6}, k=10)
+    ack = await client.publish(document)          # server-stamped arrival
+    update = await client.next_update(timeout=5)  # pushed notification
+    await client.close()
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+from typing import Dict, List, NamedTuple, Optional, Sequence
+
+from repro.documents.document import Document
+from repro.exceptions import ProtocolError, ServiceError
+from repro.persistence import codec
+from repro.service import protocol
+from repro.service.protocol import Notification
+
+#: Internal marker a closing reader pushes so blocked getters wake up.
+_EOF = object()
+
+
+class PublishAck(NamedTuple):
+    """The server's answer to one ``publish``: where the document landed."""
+
+    arrival: float
+    batch: int
+
+
+class BatchPublishAck(NamedTuple):
+    """Per-document arrival times and batch numbers of one ``publish_batch``."""
+
+    arrivals: List[float]
+    batches: List[int]
+
+
+class MonitorClient:
+    """One connection to a :class:`~repro.service.server.MonitorServer`."""
+
+    def __init__(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        hello: Dict[str, object],
+        max_frame_bytes: int = protocol.MAX_FRAME_BYTES,
+    ) -> None:
+        self._reader = reader
+        self._writer = writer
+        self._hello = hello
+        self._max_frame_bytes = max_frame_bytes
+        self._request_ids = itertools.count(1)
+        self._pending: Dict[int, "asyncio.Future"] = {}
+        self._updates: "asyncio.Queue" = asyncio.Queue()
+        self._write_lock = asyncio.Lock()
+        self._closed = False
+        self._server_shutdown: Optional[str] = None
+        self._reader_task = asyncio.create_task(self._read_loop())
+
+    # ------------------------------------------------------------------ #
+    # Connection lifecycle
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    async def connect(
+        cls,
+        host: str,
+        port: int,
+        max_frame_bytes: int = protocol.MAX_FRAME_BYTES,
+        sock=None,
+    ) -> "MonitorClient":
+        """Connect and consume the server's ``hello`` push.
+
+        ``sock`` substitutes a pre-connected socket (tests use this to
+        shrink kernel buffers before connecting).
+        """
+        if sock is not None:
+            reader, writer = await asyncio.open_connection(sock=sock)
+        else:
+            reader, writer = await asyncio.open_connection(host, port)
+        hello = await protocol.read_frame(reader, max_frame_bytes)
+        if hello is None:
+            raise ServiceError("server closed the connection before hello")
+        if hello.get("push") != protocol.PUSH_HELLO:
+            raise ProtocolError(f"expected a hello push, got {hello!r}")
+        if hello.get("version") != protocol.PROTOCOL_VERSION:
+            raise ProtocolError(
+                f"server speaks protocol version {hello.get('version')!r}, "
+                f"this client speaks {protocol.PROTOCOL_VERSION}"
+            )
+        return cls(reader, writer, hello, max_frame_bytes)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def pause_reading(self) -> None:
+        """Stop consuming the socket: inbound frames stay in the kernel.
+
+        This is real flow control — once the receive buffers fill, the
+        server's slow-consumer policy decides what happens to further
+        notifications.  The backpressure tests use it to *be* the slow
+        consumer; ordinary clients never need it.
+        """
+        self._writer.transport.pause_reading()
+
+    def resume_reading(self) -> None:
+        """Resume consuming the socket after :meth:`pause_reading`."""
+        self._writer.transport.resume_reading()
+
+    @property
+    def server_shutdown(self) -> Optional[str]:
+        """The reason of the server's ``shutdown`` push, once received."""
+        return self._server_shutdown
+
+    async def close(self) -> None:
+        """Close the connection and fail anything still in flight."""
+        if self._closed:
+            return
+        self._mark_closed(ServiceError("client closed"))
+        self._reader_task.cancel()
+        try:
+            self._writer.close()
+            await self._writer.wait_closed()
+        except (OSError, RuntimeError):  # pragma: no cover - platform quirks
+            pass
+
+    async def __aenter__(self) -> "MonitorClient":
+        return self
+
+    async def __aexit__(self, *exc_info: object) -> None:
+        await self.close()
+
+    def _mark_closed(self, error: Exception) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for future in self._pending.values():
+            if not future.done():
+                future.set_exception(error)
+        self._pending.clear()
+        self._updates.put_nowait(_EOF)
+
+    async def _read_loop(self) -> None:
+        try:
+            while True:
+                message = await protocol.read_frame(
+                    self._reader, self._max_frame_bytes
+                )
+                if message is None:
+                    break
+                if "reply" in message:
+                    self._handle_reply(message)
+                elif message.get("push") == protocol.PUSH_UPDATE:
+                    self._updates.put_nowait(protocol.decode_update(message))
+                elif message.get("push") == protocol.PUSH_SHUTDOWN:
+                    self._server_shutdown = str(message.get("reason", ""))
+                # Unknown pushes are ignored: forward compatibility.
+        except (ProtocolError, OSError, RuntimeError) as exc:
+            self._mark_closed(ServiceError(f"connection lost: {exc}"))
+            return
+        self._mark_closed(ServiceError("server closed the connection"))
+
+    def _handle_reply(self, message: Dict[str, object]) -> None:
+        request_id = message.get("reply")
+        future = self._pending.pop(request_id, None)  # type: ignore[arg-type]
+        if future is None or future.done():
+            return
+        if message.get("ok"):
+            future.set_result(message)
+        else:
+            future.set_exception(ServiceError(str(message.get("error", "unknown error"))))
+
+    # ------------------------------------------------------------------ #
+    # Requests
+    # ------------------------------------------------------------------ #
+
+    async def _request(self, op: str, **fields: object) -> Dict[str, object]:
+        if self._closed:
+            raise ServiceError("client is closed")
+        request_id = next(self._request_ids)
+        future: "asyncio.Future" = asyncio.get_running_loop().create_future()
+        self._pending[request_id] = future
+        try:
+            async with self._write_lock:
+                await protocol.write_frame(
+                    self._writer,
+                    protocol.request(op, request_id, **fields),
+                    self._max_frame_bytes,
+                )
+        except (OSError, RuntimeError) as exc:
+            self._pending.pop(request_id, None)
+            self._mark_closed(ServiceError(f"connection lost: {exc}"))
+            raise ServiceError(f"connection lost: {exc}") from exc
+        return await future
+
+    async def subscribe(
+        self,
+        vector: Dict[int, float],
+        k: Optional[int] = None,
+        user: Optional[str] = None,
+    ) -> int:
+        """Register a continuous query; returns the server-assigned id.
+
+        The vector may be unnormalized — the server L2-normalizes it, like
+        :meth:`~repro.core.monitor.ContinuousMonitor.register_vector`.
+        This connection receives the query's notifications.
+        """
+        fields: Dict[str, object] = dict(protocol.encode_vector(vector))
+        if k is not None:
+            fields["k"] = int(k)
+        if user is not None:
+            fields["user"] = user
+        reply = await self._request(protocol.OP_SUBSCRIBE, **fields)
+        return int(reply["query_id"])  # type: ignore[arg-type]
+
+    async def attach(self, query_id: int) -> None:
+        """Claim an already-registered query's notification stream.
+
+        This is the reconnect path: query registrations survive both a
+        subscriber disconnect and (durably) a server restart; ``attach``
+        re-establishes who receives the pushes.
+        """
+        await self._request(protocol.OP_ATTACH, query_id=int(query_id))
+
+    async def unsubscribe(self, query_id: int) -> None:
+        """Unregister a query from the monitor (and stop its pushes)."""
+        await self._request(protocol.OP_UNSUBSCRIBE, query_id=int(query_id))
+
+    async def publish(self, document: Document) -> PublishAck:
+        """Publish one document; the ack arrives after its batch commits.
+
+        A document without an arrival time is stamped by the server's
+        stream clock; an explicit arrival time must respect stream order.
+        """
+        reply = await self._request(
+            protocol.OP_PUBLISH, doc=codec.encode_document(document)
+        )
+        return PublishAck(
+            arrival=float(reply["arrival"]),  # type: ignore[arg-type]
+            batch=int(reply["batch"]),  # type: ignore[arg-type]
+        )
+
+    async def publish_batch(self, documents: Sequence[Document]) -> BatchPublishAck:
+        """Publish an arrival-ordered batch as one operation.
+
+        The whole batch is stamped atomically (all documents or none) and
+        processed in at most ``ceil(n / max_batch)`` engine batches.
+        """
+        reply = await self._request(
+            protocol.OP_PUBLISH_BATCH,
+            docs=[codec.encode_document(document) for document in documents],
+        )
+        return BatchPublishAck(
+            arrivals=[float(arrival) for arrival in reply["arrivals"]],  # type: ignore[union-attr]
+            batches=[int(batch) for batch in reply["batches"]],  # type: ignore[union-attr]
+        )
+
+    async def stats(self) -> Dict[str, object]:
+        """The server's stats snapshot (see docs/service.md)."""
+        reply = await self._request(protocol.OP_STATS)
+        return reply["stats"]  # type: ignore[return-value]
+
+    async def checkpoint(self) -> int:
+        """Force a checkpoint round on a durable server; returns its LSN."""
+        reply = await self._request(protocol.OP_CHECKPOINT)
+        return int(reply["lsn"])  # type: ignore[arg-type]
+
+    async def ping(self) -> None:
+        await self._request(protocol.OP_PING)
+
+    # ------------------------------------------------------------------ #
+    # Notifications
+    # ------------------------------------------------------------------ #
+
+    def updates_pending(self) -> int:
+        """Number of notifications already received and not yet consumed."""
+        count = self._updates.qsize()
+        # The EOF marker is not a notification.
+        if self._closed and count:
+            count -= 1
+        return count
+
+    async def next_update(self, timeout: Optional[float] = None) -> Notification:
+        """The next pushed notification (FIFO).
+
+        Raises :class:`ServiceError` once the connection is closed and no
+        buffered notifications remain, and :class:`asyncio.TimeoutError`
+        when ``timeout`` elapses first.
+        """
+        if timeout is None:
+            update = await self._updates.get()
+        else:
+            update = await asyncio.wait_for(self._updates.get(), timeout)
+        if update is _EOF:
+            # Leave the marker for any other waiter, then report.
+            self._updates.put_nowait(_EOF)
+            raise ServiceError("connection is closed; no further updates")
+        return update
+
+    async def drain_updates(self, idle_timeout: float = 0.25) -> List[Notification]:
+        """Collect notifications until none arrives for ``idle_timeout``."""
+        collected: List[Notification] = []
+        while True:
+            try:
+                collected.append(await self.next_update(timeout=idle_timeout))
+            except asyncio.TimeoutError:
+                return collected
+            except ServiceError:
+                return collected

@@ -1,0 +1,260 @@
+"""The wire protocol of the serving layer: length-prefixed JSON frames.
+
+One *frame* is a 4-byte big-endian unsigned payload length followed by the
+payload: one JSON object encoded with the persistence codec's canonical
+dumps (sorted keys, no whitespace, ``NaN`` rejected, floats as ``repr`` —
+so scores survive the wire bit-for-bit, exactly as they survive the WAL).
+Three message shapes flow over a connection:
+
+* **requests** (client → server): ``{"op": <str>, "id": <int>, ...}`` —
+  the ``id`` is a client-chosen correlation token;
+* **replies** (server → client): ``{"reply": <id>, "ok": true, ...}`` or
+  ``{"reply": <id>, "ok": false, "error": <str>}`` — replies may arrive
+  out of order relative to other requests (``publish`` acks are resolved
+  by the ingest pipeline), the ``id`` correlates them;
+* **pushes** (server → client, unsolicited): ``{"push": <kind>, ...}`` —
+  ``hello`` once on connect, ``update`` per result notification,
+  ``shutdown`` on graceful server stop.
+
+Documents and query vectors use the persistence codec's parallel-array
+encoding (``"t"``: term ids, ``"w"``: weights), so the service, the WAL
+and the checkpoints speak one serialization.  The full message catalogue
+is documented in ``docs/service.md``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import struct
+from typing import Dict, NamedTuple, Optional, Tuple
+
+from repro.core.results import BatchUpdate, ResultEntry
+from repro.exceptions import ProtocolError
+from repro.persistence import codec
+
+#: Version stamped into the ``hello`` push; a client refuses a mismatch.
+PROTOCOL_VERSION = 1
+
+#: Default cap on one frame's payload.  A publish batch of 1024 dense
+#: documents is ~2 MiB; 16 MiB leaves headroom without letting a garbage
+#: length prefix allocate the moon.
+MAX_FRAME_BYTES = 16 * 1024 * 1024
+
+_HEADER = struct.Struct(">I")
+
+# Request operations.
+OP_SUBSCRIBE = "subscribe"
+OP_ATTACH = "attach"
+OP_UNSUBSCRIBE = "unsubscribe"
+OP_PUBLISH = "publish"
+OP_PUBLISH_BATCH = "publish_batch"
+OP_STATS = "stats"
+OP_CHECKPOINT = "checkpoint"
+OP_PING = "ping"
+
+# Push kinds.
+PUSH_HELLO = "hello"
+PUSH_UPDATE = "update"
+PUSH_SHUTDOWN = "shutdown"
+
+
+# ---------------------------------------------------------------------- #
+# Framing
+# ---------------------------------------------------------------------- #
+
+
+def encode_frame(message: Dict[str, object], max_frame_bytes: int = MAX_FRAME_BYTES) -> bytes:
+    """One message as length-prefixed canonical JSON bytes."""
+    payload = codec.canonical_dumps(message).encode("utf-8")
+    if len(payload) > max_frame_bytes:
+        raise ProtocolError(
+            f"frame payload of {len(payload)} bytes exceeds the "
+            f"{max_frame_bytes}-byte limit"
+        )
+    return _HEADER.pack(len(payload)) + payload
+
+
+def decode_payload(payload: bytes) -> Dict[str, object]:
+    """Parse one frame payload; raises :class:`ProtocolError` on garbage."""
+    try:
+        message = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError) as exc:
+        raise ProtocolError(f"frame payload is not valid JSON: {exc}") from exc
+    if not isinstance(message, dict):
+        raise ProtocolError("frame payload must be a JSON object")
+    return message
+
+
+async def read_frame(
+    reader: asyncio.StreamReader, max_frame_bytes: int = MAX_FRAME_BYTES
+) -> Optional[Dict[str, object]]:
+    """Read one frame; ``None`` on a clean EOF at a frame boundary.
+
+    An EOF *inside* a frame (torn header or payload) raises
+    :class:`ProtocolError` — the peer vanished mid-message.
+    """
+    try:
+        header = await reader.readexactly(_HEADER.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise ProtocolError("connection closed inside a frame header") from exc
+    (length,) = _HEADER.unpack(header)
+    if length == 0:
+        raise ProtocolError("zero-length frame")
+    if length > max_frame_bytes:
+        raise ProtocolError(
+            f"peer announced a {length}-byte frame (limit {max_frame_bytes})"
+        )
+    try:
+        payload = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise ProtocolError("connection closed inside a frame payload") from exc
+    return decode_payload(payload)
+
+
+async def write_frame(
+    writer: asyncio.StreamWriter,
+    message: Dict[str, object],
+    max_frame_bytes: int = MAX_FRAME_BYTES,
+) -> None:
+    """Write one frame and drain (so backpressure reaches the caller)."""
+    writer.write(encode_frame(message, max_frame_bytes))
+    await writer.drain()
+
+
+# ---------------------------------------------------------------------- #
+# Message constructors
+# ---------------------------------------------------------------------- #
+
+
+def request(op: str, request_id: int, **fields: object) -> Dict[str, object]:
+    message: Dict[str, object] = {"op": op, "id": int(request_id)}
+    message.update(fields)
+    return message
+
+
+def ok_reply(request_id: int, **fields: object) -> Dict[str, object]:
+    message: Dict[str, object] = {"reply": int(request_id), "ok": True}
+    message.update(fields)
+    return message
+
+
+def error_reply(request_id: int, error: object) -> Dict[str, object]:
+    return {"reply": int(request_id), "ok": False, "error": str(error)}
+
+
+def hello_push(server: str) -> Dict[str, object]:
+    return {"push": PUSH_HELLO, "version": PROTOCOL_VERSION, "server": server}
+
+
+def shutdown_push(reason: str) -> Dict[str, object]:
+    return {"push": PUSH_SHUTDOWN, "reason": reason}
+
+
+def encode_vector(vector: Dict[int, float]) -> Dict[str, object]:
+    """A sparse vector as the codec's parallel-array shape."""
+    return {"t": list(vector.keys()), "w": list(vector.values())}
+
+
+def decode_vector(message: Dict[str, object]) -> Dict[int, float]:
+    terms = message.get("t")
+    weights = message.get("w")
+    if not isinstance(terms, list) or not isinstance(weights, list) or len(terms) != len(weights):
+        raise ProtocolError("vector must carry parallel 't'/'w' arrays")
+    try:
+        return {int(term): float(weight) for term, weight in zip(terms, weights)}
+    except (TypeError, ValueError) as exc:
+        raise ProtocolError(f"vector terms/weights must be numeric: {exc}") from exc
+
+
+def update_push(batch: int, update: BatchUpdate) -> Dict[str, object]:
+    """One coalesced result notification as a push message.
+
+    ``entries`` are ``[doc_id, score]`` pairs, best first; ``evicted`` the
+    net-evicted doc ids, ascending — the exact content of the
+    :class:`~repro.core.results.BatchUpdate`, plus the ingestion batch
+    sequence number it belongs to.
+    """
+    return {
+        "push": PUSH_UPDATE,
+        "batch": int(batch),
+        "query_id": int(update.query_id),
+        "entries": [[int(entry.doc_id), float(entry.score)] for entry in update.entries],
+        "evicted": [int(doc_id) for doc_id in update.evicted_doc_ids],
+    }
+
+
+class Notification(NamedTuple):
+    """A decoded ``update`` push: one query's net result change.
+
+    ``batch`` is the server-assigned ingestion batch sequence number
+    (monotone within one server run); ``entries`` and ``evicted_doc_ids``
+    mirror :class:`~repro.core.results.BatchUpdate`.
+    """
+
+    batch: int
+    query_id: int
+    entries: Tuple[ResultEntry, ...]
+    evicted_doc_ids: Tuple[int, ...]
+
+
+def decode_update(message: Dict[str, object]) -> Notification:
+    try:
+        return Notification(
+            batch=int(message["batch"]),  # type: ignore[arg-type]
+            query_id=int(message["query_id"]),  # type: ignore[arg-type]
+            entries=tuple(
+                ResultEntry(int(doc_id), float(score))
+                for doc_id, score in message["entries"]  # type: ignore[union-attr]
+            ),
+            evicted_doc_ids=tuple(int(doc_id) for doc_id in message["evicted"]),  # type: ignore[union-attr]
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ProtocolError(f"malformed update push: {exc}") from exc
+
+
+def encode_published_document(
+    doc_id: int,
+    vector: Dict[int, float],
+    arrival_time: Optional[float] = None,
+    text: Optional[str] = None,
+) -> Dict[str, object]:
+    """A to-be-published document (``arrival_time=None`` = server stamps)."""
+    encoded: Dict[str, object] = {"i": int(doc_id), "a": arrival_time}
+    encoded.update(encode_vector(vector))
+    if text is not None:
+        encoded["x"] = text
+    return encoded
+
+
+class PublishedDocument(NamedTuple):
+    """A decoded publish payload, before arrival stamping."""
+
+    doc_id: int
+    vector: Dict[int, float]
+    arrival_time: Optional[float]
+    text: Optional[str]
+
+
+def decode_published_document(message: object) -> PublishedDocument:
+    if not isinstance(message, dict):
+        raise ProtocolError("published document must be a JSON object")
+    if "i" not in message:
+        raise ProtocolError("published document is missing its 'i' (doc id)")
+    arrival = message.get("a")
+    text = message.get("x")
+    if text is not None and not isinstance(text, str):
+        raise ProtocolError("published document 'x' (text) must be a string")
+    try:
+        doc_id = int(message["i"])  # type: ignore[arg-type]
+        arrival_time = None if arrival is None else float(arrival)  # type: ignore[arg-type]
+    except (TypeError, ValueError) as exc:
+        raise ProtocolError(f"published document fields must be numeric: {exc}") from exc
+    return PublishedDocument(
+        doc_id=doc_id,
+        vector=decode_vector(message),
+        arrival_time=arrival_time,
+        text=text,
+    )

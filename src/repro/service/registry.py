@@ -1,0 +1,79 @@
+"""The subscription registry: which session receives which query's updates.
+
+Query *registration* lives in the monitor (and, when durable, in the WAL);
+the registry only tracks the volatile push routing — query id → connected
+session.  A query therefore survives its subscriber's disconnect: the
+monitor keeps maintaining its top-k, nobody receives the pushes, and a
+reconnecting client claims the stream again with the ``attach`` op (the
+graceful-restart story relies on exactly this split: the engine state is
+recovered from disk, the routing is re-established by the clients).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generic, List, Optional, TypeVar
+
+from repro.exceptions import ServiceError
+from repro.types import QueryId
+
+SessionT = TypeVar("SessionT")
+
+
+class SubscriptionRegistry(Generic[SessionT]):
+    """Maps query ids to the session that receives their notifications.
+
+    Each query has at most one owning session (notifications are unicast —
+    a query *is* one user's subscription); a session owns any number of
+    queries.  Claiming a query owned by another live session is refused:
+    subscriptions are capabilities, and silently stealing one would
+    redirect a user's notification stream.
+    """
+
+    def __init__(self) -> None:
+        self._owners: Dict[QueryId, SessionT] = {}
+        self._queries: Dict[SessionT, List[QueryId]] = {}
+
+    def attach(self, query_id: QueryId, session: SessionT) -> None:
+        """Route a query's notifications to ``session``.
+
+        Idempotent for the owning session; raises :class:`ServiceError`
+        when another session currently owns the query.
+        """
+        owner = self._owners.get(query_id)
+        if owner is session:
+            return
+        if owner is not None:
+            raise ServiceError(
+                f"query {query_id} is already attached to another subscriber"
+            )
+        self._owners[query_id] = session
+        self._queries.setdefault(session, []).append(query_id)
+
+    def detach(self, query_id: QueryId, session: SessionT) -> None:
+        """Stop routing a query to ``session`` (no-op when not the owner)."""
+        if self._owners.get(query_id) is session:
+            del self._owners[query_id]
+            self._queries[session].remove(query_id)
+            if not self._queries[session]:
+                del self._queries[session]
+
+    def release_session(self, session: SessionT) -> List[QueryId]:
+        """Drop every attachment of a closing session; returns the query ids."""
+        query_ids = self._queries.pop(session, [])
+        for query_id in query_ids:
+            del self._owners[query_id]
+        return query_ids
+
+    def owner(self, query_id: QueryId) -> Optional[SessionT]:
+        """The session receiving this query's pushes, or ``None``."""
+        return self._owners.get(query_id)
+
+    def queries_of(self, session: SessionT) -> List[QueryId]:
+        """The query ids currently attached to ``session``."""
+        return list(self._queries.get(session, []))
+
+    def __len__(self) -> int:
+        return len(self._owners)
+
+    def __contains__(self, query_id: QueryId) -> bool:
+        return query_id in self._owners

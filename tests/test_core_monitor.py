@@ -139,3 +139,34 @@ class TestMonitorProcessing:
         assert info["window_horizon"] == 50.0
         assert monitor.live_window_size == 0
         assert ContinuousMonitor().live_window_size is None
+
+
+class TestMonitorLifecycleParity:
+    """API parity: every monitor flavour is managed the same way."""
+
+    def test_close_is_idempotent_and_context_managed(self):
+        with ContinuousMonitor() as monitor:
+            monitor.register_vector({1: 1.0})
+            monitor.process(make_document(0, {1: 1.0}, 1.0))
+        monitor.close()  # second close is a no-op
+        # Closing releases nothing in-memory: reads still work.
+        assert monitor.num_queries == 1
+
+    def test_every_monitor_flavour_has_the_lifecycle_surface(self):
+        from repro.persistence.durable import DurableMonitor
+        from repro.runtime.sharded import ShardedMonitor
+
+        for flavour in (ContinuousMonitor, ShardedMonitor, DurableMonitor):
+            assert callable(getattr(flavour, "close"))
+            assert hasattr(flavour, "__enter__") and hasattr(flavour, "__exit__")
+            assert isinstance(getattr(flavour, "last_arrival"), property)
+            assert isinstance(getattr(flavour, "next_query_id"), property)
+
+    def test_last_arrival_tracks_the_stream_clock(self):
+        monitor = ContinuousMonitor()
+        assert monitor.last_arrival is None
+        monitor.register_vector({1: 1.0})
+        monitor.process(make_document(0, {1: 1.0}, 2.5))
+        assert monitor.last_arrival == 2.5
+        monitor.process_batch([make_document(1, {1: 1.0}, 4.0)])
+        assert monitor.last_arrival == 4.0

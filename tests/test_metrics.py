@@ -1,8 +1,10 @@
 """Unit tests for counters and run statistics."""
 
+import json
+
 import pytest
 
-from repro.metrics.counters import EventCounters
+from repro.metrics.counters import EventCounters, ServiceCounters
 from repro.metrics.runstats import RunStatistics, summarize_times
 
 
@@ -67,6 +69,76 @@ class TestEventCounters:
         restored = EventCounters()
         restored.restore(original.snapshot())
         assert restored == original
+
+    def test_snapshot_wire_format(self):
+        """snapshot() is the 'engine' section of the service stats op.
+
+        The key set is a compatibility contract (see the snapshot
+        docstring): exactly these seven keys, every value JSON-safe, and
+        a JSON round-trip must restore() losslessly.
+        """
+        original = EventCounters(
+            documents=5,
+            full_evaluations=7,
+            iterations=11,
+            postings_scanned=13,
+            bound_computations=17,
+            result_updates=19,
+            elapsed_seconds=0.1 + 0.2,  # an untidy float must survive
+        )
+        snap = original.snapshot()
+        assert set(snap) == {
+            "documents",
+            "full_evaluations",
+            "iterations",
+            "postings_scanned",
+            "bound_computations",
+            "result_updates",
+            "elapsed_seconds",
+        }
+        wire = json.loads(json.dumps(snap))
+        assert wire == snap
+        restored = EventCounters()
+        restored.restore(wire)
+        assert restored == original
+        assert restored.elapsed_seconds == original.elapsed_seconds  # exact
+
+
+class TestServiceCounters:
+    WIRE_KEYS = {
+        "subscribers_connected",
+        "subscribers_disconnected",
+        "subscribes",
+        "attaches",
+        "unsubscribes",
+        "publishes",
+        "documents_ingested",
+        "batches_processed",
+        "notifications_enqueued",
+        "notifications_sent",
+        "notifications_dropped",
+        "slow_disconnects",
+        "request_errors",
+    }
+
+    def test_snapshot_wire_format(self):
+        counters = ServiceCounters(publishes=3, notifications_dropped=2)
+        snap = counters.snapshot()
+        assert set(snap) == self.WIRE_KEYS
+        assert json.loads(json.dumps(snap)) == snap
+        assert snap["publishes"] == 3
+        assert snap["notifications_dropped"] == 2
+
+    def test_snapshot_covers_every_field(self):
+        """A field added to the dataclass must join the wire snapshot."""
+        from dataclasses import fields
+
+        assert {field.name for field in fields(ServiceCounters)} == self.WIRE_KEYS
+
+    def test_reset(self):
+        counters = ServiceCounters(subscribes=4, slow_disconnects=1)
+        counters.reset()
+        assert counters == ServiceCounters()
 
 
 class TestRunStatistics:

@@ -1,0 +1,180 @@
+"""Slow-consumer behaviour under each backpressure policy.
+
+The scenario is the same for every policy: one query whose score strictly
+increases with each published document (``k=1``, recency amplification),
+so every single-document batch produces exactly one notification — and a
+subscriber that reads *nothing* while a publisher pushes hundreds of
+events.  To make the slowness real with small data volumes, the
+subscriber's socket receive buffer and the server's per-connection write
+buffer are shrunk, so the kernel and transport absorb only a few KiB
+before the subscriber's bounded queue has to hold the rest.
+
+* ``block``: nothing is ever lost — the ingest pipeline (and with it the
+  publisher's acks) waits for the subscriber;
+* ``drop``: the *oldest* queued notifications are evicted and counted;
+  the freshest one always survives;
+* ``disconnect``: the slow session is closed, its queries stay registered.
+"""
+
+import asyncio
+import socket
+
+from repro.core.config import MonitorConfig
+from repro.core.monitor import ContinuousMonitor
+from repro.service import MonitorClient, MonitorServer, ServiceConfig
+from tests.helpers import make_document
+
+#: Strictly positive decay so later arrivals always beat earlier ones.
+CONFIG = MonitorConfig(algorithm="mrio", lam=1e-2)
+QUEUE_CAPACITY = 8
+EVENTS = 1200
+
+
+def run(coro):
+    return asyncio.run(asyncio.wait_for(coro, timeout=120))
+
+
+async def connect_slow_subscriber(host: str, port: int) -> MonitorClient:
+    """A client whose connection can only absorb a few KiB of pushes."""
+    sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    # Must be set before connect so the advertised TCP window stays small.
+    sock.setsockopt(socket.SOL_SOCKET, socket.SO_RCVBUF, 2048)
+    sock.setblocking(False)
+    await asyncio.get_running_loop().sock_connect(sock, (host, port))
+    return await MonitorClient.connect(host, port, sock=sock)
+
+
+async def scenario(policy: str):
+    """Publish EVENTS single-doc batches at a non-reading subscriber."""
+    server = MonitorServer(
+        ContinuousMonitor(CONFIG),
+        ServiceConfig(
+            subscriber_queue=QUEUE_CAPACITY,
+            slow_consumer_policy=policy,
+            write_buffer_limit=1024,
+            send_buffer_bytes=2048,
+            shutdown_timeout=10.0,
+        ),
+    )
+    await server.start()
+    try:
+        subscriber = await connect_slow_subscriber(*server.address)
+        query_id = await subscriber.subscribe({1: 1.0}, k=1)
+        # From here on the subscriber consumes nothing: frames pile up in
+        # the kernel buffers, then in the bounded notification queue.
+        subscriber.pause_reading()
+        publisher = await MonitorClient.connect(*server.address)
+
+        async def publish_all():
+            # Serial publishes: every event is its own engine batch, so
+            # every event yields exactly one notification for the query.
+            for index in range(EVENTS):
+                await publisher.publish(
+                    make_document(index, {1: 1.0}, arrival_time=None)
+                )
+
+        return server, subscriber, publisher, query_id, publish_all
+    except Exception:
+        await server.stop()
+        raise
+
+
+class TestBlockPolicy:
+    def test_nothing_is_lost(self):
+        async def body():
+            server, subscriber, publisher, query_id, publish_all = await scenario(
+                "block"
+            )
+            try:
+                publish_task = asyncio.create_task(publish_all())
+
+                async def consume():
+                    # Let the pipeline run into the full queue first, so the
+                    # blocking path is actually exercised ...
+                    await asyncio.sleep(0.5)
+                    subscriber.resume_reading()
+                    received = []
+                    while len(received) < EVENTS:
+                        received.append(await subscriber.next_update(timeout=30))
+                    return received
+
+                received, _ = await asyncio.gather(consume(), publish_task)
+                # ... and still: every single notification was delivered,
+                # in order, with nothing dropped and nobody disconnected.
+                assert [u.batch for u in received] == sorted(
+                    u.batch for u in received
+                )
+                assert len({u.batch for u in received}) == EVENTS
+                assert server.counters.notifications_dropped == 0
+                assert server.counters.slow_disconnects == 0
+                assert server.counters.notifications_enqueued == EVENTS
+                await publisher.close()
+                await subscriber.close()
+            finally:
+                await server.stop()
+
+        run(body())
+
+
+class TestDropPolicy:
+    def test_oldest_notifications_dropped_and_counted(self):
+        async def body():
+            server, subscriber, publisher, query_id, publish_all = await scenario(
+                "drop"
+            )
+            try:
+                await publish_all()
+                assert server.counters.notifications_enqueued == EVENTS
+                dropped = server.counters.notifications_dropped
+                # The subscriber never read: the kernel buffers plus the
+                # 8-slot queue cannot hold 1200 notifications.
+                assert dropped > 0
+                subscriber.resume_reading()
+                received = await subscriber.drain_updates(idle_timeout=1.0)
+                assert len(received) == EVENTS - dropped
+                # Drop-oldest: the freshest notification always survives.
+                assert received[-1].batch == EVENTS
+                # Publishers were never blocked or disconnected.
+                assert server.counters.slow_disconnects == 0
+                await publisher.ping()
+                await publisher.close()
+                await subscriber.close()
+            finally:
+                await server.stop()
+
+        run(body())
+
+
+class TestDisconnectPolicy:
+    def test_slow_subscriber_is_disconnected_but_queries_survive(self):
+        async def body():
+            server, subscriber, publisher, query_id, publish_all = await scenario(
+                "disconnect"
+            )
+            try:
+                await publish_all()
+                assert server.counters.slow_disconnects == 1
+                # The victim's connection dies; draining ends with a closed
+                # connection, not a hang.
+                subscriber.resume_reading()
+                await subscriber.drain_updates(idle_timeout=1.0)
+                deadline = asyncio.get_running_loop().time() + 10
+                while not subscriber.closed:
+                    assert asyncio.get_running_loop().time() < deadline
+                    await subscriber.drain_updates(idle_timeout=0.2)
+                # The query is *not* unregistered - a reconnecting client
+                # can attach and resume.
+                assert server.monitor.num_queries == 1
+                reconnected = await MonitorClient.connect(*server.address)
+                await reconnected.attach(query_id)
+                await publisher.publish(
+                    make_document(EVENTS + 1, {1: 1.0}, arrival_time=None)
+                )
+                update = await reconnected.next_update(timeout=10)
+                assert update.query_id == query_id
+                await reconnected.close()
+                await publisher.close()
+            finally:
+                await server.stop()
+
+        run(body())

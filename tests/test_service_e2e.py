@@ -1,0 +1,254 @@
+"""End-to-end differential test: the service vs an offline batch run.
+
+N concurrent publishers and M concurrent subscribers talk to a real
+server over real loopback sockets.  Publishers send documents *without*
+arrival times; the server stamps them and acks every publish with the
+arrival time and the ingestion batch each document landed in — which
+pins down the exact event sequence and batch boundaries the engine saw.
+The test then replays that exact sequence through an offline
+``process_batch`` run and requires the union of all notifications pushed
+to the subscribers to equal the offline run's coalesced updates,
+per batch and per query, order-insensitively within a batch.
+
+The second test adds a graceful restart in the middle: the server is a
+``DurableMonitor``, phase 1 ends with ``stop()`` (final checkpoint), a
+new server opens the same directory, subscribers re-attach by id, and
+phase 2 continues publishing.  The offline reference is one uninterrupted
+run across both phases — passing means the restarted server resumed with
+replay-exact state, a continuing stream clock, and no reissued query ids.
+"""
+
+import asyncio
+import tempfile
+from collections import defaultdict
+
+from repro.core.config import MonitorConfig
+from repro.core.monitor import ContinuousMonitor
+from repro.documents.corpus import CorpusConfig, SyntheticCorpus
+from repro.documents.document import Document
+from repro.persistence.durable import DurabilityConfig, DurableMonitor
+from repro.queries.workloads import UniformWorkload, WorkloadConfig
+from repro.service import MonitorClient, MonitorServer, ServiceConfig
+
+SEED = 20180711
+CONFIG = MonitorConfig(algorithm="mrio", lam=1e-3)
+NUM_QUERIES = 24
+NUM_PUBLISHERS = 3
+NUM_SUBSCRIBERS = 3
+K = 5
+
+
+def run(coro):
+    return asyncio.run(asyncio.wait_for(coro, timeout=120))
+
+
+def build_world(num_events):
+    corpus = SyntheticCorpus(
+        CorpusConfig(vocabulary_size=1500, mean_tokens=50.0, seed=SEED), seed=SEED
+    )
+    queries = UniformWorkload(
+        corpus, config=WorkloadConfig(min_terms=2, max_terms=4, k=K, seed=SEED + 1)
+    ).generate(NUM_QUERIES)
+    documents = [
+        Document(doc_id=doc.doc_id, vector=doc.vector, text=doc.text)
+        for doc in corpus.iter_documents(count=num_events)
+    ]
+    return queries, documents
+
+
+async def subscribe_all(address, queries):
+    """M subscriber connections, each owning a slice of the query set.
+
+    Returns ``(clients, vector_by_id)`` where the ids are the
+    *server-assigned* query ids (subscribers race, so assignment order is
+    nondeterministic — the replies pin it down).
+    """
+    clients = [await MonitorClient.connect(*address) for _ in range(NUM_SUBSCRIBERS)]
+    slices = [queries[i::NUM_SUBSCRIBERS] for i in range(NUM_SUBSCRIBERS)]
+    vector_by_id = {}
+
+    async def subscribe_slice(client, chunk):
+        for query in chunk:
+            query_id = await client.subscribe(query.vector, k=query.k)
+            vector_by_id[query_id] = query.vector
+        return client
+
+    await asyncio.gather(
+        *[subscribe_slice(client, chunk) for client, chunk in zip(clients, slices)]
+    )
+    return clients, vector_by_id
+
+
+async def publish_all(address, documents, batch_key):
+    """N publisher connections pushing disjoint slices concurrently.
+
+    Documents are split round-robin; each publisher mixes single
+    ``publish`` calls with ``publish_batch`` chunks.  Returns
+    ``{batch_key: [(arrival, document), ...]}`` reconstructed from the
+    acks — the exact batch composition the server processed.
+    """
+    batches = defaultdict(list)
+
+    async def one_publisher(slice_):
+        client = await MonitorClient.connect(*address)
+        index = 0
+        while index < len(slice_):
+            if index % 3 == 0 and index + 4 <= len(slice_):
+                chunk = slice_[index : index + 4]
+                ack = await client.publish_batch(chunk)
+                for doc, arrival, batch in zip(chunk, ack.arrivals, ack.batches):
+                    batches[batch_key(batch)].append((arrival, doc))
+                index += 4
+            else:
+                ack = await client.publish(slice_[index])
+                batches[batch_key(ack.batch)].append((ack.arrival, slice_[index]))
+                index += 1
+        await client.close()
+
+    await asyncio.gather(
+        *[one_publisher(documents[i::NUM_PUBLISHERS]) for i in range(NUM_PUBLISHERS)]
+    )
+    return batches
+
+
+def replay_offline(reference, batches, expected):
+    """Feed recorded batches (in order) into the reference monitor.
+
+    ``expected[(batch_key, query_id)]`` collects the coalesced updates as
+    comparable values.
+    """
+    for key in sorted(batches, key=lambda k: (k[0], k[1])):
+        content = sorted(batches[key], key=lambda pair: pair[0])
+        stamped = [doc.with_arrival_time(arrival) for arrival, doc in content]
+        for update in reference.process_batch(stamped):
+            expected[(key, update.query_id)] = (
+                frozenset(update.entries),
+                update.evicted_doc_ids,
+            )
+
+
+async def collect_notifications(clients, phase, received):
+    """Drain every subscriber until no notifications arrive for a while."""
+
+    async def drain(client):
+        for update in await client.drain_updates(idle_timeout=2.0):
+            key = ((phase, update.batch), update.query_id)
+            assert key not in received, f"duplicate notification {key}"
+            received[key] = (frozenset(update.entries), update.evicted_doc_ids)
+
+    await asyncio.gather(*[drain(client) for client in clients])
+
+
+class TestDifferentialAgainstOfflineRun:
+    def test_concurrent_publishers_and_subscribers_match_offline(self):
+        async def body():
+            queries, documents = build_world(num_events=120)
+            monitor = ContinuousMonitor(CONFIG)
+            server = MonitorServer(monitor, ServiceConfig(shutdown_timeout=10.0))
+            await server.start()
+            subscribers, vector_by_id = await subscribe_all(
+                server.address, queries
+            )
+            batches = await publish_all(
+                server.address, documents, batch_key=lambda b: (1, b)
+            )
+            assert sum(len(content) for content in batches.values()) == 120
+
+            received = {}
+            await collect_notifications(subscribers, 1, received)
+
+            reference = ContinuousMonitor(CONFIG)
+            for query_id in sorted(vector_by_id):
+                reference.register_vector(vector_by_id[query_id], k=K)
+            expected = {}
+            replay_offline(reference, batches, expected)
+
+            assert received == expected
+            # Every notification went to the query's owning subscriber and
+            # nobody else: spot-check by re-draining (nothing may remain).
+            for client in subscribers:
+                assert client.updates_pending() == 0
+            # Final engine state matches the offline run too.
+            assert server.monitor.all_results() == reference.all_results()
+
+            for client in subscribers:
+                await client.close()
+            await server.stop()
+
+        run(body())
+
+    def test_graceful_restart_resumes_replay_exact(self):
+        async def body(root):
+            queries, documents = build_world(num_events=120)
+            phase1_docs, phase2_docs = documents[:60], documents[60:]
+            durability = DurabilityConfig(
+                directory=root, group_commit=8, checkpoint_interval=None
+            )
+
+            # ---------------- phase 1 ----------------
+            monitor = DurableMonitor.open(durability, CONFIG)
+            server = MonitorServer(monitor, ServiceConfig(shutdown_timeout=10.0))
+            await server.start()
+            subscribers, vector_by_id = await subscribe_all(
+                server.address, queries
+            )
+            batches = await publish_all(
+                server.address, phase1_docs, batch_key=lambda b: (1, b)
+            )
+            received = {}
+            await collect_notifications(subscribers, 1, received)
+            await server.stop()  # graceful: drains, checkpoints, closes
+            phase1_ids = sorted(vector_by_id)
+            for client in subscribers:
+                await client.close()
+
+            # ---------------- phase 2: restart ----------------
+            monitor = DurableMonitor.open(durability, CONFIG)
+            assert monitor.statistics.documents == 60  # replay-exact resume
+            server = MonitorServer(monitor, ServiceConfig(shutdown_timeout=10.0))
+            await server.start()
+            subscribers = [
+                await MonitorClient.connect(*server.address)
+                for _ in range(NUM_SUBSCRIBERS)
+            ]
+            # Re-attach every query to a reconnected subscriber.
+            for index, query_id in enumerate(phase1_ids):
+                client = subscribers[index % NUM_SUBSCRIBERS]
+                await client.attach(query_id)
+            # A brand-new subscription must not reissue any phase-1 id.
+            extra_vector = {3: 0.6, 5: 0.8}
+            extra_id = await subscribers[0].subscribe(extra_vector, k=K)
+            assert extra_id > max(phase1_ids)
+            vector_by_id[extra_id] = extra_vector
+
+            phase2_batches = await publish_all(
+                server.address, phase2_docs, batch_key=lambda b: (2, b)
+            )
+            # The stream clock continued across the restart.
+            phase1_arrivals = [a for c in batches.values() for a, _ in c]
+            phase2_arrivals = [a for c in phase2_batches.values() for a, _ in c]
+            assert min(phase2_arrivals) > max(phase1_arrivals)
+
+            await collect_notifications(subscribers, 2, received)
+            await server.stop()
+            for client in subscribers:
+                await client.close()
+
+            # ---------------- offline reference: one uninterrupted run ----
+            reference = ContinuousMonitor(CONFIG)
+            for query_id in phase1_ids:
+                reference.register_vector(vector_by_id[query_id], k=K)
+            expected = {}
+            replay_offline(reference, batches, expected)
+            reference.register_vector(vector_by_id[extra_id], k=K)
+            replay_offline(reference, phase2_batches, expected)
+
+            assert received == expected
+
+            # And the recovered-again state equals the offline end state.
+            final, _ = DurableMonitor.recover(durability)
+            assert final.all_results() == reference.all_results()
+            final.close()
+
+        with tempfile.TemporaryDirectory() as root:
+            run(body(root))

@@ -1,0 +1,141 @@
+"""Unit tests for the service wire protocol (framing + message shapes)."""
+
+import asyncio
+import json
+import struct
+
+import pytest
+
+from repro.core.results import BatchUpdate, ResultEntry
+from repro.exceptions import ProtocolError
+from repro.service import protocol
+
+
+def run(coro):
+    return asyncio.run(asyncio.wait_for(coro, timeout=30))
+
+
+def read_one(data: bytes, max_frame_bytes: int = protocol.MAX_FRAME_BYTES):
+    """Decode one frame from raw bytes through the real reader coroutine."""
+
+    async def scenario():
+        reader = asyncio.StreamReader()
+        reader.feed_data(data)
+        reader.feed_eof()
+        return await protocol.read_frame(reader, max_frame_bytes)
+
+    return run(scenario())
+
+
+class TestFraming:
+    def test_round_trip(self):
+        message = {"op": "ping", "id": 7}
+        frame = protocol.encode_frame(message)
+        assert read_one(frame) == message
+
+    def test_frames_are_canonical_json(self):
+        frame = protocol.encode_frame({"b": 1, "a": 2.5})
+        payload = frame[4:]
+        assert payload == b'{"a":2.5,"b":1}'
+        (length,) = struct.unpack(">I", frame[:4])
+        assert length == len(payload)
+
+    def test_scores_survive_bit_for_bit(self):
+        score = 0.1 + 0.2  # not representable prettily
+        frame = protocol.encode_frame({"s": score})
+        decoded = read_one(frame)
+        assert decoded["s"] == score
+
+    def test_clean_eof_returns_none(self):
+        assert read_one(b"") is None
+
+    def test_torn_header_raises(self):
+        with pytest.raises(ProtocolError):
+            read_one(b"\x00\x00")
+
+    def test_torn_payload_raises(self):
+        frame = protocol.encode_frame({"op": "ping", "id": 1})
+        with pytest.raises(ProtocolError):
+            read_one(frame[:-2])
+
+    def test_oversized_frame_rejected_on_both_sides(self):
+        with pytest.raises(ProtocolError):
+            protocol.encode_frame({"blob": "x" * 64}, max_frame_bytes=16)
+        huge_header = struct.pack(">I", protocol.MAX_FRAME_BYTES + 1)
+        with pytest.raises(ProtocolError):
+            read_one(huge_header + b"x")
+
+    def test_zero_length_frame_rejected(self):
+        with pytest.raises(ProtocolError):
+            read_one(struct.pack(">I", 0))
+
+    def test_non_object_payload_rejected(self):
+        payload = json.dumps([1, 2, 3]).encode()
+        frame = struct.pack(">I", len(payload)) + payload
+        with pytest.raises(ProtocolError):
+            read_one(frame)
+
+    def test_garbage_payload_rejected(self):
+        payload = b"\xff\xfe not json"
+        frame = struct.pack(">I", len(payload)) + payload
+        with pytest.raises(ProtocolError):
+            read_one(frame)
+
+
+class TestMessages:
+    def test_request_and_replies(self):
+        assert protocol.request("stats", 3) == {"op": "stats", "id": 3}
+        assert protocol.ok_reply(3, lsn=9) == {"reply": 3, "ok": True, "lsn": 9}
+        error = protocol.error_reply(3, ValueError("boom"))
+        assert error == {"reply": 3, "ok": False, "error": "boom"}
+
+    def test_vector_round_trip_preserves_iteration_order(self):
+        vector = {9: 0.5, 2: 0.25, 7: 0.125}
+        encoded = protocol.encode_vector(vector)
+        assert encoded["t"] == [9, 2, 7]
+        assert protocol.decode_vector(encoded) == vector
+        assert list(protocol.decode_vector(encoded)) == [9, 2, 7]
+
+    def test_malformed_vector_rejected(self):
+        with pytest.raises(ProtocolError):
+            protocol.decode_vector({"t": [1, 2], "w": [0.5]})
+        with pytest.raises(ProtocolError):
+            protocol.decode_vector({"t": [1]})
+
+    def test_update_push_round_trip(self):
+        update = BatchUpdate(
+            query_id=4,
+            entries=(ResultEntry(11, 0.75), ResultEntry(3, 0.5)),
+            evicted_doc_ids=(1, 2),
+        )
+        message = protocol.update_push(17, update)
+        decoded = protocol.decode_update(
+            json.loads(json.dumps(message))  # through a JSON wire hop
+        )
+        assert decoded.batch == 17
+        assert decoded.query_id == 4
+        assert decoded.entries == update.entries
+        assert decoded.evicted_doc_ids == (1, 2)
+
+    def test_malformed_update_rejected(self):
+        with pytest.raises(ProtocolError):
+            protocol.decode_update({"push": "update", "batch": 1})
+
+    def test_published_document_round_trip(self):
+        encoded = protocol.encode_published_document(5, {1: 1.0}, text="hi")
+        decoded = protocol.decode_published_document(encoded)
+        assert decoded.doc_id == 5
+        assert decoded.vector == {1: 1.0}
+        assert decoded.arrival_time is None
+        assert decoded.text == "hi"
+
+    def test_published_document_requires_doc_id(self):
+        with pytest.raises(ProtocolError):
+            protocol.decode_published_document({"t": [1], "w": [1.0]})
+
+    def test_hello_and_shutdown_pushes(self):
+        hello = protocol.hello_push("srv")
+        assert hello["push"] == protocol.PUSH_HELLO
+        assert hello["version"] == protocol.PROTOCOL_VERSION
+        shutdown = protocol.shutdown_push("maintenance")
+        assert shutdown == {"push": "shutdown", "reason": "maintenance"}
