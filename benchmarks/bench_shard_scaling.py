@@ -1,22 +1,28 @@
 """Shard scaling: events/sec of the sharded runtime at 1/2/4/8 shards.
 
 Measures MRIO batched ingestion throughput when the registered query set is
-partitioned across N engine shards, for both executors:
+partitioned across N engine shards, for all three executors:
 
 * ``serial`` isolates the *partitioning overhead*: every shard runs on the
   calling thread, so N shards do at least the single-engine work plus one
   pivot walk per extra shard — the deficit vs 1 shard is the price of the
   split, which the term-affinity policy is designed to shrink.
-* ``threads`` adds executor parallelism on top.  Wall-clock speedup > 1
-  requires real hardware parallelism: on a multi-core free-threaded build
-  (or with GIL-releasing scoring kernels) the target is >= 1.5x events/sec
-  at 4 shards; on a single core, or on CPython where the GIL serializes the
-  pure-Python pivot loops, thread shards cannot beat one engine and this
-  benchmark documents that honestly instead of asserting it.
+* ``threads`` adds thread-pool parallelism on top.  Wall-clock speedup > 1
+  requires a multi-core *free-threaded* build (or GIL-releasing scoring
+  kernels): on stock CPython the GIL serializes the pure-Python pivot
+  loops and thread shards cannot beat one engine.
+* ``processes`` hosts each shard in its own worker process — the executor
+  that can beat 1.0x on stock multi-core CPython.  Its price is the pipe:
+  every batch is serialized to every worker and the updates come back the
+  same way, so the speedup target is below linear and a single core pays
+  the serialization with no parallelism to show for it.
 
-The speedup assertion is therefore gated on usable CPU count: it enforces
-the >= 1.5x target only where the hardware can physically deliver it; the
-report always records the measured ratios plus the measurement environment.
+The speedup assertions are gated on usable CPU count: the thread target
+additionally requires a no-GIL build, the process target only multiple
+cores; on fewer cores the run is report-only and records the measured
+ratios plus the measurement environment (the honest 1-core annotation).
+On any host with more than one core, process shards must at least beat the
+*serial* executor at the same shard count — that is the CI smoke floor.
 """
 
 from __future__ import annotations
@@ -41,11 +47,15 @@ WARMUP_EVENTS = 512
 MEASURED_EVENTS = 512
 BATCH = 256
 SHARD_COUNTS = (1, 2, 4, 8)
-EXECUTORS = ("serial", "threads")
+EXECUTORS = ("serial", "threads", "processes")
 POLICY = "affinity"
 ROUNDS = 3
+#: Thread shards need a no-GIL multicore build to hit this.
 TARGET_SPEEDUP = 1.5
-#: The speedup assertion needs hardware that can actually run 4 shards in
+#: Process shards need only multiple cores (acceptance bar: > 1.2x events/sec
+#: over the single-engine serial baseline at 4 shards).
+PROC_TARGET_SPEEDUP = 1.2
+#: The speedup assertions need hardware that can actually run 4 shards in
 #: parallel; below this many usable cores the run is report-only.
 MIN_CORES_FOR_ASSERT = 4
 
@@ -118,7 +128,9 @@ def test_shard_scaling_mrio(benchmark, report):
 
     cores = _usable_cores()
     gil = _gil_enabled()
-    parallel_capable = cores >= MIN_CORES_FOR_ASSERT and not gil
+    threads_capable = cores >= MIN_CORES_FOR_ASSERT and not gil
+    procs_capable = cores >= MIN_CORES_FOR_ASSERT
+    multicore = cores > 1
     lines = [
         f"[shard scaling] mrio, {NUM_QUERIES} queries, lambda={LAM}, "
         f"policy={POLICY}, batch={BATCH}, {MEASURED_EVENTS} events after "
@@ -126,6 +138,7 @@ def test_shard_scaling_mrio(benchmark, report):
         f"  environment: {cores} usable core(s), GIL {'on' if gil else 'off'}, "
         f"CPython {sys.version_info.major}.{sys.version_info.minor}",
     ]
+    single_engine = best[("serial", 1)]
     speedups = {}
     for executor in EXECUTORS:
         base = best[(executor, 1)]
@@ -133,50 +146,93 @@ def test_shard_scaling_mrio(benchmark, report):
             elapsed = best[(executor, n_shards)]
             rate = MEASURED_EVENTS / elapsed
             speedups[(executor, n_shards)] = base / elapsed
+            vs_single = single_engine / elapsed
             lines.append(
-                f"  {executor:<7s} shards={n_shards:<2d} {rate:10.0f} events/sec   "
-                f"{speedups[(executor, n_shards)]:.2f}x vs 1 shard"
+                f"  {executor:<9s} shards={n_shards:<2d} {rate:10.0f} events/sec   "
+                f"{speedups[(executor, n_shards)]:.2f}x vs 1 shard   "
+                f"{vs_single:.2f}x vs single engine"
             )
+
     threads_at_4 = speedups[("threads", 4)]
-    if parallel_capable:
-        verdict = f"target >= {TARGET_SPEEDUP:.1f}x at 4 thread-shards: ASSERTED"
+    procs_at_4_vs_single = single_engine / best[("processes", 4)]
+    if threads_capable:
+        threads_verdict = f"target >= {TARGET_SPEEDUP:.1f}x at 4 thread-shards: ASSERTED"
     else:
-        verdict = (
+        threads_verdict = (
             f"target >= {TARGET_SPEEDUP:.1f}x at 4 thread-shards requires >= "
             f"{MIN_CORES_FOR_ASSERT} cores without a GIL; report-only on this host"
         )
-    lines.append(f"  threads speedup at 4 shards: {threads_at_4:.2f}x ({verdict})")
+    if procs_capable:
+        procs_verdict = (
+            f"target >= {PROC_TARGET_SPEEDUP:.1f}x vs single engine at 4 "
+            "process-shards: ASSERTED"
+        )
+    elif multicore:
+        procs_verdict = (
+            f"target >= {PROC_TARGET_SPEEDUP:.1f}x requires >= "
+            f"{MIN_CORES_FOR_ASSERT} cores; asserting processes >= serial only"
+        )
+    else:
+        procs_verdict = (
+            "1-core host: every process-shard cell pays event/update "
+            "serialization with zero hardware parallelism available — "
+            "ratios documented, nothing asserted"
+        )
+    lines.append(f"  threads   speedup at 4 shards: {threads_at_4:.2f}x ({threads_verdict})")
+    lines.append(
+        f"  processes speedup at 4 shards vs single engine: "
+        f"{procs_at_4_vs_single:.2f}x ({procs_verdict})"
+    )
     report("shard_scaling", "\n".join(lines))
 
     # Sanity floor that holds everywhere: the sharded runtime at 1 shard is
     # the single engine plus a facade; it must stay within 25% of itself
-    # across executors (i.e. the threads executor adds bounded overhead).
+    # across the in-process executors (i.e. the threads executor adds
+    # bounded overhead).  The process executor is exempt at 1 shard — it
+    # pays full event serialization with nothing to parallelize.
     assert best[("threads", 1)] <= best[("serial", 1)] * 1.25
-    if parallel_capable:
+    if threads_capable:
         assert threads_at_4 >= TARGET_SPEEDUP, (
             f"thread-sharding only reached {threads_at_4:.2f}x at 4 shards "
             f"on a {cores}-core no-GIL host"
+        )
+    if multicore:
+        # CI smoke floor: with any hardware parallelism at all, process
+        # shards must not lose to running the same shard count serially.
+        # 10% slack absorbs timer noise on busy runners; any real loss of
+        # parallelism (the 1-core figures show ~32% pipe cost at 4 shards)
+        # still trips it.
+        assert best[("processes", 4)] <= best[("serial", 4)] * 1.10, (
+            "process shards were slower than the serial executor at 4 "
+            f"shards on a {cores}-core host"
+        )
+    if procs_capable:
+        assert procs_at_4_vs_single >= PROC_TARGET_SPEEDUP, (
+            f"process-sharding only reached {procs_at_4_vs_single:.2f}x vs "
+            f"the single engine at 4 shards on a {cores}-core host"
         )
 
 
 @pytest.mark.benchmark(group="shard-scaling")
 def test_sharded_equivalence_on_bench_workload(benchmark, report):
-    """Guard: the measured configuration produces the single-engine results."""
+    """Guard: the measured configurations produce the single-engine results."""
 
     def check():
         reference, ref_stream = _build(1, "serial")
-        candidate, _ = _build(4, "threads")
-        # Both streams are identically seeded and equally advanced by the
-        # warm-up, so the reference's next batch is valid for both.
+        candidates = [_build(4, "threads")[0], _build(2, "processes")[0]]
+        # All streams are identically seeded and equally advanced by the
+        # warm-up, so the reference's next batch is valid for every monitor.
         documents = ref_stream.take(BATCH)
         reference.process_batch(documents)
-        candidate.process_batch(documents)
-        same = all(
-            candidate.top_k(query_id) == reference.top_k(query_id)
-            for query_id in reference.all_results()
-        )
+        same = True
+        for candidate in candidates:
+            candidate.process_batch(documents)
+            same = same and all(
+                candidate.top_k(query_id) == reference.top_k(query_id)
+                for query_id in reference.all_results()
+            )
+            candidate.close()
         reference.close()
-        candidate.close()
         return same
 
     assert benchmark.pedantic(check, rounds=1, iterations=1)

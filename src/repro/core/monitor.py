@@ -231,6 +231,10 @@ class ContinuousMonitor:
         """The current top-k of a query, best first."""
         return self.algorithm.top_k(query_id)
 
+    def threshold(self, query_id: QueryId) -> float:
+        """The query's current S_k (0.0 while fewer than k documents match)."""
+        return self.algorithm.threshold(query_id)
+
     def all_results(self) -> Dict[QueryId, List[ResultEntry]]:
         """A snapshot of every query's current result."""
         return {

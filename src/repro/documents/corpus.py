@@ -211,6 +211,28 @@ class SyntheticCorpus:
         """Generate ``count`` documents."""
         return [self.generate_document() for _ in range(count)]
 
+    def skip_documents(self, count: int) -> int:
+        """Advance past ``count`` documents without building their vectors.
+
+        Performs *exactly* the RNG draws :meth:`generate_document` performs
+        — topic choice, token count, per-token source flips, topic/global
+        term samples — so the generator state after skipping ``n``
+        documents is bit-identical to generating them; only the
+        deterministic, RNG-free tail (log-TF aggregation, normalization,
+        :class:`Document` construction) is skipped.  That tail dominates
+        the per-document cost, which is what makes fast-forwarding a
+        recovered stream over a long WAL tail cheap
+        (:meth:`DocumentStream.fast_forward`).  Returns ``count`` (the
+        synthetic corpus never runs dry).
+        """
+        for _ in range(count):
+            topic = int(self._rng.integers(0, self.num_topics))
+            token_ids = self._sample_token_ids(topic)
+            while token_ids.size == 0:  # pragma: no cover - min_tokens >= 1
+                token_ids = self._sample_token_ids(topic)
+            self._next_doc_id += 1
+        return count
+
     def iter_documents(self, count: Optional[int] = None) -> Iterator[Document]:
         """Yield documents; endless when ``count`` is ``None``."""
         produced = 0

@@ -63,6 +63,11 @@ class DocumentStream:
             self._source: Iterator[Document] = source.iter_documents()
         else:
             self._source = iter(source)
+        #: Cheap skip hook: a source exposing ``skip_documents(count)`` (the
+        #: synthetic corpus, or any duck-typed equivalent) promises that
+        #: skipping advances the *same* underlying document sequence as
+        #: iterating, without the per-document construction cost.
+        self._skip_source = getattr(source, "skip_documents", None)
         self._clock = self.config.start_time
         self._emitted = 0
         self._last_arrival: Optional[float] = None
@@ -118,9 +123,27 @@ class DocumentStream:
         a deterministic stream right after its last durable event.  Returns
         the number of events actually skipped (less than ``count`` only when
         the source runs dry).
+
+        When the source offers a ``skip_documents`` hook (the synthetic
+        corpus does), skipped events are never tokenized or vectorized —
+        only their RNG draws are consumed — so fast-forwarding a recovered
+        stream over a long WAL tail costs a fraction of re-analyzing every
+        discarded document.  The fallback path fully generates and discards
+        each event.
         """
         if count < 0:
             raise ConfigurationError(f"count must be >= 0, got {count}")
+        if self._skip_source is not None:
+            skipped = int(self._skip_source(count))
+            for _ in range(skipped):
+                # Consume the arrival draw exactly as __next__ would; the
+                # monotonicity check is skipped with the document (the
+                # arrival process itself never goes backwards).
+                self._next_arrival_time()
+            if skipped:
+                self._last_arrival = self._clock
+            self._emitted += skipped
+            return skipped
         skipped = 0
         for _ in range(count):
             try:

@@ -65,6 +65,16 @@ class BenchmarkError(ReproError):
     """A benchmark specification is inconsistent or cannot be executed."""
 
 
+class WorkerError(ReproError):
+    """A shard worker process died or broke its command protocol.
+
+    Raised by the process-resident executor when a worker's pipe closes
+    unexpectedly (the worker crashed or was killed) or when it answers
+    with something the protocol does not allow.  Errors the worker's
+    *shard* raises are re-raised as themselves, not wrapped in this.
+    """
+
+
 class PersistenceError(ReproError):
     """The durability subsystem hit an invalid state or configuration."""
 

@@ -43,6 +43,7 @@ from repro.exceptions import (
     CorruptRecordError,
     PersistenceError,
     RecoveryError,
+    WorkerError,
 )
 from repro.metrics.counters import EventCounters
 from repro.persistence import codec
@@ -134,6 +135,81 @@ def _decode_shard_state(encoded: Dict[str, object]) -> Dict[str, object]:
     return wrapped
 
 
+class _WorkerWal:
+    """Drives a per-shard WAL owned by the shard's worker process.
+
+    With the ``"processes"`` executor each shard lives in a worker; its WAL
+    is opened and appended **worker-side** (the ``wal_*`` commands of the
+    shard protocol), so journal I/O runs in parallel with the shard work
+    instead of serializing in the parent.  This proxy exposes the slice of
+    the :class:`WriteAheadLog` surface the durable facade drives during
+    normal operation; recovery — which must *read* the log — always runs
+    against parent-side :class:`WriteAheadLog` objects before ownership is
+    handed to the workers (:meth:`DurableMonitor._activate_worker_wals`).
+
+    The durable LSN cursor is tracked parent-side: the parent issues every
+    LSN, and a worker that dies between commands simply loses its buffered
+    group — the same crash window an in-process shard's WAL has.
+    """
+
+    def __init__(self, handle, directory: str, durability: "DurabilityConfig") -> None:
+        self._handle = handle
+        self.directory = directory
+        self._last_lsn = int(
+            handle.wal_open(
+                directory,
+                durability.group_commit,
+                durability.segment_max_bytes,
+                durability.fsync,
+            )
+        )
+
+    @property
+    def last_lsn(self) -> int:
+        return self._last_lsn
+
+    def append_line(self, line: bytes, lsn: int) -> int:
+        self._handle.wal_append(line, lsn)
+        self._last_lsn = lsn
+        return lsn
+
+    def flush(self) -> None:
+        self._handle.wal_flush()
+
+    def sync(self) -> None:
+        self._handle.wal_sync()
+
+    # Split-phase halves of append/flush/sync: the durable facade submits
+    # one command to *every* worker before collecting any ack
+    # (``DurableMonitor._pipelined_wal_op``), so journal I/O overlaps
+    # across shards instead of paying one blocking round trip per shard
+    # per record.
+
+    def submit(self, command: str, *args: object) -> None:
+        self._handle.submit(command, *args)
+
+    def collect(self) -> None:
+        self._handle.collect()
+
+    def note_appended(self, lsn: int) -> None:
+        """Advance the parent-side LSN cursor after a pipelined append."""
+        self._last_lsn = lsn
+
+    def rotate(self) -> None:
+        self._handle.wal_rotate()
+
+    def compact(self, up_to_lsn: int) -> int:
+        return self._handle.wal_compact(up_to_lsn)
+
+    def close(self) -> None:
+        try:
+            self._handle.wal_close()
+        except WorkerError:
+            # A dead worker's log is already exactly as durable as its last
+            # flush; there is nothing left to close on this side.
+            pass
+
+
 class DurableMonitor:
     """A crash-safe monitor: WAL + checkpoints around the in-memory engine.
 
@@ -200,6 +276,10 @@ class DurableMonitor:
             )
             for shard_dir in shard_dirs
         ]
+        #: True once per-shard WAL ownership moved into the shard workers
+        #: (sharded + processes executor); the journaling fan-out is then
+        #: pipelined over the worker pipes.
+        self._worker_walled = False
         self._events_since_checkpoint = 0
         self._checkpoints_taken = 0
         self._force_full_checkpoint = False
@@ -216,6 +296,7 @@ class DurableMonitor:
         self._last_journal_seconds = 0.0
         if not _recovering:
             self._write_meta(meta_path)
+            self._activate_worker_wals()
             self._attach_renormalize_listener()
 
     # ------------------------------------------------------------------ #
@@ -299,6 +380,7 @@ class DurableMonitor:
             _recovering=True,
         )
         report = monitor._recover_state()
+        monitor._activate_worker_wals()
         monitor._attach_renormalize_listener()
         return monitor, report
 
@@ -374,6 +456,28 @@ class DurableMonitor:
             max(int(sidecar["next_query_id"]), next_query_id_floor)
         )
         return report
+
+    def _activate_worker_wals(self) -> None:
+        """Hand per-shard WAL ownership to the shard workers.
+
+        Only applies to a sharded monitor whose executor is shard-resident
+        (``"processes"``).  The parent-side :class:`WriteAheadLog` objects
+        did the open-time work that needs *reading* — torn-tail repair and,
+        on recovery, replay and the physical common-prefix clamp — and are
+        then closed; from here on each worker appends to the log it owns,
+        where its shard lives.  Recovery rehydrates workers first, then
+        calls this, so appends resume worker-side from the recovered LSN.
+        """
+        if not self._sharded:
+            return
+        if not getattr(self._inner.executor, "shard_resident", False):  # type: ignore[union-attr]
+            return
+        activated: List[_WorkerWal] = []
+        for shard, wal in zip(self._inner.shards, self._wals):  # type: ignore[union-attr]
+            wal.close()
+            activated.append(_WorkerWal(shard, wal.directory, self.durability))
+        self._wals = activated  # type: ignore[assignment]
+        self._worker_walled = True
 
     # ------------------------------------------------------------------ #
     # Metadata and sidecar
@@ -454,12 +558,13 @@ class DurableMonitor:
         return sidecar
 
     def _attach_renormalize_listener(self) -> None:
-        # All shards renormalize identically; one listener suffices.
+        # All shards renormalize identically; one listener suffices.  The
+        # shard-level hook covers process-resident shards too (the worker
+        # ships rebase notifications back with its replies).
         if self._sharded:
-            algorithm = self._inner.shards[0].algorithm  # type: ignore[union-attr]
+            self._inner.shards[0].add_renormalize_listener(self._on_renormalize)  # type: ignore[union-attr]
         else:
-            algorithm = self._inner.algorithm  # type: ignore[union-attr]
-        algorithm.add_renormalize_listener(self._on_renormalize)
+            self._inner.algorithm.add_renormalize_listener(self._on_renormalize)  # type: ignore[union-attr]
 
     def _on_renormalize(self, new_origin: float, factor: float) -> None:
         # A rescale touches every stored score; an incremental checkpoint
@@ -477,6 +582,24 @@ class DurableMonitor:
                 "in-memory state was mutated, so memory and log have "
                 "diverged; discard this object and recover() from disk"
             )
+
+    def _apply_inner(self, method: str, *args: object, **kwargs: object):
+        """Run one state-changing op on the wrapped monitor.
+
+        A :class:`WorkerError` out of the fan-out poisons the monitor: the
+        dead shard's task failed, but per the executor contract its sibling
+        shards ran to completion — they *applied* the event while nothing
+        was journaled, so live reads would serve state the log cannot prove
+        and recovery will discard.  Same divergence as a failed append,
+        handled the same way.  Uniform engine-side rejections (a stale
+        arrival, a duplicate query id) mutate nothing anywhere and pass
+        through without poisoning.
+        """
+        try:
+            return getattr(self._inner, method)(*args, **kwargs)
+        except WorkerError:
+            self._failed = True
+            raise
 
     def _append(self, record: Tuple[str, Dict[str, object]]) -> int:
         """Journal one record on every WAL (encoded and framed exactly once).
@@ -497,13 +620,31 @@ class DurableMonitor:
             {"v": codec.CODEC_VERSION, "lsn": lsn, "kind": kind, "data": data}
         )
         try:
-            for wal in self._wals:
-                wal.append_line(line, lsn)
+            if self._worker_walled:
+                self._pipelined_wal_op("wal_append", line, lsn)
+                for wal in self._wals:
+                    wal.note_appended(lsn)  # type: ignore[attr-defined]
+            else:
+                for wal in self._wals:
+                    wal.append_line(line, lsn)
         except Exception:
             self._failed = True
             raise
         self._last_journal_seconds = time.perf_counter() - started
         return lsn
+
+    def _pipelined_wal_op(self, command: str, *args: object) -> None:
+        """One WAL command on every worker-owned log: submit all, then collect.
+
+        The submit loop finishes before any ack is awaited, so the journal
+        I/O of all shards overlaps — this is what makes worker-side WALs
+        parallel rather than n_shards sequential round trips.  Delegated to
+        the process executor's ``run_shards`` fan-out (each
+        :class:`_WorkerWal` exposes the ``submit``/``collect`` halves it
+        drives), so the failure contract — collect every reply, raise the
+        first failure in shard order — lives in exactly one place.
+        """
+        self._inner.executor.run_shards(self._wals, command, args)  # type: ignore[union-attr]
 
     def _after_events(self, count: int) -> None:
         self._events_since_checkpoint += count
@@ -523,7 +664,7 @@ class DurableMonitor:
 
     def register_query(self, query: Query) -> Query:
         self._ensure_usable()
-        registered = self._inner.register_query(query)
+        registered = self._apply_inner("register_query", query)
         self._log_register(registered)
         return registered
 
@@ -534,7 +675,7 @@ class DurableMonitor:
         self, vector: SparseVector, k: Optional[int] = None, user: Optional[str] = None
     ) -> Query:
         self._ensure_usable()
-        query = self._inner.register_vector(vector, k=k, user=user)
+        query = self._apply_inner("register_vector", vector, k=k, user=user)
         self._log_register(query)
         return query
 
@@ -545,7 +686,7 @@ class DurableMonitor:
         user: Optional[str] = None,
     ) -> Query:
         self._ensure_usable()
-        query = self._inner.register_keywords(keywords, k=k, user=user)
+        query = self._apply_inner("register_keywords", keywords, k=k, user=user)
         self._log_register(query)
         return query
 
@@ -554,7 +695,7 @@ class DurableMonitor:
         shard = None
         if self._sharded:
             shard = self._inner.router.shard_of(query_id)  # type: ignore[union-attr]
-        query = self._inner.unregister(query_id)
+        query = self._apply_inner("unregister", query_id)
         self._append(codec.unregister_record(query_id, shard))
         return query
 
@@ -575,7 +716,7 @@ class DurableMonitor:
         group flushes.
         """
         self._ensure_usable()
-        updates = self._inner.process(document)
+        updates = self._apply_inner("process", document)
         self._append(codec.document_record(document))
         self._journal_times.append(self._last_journal_seconds)
         self._after_events(1)
@@ -609,7 +750,7 @@ class DurableMonitor:
         """Process an arrival-ordered batch as one unit and one WAL record."""
         self._ensure_usable()
         docs = documents if isinstance(documents, list) else list(documents)
-        updates = self._inner.process_batch(docs)
+        updates = self._apply_inner("process_batch", docs)
         if docs:
             self._append(codec.batch_record(docs))
             # Mean-preserving per-event attribution, mirroring how the
@@ -630,7 +771,7 @@ class DurableMonitor:
     def renormalize(self, new_origin: float) -> float:
         """Explicitly rebase the decay origin; journaled as its own record."""
         self._ensure_usable()
-        factor = self._inner.renormalize(new_origin)
+        factor = self._apply_inner("renormalize", new_origin)
         self._append(codec.renormalize_record(new_origin))
         return factor
 
@@ -642,8 +783,11 @@ class DurableMonitor:
         """Force the current commit group out on every WAL."""
         self._ensure_usable()
         try:
-            for wal in self._wals:
-                wal.flush()
+            if self._worker_walled:
+                self._pipelined_wal_op("wal_flush")
+            else:
+                for wal in self._wals:
+                    wal.flush()
         except Exception:
             # A failed flush drops a buffered group whose LSNs were already
             # issued — same divergence as a failed append.
@@ -654,8 +798,11 @@ class DurableMonitor:
         """Flush and fsync every WAL (durable even across an OS crash)."""
         self._ensure_usable()
         try:
-            for wal in self._wals:
-                wal.sync()
+            if self._worker_walled:
+                self._pipelined_wal_op("wal_sync")
+            else:
+                for wal in self._wals:
+                    wal.sync()
         except Exception:
             self._failed = True
             raise
@@ -683,21 +830,31 @@ class DurableMonitor:
             self.flush()
         lsn = self._wals[0].last_lsn
         if self._sharded:
-            for shard, manager in zip(self._inner.shards, self._checkpoints):  # type: ignore[union-attr]
-                captured = shard.snapshot()
-                flat: Dict[str, object] = dict(captured["engine"])  # type: ignore[arg-type]
-                if "expiration" in captured:
-                    flat["expiration"] = captured["expiration"]
-                manager.write(codec.encode_monitor_state(flat), lsn, full)
+            # One state-capture path for local and process-resident shards:
+            # the codec-encoded form the shard vends (worker-side encoded
+            # when the shard lives in a worker) is written verbatim.  The
+            # capture fans out through the executor, so process-resident
+            # shards encode their states concurrently instead of one
+            # blocking round trip at a time.
+            inner: ShardedMonitor = self._inner  # type: ignore[assignment]
+            encoded_states = inner.executor.run_shards(
+                inner.shards, "snapshot_encoded", ()
+            )
+            for manager, encoded in zip(self._checkpoints, encoded_states):
+                manager.write(encoded, lsn, full)  # type: ignore[arg-type]
         else:
             state = self._inner.snapshot()  # type: ignore[union-attr]
             self._checkpoints[0].write(codec.encode_monitor_state(state), lsn, full)
         # The sidecar is the commit marker of the whole round: recovery
         # ignores newer per-shard checkpoints until it exists.
         self._write_sidecar(lsn)
-        for wal in self._wals:
-            wal.rotate()
-            wal.compact(lsn)
+        if self._worker_walled:
+            self._pipelined_wal_op("wal_rotate")
+            self._pipelined_wal_op("wal_compact", lsn)
+        else:
+            for wal in self._wals:
+                wal.rotate()
+                wal.compact(lsn)
         for manager in self._checkpoints:
             manager.prune()
         self._events_since_checkpoint = 0
@@ -762,6 +919,9 @@ class DurableMonitor:
 
     def top_k(self, query_id: QueryId) -> List[ResultEntry]:
         return self._inner.top_k(query_id)
+
+    def threshold(self, query_id: QueryId) -> float:
+        return self._inner.threshold(query_id)
 
     def all_results(self) -> Dict[QueryId, List[ResultEntry]]:
         return self._inner.all_results()

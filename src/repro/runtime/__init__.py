@@ -20,7 +20,8 @@ Public entry points:
   :class:`TermAffinityPolicy`, :func:`make_policy` — query placement;
 * :class:`EngineShard` — one engine shard (snapshot/restore/adopt);
 * :class:`SerialExecutor`, :class:`ThreadPoolShardExecutor`,
-  :func:`make_executor` — shard execution strategies.
+  :class:`ProcessShardExecutor`, :func:`make_executor` — shard execution
+  strategies (in-process serial/threaded, or one worker process per shard).
 """
 
 from repro.runtime.executors import (
@@ -29,6 +30,7 @@ from repro.runtime.executors import (
     ThreadPoolShardExecutor,
     make_executor,
 )
+from repro.runtime.procpool import ProcessShardExecutor, ProcessShardHandle
 from repro.runtime.routing import (
     HashPartitionPolicy,
     PartitionPolicy,
@@ -43,6 +45,8 @@ __all__ = [
     "ShardExecutor",
     "SerialExecutor",
     "ThreadPoolShardExecutor",
+    "ProcessShardExecutor",
+    "ProcessShardHandle",
     "make_executor",
     "PartitionPolicy",
     "HashPartitionPolicy",

@@ -1,4 +1,4 @@
-"""Executors that run per-shard work, serially or on a thread pool.
+"""Executors that run per-shard work: serially, on threads, or in processes.
 
 The sharded monitor fans every stream event (or batch) out to all shards;
 *how* those per-shard tasks run is pluggable:
@@ -12,20 +12,65 @@ The sharded monitor fans every stream event (or batch) out to all shards;
   CPython the GIL serializes pure-Python bytecode, so wall-clock gains
   need either multiple cores with GIL-releasing work or a free-threaded
   build — the executor is the seam where that parallelism plugs in.
+* :class:`~repro.runtime.procpool.ProcessShardExecutor` (name
+  ``"processes"``) — hosts each shard inside a long-lived worker process
+  and drives it over a pipe.  The only executor that yields wall-clock
+  speedups on stock multi-core CPython, at the price of serializing
+  events and updates across process boundaries.  It is *shard-resident*:
+  the shards live in the workers, not in the calling process (see
+  :attr:`ShardExecutor.shard_resident`).
 
-Both return results in shard order and re-raise the first task exception,
-so callers observe identical semantics regardless of the executor.
+Failure contract
+----------------
+
+All executors implement the same fan-out failure semantics, which the
+durability layer depends on: **every task runs to completion, then the
+first exception in task order is raised**.  A mid-batch failure in one
+shard therefore never leaves sibling shards half-driven (serial) or still
+mutating state while the caller already sees the exception (pooled) — after
+``run`` raises, every shard has fully processed or fully refused the
+fan-out, and the surviving state is identical across executor flavours.
+Results are returned in task order.
 """
 
 from __future__ import annotations
 
 import abc
 from concurrent.futures import ThreadPoolExecutor
-from typing import Callable, Dict, List, Optional, Sequence, Type, TypeVar, Union
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Type, TypeVar, Union
 
 from repro.exceptions import ConfigurationError
 
 T = TypeVar("T")
+
+
+def raise_first_failure(outcomes: Sequence[Tuple[Optional[T], Optional[BaseException]]]) -> List[T]:
+    """Unwrap ``(value, exception)`` outcomes collected from a full fan-out.
+
+    Raises the first exception in task order — after the caller has already
+    run every task to completion — and returns the values otherwise.  Shared
+    by all executors so the contract lives in exactly one place.
+    """
+    for _, exception in outcomes:
+        if exception is not None:
+            raise exception
+    return [value for value, _ in outcomes]  # type: ignore[misc]
+
+
+def run_serially(tasks: Sequence[Callable[[], T]]) -> List[T]:
+    """Run thunks on the calling thread under the fan-out failure contract.
+
+    The body of :meth:`SerialExecutor.run`, shared with executors that fall
+    back to in-thread execution for opaque thunks (the process executor's
+    parallel path ships commands, not closures).
+    """
+    outcomes: List[Tuple[Optional[T], Optional[BaseException]]] = []
+    for task in tasks:
+        try:
+            outcomes.append((task(), None))
+        except Exception as exc:
+            outcomes.append((None, exc))
+    return raise_first_failure(outcomes)
 
 
 class ShardExecutor(abc.ABC):
@@ -34,13 +79,37 @@ class ShardExecutor(abc.ABC):
     #: Short name used by :func:`make_executor` and the diagnostics.
     name = "abstract"
 
+    #: True when the executor *owns* the shards (they live inside its worker
+    #: processes and are reached through handles it vends) rather than
+    #: running tasks against shards owned by the caller.
+    shard_resident = False
+
     @abc.abstractmethod
     def run(self, tasks: Sequence[Callable[[], T]]) -> List[T]:
         """Execute every task; returns their results in task order.
 
-        If any task raises, the exception propagates to the caller (after
-        all tasks were started, for pooled executors).
+        Every task runs to completion even when an earlier one fails; the
+        first exception in task order is then raised (see the module
+        docstring's failure contract).
         """
+
+    def run_shards(
+        self, shards: Sequence[object], method: str, args: Tuple[object, ...]
+    ) -> List[object]:
+        """Invoke ``method(*args)`` on every shard; results in shard order.
+
+        The fan-out seam the sharded monitor drives: in-process executors
+        turn it into plain thunks over local :class:`EngineShard` objects,
+        while the process executor overrides it to pipeline one command to
+        every worker before collecting any reply.  Same failure contract as
+        :meth:`run`.
+        """
+        return self.run(
+            [
+                (lambda shard=shard: getattr(shard, method)(*args))
+                for shard in shards
+            ]
+        )
 
     def close(self) -> None:
         """Release any worker resources; the executor is unusable after."""
@@ -53,12 +122,16 @@ class ShardExecutor(abc.ABC):
 
 
 class SerialExecutor(ShardExecutor):
-    """Run shard tasks sequentially on the calling thread."""
+    """Run shard tasks sequentially on the calling thread.
+
+    A failing task does not abort the fan-out: later shards still run, so
+    the post-failure state matches what the pooled executors leave behind.
+    """
 
     name = "serial"
 
     def run(self, tasks: Sequence[Callable[[], T]]) -> List[T]:
-        return [task() for task in tasks]
+        return run_serially(tasks)
 
 
 class ThreadPoolShardExecutor(ShardExecutor):
@@ -89,8 +162,16 @@ class ThreadPoolShardExecutor(ShardExecutor):
             return [tasks[0]()]
         pool = self._ensure_pool()
         futures = [pool.submit(task) for task in tasks]
-        # Collect in task order; Future.result re-raises task exceptions.
-        return [future.result() for future in futures]
+        # Wait for *every* future before surfacing any failure: raising
+        # while sibling futures are still mutating shard state would hand
+        # the caller an exception over a moving fan-out.
+        outcomes: List[Tuple[Optional[T], Optional[BaseException]]] = []
+        for future in futures:
+            try:
+                outcomes.append((future.result(), None))
+            except Exception as exc:
+                outcomes.append((None, exc))
+        return raise_first_failure(outcomes)
 
     def close(self) -> None:
         if self._pool is not None:
@@ -103,18 +184,30 @@ _EXECUTORS: Dict[str, Type[ShardExecutor]] = {
     ThreadPoolShardExecutor.name: ThreadPoolShardExecutor,
 }
 
+#: Names :func:`make_executor` accepts ("processes" resolves lazily — the
+#: procpool module imports this one).
+EXECUTOR_NAMES = ("serial", "threads", "processes")
+
 
 def make_executor(spec: Union[str, ShardExecutor], n_shards: int) -> ShardExecutor:
-    """Resolve an executor name (``"serial"``/``"threads"``) or pass through.
+    """Resolve an executor name (``"serial"``/``"threads"``/``"processes"``)
+    or pass an instance through.
 
     ``n_shards`` sizes the worker pool for pooled executors.
     """
     if isinstance(spec, ShardExecutor):
         return spec
-    cls = _EXECUTORS.get(str(spec).lower())
+    name = str(spec).lower()
+    if name == "processes":
+        # Function-level import: procpool imports this module for the base
+        # class, so the registry resolves it lazily.
+        from repro.runtime.procpool import ProcessShardExecutor
+
+        return ProcessShardExecutor(n_shards)
+    cls = _EXECUTORS.get(name)
     if cls is None:
         raise ConfigurationError(
-            f"unknown shard executor {spec!r}; expected one of {sorted(_EXECUTORS)}"
+            f"unknown shard executor {spec!r}; expected one of {sorted(EXECUTOR_NAMES)}"
         )
     if cls is ThreadPoolShardExecutor:
         return ThreadPoolShardExecutor(max_workers=n_shards)

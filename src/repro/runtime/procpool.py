@@ -1,0 +1,557 @@
+"""Process-resident shard execution: one long-lived worker per shard.
+
+On stock CPython the GIL keeps :class:`ThreadPoolShardExecutor` from turning
+shard concurrency into wall-clock speedup; this module is the executor that
+can.  Each shard lives inside its own long-lived **worker process** that
+owns a full :class:`~repro.runtime.shard.EngineShard`; the parent drives the
+workers over duplex pipes with a small command protocol and never touches
+shard state directly.
+
+Design
+------
+
+* **Command protocol.**  A request is ``(command, args)``; a reply is
+  ``(status, value, events)``.  Command names mirror the
+  :class:`EngineShard` surface (``process``, ``process_batch``,
+  ``register``, ``unregister``, ``snapshot_encoded``, ``adopt_encoded``,
+  ``wal_append``, ...), so the parent-side :class:`ProcessShardHandle` is a
+  drop-in stand-in for a local shard: the sharded facade, the rebalance
+  path and crash recovery all drive it through the exact same calls.
+* **Pipelined fan-out.**  :meth:`ProcessShardExecutor.run_shards` sends the
+  command to *every* worker before collecting any reply, so the workers
+  process the same event concurrently on separate cores.  Replies are
+  collected in shard order; per the executor failure contract, every reply
+  is collected before the first exception (in shard order) is raised.
+* **State moves through the persistence codec.**  Shard state crossing the
+  process boundary — rebalance captures, checkpoint snapshots, recovery
+  restores — travels in the codec's encoded form, the same bytes-shape a
+  checkpoint stores, so a state that moved between processes is bit-for-bit
+  a state that was checkpointed and restored.
+* **Events ride the replies.**  Raw result updates (when the facade has
+  listeners) and decay-renormalization notifications are buffered
+  worker-side and shipped with each reply, preserving per-shard emission
+  order without extra round trips.
+* **Worker-side WALs.**  A durable sharded monitor tells each worker to
+  open its own shard WAL (``wal_open``); journal records are appended where
+  the shard lives, so the log I/O parallelizes with the shard work and a
+  killed worker loses exactly its unflushed commit group — the same crash
+  window an in-process shard has.
+
+Failure semantics: an exception raised by the *shard* inside a worker is
+pickled back and re-raised as itself in the parent.  A worker that dies
+(killed, crashed, pipe closed) surfaces as
+:class:`~repro.exceptions.WorkerError`; the remaining workers are unharmed
+and a durable monitor recovers by replaying the surviving logs.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, TypeVar
+
+from repro.core.config import MonitorConfig
+from repro.core.results import BatchUpdate, ResultEntry, ResultUpdate
+from repro.documents.document import Document
+from repro.exceptions import ConfigurationError, WorkerError
+from repro.metrics.counters import EventCounters
+from repro.queries.query import Query
+from repro.runtime.executors import ShardExecutor, raise_first_failure, run_serially
+from repro.runtime.shard import EngineShard
+from repro.types import QueryId
+
+T = TypeVar("T")
+
+#: Reply statuses of the worker protocol.
+_OK = "ok"
+_ERR = "err"
+
+#: Commands the worker resolves as plain EngineShard method calls / reads.
+_SHARD_METHODS = (
+    "process",
+    "process_batch",
+    "register",
+    "unregister",
+    "renormalize",
+    "top_k",
+    "threshold",
+    "all_results",
+    "describe",
+    "reset_statistics",
+    "snapshot_encoded",
+    "restore_encoded",
+    "adopt_encoded",
+)
+_SHARD_PROPERTIES = ("num_queries", "live_window_size", "last_arrival")
+
+
+def _shard_worker_main(conn, shard_id: int, config: MonitorConfig) -> None:
+    """The worker loop: own one shard (and optionally its WAL), serve commands.
+
+    Runs until a ``shutdown`` command or until the parent's end of the pipe
+    closes (the parent died); either way the shard's WAL — if one was
+    opened — is flushed and closed so no durable-claimed group is lost to a
+    *graceful* exit.  Replies are ``(status, value, events)``; ``events``
+    carries raw result updates and renormalization notifications buffered
+    since the previous reply.
+    """
+    # Imported here (not at module top) to keep the worker's import
+    # footprint obvious; under the fork start method these are already
+    # loaded in the parent anyway.
+    from repro.persistence.wal import WriteAheadLog
+
+    shard = EngineShard(shard_id, config)
+    renormalizations: List[Tuple[float, float]] = []
+    shard.add_renormalize_listener(
+        lambda origin, factor: renormalizations.append((origin, factor))
+    )
+    wal: Optional[WriteAheadLog] = None
+    running = True
+    while running:
+        try:
+            command, args = conn.recv()
+        except (EOFError, OSError):
+            break  # Parent is gone; fall through to the WAL flush.
+        status = _OK
+        value: object = None
+        try:
+            if command == "shutdown":
+                running = False
+            elif command == "ping":
+                value = os.getpid()
+            elif command == "set_capture_raw":
+                shard.capture_raw = bool(args[0])
+            elif command == "queries":
+                value = dict(shard.queries)
+            elif command == "counters":
+                value = shard.counters.snapshot()
+            elif command == "response_times":
+                value = list(shard.response_times)
+            elif command == "wal_open":
+                directory, group_commit, segment_max_bytes, fsync = args
+                if wal is not None:
+                    wal.close()
+                wal = WriteAheadLog(
+                    directory,
+                    group_commit=group_commit,
+                    segment_max_bytes=segment_max_bytes,
+                    fsync=fsync,
+                )
+                value = wal.last_lsn
+            elif command.startswith("wal_"):
+                if wal is None:
+                    raise WorkerError(
+                        f"shard worker {shard_id}: {command} before wal_open"
+                    )
+                if command == "wal_append":
+                    value = wal.append_line(args[0], args[1])
+                elif command == "wal_flush":
+                    wal.flush()
+                elif command == "wal_sync":
+                    wal.sync()
+                elif command == "wal_rotate":
+                    wal.rotate()
+                elif command == "wal_compact":
+                    value = wal.compact(args[0])
+                elif command == "wal_last_lsn":
+                    value = wal.last_lsn
+                elif command == "wal_close":
+                    wal.close()
+                    wal = None
+                else:
+                    raise WorkerError(
+                        f"shard worker {shard_id}: unknown command {command!r}"
+                    )
+            elif command in _SHARD_METHODS:
+                value = getattr(shard, command)(*args)
+            elif command in _SHARD_PROPERTIES:
+                value = getattr(shard, command)
+            else:
+                raise WorkerError(
+                    f"shard worker {shard_id}: unknown command {command!r}"
+                )
+        except Exception as exc:  # noqa: BLE001 - every shard error crosses back
+            status, value = _ERR, exc
+        events: Dict[str, object] = {}
+        raw = shard.drain_raw_updates()
+        if raw:
+            events["raw"] = raw
+        if renormalizations:
+            events["renorms"] = list(renormalizations)
+            renormalizations.clear()
+        try:
+            conn.send((status, value, events))
+        except Exception:
+            # The value (or an error) did not pickle / the pipe broke.  Try
+            # to keep the protocol in lockstep with a plain-text error; if
+            # the pipe itself is gone, exit.
+            try:
+                conn.send(
+                    (
+                        _ERR,
+                        WorkerError(
+                            f"shard worker {shard_id}: reply to {command!r} "
+                            "could not be serialized"
+                        ),
+                        {},
+                    )
+                )
+            except Exception:
+                break
+    if wal is not None:
+        try:
+            wal.close()
+        except Exception:  # noqa: BLE001 - best-effort final flush
+            pass
+    conn.close()
+
+
+class ProcessShardHandle:
+    """Parent-side proxy for one shard living in a worker process.
+
+    Mirrors the :class:`EngineShard` surface (same methods, same
+    properties), so the sharded facade, rebalancing and crash recovery
+    drive local and process-resident shards through identical code.  Every
+    call is one synchronous round trip; the executor's fan-out uses the
+    split :meth:`submit` / :meth:`collect` halves to keep all workers busy
+    at once.
+    """
+
+    def __init__(self, shard_id: int, process, conn) -> None:
+        self.shard_id = shard_id
+        self.process = process
+        self._conn = conn
+        self._capture_raw = False
+        self._raw_buffer: List[ResultUpdate] = []
+        self._renormalize_listeners: List[Callable[[float, float], None]] = []
+
+    # ------------------------------------------------------------------ #
+    # Protocol plumbing
+    # ------------------------------------------------------------------ #
+
+    def submit(self, command: str, *args: object) -> None:
+        """Send one command without waiting for its reply."""
+        try:
+            self._conn.send((command, args))
+        except Exception as exc:
+            raise WorkerError(
+                f"shard worker {self.shard_id} is gone (send failed)"
+            ) from exc
+
+    def collect(self) -> object:
+        """Receive one reply; unpack events; raise what the worker raised."""
+        try:
+            status, value, events = self._conn.recv()
+        except (EOFError, OSError) as exc:
+            raise WorkerError(
+                f"shard worker {self.shard_id} died (pipe closed before reply)"
+            ) from exc
+        raw = events.get("raw")
+        if raw:
+            self._raw_buffer.extend(raw)
+        for origin, factor in events.get("renorms", ()):
+            for listener in self._renormalize_listeners:
+                listener(origin, factor)
+        if status == _ERR:
+            raise value  # type: ignore[misc]
+        return value
+
+    def call(self, command: str, *args: object) -> object:
+        self.submit(command, *args)
+        return self.collect()
+
+    @property
+    def alive(self) -> bool:
+        return self.process.is_alive()
+
+    # ------------------------------------------------------------------ #
+    # EngineShard surface (stream processing)
+    # ------------------------------------------------------------------ #
+
+    def process(self, document: Document) -> List[ResultUpdate]:
+        return self.call("process", document)  # type: ignore[return-value]
+
+    def process_batch(self, documents: Sequence[Document]) -> List[BatchUpdate]:
+        return self.call("process_batch", documents)  # type: ignore[return-value]
+
+    def register(self, query: Query) -> None:
+        self.call("register", query)
+
+    def unregister(self, query_id: QueryId) -> Query:
+        return self.call("unregister", query_id)  # type: ignore[return-value]
+
+    def renormalize(self, new_origin: float) -> float:
+        return self.call("renormalize", new_origin)  # type: ignore[return-value]
+
+    def add_renormalize_listener(self, listener: Callable[[float, float], None]) -> None:
+        """Listener fired parent-side as rebase notifications arrive.
+
+        The worker buffers every (origin, factor) rebase — explicit or
+        decay-triggered — and ships it with its next reply, preserving
+        order; listeners therefore run after the triggering call returns,
+        on the caller's thread, like the facade's update listeners.
+        """
+        self._renormalize_listeners.append(listener)
+
+    # ------------------------------------------------------------------ #
+    # EngineShard surface (raw update capture)
+    # ------------------------------------------------------------------ #
+
+    @property
+    def capture_raw(self) -> bool:
+        return self._capture_raw
+
+    @capture_raw.setter
+    def capture_raw(self, enabled: bool) -> None:
+        self.call("set_capture_raw", bool(enabled))
+        self._capture_raw = bool(enabled)
+
+    def drain_raw_updates(self) -> List[ResultUpdate]:
+        drained = self._raw_buffer
+        self._raw_buffer = []
+        return drained
+
+    # ------------------------------------------------------------------ #
+    # EngineShard surface (results and diagnostics)
+    # ------------------------------------------------------------------ #
+
+    def top_k(self, query_id: QueryId) -> List[ResultEntry]:
+        return self.call("top_k", query_id)  # type: ignore[return-value]
+
+    def threshold(self, query_id: QueryId) -> float:
+        return self.call("threshold", query_id)  # type: ignore[return-value]
+
+    def all_results(self) -> Dict[QueryId, List[ResultEntry]]:
+        return self.call("all_results")  # type: ignore[return-value]
+
+    @property
+    def queries(self) -> Dict[QueryId, Query]:
+        return self.call("queries")  # type: ignore[return-value]
+
+    @property
+    def num_queries(self) -> int:
+        return self.call("num_queries")  # type: ignore[return-value]
+
+    @property
+    def counters(self) -> EventCounters:
+        counters = EventCounters()
+        counters.restore(self.call("counters"))  # type: ignore[arg-type]
+        return counters
+
+    @property
+    def response_times(self) -> List[float]:
+        return self.call("response_times")  # type: ignore[return-value]
+
+    @property
+    def live_window_size(self) -> Optional[int]:
+        return self.call("live_window_size")  # type: ignore[return-value]
+
+    @property
+    def last_arrival(self) -> Optional[float]:
+        return self.call("last_arrival")  # type: ignore[return-value]
+
+    def reset_statistics(self) -> None:
+        self.call("reset_statistics")
+
+    def describe(self) -> Dict[str, object]:
+        return self.call("describe")  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------ #
+    # EngineShard surface (state movement — always codec-encoded)
+    # ------------------------------------------------------------------ #
+
+    def snapshot_encoded(self, include_structures: bool = True) -> Dict[str, object]:
+        return self.call("snapshot_encoded", include_structures)  # type: ignore[return-value]
+
+    def restore_encoded(self, encoded: Dict[str, object]) -> None:
+        self.call("restore_encoded", encoded)
+
+    def adopt_encoded(self, encoded: Dict[str, object]) -> None:
+        self.call("adopt_encoded", encoded)
+
+    def restore(self, state: Dict[str, object]) -> None:
+        """Restore a nested (in-memory) shard capture — recovery's entry point.
+
+        Crash recovery hands every shard the decoded checkpoint shape; for a
+        process-resident shard the state is re-encoded through the codec
+        (exact by construction) and rebuilt worker-side.
+        """
+        from repro.persistence import codec
+
+        flat = dict(state["engine"])  # type: ignore[arg-type]
+        if "expiration" in state:
+            flat["expiration"] = state["expiration"]
+        self.restore_encoded(codec.encode_monitor_state(flat))
+
+    # ------------------------------------------------------------------ #
+    # Worker-side WAL control (the durable facade's journaling seam)
+    # ------------------------------------------------------------------ #
+
+    def wal_open(
+        self,
+        directory: str,
+        group_commit: int,
+        segment_max_bytes: int,
+        fsync: bool,
+    ) -> int:
+        return self.call(  # type: ignore[return-value]
+            "wal_open", directory, group_commit, segment_max_bytes, fsync
+        )
+
+    def wal_append(self, line: bytes, lsn: int) -> int:
+        return self.call("wal_append", line, lsn)  # type: ignore[return-value]
+
+    def wal_flush(self) -> None:
+        self.call("wal_flush")
+
+    def wal_sync(self) -> None:
+        self.call("wal_sync")
+
+    def wal_rotate(self) -> None:
+        self.call("wal_rotate")
+
+    def wal_compact(self, up_to_lsn: int) -> int:
+        return self.call("wal_compact", up_to_lsn)  # type: ignore[return-value]
+
+    def wal_last_lsn(self) -> int:
+        return self.call("wal_last_lsn")  # type: ignore[return-value]
+
+    def wal_close(self) -> None:
+        self.call("wal_close")
+
+
+class ProcessShardExecutor(ShardExecutor):
+    """Hosts every shard in a long-lived worker process (name ``"processes"``).
+
+    Shard-resident: :meth:`spawn_shards` starts the workers and returns the
+    :class:`ProcessShardHandle` list the sharded facade uses *as* its
+    shards.  :meth:`run_shards` is the parallel fan-out; :meth:`close`
+    shuts the workers down (gracefully when they are healthy, forcefully
+    when not).
+
+    Example::
+
+        monitor = ShardedMonitor(config, n_shards=4, executor="processes")
+        monitor.process_batch(batch)      # 4 workers score concurrently
+        monitor.close()                   # joins the workers
+    """
+
+    name = "processes"
+    shard_resident = True
+
+    def __init__(self, n_shards: int, mp_context=None) -> None:
+        if n_shards <= 0:
+            raise ConfigurationError(f"n_shards must be > 0, got {n_shards}")
+        self.n_shards = n_shards
+        self._ctx = mp_context if mp_context is not None else multiprocessing.get_context()
+        self._handles: Optional[List[ProcessShardHandle]] = None
+
+    # ------------------------------------------------------------------ #
+    # Worker lifecycle
+    # ------------------------------------------------------------------ #
+
+    @property
+    def handles(self) -> List[ProcessShardHandle]:
+        if self._handles is None:
+            raise ConfigurationError(
+                "process executor has no workers; spawn_shards() was not called"
+            )
+        return list(self._handles)
+
+    def spawn_shards(self, config: MonitorConfig) -> List[ProcessShardHandle]:
+        """Start one worker per shard; returns their handles in shard order."""
+        if self._handles is not None:
+            raise ConfigurationError("process executor already owns live workers")
+        handles: List[ProcessShardHandle] = []
+        self._handles = handles
+        try:
+            for shard_id in range(self.n_shards):
+                parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+                process = self._ctx.Process(
+                    target=_shard_worker_main,
+                    args=(child_conn, shard_id, config),
+                    name=f"repro-shard-{shard_id}",
+                    daemon=True,
+                )
+                process.start()
+                child_conn.close()
+                handles.append(ProcessShardHandle(shard_id, process, parent_conn))
+            # One synchronous ping per worker surfaces spawn failures
+            # (missing config, import errors) here instead of at the first
+            # stream event.
+            for handle in handles:
+                handle.call("ping")
+        except Exception:
+            # Never leak half a worker fleet: join whatever started, and
+            # leave the executor re-spawnable.
+            self.close()
+            raise
+        return handles
+
+    def resize(self, n_shards: int, config: MonitorConfig) -> List[ProcessShardHandle]:
+        """Replace the worker set with ``n_shards`` fresh workers."""
+        if n_shards <= 0:
+            raise ConfigurationError(f"n_shards must be > 0, got {n_shards}")
+        self.close()
+        self.n_shards = n_shards
+        return self.spawn_shards(config)
+
+    def close(self) -> None:
+        """Shut every worker down; robust to workers that already died."""
+        if self._handles is None:
+            return
+        handles, self._handles = self._handles, None
+        for handle in handles:
+            try:
+                handle.call("shutdown")
+            except Exception:  # noqa: BLE001 - dead workers cannot ack
+                pass
+        for handle in handles:
+            handle.process.join(timeout=5.0)
+            if handle.process.is_alive():  # pragma: no cover - defensive
+                handle.process.terminate()
+                handle.process.join(timeout=5.0)
+            try:
+                handle._conn.close()
+            except Exception:  # noqa: BLE001
+                pass
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+
+    def run(self, tasks: Sequence[Callable[[], T]]) -> List[T]:
+        """Run opaque thunks on the calling thread (the generic fallback).
+
+        Arbitrary closures cannot cross a process boundary; the parallel
+        path is :meth:`run_shards`, which ships *commands* instead.  Same
+        failure contract as every executor.
+        """
+        return run_serially(tasks)
+
+    def run_shards(
+        self, shards: Sequence[object], method: str, args: Tuple[object, ...]
+    ) -> List[object]:
+        """Pipeline one command to every worker, then collect every reply.
+
+        The submit loop finishes before the first collect, so all workers
+        process the command concurrently; collection preserves shard order
+        and — per the failure contract — completes the whole fan-out before
+        raising the first failure in shard order.
+        """
+        submit_failures: Dict[int, BaseException] = {}
+        for index, shard in enumerate(shards):
+            try:
+                shard.submit(method, *args)  # type: ignore[attr-defined]
+            except Exception as exc:
+                submit_failures[index] = exc
+        outcomes: List[Tuple[Optional[object], Optional[BaseException]]] = []
+        for index, shard in enumerate(shards):
+            if index in submit_failures:
+                outcomes.append((None, submit_failures[index]))
+                continue
+            try:
+                outcomes.append((shard.collect(), None))  # type: ignore[attr-defined]
+            except Exception as exc:
+                outcomes.append((None, exc))
+        return raise_first_failure(outcomes)

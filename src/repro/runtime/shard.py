@@ -119,6 +119,15 @@ class EngineShard:
         """Rebase this shard's decay origin (replayed per shard by recovery)."""
         return self.algorithm.renormalize(new_origin)
 
+    def add_renormalize_listener(self, listener) -> None:
+        """Register a callback invoked after every decay rebase of this shard.
+
+        Part of the shard surface (rather than reached through
+        :attr:`algorithm`) so process-resident shards can forward rebase
+        notifications across the process boundary.
+        """
+        self.algorithm.add_renormalize_listener(listener)
+
     # ------------------------------------------------------------------ #
     # Results and diagnostics
     # ------------------------------------------------------------------ #
@@ -128,6 +137,13 @@ class EngineShard:
 
     def threshold(self, query_id: QueryId) -> float:
         return self.algorithm.threshold(query_id)
+
+    def all_results(self) -> Dict[QueryId, List[ResultEntry]]:
+        """Every resident query's current top-k (one call, not one per query —
+        a single round trip when the shard lives in a worker process)."""
+        return {
+            query_id: self.algorithm.top_k(query_id) for query_id in self.queries
+        }
 
     @property
     def counters(self) -> EventCounters:
@@ -146,6 +162,12 @@ class EngineShard:
     @property
     def last_arrival(self) -> Optional[float]:
         return self.algorithm.last_arrival
+
+    def reset_statistics(self) -> None:
+        """Zero this shard's counters and timing samples."""
+        self.algorithm.counters.reset()
+        self.algorithm.response_times.clear()
+        self.algorithm.batch_response_times.clear()
 
     def describe(self) -> Dict[str, object]:
         info = self.algorithm.describe()
@@ -186,3 +208,59 @@ class EngineShard:
         self.algorithm.restore_queries(queries, engine_state)
         if self.expiration is not None and expiration_state is not None:
             self.expiration.restore(expiration_state)
+
+    # ------------------------------------------------------------------ #
+    # Codec-encoded state movement (rebalancing, checkpoints, processes)
+    # ------------------------------------------------------------------ #
+    #
+    # Every transfer of shard state — rebalancing between shards, moving a
+    # shard into or out of a worker process, writing a checkpoint — goes
+    # through the persistence codec, so there is exactly one serialization
+    # of an engine and the moved state is bit-for-bit what a checkpoint
+    # would hold.  (Function-level codec imports: the persistence package's
+    # facade imports this module.)
+
+    def snapshot_encoded(self, include_structures: bool = True) -> Dict[str, object]:
+        """This shard's full state in the persistence codec's encoded form.
+
+        The flat monitor shape :func:`codec.encode_monitor_state` takes,
+        with the live expiration window folded in — exactly the bytes-shape
+        a per-shard checkpoint stores.  ``include_structures=False`` drops
+        the algorithm-specific structure captures for movers that discard
+        them anyway (the rebalance adopt path rebuilds structures from
+        scratch, so their O(memo) encode would be wasted).
+        """
+        from repro.persistence import codec
+
+        captured = self.snapshot()
+        flat: Dict[str, object] = dict(captured["engine"])  # type: ignore[arg-type]
+        if not include_structures:
+            flat.pop("structures", None)
+        if "expiration" in captured:
+            flat["expiration"] = captured["expiration"]
+        return codec.encode_monitor_state(flat)
+
+    def restore_encoded(self, encoded: Dict[str, object]) -> None:
+        """Restore a :meth:`snapshot_encoded` capture into this shard."""
+        from repro.persistence import codec
+
+        state = codec.decode_monitor_state(encoded)
+        wrapped: Dict[str, object] = {}
+        if "expiration" in state:
+            wrapped["expiration"] = state.pop("expiration")
+        wrapped["engine"] = state
+        self.restore(wrapped)
+
+    def adopt_encoded(self, encoded: Dict[str, object]) -> None:
+        """Adopt an encoded partition capture into this (fresh) shard.
+
+        ``encoded`` carries the partition's queries, their result heaps,
+        the common decay/stream clock and (optionally) the live window —
+        the per-partition slice the sharded facade cuts from the merged
+        rebalance capture.
+        """
+        from repro.persistence import codec
+
+        state = codec.decode_monitor_state(encoded)
+        queries: Sequence[Query] = state["queries"]  # type: ignore[assignment]
+        self.adopt(queries, state, state.get("expiration"))  # type: ignore[arg-type]

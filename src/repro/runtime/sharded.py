@@ -84,9 +84,9 @@ class ShardedMonitor:
             raise ConfigurationError(f"n_shards must be > 0, got {n_shards}")
         self.config = config or MonitorConfig()
         self.vectorizer = vectorizer
-        self._shards = [EngineShard(i, self.config) for i in range(n_shards)]
-        self._router = QueryRouter(n_shards, make_policy(policy))
         self._executor = make_executor(executor, n_shards)
+        self._shards = self._spawn_shards(n_shards)
+        self._router = QueryRouter(n_shards, make_policy(policy))
         self._listeners: List[UpdateListener] = []
         self._next_query_id = 0
         #: Stream events processed, tracked here because every shard counts
@@ -100,6 +100,32 @@ class ShardedMonitor:
     # Topology
     # ------------------------------------------------------------------ #
 
+    def _spawn_shards(self, n_shards: int):
+        """Build the shard set the configured executor implies.
+
+        In-process executors run tasks against local :class:`EngineShard`
+        objects; a shard-resident executor (``"processes"``) owns the
+        shards inside its workers and vends handles that mirror the
+        :class:`EngineShard` surface — everything downstream drives either
+        through identical calls.
+        """
+        if self._executor.shard_resident:
+            # A pre-built executor instance carries its own worker count;
+            # it must agree with the requested topology or the router and
+            # the shard list would disagree about who owns which query.
+            executor_shards = self._executor.n_shards  # type: ignore[attr-defined]
+            if executor_shards != n_shards:
+                raise ConfigurationError(
+                    f"shard-resident executor is sized for {executor_shards} "
+                    f"shard(s) but the monitor requested n_shards={n_shards}"
+                )
+            return self._executor.spawn_shards(self.config)  # type: ignore[attr-defined]
+        return [EngineShard(i, self.config) for i in range(n_shards)]
+
+    def _run_on_shards(self, method: str, *args):
+        """Fan ``method(*args)`` out to every shard through the executor."""
+        return self._executor.run_shards(self._shards, method, args)
+
     @property
     def n_shards(self) -> int:
         return len(self._shards)
@@ -112,6 +138,11 @@ class ShardedMonitor:
     @property
     def router(self) -> QueryRouter:
         return self._router
+
+    @property
+    def executor(self) -> ShardExecutor:
+        """The shard executor driving the fan-out (read-only view)."""
+        return self._executor
 
     def close(self) -> None:
         """Release executor workers (a no-op for the serial executor)."""
@@ -197,9 +228,7 @@ class ShardedMonitor:
 
     def process(self, document) -> List[ResultUpdate]:
         """Process one stream event on every shard; merged updates, by query id."""
-        per_shard = self._executor.run(
-            [lambda shard=shard: shard.process(document) for shard in self._shards]
-        )
+        per_shard = self._run_on_shards("process", document)
         self._documents_processed += 1
         if self._listeners:
             self._dispatch_raw_updates()
@@ -241,9 +270,7 @@ class ShardedMonitor:
         executor.
         """
         docs = documents if isinstance(documents, list) else list(documents)
-        per_shard = self._executor.run(
-            [lambda shard=shard: shard.process_batch(docs) for shard in self._shards]
-        )
+        per_shard = self._run_on_shards("process_batch", docs)
         self._documents_processed += len(docs)
         if self._listeners:
             self._dispatch_raw_updates()
@@ -287,8 +314,9 @@ class ShardedMonitor:
         """A snapshot of every query's current result, across all shards."""
         results: Dict[QueryId, List[ResultEntry]] = {}
         for shard in self._shards:
-            for query_id in shard.queries:
-                results[query_id] = shard.top_k(query_id)
+            # One bulk call per shard — a single pipe round trip when the
+            # shard lives in a worker process.
+            results.update(shard.all_results())
         return results
 
     def add_update_listener(self, listener: UpdateListener) -> None:
@@ -325,9 +353,7 @@ class ShardedMonitor:
     def reset_statistics(self) -> None:
         """Zero all counters and timing samples (e.g. after a warm-up phase)."""
         for shard in self._shards:
-            shard.counters.reset()
-            shard.response_times.clear()
-            shard.algorithm.batch_response_times.clear()
+            shard.reset_statistics()
         self._retired_counters.reset()
         self._documents_processed = 0
 
@@ -389,8 +415,11 @@ class ShardedMonitor:
         self._router = QueryRouter(self.n_shards, policy)
         next_id = self._next_query_id
         for shard in self._shards:
-            for query_id in sorted(shard.queries):
-                self._router.adopt(shard.queries[query_id], shard.shard_id)
+            # Bind the dict once: for a process-resident shard the property
+            # is a pipe round trip shipping the whole query set.
+            queries = shard.queries
+            for query_id in sorted(queries):
+                self._router.adopt(queries[query_id], shard.shard_id)
                 next_id = max(next_id, query_id + 1)
         self._next_query_id = next_id
 
@@ -432,24 +461,20 @@ class ShardedMonitor:
         if new_n <= 0:
             raise ConfigurationError(f"n_shards must be > 0, got {new_n}")
         # One serialization path for all state movement: every shard capture
-        # round-trips through the persistence codec, the same encoding a
-        # checkpoint writes to disk (function-level import — the durability
-        # facade imports this module).
+        # travels through the persistence codec, the same encoding a
+        # checkpoint writes to disk — and, for process-resident shards, the
+        # same bytes that cross the worker pipes (function-level import —
+        # the durability facade imports this module).  Structure captures
+        # (zone memo, impact lists) are rebuilt from scratch on a partial
+        # restore, so their O(memo) encode is skipped.
         from repro.persistence import codec
 
-        snapshots: List[Dict[str, object]] = []
-        for shard in self._shards:
-            captured = shard.snapshot()
-            flat: Dict[str, object] = dict(captured["engine"])  # type: ignore[arg-type]
-            # Structure captures (zone memo, impact lists) are rebuilt from
-            # scratch on a partial restore — don't pay their O(memo) encode
-            # for data the adopt path discards.
-            flat.pop("structures", None)
-            if "expiration" in captured:
-                flat["expiration"] = captured["expiration"]
-            snapshots.append(
-                codec.decode_monitor_state(codec.encode_monitor_state(flat))
+        snapshots: List[Dict[str, object]] = [
+            codec.decode_monitor_state(
+                shard.snapshot_encoded(include_structures=False)
             )
+            for shard in self._shards
+        ]
 
         # Merge the captures: queries and results are disjoint unions;
         # decay, stream clock and live window are identical in every shard
@@ -474,7 +499,19 @@ class ShardedMonitor:
         expiration_state = snapshots[0].get("expiration")
         queries.sort(key=lambda query: query.query_id)
 
-        self._shards = [EngineShard(i, self.config) for i in range(new_n)]
+        # Rebuild the shard set on the new topology.  A shard-resident
+        # executor replaces its worker processes; otherwise fresh local
+        # shards are built (and the thread pool resized to match).
+        if self._executor.shard_resident:
+            self._shards = self._executor.resize(new_n, self.config)  # type: ignore[attr-defined]
+        else:
+            self._shards = [EngineShard(i, self.config) for i in range(new_n)]
+            if (
+                isinstance(self._executor, ThreadPoolShardExecutor)
+                and self._executor.max_workers != new_n
+            ):
+                self._executor.close()
+                self._executor = make_executor(self._executor.name, new_n)
         if self._listeners:
             for shard in self._shards:
                 shard.capture_raw = True
@@ -487,13 +524,22 @@ class ShardedMonitor:
         partitions: List[List[Query]] = [[] for _ in range(new_n)]
         for query in queries:
             partitions[self._router.route(query)].append(query)
+        merged_results: Dict[QueryId, object] = merged_engine["results"]  # type: ignore[assignment]
         for shard, partition in zip(self._shards, partitions):
-            shard.adopt(partition, merged_engine, expiration_state)  # type: ignore[arg-type]
-
-        if (
-            isinstance(self._executor, ThreadPoolShardExecutor)
-            and self._executor.max_workers != new_n
-        ):
-            # Resize the worker pool to the new shard count.
-            self._executor.close()
-            self._executor = make_executor(self._executor.name, new_n)
+            # Each shard adopts its partition's slice of the merged capture,
+            # cut and re-encoded through the codec (counters stay with the
+            # facade — the adopt path never takes them).
+            partition_state: Dict[str, object] = {
+                "queries": partition,
+                "results": {
+                    query.query_id: merged_results[query.query_id]
+                    for query in partition
+                    if query.query_id in merged_results
+                },
+                "decay": merged_engine["decay"],
+                "counters": {},
+                "last_arrival": merged_engine["last_arrival"],
+            }
+            if expiration_state is not None:
+                partition_state["expiration"] = expiration_state
+            shard.adopt_encoded(codec.encode_monitor_state(partition_state))

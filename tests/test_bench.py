@@ -144,7 +144,9 @@ class TestHarness:
         with pytest.raises(BenchmarkError):
             _micro_spec(shards=0)
         with pytest.raises(BenchmarkError):
-            _micro_spec(shard_executor="processes")
+            _micro_spec(shard_executor="fibers")
+        # "processes" is a first-class executor, not a validation error.
+        assert _micro_spec(shard_executor="processes").shard_executor == "processes"
         with pytest.raises(BenchmarkError):
             _micro_spec(shard_policy="afinity")
 

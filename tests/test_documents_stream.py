@@ -96,6 +96,50 @@ class TestDocumentStream:
         stream = DocumentStream(corpus.generate_documents(5), StreamConfig())
         assert stream.fast_forward(10) == 5
 
+    def test_fast_forward_never_vectorizes_skipped_events(
+        self, small_corpus_config, monkeypatch
+    ):
+        # The whole point of the skip hook: recovery over a long WAL tail
+        # must not pay tokenize/vectorize cost for documents it discards.
+        corpus = SyntheticCorpus(small_corpus_config)
+        stream = DocumentStream(corpus, StreamConfig(seed=5))
+        calls = {"n": 0}
+        original = SyntheticCorpus._log_tf_vector
+
+        def counting(token_ids):
+            calls["n"] += 1
+            return original(token_ids)
+
+        monkeypatch.setattr(SyntheticCorpus, "_log_tf_vector", staticmethod(counting))
+        assert stream.fast_forward(15) == 15
+        assert calls["n"] == 0, "fast_forward built vectors for skipped events"
+        stream.take(3)
+        assert calls["n"] == 3  # emitted documents still pay full cost
+
+    def test_fast_forward_skip_path_matches_fallback_state(self, small_corpus_config):
+        # Skipping via the corpus hook and discarding fully built documents
+        # must leave identical stream state: clock, emitted count, and the
+        # exact events that follow.
+        config = StreamConfig(poisson=True, seed=5)
+        with_hook = DocumentStream(SyntheticCorpus(small_corpus_config), config)
+        # iter_documents() hides the corpus behind a plain generator, so the
+        # stream cannot see skip_documents and takes the fallback path.
+        without_hook = DocumentStream(
+            SyntheticCorpus(small_corpus_config).iter_documents(), config
+        )
+        assert with_hook.fast_forward(17) == without_hook.fast_forward(17) == 17
+        assert with_hook.clock == without_hook.clock
+        assert with_hook.emitted == without_hook.emitted == 17
+        assert with_hook.take(5) == without_hook.take(5)
+
+    def test_corpus_skip_documents_matches_generation(self, small_corpus_config):
+        skipping = SyntheticCorpus(small_corpus_config)
+        generating = SyntheticCorpus(small_corpus_config)
+        generating.generate_documents(9)
+        assert skipping.skip_documents(9) == 9
+        # Doc-id numbering and every RNG stream stayed in lockstep.
+        assert skipping.generate_documents(4) == generating.generate_documents(4)
+
     def test_fast_forward_rejects_negative_count(self, small_corpus):
         with pytest.raises(ConfigurationError):
             DocumentStream(small_corpus).fast_forward(-1)

@@ -1,0 +1,207 @@
+"""Regression tests for the shard-executor failure contract.
+
+The contract (``repro.runtime.executors`` module docstring): every task of
+a fan-out runs to completion, then the first exception **in task order** is
+raised.  Two historical bugs motivated it:
+
+* ``SerialExecutor`` aborted the fan-out at the first failing task, leaving
+  later shards un-run — after a failed batch, shard states diverged from
+  what the pooled executors produced;
+* ``ThreadPoolShardExecutor`` raised out of the first failed *future* while
+  sibling futures were still mutating shard state — the caller observed an
+  exception over a moving fan-out.
+
+All three flavours (serial / threads / processes) are held to the same
+semantics here.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.core.config import MonitorConfig
+from repro.exceptions import (
+    ConfigurationError,
+    DuplicateQueryError,
+    WorkerError,
+)
+from repro.queries.query import Query
+from repro.runtime.executors import (
+    SerialExecutor,
+    ThreadPoolShardExecutor,
+    make_executor,
+)
+from repro.runtime.procpool import ProcessShardExecutor
+
+
+class BoomA(RuntimeError):
+    pass
+
+
+class BoomB(RuntimeError):
+    pass
+
+
+def _query(query_id: int) -> Query:
+    return Query(query_id=query_id, vector={1: 1.0}, k=2)
+
+
+class TestSerialExecutor:
+    def test_all_tasks_run_even_when_one_fails(self):
+        ran = []
+        tasks = [
+            lambda: ran.append(0),
+            lambda: (_ for _ in ()).throw(BoomA("mid-batch")),
+            lambda: ran.append(2),
+        ]
+        with pytest.raises(BoomA):
+            SerialExecutor().run(tasks)
+        # The bug: task 2 never ran because task 1 aborted the fan-out.
+        assert ran == [0, 2]
+
+    def test_first_exception_in_task_order_wins(self):
+        tasks = [
+            lambda: None,
+            lambda: (_ for _ in ()).throw(BoomA("first in task order")),
+            lambda: (_ for _ in ()).throw(BoomB("second in task order")),
+        ]
+        with pytest.raises(BoomA):
+            SerialExecutor().run(tasks)
+
+    def test_results_in_task_order(self):
+        assert SerialExecutor().run([lambda i=i: i * i for i in range(5)]) == [
+            0,
+            1,
+            4,
+            9,
+            16,
+        ]
+
+
+class TestThreadPoolExecutor:
+    def test_failure_waits_for_sibling_tasks(self):
+        """No exception escapes while another shard task is still running."""
+        finished = threading.Event()
+
+        def slow_sibling():
+            time.sleep(0.2)
+            finished.set()
+            return "done"
+
+        def fail_fast():
+            raise BoomA("immediate")
+
+        with ThreadPoolShardExecutor(max_workers=2) as executor:
+            with pytest.raises(BoomA):
+                executor.run([fail_fast, slow_sibling])
+            # The bug: run() raised while slow_sibling was still mutating
+            # state.  Under the fixed contract the sibling completed before
+            # the exception reached us.
+            assert finished.is_set()
+
+    def test_first_exception_in_task_order_wins_not_first_in_time(self):
+        def slow_low_index():
+            time.sleep(0.2)
+            raise BoomA("task 0, finishes last")
+
+        def fast_high_index():
+            raise BoomB("task 1, fails first in wall-clock time")
+
+        with ThreadPoolShardExecutor(max_workers=2) as executor:
+            with pytest.raises(BoomA):
+                executor.run([slow_low_index, fast_high_index])
+
+    def test_single_task_fast_path_still_raises(self):
+        with ThreadPoolShardExecutor(max_workers=2) as executor:
+            with pytest.raises(BoomA):
+                executor.run([lambda: (_ for _ in ()).throw(BoomA("solo"))])
+
+    def test_results_in_task_order(self):
+        with ThreadPoolShardExecutor(max_workers=4) as executor:
+            assert executor.run([lambda i=i: i for i in range(8)]) == list(range(8))
+
+
+class TestProcessExecutor:
+    def test_fanout_completes_before_raising(self):
+        """A command failing on one worker still runs on every other worker."""
+        executor = ProcessShardExecutor(2)
+        try:
+            shard_a, shard_b = executor.spawn_shards(MonitorConfig(algorithm="mrio"))
+            poison = _query(7)
+            shard_a.register(poison)  # shard A now refuses a re-register
+            with pytest.raises(DuplicateQueryError):
+                executor.run_shards([shard_a, shard_b], "register", (poison,))
+            # Shard B's task ran to completion despite shard A's failure.
+            assert 7 in shard_b.queries
+        finally:
+            executor.close()
+
+    def test_thunk_fallback_honours_the_contract(self):
+        ran = []
+        executor = ProcessShardExecutor(1)
+        tasks = [
+            lambda: (_ for _ in ()).throw(BoomA("first")),
+            lambda: ran.append(1),
+        ]
+        with pytest.raises(BoomA):
+            executor.run(tasks)
+        assert ran == [1]
+
+    def test_dead_worker_surfaces_as_worker_error(self):
+        executor = ProcessShardExecutor(1)
+        try:
+            (handle,) = executor.spawn_shards(MonitorConfig(algorithm="mrio"))
+            handle.process.terminate()
+            handle.process.join(timeout=5.0)
+            with pytest.raises(WorkerError):
+                handle.call("num_queries")
+        finally:
+            executor.close()
+
+
+class TestShardResidentTopology:
+    def test_mismatched_prebuilt_executor_rejected(self):
+        # A pre-built process executor carries its own worker count; a
+        # monitor asking for a different topology must be refused, not
+        # routed onto shards that don't exist.
+        from repro.runtime.sharded import ShardedMonitor
+
+        executor = ProcessShardExecutor(2)
+        try:
+            with pytest.raises(ConfigurationError):
+                ShardedMonitor(
+                    MonitorConfig(algorithm="mrio"), n_shards=4, executor=executor
+                )
+        finally:
+            executor.close()
+
+    def test_spawn_failure_leaves_executor_respawnable(self):
+        executor = ProcessShardExecutor(2)
+        try:
+            executor.spawn_shards(MonitorConfig(algorithm="mrio"))
+            with pytest.raises(ConfigurationError):
+                # Double-spawn is refused while workers are alive...
+                executor.spawn_shards(MonitorConfig(algorithm="mrio"))
+        finally:
+            executor.close()
+        # ...and after close the executor can spawn again.
+        handles = executor.spawn_shards(MonitorConfig(algorithm="mrio"))
+        assert len(handles) == 2
+        executor.close()
+
+
+class TestMakeExecutor:
+    def test_resolves_all_three_names(self):
+        assert make_executor("serial", 2).name == "serial"
+        threads = make_executor("threads", 2)
+        assert threads.name == "threads" and threads.max_workers == 2
+        processes = make_executor("processes", 2)
+        assert processes.name == "processes" and processes.n_shards == 2
+        assert processes.shard_resident
+
+    def test_unknown_name_lists_the_choices(self):
+        with pytest.raises(ConfigurationError, match="processes"):
+            make_executor("fibers", 2)

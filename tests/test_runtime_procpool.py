@@ -1,0 +1,363 @@
+"""Differential tests: process-resident shards against the serial runtime.
+
+The ``"processes"`` executor moves every shard into its own worker process;
+these tests hold it to the exact same contract the in-process sharded
+runtime satisfies (``test_runtime_sharded.py``): for every algorithm,
+hosting the query set on 2 or 4 *worker-process* shards must produce
+byte-identical top-k results, scores, thresholds and coalesced updates as
+the serial in-process runtime — which is itself byte-identical to a single
+:class:`ContinuousMonitor`.  On top of that: listener forwarding across the
+process boundary, rebalancing between worker sets, the unified fan-out
+failure contract, and crash recovery through :class:`DurableMonitor` when a
+worker is SIGKILLed mid-stream (per-shard WALs are written worker-side, so
+a killed worker loses exactly its unflushed commit group).
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+
+import pytest
+
+from repro.core.config import MonitorConfig
+from repro.exceptions import StreamError, WorkerError
+from repro.persistence.durable import DurabilityConfig, DurableMonitor
+from repro.runtime.sharded import ShardedMonitor
+
+PROCESS_SHARD_COUNTS = (2, 4)
+BATCH = 8
+LAM = 1e-3
+
+#: Every registered algorithm (MRIO under all three zone-bound variants) —
+#: the same matrix the in-process differential suite runs.
+ALGORITHM_CONFIGS = [
+    pytest.param({"algorithm": "mrio", "ub_variant": "tree"}, id="mrio-tree"),
+    pytest.param({"algorithm": "mrio", "ub_variant": "exact"}, id="mrio-exact"),
+    pytest.param({"algorithm": "mrio", "ub_variant": "block"}, id="mrio-block"),
+    pytest.param({"algorithm": "rio"}, id="rio"),
+    pytest.param({"algorithm": "rta"}, id="rta"),
+    pytest.param({"algorithm": "sortquer"}, id="sortquer"),
+    pytest.param({"algorithm": "tps"}, id="tps"),
+    pytest.param({"algorithm": "exhaustive"}, id="exhaustive"),
+]
+
+
+def _config(overrides, **extra):
+    return MonitorConfig(lam=LAM, **overrides, **extra)
+
+
+def _run(config, queries, documents, n_shards, executor):
+    monitor = ShardedMonitor(config, n_shards=n_shards, executor=executor)
+    monitor.register_queries(queries)
+    per_batch = []
+    for start in range(0, len(documents), BATCH):
+        per_batch.append(monitor.process_batch(documents[start : start + BATCH]))
+    return monitor, per_batch
+
+
+def _assert_identical_state(reference, candidate, queries, exact=True, label=""):
+    for query in queries:
+        want = reference.top_k(query.query_id)
+        got = candidate.top_k(query.query_id)
+        if exact:
+            assert got == want, f"{label}: top-k differs for query {query.query_id}"
+        else:
+            assert [e.doc_id for e in got] == [e.doc_id for e in want], label
+            for g, w in zip(got, want):
+                assert g.score == pytest.approx(w.score, rel=1e-12)
+        want_threshold = reference.threshold(query.query_id)
+        got_threshold = candidate.threshold(query.query_id)
+        if exact:
+            assert got_threshold == want_threshold, f"{label}: threshold differs"
+        else:
+            assert got_threshold == pytest.approx(want_threshold, rel=1e-12)
+
+
+class TestProcessShardEquivalence:
+    """ShardedMonitor x {2, 4} process shards ≡ the serial in-process runtime."""
+
+    @pytest.mark.parametrize("overrides", ALGORITHM_CONFIGS)
+    @pytest.mark.parametrize("n_shards", PROCESS_SHARD_COUNTS)
+    def test_batched_ingestion_matches_serial_runtime(
+        self, overrides, n_shards, small_queries, small_documents
+    ):
+        exact = overrides["algorithm"] != "tps"
+        label = f"{overrides}@{n_shards}/processes"
+        serial, serial_batches = _run(
+            _config(overrides), small_queries, small_documents, n_shards, "serial"
+        )
+        procs, procs_batches = _run(
+            _config(overrides), small_queries, small_documents, n_shards, "processes"
+        )
+        try:
+            _assert_identical_state(serial, procs, small_queries, exact, label)
+            if exact:
+                assert procs_batches == serial_batches, label
+            else:
+                for want, got in zip(serial_batches, procs_batches):
+                    assert sorted(u.query_id for u in got) == sorted(
+                        u.query_id for u in want
+                    ), label
+            assert procs.statistics.documents == serial.statistics.documents
+            assert (
+                procs.statistics.result_updates == serial.statistics.result_updates
+            )
+        finally:
+            procs.close()
+            serial.close()
+
+    def test_per_event_ingestion_and_membership(self, small_queries, small_documents):
+        config = {"algorithm": "mrio", "ub_variant": "tree"}
+        serial = ShardedMonitor(_config(config), n_shards=3, executor="serial")
+        procs = ShardedMonitor(_config(config), n_shards=3, executor="processes")
+        try:
+            serial.register_queries(small_queries[:80])
+            procs.register_queries(small_queries[:80])
+            for document in small_documents[:20]:
+                assert procs.process(document) == serial.process(document)
+            # Mid-stream unregister + late registration, across the pipes.
+            for query in small_queries[:80:9]:
+                assert (
+                    procs.unregister(query.query_id).query_id
+                    == serial.unregister(query.query_id).query_id
+                )
+            serial.register_queries(small_queries[80:])
+            procs.register_queries(small_queries[80:])
+            for document in small_documents[20:]:
+                assert procs.process(document) == serial.process(document)
+            assert procs.num_queries == serial.num_queries
+            assert procs.all_results() == serial.all_results()
+        finally:
+            procs.close()
+            serial.close()
+
+    def test_window_expiration_matches(self, small_queries, small_documents):
+        config = {"algorithm": "mrio", "ub_variant": "tree"}
+        serial, _ = _run(
+            _config(config, window_horizon=12.0),
+            small_queries,
+            small_documents,
+            2,
+            "serial",
+        )
+        procs, _ = _run(
+            _config(config, window_horizon=12.0),
+            small_queries,
+            small_documents,
+            2,
+            "processes",
+        )
+        try:
+            assert serial.live_window_size is not None
+            assert procs.live_window_size == serial.live_window_size
+            _assert_identical_state(serial, procs, small_queries)
+        finally:
+            procs.close()
+            serial.close()
+
+    def test_renormalization_forwards_across_the_pipe(
+        self, small_queries, small_documents
+    ):
+        # Aggressive max_amplification forces decay rebases inside the
+        # workers; the notifications must reach parent-side listeners (the
+        # durable facade uses them to promote its next checkpoint to full).
+        config = MonitorConfig(
+            algorithm="mrio", lam=0.5, max_amplification=100.0, ub_variant="tree"
+        )
+        reference = MonitorConfig(
+            algorithm="mrio", lam=0.5, max_amplification=100.0, ub_variant="tree"
+        )
+        serial, _ = _run(reference, small_queries, small_documents, 2, "serial")
+        procs = ShardedMonitor(config, n_shards=2, executor="processes")
+        try:
+            rebases = []
+            procs.shards[0].add_renormalize_listener(
+                lambda origin, factor: rebases.append((origin, factor))
+            )
+            procs.register_queries(small_queries)
+            for start in range(0, len(small_documents), BATCH):
+                procs.process_batch(small_documents[start : start + BATCH])
+            assert rebases, "no renormalization notification crossed the pipe"
+            assert serial.shards[0].algorithm.decay.origin == pytest.approx(
+                rebases[-1][0]
+            )
+            _assert_identical_state(serial, procs, small_queries)
+        finally:
+            procs.close()
+            serial.close()
+
+    def test_listeners_observe_all_raw_updates(self, small_queries, small_documents):
+        serial = ShardedMonitor(
+            _config({"algorithm": "mrio"}), n_shards=2, executor="serial"
+        )
+        procs = ShardedMonitor(
+            _config({"algorithm": "mrio"}), n_shards=2, executor="processes"
+        )
+        try:
+            serial_seen, procs_seen = [], []
+            serial.add_update_listener(serial_seen.append)
+            procs.add_update_listener(procs_seen.append)
+            serial.register_queries(small_queries)
+            procs.register_queries(small_queries)
+            for start in range(0, len(small_documents), BATCH):
+                batch = small_documents[start : start + BATCH]
+                serial.process_batch(batch)
+                procs.process_batch(batch)
+            assert serial_seen, "workload produced no updates"
+            assert serial_seen == procs_seen
+        finally:
+            procs.close()
+            serial.close()
+
+    def test_rebalance_between_worker_sets(self, small_queries, small_documents):
+        serial, _ = _run(
+            _config({"algorithm": "mrio"}), small_queries, small_documents, 2, "serial"
+        )
+        procs = ShardedMonitor(
+            _config({"algorithm": "mrio"}), n_shards=2, executor="processes"
+        )
+        try:
+            procs.register_queries(small_queries)
+            half = (len(small_documents) // (2 * BATCH)) * BATCH
+            for start in range(0, half, BATCH):
+                procs.process_batch(small_documents[start : start + BATCH])
+            procs.rebalance(n_shards=4, policy="affinity")
+            assert procs.n_shards == 4
+            assert len({handle.process.pid for handle in procs.shards}) == 4
+            for start in range(half, len(small_documents), BATCH):
+                procs.process_batch(small_documents[start : start + BATCH])
+            _assert_identical_state(serial, procs, small_queries)
+        finally:
+            procs.close()
+            serial.close()
+
+
+class TestFailureSemantics:
+    """State after a failed fan-out is identical across executor flavours."""
+
+    @pytest.mark.parametrize("executor", ["serial", "threads", "processes"])
+    def test_stale_document_rejected_identically(
+        self, executor, small_queries, small_documents
+    ):
+        monitor = ShardedMonitor(
+            _config({"algorithm": "mrio"}), n_shards=2, executor=executor
+        )
+        reference = ShardedMonitor(
+            _config({"algorithm": "mrio"}), n_shards=2, executor="serial"
+        )
+        try:
+            monitor.register_queries(small_queries)
+            reference.register_queries(small_queries)
+            head, stale, tail = (
+                small_documents[:10],
+                small_documents[3],
+                small_documents[10:20],
+            )
+            for target in (monitor, reference):
+                for document in head:
+                    target.process(document)
+                # A stale arrival violates stream order in *every* shard;
+                # per the contract each shard rejects it and the first
+                # failure in shard order is raised.
+                with pytest.raises(StreamError):
+                    target.process(stale)
+                for document in tail:
+                    target.process(document)
+            _assert_identical_state(reference, monitor, small_queries, label=executor)
+            assert monitor.statistics.documents == reference.statistics.documents
+        finally:
+            monitor.close()
+            reference.close()
+
+
+@pytest.mark.skipif(os.name != "posix", reason="SIGKILL semantics are POSIX-only")
+class TestDurableProcessRecovery:
+    """DurableMonitor over worker-resident shards: journal, kill, recover."""
+
+    def _world(self, small_queries, small_documents):
+        return small_queries, small_documents
+
+    def test_worker_side_wals_and_graceful_restart(
+        self, tmp_path, small_queries, small_documents
+    ):
+        config = MonitorConfig(algorithm="mrio", lam=LAM)
+        durability = DurabilityConfig(
+            directory=str(tmp_path / "state"), group_commit=4, checkpoint_interval=16
+        )
+        monitor = DurableMonitor(durability, config, n_shards=2, executor="processes")
+        monitor.register_queries(small_queries)
+        for start in range(0, len(small_documents), BATCH):
+            monitor.process_batch(small_documents[start : start + BATCH])
+        # The per-shard logs are created and written inside the workers.
+        for shard_dir in ("shard-0000", "shard-0001"):
+            wal_dir = tmp_path / "state" / shard_dir / "wal"
+            assert any(wal_dir.iterdir()), f"{shard_dir} has no worker-side WAL"
+        expected = {q.query_id: monitor.top_k(q.query_id) for q in small_queries}
+        monitor.close(checkpoint=True)
+        reopened = DurableMonitor.open(durability, executor="processes")
+        try:
+            assert {
+                q.query_id: reopened.top_k(q.query_id) for q in small_queries
+            } == expected
+        finally:
+            reopened.close()
+
+    def test_sigkill_one_worker_then_recover(
+        self, tmp_path, small_queries, small_documents
+    ):
+        config = MonitorConfig(algorithm="mrio", lam=LAM)
+        durability = DurabilityConfig(
+            directory=str(tmp_path / "state"), group_commit=4, checkpoint_interval=16
+        )
+        monitor = DurableMonitor(durability, config, n_shards=2, executor="processes")
+        monitor.register_queries(small_queries)
+        half = (len(small_documents) // (2 * BATCH)) * BATCH
+        for start in range(0, half, BATCH):
+            monitor.process_batch(small_documents[start : start + BATCH])
+        monitor.flush()
+        durable_results = {
+            q.query_id: monitor.top_k(q.query_id) for q in small_queries
+        }
+
+        # Kill one worker outright: its pipe closes mid-protocol.
+        victim = monitor.monitor.shards[0]
+        os.kill(victim.process.pid, signal.SIGKILL)
+        victim.process.join(timeout=10.0)
+        deadline = time.monotonic() + 10.0
+        while victim.alive and time.monotonic() < deadline:
+            time.sleep(0.01)
+        with pytest.raises(WorkerError):
+            monitor.process_batch(small_documents[half : half + BATCH])
+        # Sibling shards applied that batch (per the fan-out contract) but
+        # nothing was journaled, so memory is ahead of the log: the facade
+        # is poisoned and refuses further state-changing calls instead of
+        # serving or widening a state recovery will discard.
+        from repro.exceptions import PersistenceError
+
+        with pytest.raises(PersistenceError):
+            monitor.process_batch(small_documents[half : half + BATCH])
+        monitor.close()
+
+        # Recovery clamps every shard to the common durable prefix — the
+        # state at the flush — and rehydrates fresh workers.
+        recovered, report = DurableMonitor.recover(durability, executor="processes")
+        try:
+            assert {
+                q.query_id: recovered.top_k(q.query_id) for q in small_queries
+            } == durable_results
+            # The recovered monitor continues the stream; the final state
+            # matches an uninterrupted serial run processing the same events.
+            for start in range(half, len(small_documents), BATCH):
+                recovered.process_batch(small_documents[start : start + BATCH])
+            reference = ShardedMonitor(
+                MonitorConfig(algorithm="mrio", lam=LAM), n_shards=2, executor="serial"
+            )
+            reference.register_queries(small_queries)
+            for start in range(0, len(small_documents), BATCH):
+                reference.process_batch(small_documents[start : start + BATCH])
+            _assert_identical_state(reference, recovered, small_queries)
+            reference.close()
+        finally:
+            recovered.close()

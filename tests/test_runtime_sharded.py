@@ -184,6 +184,42 @@ class TestShardedEquivalence:
             assert shard.algorithm.decay.origin == single.algorithm.decay.origin
         _assert_identical_state(single, sharded, small_queries, exact=True)
 
+    @pytest.mark.parametrize("executor", ("serial", "threads", "processes"))
+    def test_failed_ingestion_matches_single_monitor(
+        self, executor, small_queries, small_documents
+    ):
+        """The failure path is part of the equivalence contract.
+
+        A stale arrival is rejected by every shard; per the executor
+        failure contract the whole fan-out still runs, so the state after
+        the failed event — and after the stream continues — is identical
+        across all executor flavours and to the single monitor.
+        """
+        from repro.exceptions import StreamError
+
+        single = ContinuousMonitor(_config({"algorithm": "mrio"}))
+        single.register_queries(small_queries)
+        sharded = ShardedMonitor(
+            _config({"algorithm": "mrio"}), n_shards=4, executor=executor
+        )
+        sharded.register_queries(small_queries)
+        head, stale, tail = (
+            small_documents[:10],
+            small_documents[3],
+            small_documents[10:],
+        )
+        for target in (single, sharded):
+            for document in head:
+                target.process(document)
+            with pytest.raises(StreamError):
+                target.process(stale)
+            for document in tail:
+                target.process(document)
+        _assert_identical_state(single, sharded, small_queries, exact=True)
+        assert sharded.statistics.documents == single.statistics.documents
+        assert sharded.statistics.result_updates == single.statistics.result_updates
+        sharded.close()
+
     def test_affinity_policy_matches_single_monitor(self, small_queries, small_documents):
         config = dict(algorithm="mrio", ub_variant="tree")
         single, single_batches = _run_single(_config(config), small_queries, small_documents)

@@ -376,6 +376,25 @@ class TestStatsAndAdmin:
 
         run(scenario())
 
+    def test_process_sharded_monitor_behind_the_server(self):
+        # The serving layer is executor-agnostic: hosting shards in worker
+        # processes changes nothing about subscriptions, pushes or stats.
+        async def scenario():
+            monitor = ShardedMonitor(CONFIG, n_shards=2, executor="processes")
+            async with serve(monitor=monitor) as server:
+                client = await MonitorClient.connect(*server.address)
+                ids = [await client.subscribe({t: 1.0}, k=1) for t in (1, 2, 3)]
+                await client.publish_batch([doc(7, {1: 0.6, 2: 0.8})])
+                received = {
+                    (await client.next_update(timeout=10)).query_id
+                    for _ in range(2)
+                }
+                assert received == {ids[0], ids[1]}
+                assert server.monitor.statistics.documents == 1
+                await client.close()
+
+        run(scenario())
+
 
 class TestConfigValidation:
     def test_rejects_bad_values(self):
