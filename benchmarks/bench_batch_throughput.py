@@ -39,18 +39,24 @@ ROUNDS = 5
 #: assertion leaves headroom for noisy CI boxes.
 MIN_BEST_SPEEDUP = 1.3
 TARGET_SPEEDUP = 1.5
+#: Hard floor for the columnar engine's batched throughput over the scalar
+#: MRIO batched path at the same batch size.  Only armed on hosts with numpy
+#: (without it the engine runs its scalar fallback, which is a correctness
+#: artifact, not a fast path).
+COLUMNAR_MIN_SPEEDUP = 3.0
 
 CORPUS = CorpusConfig(vocabulary_size=8_000, mean_tokens=110.0, seed=42)
 
 
-def _build():
+def _build(algorithm_name: str = "mrio"):
     corpus = SyntheticCorpus(CORPUS, seed=42)
     queries = UniformWorkload(
         corpus,
         config=WorkloadConfig(min_terms=2, max_terms=5, k=K, seed=143),
         seed=143,
     ).generate(NUM_QUERIES)
-    algorithm = create_algorithm("mrio", ExponentialDecay(lam=LAM), ub_variant="tree")
+    kwargs = {"ub_variant": "tree"} if algorithm_name == "mrio" else {}
+    algorithm = create_algorithm(algorithm_name, ExponentialDecay(lam=LAM), **kwargs)
     algorithm.register_all(queries)
     stream = DocumentStream(corpus, StreamConfig(seed=244))
     return algorithm, stream
@@ -79,8 +85,8 @@ def _run_per_event() -> float:
     return _timed(go)
 
 
-def _run_batched(batch_size: int) -> float:
-    algorithm, stream = _build()
+def _run_batched(batch_size: int, algorithm_name: str = "mrio") -> float:
+    algorithm, stream = _build(algorithm_name)
     warmup = stream.take(WARMUP_EVENTS)
     for start in range(0, len(warmup), batch_size):
         algorithm.process_batch(warmup[start : start + batch_size])
@@ -135,6 +141,62 @@ def test_batch_throughput_mrio(benchmark, report):
     assert best >= MIN_BEST_SPEEDUP, (
         f"batched MRIO only reached {best:.2f}x over per-event at batch >= 64"
     )
+
+
+@pytest.mark.benchmark(group="batch-throughput")
+def test_batch_throughput_columnar(benchmark, report):
+    """Columnar engine vs scalar MRIO, both on the batched ingestion path.
+
+    Rounds are interleaved across engines (scalar, columnar, scalar, ...)
+    so frequency drift hits both equally; the minimum per cell is reported.
+    The >= 3x floor is only asserted when numpy is present — the scalar
+    fallback probe exists for correctness parity, not speed.
+    """
+    from repro.index.columnar import HAVE_NUMPY
+
+    def measure():
+        scalar_times = {batch_size: [] for batch_size in BATCH_SIZES}
+        columnar_times = {batch_size: [] for batch_size in BATCH_SIZES}
+        for _ in range(ROUNDS):
+            for batch_size in BATCH_SIZES:
+                scalar_times[batch_size].append(_run_batched(batch_size, "mrio"))
+                columnar_times[batch_size].append(
+                    _run_batched(batch_size, "columnar")
+                )
+        return (
+            {batch_size: min(times) for batch_size, times in scalar_times.items()},
+            {batch_size: min(times) for batch_size, times in columnar_times.items()},
+        )
+
+    scalar, columnar = benchmark.pedantic(measure, rounds=1, iterations=1)
+
+    lines = [
+        f"[columnar throughput] columnar vs mrio (batched), {NUM_QUERIES} "
+        f"queries, lambda={LAM}, {MEASURED_EVENTS} events after "
+        f"{WARMUP_EVENTS} warm-up (min of {ROUNDS} interleaved rounds, "
+        f"numpy={'yes' if HAVE_NUMPY else 'no'})",
+    ]
+    speedups = {}
+    for batch_size in BATCH_SIZES:
+        scalar_rate = MEASURED_EVENTS / scalar[batch_size]
+        columnar_rate = MEASURED_EVENTS / columnar[batch_size]
+        speedups[batch_size] = scalar[batch_size] / columnar[batch_size]
+        lines.append(
+            f"  batch={batch_size:<5d}    mrio {scalar_rate:8.0f} ev/s    "
+            f"columnar {columnar_rate:8.0f} ev/s    {speedups[batch_size]:.2f}x"
+        )
+    best = max(speedup for batch_size, speedup in speedups.items() if batch_size >= 64)
+    lines.append(
+        f"  best columnar speedup at batch >= 64: {best:.2f}x "
+        f"(floor {COLUMNAR_MIN_SPEEDUP:.1f}x, armed with numpy only)"
+    )
+    report("columnar_throughput", "\n".join(lines))
+
+    if HAVE_NUMPY:
+        assert best >= COLUMNAR_MIN_SPEEDUP, (
+            f"columnar engine only reached {best:.2f}x over batched scalar "
+            f"MRIO at batch >= 64"
+        )
 
 
 @pytest.mark.benchmark(group="batch-throughput")

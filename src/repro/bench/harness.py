@@ -55,12 +55,23 @@ class ExperimentResult:
         return seen
 
 
+def _engine_name(spec: ExperimentSpec, name: str) -> str:
+    """The algorithm actually constructed for a cell labelled ``name``.
+
+    ``spec.engine="columnar"`` substitutes the packed-array engine while the
+    cell keeps its requested label, so a grid can be re-run per engine and
+    compared cell by cell.
+    """
+    return "columnar" if spec.engine == "columnar" else name
+
+
 def _build_algorithm(spec: ExperimentSpec, name: str):
     decay = ExponentialDecay(lam=spec.lam)
+    resolved = _engine_name(spec, name)
     kwargs: Dict[str, object] = {}
-    if name == "mrio":
+    if resolved == "mrio":
         kwargs["ub_variant"] = spec.ub_variant
-    return create_algorithm(name, decay, **kwargs)
+    return create_algorithm(resolved, decay, **kwargs)
 
 
 def _build_sharded_monitor(spec: ExperimentSpec, name: str) -> ShardedMonitor:
@@ -73,10 +84,11 @@ def _build_sharded_monitor(spec: ExperimentSpec, name: str) -> ShardedMonitor:
 
 
 def _build_monitor_config(spec: ExperimentSpec, name: str) -> MonitorConfig:
+    resolved = _engine_name(spec, name)
     kwargs: Dict[str, str] = {}
-    if name == "mrio":
+    if resolved == "mrio":
         kwargs["ub_variant"] = spec.ub_variant
-    return MonitorConfig(algorithm=name, lam=spec.lam, **kwargs)
+    return MonitorConfig(algorithm=resolved, lam=spec.lam, **kwargs)
 
 
 def run_cell(
@@ -153,6 +165,8 @@ def run_cell(
         else:
             counters = {}
         extra: Dict[str, float] = {}
+        if spec.engine == "columnar":
+            extra["columnar"] = 1.0
         if sharded:
             extra["shards"] = float(spec.shards)
         if spec.durability:

@@ -79,6 +79,11 @@ class ExperimentSpec:
     min_terms: int = 2
     max_terms: int = 5
     ub_variant: str = "tree"
+    #: Engine backing each cell: ``"scalar"`` runs the algorithm named by
+    #: the cell as-is; ``"columnar"`` substitutes the packed-array engine
+    #: (``repro.core.columnar``) while keeping the cell's workload, stream
+    #: and label — the scalar-vs-columnar ablation axis.
+    engine: str = "scalar"
     #: Number of engine shards per cell.  1 runs the plain single-engine
     #: path; > 1 hosts each cell behind a ShardedMonitor.
     shards: int = 1
@@ -110,6 +115,10 @@ class ExperimentSpec:
         if self.workload not in ("uniform", "connected"):
             raise BenchmarkError(
                 f"experiment {self.name}: workload must be 'uniform' or 'connected'"
+            )
+        if self.engine not in ("scalar", "columnar"):
+            raise BenchmarkError(
+                f"experiment {self.name}: engine must be 'scalar' or 'columnar'"
             )
         if self.shards <= 0:
             raise BenchmarkError(f"experiment {self.name}: shards must be > 0")

@@ -1,0 +1,377 @@
+"""Columnar (struct-of-arrays) engine: the vectorized batch probe.
+
+The scalar engines walk ID-ordered posting lists with Python-level cursor
+objects; this engine drives the same probe over the packed columns of
+:class:`~repro.index.columnar.ColumnarQueryIndex`, so one ingestion batch
+is a handful of array operations:
+
+1. concatenate the batch's document vectors and sort the postings by term
+   id (one stable argsort — this *is* the ID-ordering of the paper, applied
+   to the document side);
+2. per matched term, a document-level upper bound accumulates
+   ``doc_weight * max_weight(term)`` (the term maximum is certified by the
+   zone maxima); documents whose amplified bound cannot beat the smallest
+   live ``S_k`` are skipped wholesale — the vectorized form of the zone
+   skip test;
+3. surviving documents accumulate exact cosines into a dense
+   ``documents x slots`` block, one fancy-indexed add per matched term;
+4. a single ``scores > thresholds`` mask selects candidates, which are
+   offered to the per-query heaps in arrival order.
+
+Float-summation order contract
+------------------------------
+
+Both the exact accumulation (step 3) and the upper bound (step 2) add
+their per-term products in **ascending term id** order, one IEEE-754
+addition per term — the same canonical summation the scalar MRIO/RIO
+engines use when they sort moved cursors by term id before accumulating.
+Scores are therefore *bitwise identical* to the scalar engines', not just
+close, which is what keeps the differential suites and the shard-
+partitioning equivalence byte-exact.  ``tests/test_columnar_differential.py``
+pins this contract.
+
+Replay-exact counters
+---------------------
+
+Work counters are defined purely in terms of *live* queries and the
+documents' match structure — never in terms of slot-table layout (capacity,
+tombstones, chunk shape).  A restored engine compacts its slot table, so
+anything layout-dependent would diverge between an uninterrupted engine and
+a crash-recovered one.  Chunk boundaries are keyed off the live-query
+count for the same reason.
+
+numpy is optional: without it the engine runs a scalar probe over the same
+packed columns with identical chunking, pruning decisions, accumulation
+order and counters, so results *and* work accounting are independent of
+numpy's presence.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.base import StreamAlgorithm
+from repro.core.registry import register_algorithm
+from repro.core.results import ResultUpdate
+from repro.documents.decay import ExponentialDecay
+from repro.documents.document import Document
+from repro.index.columnar import HAVE_NUMPY, ColumnarQueryIndex
+from repro.queries.query import Query
+
+if HAVE_NUMPY:
+    import numpy as np
+else:  # pragma: no cover - numpy ships with the toolchain
+    np = None
+
+#: Upper bound on the dense accumulator size (documents x slots cells) of
+#: one probe chunk; ~16 MiB of float64 at the default.
+DEFAULT_CELL_BUDGET = 1 << 21
+
+
+@register_algorithm("columnar")
+class ColumnarAlgorithm(StreamAlgorithm):
+    """Drop-in engine probing packed term columns instead of cursor objects.
+
+    Example::
+
+        algorithm = create_algorithm("columnar", ExponentialDecay(lam=1e-4))
+        algorithm.register_all(queries)
+        updates = algorithm.process_batch(batch)
+    """
+
+    name = "columnar"
+
+    def __init__(
+        self,
+        decay: Optional[ExponentialDecay] = None,
+        zone_size: int = 64,
+        cell_budget: int = DEFAULT_CELL_BUDGET,
+    ) -> None:
+        super().__init__(decay)
+        if cell_budget <= 0:
+            raise ValueError(f"cell_budget must be > 0, got {cell_budget}")
+        self.cell_budget = cell_budget
+        self.index = ColumnarQueryIndex(zone_size=zone_size)
+
+    # ------------------------------------------------------------------ #
+    # Structure hooks
+    # ------------------------------------------------------------------ #
+
+    def _register_structures(self, query: Query) -> None:
+        self.index.register(query)
+
+    def _unregister_structures(self, query: Query) -> None:
+        self.index.unregister(query)
+
+    def _on_threshold_change(self, query: Query) -> None:
+        # Exact refresh from the result heap: correct for both increases
+        # (stream processing) and decreases (window expiration).
+        self.index.set_threshold(query.query_id, self.results.threshold(query.query_id))
+
+    def _on_renormalize(self, factor: float) -> None:
+        # The heaps divided every score by ``factor``; dividing the packed
+        # threshold column by the same factor is the same IEEE operation,
+        # so the column stays bitwise equal to re-reading every heap.
+        self.index.scale_thresholds(factor)
+
+    def _restore_structures(self, structures: Optional[Dict[str, object]] = None) -> None:
+        # The packed columns are pure functions of the registered queries
+        # (already re-registered by restore()); only the threshold column
+        # carries result state, reloaded here.  No structure history exists,
+        # so ``structures`` is always None and counters stay replay-exact.
+        self.index.refresh_thresholds(self.results.threshold)
+
+    # ------------------------------------------------------------------ #
+    # Probe
+    # ------------------------------------------------------------------ #
+
+    def _process_document(self, document: Document, amplification: float) -> List[ResultUpdate]:
+        # One traversal implementation: the per-event path is the batched
+        # probe over a single document.
+        return self._process_batch_documents([document], [amplification])
+
+    def _process_batch_documents(
+        self, documents: Sequence[Document], amplifications: Sequence[float]
+    ) -> List[ResultUpdate]:
+        if np is not None:
+            return self._probe_vectorized(documents, amplifications)
+        return self._probe_scalar(documents, amplifications)
+
+    def _chunk_rows(self) -> int:
+        # Keyed off the *live* query count, not the slot-table width:
+        # chunk boundaries influence pruning decisions (thresholds are
+        # sampled per chunk) and therefore the work counters, which must
+        # not depend on how many tombstones the table happens to carry.
+        return max(1, self.cell_budget // max(1, self.index.num_live))
+
+    def _probe_vectorized(
+        self, documents: Sequence[Document], amplifications: Sequence[float]
+    ) -> List[ResultUpdate]:
+        updates: List[ResultUpdate] = []
+        index = self.index
+        counters = self.counters
+        counters.iterations += len(documents)
+        if index.size == 0 or index.num_live == 0:
+            return updates
+        thresholds = index.thresholds_view()  # writable float64 view
+        slot_qids = index.qids_view()
+        num_live = index.num_live
+        results_get = self.results.get
+        chunk_rows = self._chunk_rows()
+
+        term_keys, csr_starts, csr_ends, slot_col, weight_col, max_weights = (
+            index.global_view()
+        )
+        size = index.size
+
+        for start in range(0, len(documents), chunk_rows):
+            chunk = documents[start : start + chunk_rows]
+            n_docs = len(chunk)
+            counters.bound_computations += n_docs
+            amps = np.asarray(amplifications[start : start + n_docs], dtype=np.float64)
+
+            # Flatten the chunk's vectors into parallel (term, weight, row)
+            # columns and ID-order them by term — after this sort every
+            # per-row accumulation below visits terms in ascending id order,
+            # which is the float-summation order contract.
+            counts = [len(document.vector) for document in chunk]
+            total = sum(counts)
+            if total == 0:
+                continue
+            term_ids = np.empty(total, dtype=np.int64)
+            doc_weights = np.empty(total, dtype=np.float64)
+            rows = np.repeat(np.arange(n_docs, dtype=np.int64), counts)
+            position = 0
+            for document, count in zip(chunk, counts):
+                vector = document.vector
+                term_ids[position : position + count] = np.fromiter(
+                    vector.keys(), dtype=np.int64, count=count
+                )
+                doc_weights[position : position + count] = np.fromiter(
+                    vector.values(), dtype=np.float64, count=count
+                )
+                position += count
+            order = np.argsort(term_ids, kind="stable")
+            term_ids = term_ids[order]
+            doc_weights = doc_weights[order]
+            rows = rows[order]
+
+            # Join the batch postings against the index's term CSR.
+            if len(term_keys) == 0:
+                continue
+            lookup = np.searchsorted(term_keys, term_ids)
+            lookup[lookup == len(term_keys)] = 0  # clamp; can't match below
+            matched = term_keys[lookup] == term_ids
+            if not matched.any():
+                continue
+            m_lookup = lookup[matched]
+            m_rows = rows[matched]
+            m_weights = doc_weights[matched]
+
+            # Document-level upper bound: per matched term (ascending), one
+            # IEEE add of doc_weight * max_weight(term) — bincount adds each
+            # bin's contributions in input order, i.e. ascending term id.
+            # Rounding is monotone, so the bound dominates every query's
+            # exact score computed in the same term order; pruning on it is
+            # exact-safe.
+            upper = np.bincount(
+                m_rows, weights=m_weights * max_weights[m_lookup], minlength=n_docs
+            )
+            alive = (upper * amps) > index.min_live_threshold()
+            n_alive = int(np.count_nonzero(alive))
+            counters.bound_computations += n_alive * num_live
+            if n_alive == 0:
+                continue
+            keep = alive[m_rows]
+            m_lookup = m_lookup[keep]
+            m_rows = m_rows[keep]
+            m_weights = m_weights[keep]
+
+            # Expand each surviving (document, term) posting into its term's
+            # CSR span: pair i joins document-side weight m_weights[i] with
+            # every (slot, weight) of the term's packed column.
+            pair_counts = csr_ends[m_lookup] - csr_starts[m_lookup]
+            total_pairs = int(pair_counts.sum())
+            counters.postings_scanned += total_pairs
+            pair_base = np.repeat(np.cumsum(pair_counts) - pair_counts, pair_counts)
+            pair_positions = (
+                np.arange(total_pairs, dtype=np.int64)
+                - pair_base
+                + np.repeat(csr_starts[m_lookup], pair_counts)
+            )
+            pair_rows = np.repeat(m_rows, pair_counts)
+            products = np.repeat(m_weights, pair_counts) * weight_col[pair_positions]
+
+            # Segment-sum the pair products per (document, slot) cell.
+            # Input order is ascending term id (inherited from the batch
+            # sort), and bincount accumulates each cell sequentially in
+            # input order — the canonical summation, bit for bit.
+            cells = pair_rows * size + slot_col[pair_positions]
+            unique_cells, inverse = np.unique(cells, return_inverse=True)
+            similarities = np.bincount(
+                inverse, weights=products, minlength=len(unique_cells)
+            )
+            counters.full_evaluations += int(np.count_nonzero(similarities))
+
+            cell_rows = unique_cells // size
+            cell_slots = unique_cells % size
+            scores = similarities * amps[cell_rows]
+            passing = scores > thresholds[cell_slots]
+            if not passing.any():
+                continue
+            cand_rows = cell_rows[passing]
+            cand_slots = cell_slots[passing]
+            cand_scores = scores[passing]
+            cand_qids = slot_qids[cand_slots]
+            # Offer in arrival order (row), query-id order within a
+            # document — the same sequence the scalar engines produce, and
+            # independent of slot-table layout.
+            offer_order = np.lexsort((cand_qids, cand_rows))
+            doc_ids = [document.doc_id for document in chunk]
+            for position in offer_order.tolist():
+                row = int(cand_rows[position])
+                column = int(cand_slots[position])
+                query_id = int(cand_qids[position])
+                score = float(cand_scores[position])
+                result = results_get(query_id)
+                accepted, evicted, threshold_changed = result.offer_tracked(
+                    doc_ids[row], score
+                )
+                if not accepted:
+                    continue
+                counters.result_updates += 1
+                updates.append(
+                    ResultUpdate(
+                        query_id=query_id,
+                        doc_id=doc_ids[row],
+                        score=score,
+                        evicted_doc_id=evicted,
+                    )
+                )
+                if threshold_changed:
+                    thresholds[column] = result.threshold
+        return updates
+
+    def _probe_scalar(
+        self, documents: Sequence[Document], amplifications: Sequence[float]
+    ) -> List[ResultUpdate]:
+        """numpy-free probe over the same packed columns.
+
+        Mirrors :meth:`_probe_vectorized` decision for decision — same
+        chunking, same chunk-start threshold sampling, same ascending-term
+        accumulation — so states *and* counters are identical whether or
+        not numpy is installed.
+        """
+        updates: List[ResultUpdate] = []
+        index = self.index
+        counters = self.counters
+        counters.iterations += len(documents)
+        if index.size == 0 or index.num_live == 0:
+            return updates
+        thresholds = index.thresholds_view()
+        slot_qids = index.qids_view()
+        num_live = index.num_live
+        results_get = self.results.get
+        chunk_rows = self._chunk_rows()
+
+        for start in range(0, len(documents), chunk_rows):
+            chunk = documents[start : start + chunk_rows]
+            counters.bound_computations += len(chunk)
+            # The vectorized probe samples thresholds once per chunk (the
+            # mask is computed against a snapshot); freeze them here too so
+            # candidate selection is a bit-identical superset.
+            frozen = list(thresholds)
+            min_threshold = index.min_live_threshold()
+            for offset, document in enumerate(chunk):
+                amplification = amplifications[start + offset]
+                matched = []
+                vector = document.vector
+                for term_id in sorted(vector):
+                    postings = index.term(term_id)
+                    if postings is not None:
+                        matched.append((vector[term_id], postings))
+                if not matched:
+                    continue
+                upper = 0.0
+                for doc_weight, postings in matched:
+                    upper += doc_weight * postings.max_weight
+                if not upper * amplification > min_threshold:
+                    continue
+                acc: Dict[int, float] = {}
+                acc_get = acc.get
+                for doc_weight, postings in matched:
+                    slots = postings.slots
+                    weights = postings.weights
+                    for index_in_term in range(len(slots)):
+                        slot = slots[index_in_term]
+                        acc[slot] = acc_get(slot, 0.0) + doc_weight * weights[index_in_term]
+                    counters.postings_scanned += len(slots)
+                counters.full_evaluations += sum(
+                    1 for similarity in acc.values() if similarity != 0.0
+                )
+                counters.bound_computations += num_live
+                candidates = []
+                for slot, similarity in acc.items():
+                    score = similarity * amplification
+                    if score > frozen[slot]:
+                        candidates.append((int(slot_qids[slot]), slot, score))
+                candidates.sort()
+                for query_id, slot, score in candidates:
+                    result = results_get(query_id)
+                    accepted, evicted, threshold_changed = result.offer_tracked(
+                        document.doc_id, score
+                    )
+                    if not accepted:
+                        continue
+                    counters.result_updates += 1
+                    updates.append(
+                        ResultUpdate(
+                            query_id=query_id,
+                            doc_id=document.doc_id,
+                            score=score,
+                            evicted_doc_id=evicted,
+                        )
+                    )
+                    if threshold_changed:
+                        thresholds[slot] = result.threshold
+        return updates

@@ -21,6 +21,7 @@ import repro.baselines.exhaustive  # noqa: F401
 import repro.baselines.rta  # noqa: F401
 import repro.baselines.sortquer  # noqa: F401
 import repro.baselines.tps  # noqa: F401
+import repro.core.columnar  # noqa: F401
 import repro.core.mrio  # noqa: F401
 import repro.core.rio  # noqa: F401
 from repro.core.base import StreamAlgorithm

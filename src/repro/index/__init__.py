@@ -4,6 +4,7 @@ from repro.index.postings import QueryPostingList, DocPostingList
 from repro.index.rangemax import SegmentTreeMax, BlockMax
 from repro.index.query_index import QueryIndex
 from repro.index.doc_index import DocumentIndex
+from repro.index.columnar import ColumnarQueryIndex, TermPostings
 
 __all__ = [
     "QueryPostingList",
@@ -12,4 +13,6 @@ __all__ = [
     "BlockMax",
     "QueryIndex",
     "DocumentIndex",
+    "ColumnarQueryIndex",
+    "TermPostings",
 ]

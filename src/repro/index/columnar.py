@@ -1,0 +1,407 @@
+"""Columnar (struct-of-arrays) view of the query-side inverted index.
+
+The scalar :class:`~repro.index.query_index.QueryIndex` keeps one Python
+object per posting list and leaves thresholds to the result store; every
+probe therefore pays Python-level dispatch per posting.  This module packs
+the same information into term-partitioned contiguous columns so a probe is
+a handful of array operations:
+
+* a global *slot* space: every registered query owns one slot, and the
+  per-slot columns (``query id``, ``S_k`` threshold) are flat arrays an
+  engine can mask in one vectorized comparison;
+* per term, parallel ``(query id, slot, weight)`` columns sorted by query
+  id — the same ID-ordered layout the paper's posting lists use, but
+  addressable as array slices;
+* per term, *zone* metadata: zone-boundary offsets every ``zone_size``
+  entries and the maximum preference weight inside each zone.  Zone maxima
+  are threshold-independent, so they stay exact under threshold churn; the
+  per-term maximum (the RIO-style document bound) is derived from them.
+
+Mutations follow an amortized rebuild discipline: registrations and
+unregistrations update a dict-based model (`term -> {query id: weight}`)
+and mark the touched terms dirty; a term's packed columns are rebuilt
+lazily on next access.  Unregistration tombstones the query's slot, and the
+slot space is compacted (densely reassigned) once more than half the slots
+are dead, so long churn storms cannot leak memory.
+
+numpy is optional: when it is unavailable the columns degrade to
+:mod:`array` arrays with identical semantics (the engine then probes them
+with scalar loops — same results, no vectorization).
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.exceptions import DuplicateQueryError, UnknownQueryError
+from repro.queries.query import Query
+from repro.types import QueryId, TermId
+
+try:  # pragma: no cover - exercised implicitly by every import
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy ships with the toolchain
+    _np = None
+
+HAVE_NUMPY = _np is not None
+
+INF = float("inf")
+
+#: Fraction of dead slots that triggers a compaction of the slot space.
+COMPACT_DEAD_FRACTION = 0.5
+#: Never compact below this many dead slots (avoids thrashing tiny indexes).
+COMPACT_MIN_DEAD = 32
+
+
+def _id_column(values: List[int]):
+    """Pack query ids / slots as a contiguous signed-64 column."""
+    if _np is not None:
+        return _np.asarray(values, dtype=_np.int64)
+    return array("q", values)
+
+
+def _float_column(values: List[float]):
+    """Pack weights / bounds as a contiguous float64 column."""
+    if _np is not None:
+        return _np.asarray(values, dtype=_np.float64)
+    return array("d", values)
+
+
+class TermPostings:
+    """The packed columns of one term, plus its zone metadata.
+
+    ``qids``/``slots``/``weights`` are parallel columns sorted by query id.
+    ``zone_offsets[i]`` is the first entry position of zone ``i`` (zone ``i``
+    covers positions ``[zone_offsets[i], zone_offsets[i+1])``, the last zone
+    runs to ``len(qids)``); ``zone_max_weights[i]`` is the maximum preference
+    weight inside zone ``i`` and ``max_weight`` the maximum over all zones.
+    """
+
+    __slots__ = (
+        "term_id",
+        "qids",
+        "slots",
+        "weights",
+        "zone_offsets",
+        "zone_max_weights",
+        "max_weight",
+    )
+
+    def __init__(
+        self,
+        term_id: TermId,
+        qids: List[QueryId],
+        slots: List[int],
+        weights: List[float],
+        zone_size: int,
+    ) -> None:
+        self.term_id = term_id
+        self.qids = _id_column(qids)
+        self.slots = _id_column(slots)
+        self.weights = _float_column(weights)
+        offsets = list(range(0, len(qids), zone_size))
+        self.zone_offsets = _id_column(offsets)
+        zone_maxima = [
+            max(weights[start : start + zone_size]) for start in offsets
+        ]
+        self.zone_max_weights = _float_column(zone_maxima)
+        # Derived through the zones on purpose: the zone maxima are the
+        # structure under test, and the document-level bound must never be
+        # tighter than what they certify.
+        self.max_weight = max(zone_maxima) if zone_maxima else 0.0
+
+    def __len__(self) -> int:
+        return len(self.qids)
+
+    def zone_of(self, position: int) -> int:
+        """Index of the zone containing entry ``position``."""
+        if position < 0 or position >= len(self.qids):
+            raise IndexError(f"position {position} out of range")
+        lo, hi = 0, len(self.zone_offsets) - 1
+        while lo < hi:
+            mid = (lo + hi + 1) // 2
+            if self.zone_offsets[mid] <= position:
+                lo = mid
+            else:
+                hi = mid - 1
+        return lo
+
+    def zone_bound(self, zone: int) -> float:
+        """The maximum preference weight certified for ``zone``."""
+        return self.zone_max_weights[zone]
+
+
+class ColumnarQueryIndex:
+    """Slot-addressed, term-partitioned packed view of the query index.
+
+    Example::
+
+        index = ColumnarQueryIndex()
+        index.register(query)
+        postings = index.term(term_id)        # packed columns or None
+        thresholds = index.thresholds_view()  # per-slot S_k column
+    """
+
+    def __init__(self, zone_size: int = 64) -> None:
+        if zone_size <= 0:
+            raise ValueError(f"zone_size must be > 0, got {zone_size}")
+        self.zone_size = zone_size
+        #: Dict model the packed columns are rebuilt from (term -> qid -> w).
+        self._members: Dict[TermId, Dict[QueryId, float]] = {}
+        self._qid_to_slot: Dict[QueryId, int] = {}
+        #: Per-slot columns; positions >= ``size`` are unused capacity.
+        self._slot_qids = _id_column([])
+        self._slot_thresholds = _float_column([])
+        self.size = 0
+        self.dead = 0
+        self._dirty: set = set()
+        self._term_arrays: Dict[TermId, TermPostings] = {}
+        #: Cached concatenated CSR over every term (see :meth:`global_view`);
+        #: invalidated by any membership change.
+        self._global: Optional[Tuple] = None
+
+    # ------------------------------------------------------------------ #
+    # Slot bookkeeping
+    # ------------------------------------------------------------------ #
+
+    @property
+    def num_live(self) -> int:
+        return len(self._qid_to_slot)
+
+    @property
+    def num_terms(self) -> int:
+        return len(self._members)
+
+    @property
+    def capacity(self) -> int:
+        return len(self._slot_qids)
+
+    def slot_of(self, query_id: QueryId) -> int:
+        slot = self._qid_to_slot.get(query_id)
+        if slot is None:
+            raise UnknownQueryError(f"query {query_id} is not registered")
+        return slot
+
+    def _grow(self, minimum: int) -> None:
+        capacity = max(len(self._slot_qids), 16)
+        while capacity < minimum:
+            capacity *= 2
+        if _np is not None:
+            qids = _np.full(capacity, -1, dtype=_np.int64)
+            qids[: self.size] = self._slot_qids[: self.size]
+            thresholds = _np.full(capacity, INF, dtype=_np.float64)
+            thresholds[: self.size] = self._slot_thresholds[: self.size]
+        else:
+            qids = array("q", list(self._slot_qids[: self.size]))
+            qids.extend([-1] * (capacity - self.size))
+            thresholds = array("d", list(self._slot_thresholds[: self.size]))
+            thresholds.extend([INF] * (capacity - self.size))
+        self._slot_qids = qids
+        self._slot_thresholds = thresholds
+
+    # ------------------------------------------------------------------ #
+    # Registration / unregistration
+    # ------------------------------------------------------------------ #
+
+    def register(self, query: Query) -> int:
+        """Add ``query``; returns the slot it was assigned."""
+        if query.query_id in self._qid_to_slot:
+            raise DuplicateQueryError(f"query {query.query_id} is already registered")
+        if self.size >= len(self._slot_qids):
+            self._grow(self.size + 1)
+        slot = self.size
+        self.size += 1
+        self._slot_qids[slot] = query.query_id
+        self._slot_thresholds[slot] = 0.0
+        self._qid_to_slot[query.query_id] = slot
+        for term_id, weight in query.vector.items():
+            members = self._members.get(term_id)
+            if members is None:
+                members = self._members[term_id] = {}
+            members[query.query_id] = weight
+            self._dirty.add(term_id)
+        self._global = None
+        return slot
+
+    def unregister(self, query: Query) -> None:
+        """Remove ``query``, tombstoning its slot (compacting when due)."""
+        slot = self._qid_to_slot.pop(query.query_id, None)
+        if slot is None:
+            raise UnknownQueryError(f"query {query.query_id} is not registered")
+        self._slot_qids[slot] = -1
+        self._slot_thresholds[slot] = INF
+        self.dead += 1
+        for term_id in query.vector:
+            members = self._members.get(term_id)
+            if members is None:
+                continue
+            members.pop(query.query_id, None)
+            if members:
+                self._dirty.add(term_id)
+            else:
+                del self._members[term_id]
+                self._dirty.discard(term_id)
+                self._term_arrays.pop(term_id, None)
+        self._global = None
+        if (
+            self.dead >= COMPACT_MIN_DEAD
+            and self.dead > self.size * COMPACT_DEAD_FRACTION
+        ):
+            self.compact()
+
+    def compact(self) -> None:
+        """Densely reassign slots, dropping every tombstone.
+
+        Every term's packed columns reference slot positions, so compaction
+        marks all terms dirty; they rebuild lazily against the new slot map.
+        """
+        live: List[Tuple[QueryId, float]] = [
+            (int(self._slot_qids[slot]), float(self._slot_thresholds[slot]))
+            for slot in range(self.size)
+            if self._slot_qids[slot] >= 0
+        ]
+        self._qid_to_slot = {qid: slot for slot, (qid, _) in enumerate(live)}
+        self.size = len(live)
+        self.dead = 0
+        self._slot_qids = _id_column([qid for qid, _ in live])
+        self._slot_thresholds = _float_column([thr for _, thr in live])
+        self._dirty.update(self._members.keys())
+        self._term_arrays.clear()
+        self._global = None
+
+    # ------------------------------------------------------------------ #
+    # Packed column access
+    # ------------------------------------------------------------------ #
+
+    def term(self, term_id: TermId) -> Optional[TermPostings]:
+        """The packed columns of ``term_id``, rebuilt if stale; ``None``
+        when no registered query uses the term."""
+        members = self._members.get(term_id)
+        if members is None:
+            return None
+        postings = self._term_arrays.get(term_id)
+        if postings is None or term_id in self._dirty:
+            ordered = sorted(members.items())
+            postings = TermPostings(
+                term_id,
+                qids=[qid for qid, _ in ordered],
+                slots=[self._qid_to_slot[qid] for qid, _ in ordered],
+                weights=[weight for _, weight in ordered],
+                zone_size=self.zone_size,
+            )
+            self._term_arrays[term_id] = postings
+            self._dirty.discard(term_id)
+        return postings
+
+    def global_view(self) -> Tuple:
+        """One CSR over *every* term's packed columns, ID-ordered by term.
+
+        Returns ``(term_keys, starts, ends, slot_col, weight_col,
+        max_weights)``: ``term_keys`` is the sorted term-id column;
+        term ``term_keys[i]`` owns positions ``[starts[i], ends[i])`` of the
+        concatenated ``slot_col``/``weight_col`` columns (each term's span
+        sorted by query id, as in :meth:`term`); ``max_weights[i]`` is that
+        term's maximum preference weight.  This is what the vectorized probe
+        joins a whole batch against without any per-term Python dispatch.
+        Rebuilt lazily after membership changes; the concatenation reuses
+        (and refreshes) the per-term :class:`TermPostings`.
+        """
+        if self._global is None or self._dirty:
+            term_keys = sorted(self._members)
+            starts: List[int] = []
+            ends: List[int] = []
+            max_weights: List[float] = []
+            slot_parts = []
+            weight_parts = []
+            position = 0
+            for term_id in term_keys:
+                postings = self.term(term_id)
+                starts.append(position)
+                position += len(postings)
+                ends.append(position)
+                slot_parts.append(postings.slots)
+                weight_parts.append(postings.weights)
+                max_weights.append(postings.max_weight)
+            if _np is not None and slot_parts:
+                slot_col = _np.concatenate(slot_parts)
+                weight_col = _np.concatenate(weight_parts)
+            else:
+                slot_col = _id_column([slot for part in slot_parts for slot in part])
+                weight_col = _float_column(
+                    [weight for part in weight_parts for weight in part]
+                )
+            self._global = (
+                _id_column(term_keys),
+                _id_column(starts),
+                _id_column(ends),
+                slot_col,
+                weight_col,
+                _float_column(max_weights),
+            )
+        return self._global
+
+    def term_ids(self) -> List[TermId]:
+        return list(self._members.keys())
+
+    def iter_terms(self) -> Iterator[TermPostings]:
+        for term_id in list(self._members.keys()):
+            postings = self.term(term_id)
+            if postings is not None:
+                yield postings
+
+    def qids_view(self):
+        """The per-slot query-id column for slots ``[0, size)`` (-1 = dead)."""
+        if _np is not None:
+            return self._slot_qids[: self.size]
+        return self._slot_qids
+
+    def thresholds_view(self):
+        """The per-slot ``S_k`` column for slots ``[0, size)``.
+
+        numpy builds return a *view*: engines may write accepted-offer
+        thresholds straight through it.  Dead slots hold ``+inf`` so a
+        vectorized ``score > threshold`` mask can never select them.
+        """
+        if _np is not None:
+            return self._slot_thresholds[: self.size]
+        return self._slot_thresholds
+
+    # ------------------------------------------------------------------ #
+    # Threshold maintenance
+    # ------------------------------------------------------------------ #
+
+    def set_threshold(self, query_id: QueryId, threshold: float) -> None:
+        self._slot_thresholds[self.slot_of(query_id)] = threshold
+
+    def scale_thresholds(self, factor: float) -> None:
+        """Divide every live threshold by ``factor`` (decay renormalization).
+
+        Bitwise-identical to re-reading each scaled result heap: the heaps
+        divide every stored score by the same factor, and IEEE-754 division
+        is deterministic.  Dead slots hold ``+inf``, which the division
+        leaves at ``+inf``.
+        """
+        if _np is not None:
+            self._slot_thresholds[: self.size] /= factor
+        else:
+            for slot in range(self.size):
+                self._slot_thresholds[slot] /= factor
+
+    def refresh_thresholds(self, threshold_of) -> None:
+        """Reload every live slot's threshold via ``threshold_of(query_id)``
+        (snapshot restore, where thresholds may move in both directions)."""
+        for query_id, slot in self._qid_to_slot.items():
+            self._slot_thresholds[slot] = threshold_of(query_id)
+
+    def min_live_threshold(self) -> float:
+        """The smallest live ``S_k`` (``+inf`` when no query is live).
+
+        A document whose amplified upper bound is at or below this value
+        cannot enter any top-k, which is the vectorized document-level
+        prune.
+        """
+        if self.size == 0 or not self._qid_to_slot:
+            return INF
+        if _np is not None:
+            return float(self._slot_thresholds[: self.size].min())
+        return min(self._slot_thresholds[: self.size])

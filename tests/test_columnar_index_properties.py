@@ -1,0 +1,242 @@
+"""Property tests: the packed columnar index against a dict-based model.
+
+:class:`~repro.index.columnar.ColumnarQueryIndex` maintains term-partitioned
+packed columns, a slot table with tombstones, amortized compaction and zone
+metadata.  These tests drive random register/unregister/threshold sequences
+through the index and an obviously-correct dict model in lockstep, then
+check the structural invariants the engine's vectorized probe relies on:
+
+* packed columns are ID-ordered (query ids strictly ascending per term) and
+  agree exactly with the model's membership and weights;
+* slot mapping is consistent (bijective over live queries, tombstones hold
+  ``-1``/``+inf``) and compaction leaves no orphan slots;
+* zone offsets are sorted, start at 0, step by ``zone_size`` and cover the
+  column; zone maxima are *true* upper bounds (and tight) for their zones;
+* the auto-compaction trigger keeps the dead fraction bounded;
+* thresholds round-trip per slot and ``min_live_threshold`` matches the
+  model.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import DuplicateQueryError, UnknownQueryError
+from repro.index.columnar import (
+    COMPACT_MIN_DEAD,
+    ColumnarQueryIndex,
+    TermPostings,
+)
+
+from tests.helpers import make_query, sparse_vector_strategy
+
+
+@st.composite
+def operation_sequences(draw):
+    """A random interleaving of registrations, unregistrations and
+    threshold updates over a small query population."""
+    num_queries = draw(st.integers(min_value=1, max_value=60))
+    vectors = [
+        draw(sparse_vector_strategy(vocab_size=15, max_terms=4))
+        for _ in range(num_queries)
+    ]
+    operations = []
+    registered: list = []
+    for query_id, vector in enumerate(vectors):
+        operations.append(("register", query_id, vector))
+        registered.append(query_id)
+        if registered and draw(st.booleans()):
+            victim = registered.pop(
+                draw(st.integers(min_value=0, max_value=len(registered) - 1))
+            )
+            operations.append(("unregister", victim, None))
+        if registered and draw(st.booleans()):
+            target = registered[
+                draw(st.integers(min_value=0, max_value=len(registered) - 1))
+            ]
+            threshold = draw(
+                st.floats(min_value=0.0, max_value=10.0, allow_nan=False)
+            )
+            operations.append(("threshold", target, threshold))
+    return operations
+
+
+def _replay(operations, zone_size=4):
+    """Drive the index and the dict model through the same operations."""
+    index = ColumnarQueryIndex(zone_size=zone_size)
+    model_queries = {}  # query_id -> Query
+    model_thresholds = {}  # query_id -> float
+    for op, query_id, payload in operations:
+        if op == "register":
+            query = make_query(query_id, payload, k=3)
+            index.register(query)
+            model_queries[query_id] = query
+            model_thresholds[query_id] = 0.0
+        elif op == "unregister":
+            index.unregister(model_queries.pop(query_id))
+            del model_thresholds[query_id]
+        else:
+            index.set_threshold(query_id, payload)
+            model_thresholds[query_id] = payload
+    return index, model_queries, model_thresholds
+
+
+def _model_terms(model_queries):
+    """term -> {query_id: weight} from the model."""
+    members = {}
+    for query in model_queries.values():
+        for term_id, weight in query.vector.items():
+            members.setdefault(term_id, {})[query.query_id] = weight
+    return members
+
+
+def _check_invariants(index, model_queries, model_thresholds):
+    # --- slot table -----------------------------------------------------
+    assert index.num_live == len(model_queries)
+    qids = index.qids_view()
+    thresholds = index.thresholds_view()
+    seen_slots = set()
+    for query_id in model_queries:
+        slot = index.slot_of(query_id)
+        assert 0 <= slot < index.size
+        assert slot not in seen_slots, "two queries share a slot"
+        seen_slots.add(slot)
+        assert int(qids[slot]) == query_id
+        assert thresholds[slot] == model_thresholds[query_id]
+    for slot in range(index.size):
+        if slot not in seen_slots:  # tombstone
+            assert int(qids[slot]) == -1
+            assert thresholds[slot] == math.inf
+    # Auto-compaction keeps the dead fraction bounded.
+    assert not (
+        index.dead >= COMPACT_MIN_DEAD and index.dead > index.size * 0.5
+    ), f"compaction trigger violated: dead={index.dead} size={index.size}"
+    # min_live_threshold matches the model.
+    expected_min = min(model_thresholds.values()) if model_thresholds else math.inf
+    assert index.min_live_threshold() == expected_min
+
+    # --- packed term columns -------------------------------------------
+    model_members = _model_terms(model_queries)
+    assert sorted(index.term_ids()) == sorted(model_members)
+    for term_id, members in model_members.items():
+        postings = index.term(term_id)
+        assert postings is not None
+        assert len(postings) == len(members)
+        column_qids = list(postings.qids)
+        assert column_qids == sorted(members), "qids not ID-ordered"
+        assert all(
+            column_qids[i] < column_qids[i + 1] for i in range(len(column_qids) - 1)
+        )
+        for position in range(len(postings)):
+            query_id = int(postings.qids[position])
+            slot = int(postings.slots[position])
+            assert int(qids[slot]) == query_id, "orphan slot in packed column"
+            assert postings.weights[position] == members[query_id]
+
+        # --- zones ------------------------------------------------------
+        offsets = list(postings.zone_offsets)
+        assert offsets[0] == 0
+        assert offsets == sorted(offsets)
+        assert offsets == list(range(0, len(postings), index.zone_size))
+        maxima = list(postings.zone_max_weights)
+        assert len(maxima) == len(offsets)
+        for zone, start in enumerate(offsets):
+            end = offsets[zone + 1] if zone + 1 < len(offsets) else len(postings)
+            zone_weights = [postings.weights[p] for p in range(start, end)]
+            assert postings.zone_bound(zone) == max(zone_weights), "zone max not tight"
+            for weight in zone_weights:
+                assert weight <= postings.zone_bound(zone), "zone bound violated"
+            for position in range(start, end):
+                assert postings.zone_of(position) == zone
+        assert postings.max_weight == max(members.values())
+    # Terms absent from the model must be absent from the index.
+    assert index.term(9999) is None
+
+
+class TestPackedIndexProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(operations=operation_sequences())
+    def test_random_churn_matches_dict_model(self, operations):
+        index, model_queries, model_thresholds = _replay(operations)
+        _check_invariants(index, model_queries, model_thresholds)
+
+    @settings(max_examples=30, deadline=None)
+    @given(operations=operation_sequences())
+    def test_forced_compaction_leaves_no_orphans(self, operations):
+        index, model_queries, model_thresholds = _replay(operations)
+        index.compact()
+        assert index.size == index.num_live
+        assert index.dead == 0
+        qids = index.qids_view()
+        assert all(int(qids[slot]) >= 0 for slot in range(index.size))
+        _check_invariants(index, model_queries, model_thresholds)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        operations=operation_sequences(),
+        factor=st.floats(min_value=1.0001, max_value=100.0, allow_nan=False),
+    )
+    def test_threshold_scaling_matches_scalar_division(self, operations, factor):
+        index, model_queries, model_thresholds = _replay(operations)
+        index.scale_thresholds(factor)
+        scaled = {qid: thr / factor for qid, thr in model_thresholds.items()}
+        _check_invariants(index, model_queries, scaled)
+
+
+class TestPackedIndexEdgeCases:
+    def test_duplicate_registration_rejected(self):
+        index = ColumnarQueryIndex()
+        query = make_query(1, {1: 1.0}, k=2)
+        index.register(query)
+        with pytest.raises(DuplicateQueryError):
+            index.register(query)
+
+    def test_unknown_unregister_rejected(self):
+        index = ColumnarQueryIndex()
+        with pytest.raises(UnknownQueryError):
+            index.unregister(make_query(1, {1: 1.0}, k=2))
+        with pytest.raises(UnknownQueryError):
+            index.slot_of(1)
+
+    def test_empty_index(self):
+        index = ColumnarQueryIndex()
+        assert index.num_live == 0
+        assert index.size == 0
+        assert index.term(1) is None
+        assert index.min_live_threshold() == math.inf
+        index.compact()  # no-op, must not raise
+        assert index.size == 0
+
+    def test_invalid_zone_size_rejected(self):
+        with pytest.raises(ValueError):
+            ColumnarQueryIndex(zone_size=0)
+
+    def test_zone_of_bounds_checked(self):
+        index = ColumnarQueryIndex(zone_size=2)
+        for query_id in range(5):
+            index.register(make_query(query_id, {7: 1.0 + query_id}, k=1))
+        postings = index.term(7)
+        assert isinstance(postings, TermPostings)
+        with pytest.raises(IndexError):
+            postings.zone_of(5)
+        with pytest.raises(IndexError):
+            postings.zone_of(-1)
+
+    def test_threshold_updates_survive_compaction(self):
+        index = ColumnarQueryIndex()
+        queries = [make_query(i, {1: 1.0 + i}, k=1) for i in range(80)]
+        for query in queries:
+            index.register(query)
+        for query in queries:
+            index.set_threshold(query.query_id, float(query.query_id))
+        for query in queries[:60]:  # trips the auto-compaction threshold
+            index.unregister(query)
+        assert index.dead == 0 or index.dead < COMPACT_MIN_DEAD
+        for query in queries[60:]:
+            assert index.thresholds_view()[index.slot_of(query.query_id)] == float(
+                query.query_id
+            )

@@ -126,7 +126,15 @@ class TestRenormalization:
 class TestFactory:
     def test_available_algorithms(self):
         names = available_algorithms()
-        assert set(names) == {"rio", "mrio", "rta", "sortquer", "tps", "exhaustive"}
+        assert set(names) == {
+            "rio",
+            "mrio",
+            "rta",
+            "sortquer",
+            "tps",
+            "exhaustive",
+            "columnar",
+        }
 
     def test_create_each_algorithm(self):
         for name in available_algorithms():

@@ -21,7 +21,7 @@ from repro.exceptions import StreamError
 
 from tests.helpers import make_document, make_query
 
-ALGORITHMS = ("mrio", "rio", "rta", "sortquer", "tps", "exhaustive")
+ALGORITHMS = ("mrio", "rio", "rta", "sortquer", "tps", "exhaustive", "columnar")
 #: Includes 1 (degenerate batch), a size that does not divide the stream,
 #: and a size larger than the whole stream.
 BATCH_SIZES = (1, 7, 64, 500)

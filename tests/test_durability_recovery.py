@@ -33,6 +33,7 @@ ALGORITHM_CONFIGS = [
     pytest.param({"algorithm": "sortquer"}, id="sortquer"),
     pytest.param({"algorithm": "tps"}, id="tps"),
     pytest.param({"algorithm": "exhaustive"}, id="exhaustive"),
+    pytest.param({"algorithm": "columnar"}, id="columnar"),
 ]
 
 LAM = 1e-3

@@ -197,6 +197,7 @@ class TestEngineShardSnapshot:
 class TestAlgorithmRegistry:
     def test_builtins_registered(self):
         assert available_algorithms() == [
+            "columnar",
             "exhaustive",
             "mrio",
             "rio",
