@@ -75,6 +75,16 @@ class WorkerError(ReproError):
     """
 
 
+class TransportError(WorkerError):
+    """The shared-memory batch transport hit an invalid state.
+
+    Raised when a payload does not fit the ring's slot protocol (e.g. a
+    slot is freed twice, or a reservation exceeds the ring's capacity in a
+    way chunking cannot split).  A worker that merely *lags* never raises
+    this — the parent blocks on slot reclamation instead.
+    """
+
+
 class PersistenceError(ReproError):
     """The durability subsystem hit an invalid state or configuration."""
 

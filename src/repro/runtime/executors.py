@@ -184,26 +184,30 @@ _EXECUTORS: Dict[str, Type[ShardExecutor]] = {
     ThreadPoolShardExecutor.name: ThreadPoolShardExecutor,
 }
 
-#: Names :func:`make_executor` accepts ("processes" resolves lazily — the
-#: procpool module imports this one).
-EXECUTOR_NAMES = ("serial", "threads", "processes")
+#: Names :func:`make_executor` accepts (the "processes*" names resolve
+#: lazily — the procpool module imports this one).  ``"processes"`` picks
+#: the shared-memory batch transport when the host provides it;
+#: ``"processes-pipe"`` forces the pipe fallback (useful for measuring the
+#: transport itself, and for hosts with a broken /dev/shm).
+EXECUTOR_NAMES = ("serial", "threads", "processes", "processes-pipe")
 
 
 def make_executor(spec: Union[str, ShardExecutor], n_shards: int) -> ShardExecutor:
-    """Resolve an executor name (``"serial"``/``"threads"``/``"processes"``)
-    or pass an instance through.
+    """Resolve an executor name (``"serial"``/``"threads"``/``"processes"``/
+    ``"processes-pipe"``) or pass an instance through.
 
     ``n_shards`` sizes the worker pool for pooled executors.
     """
     if isinstance(spec, ShardExecutor):
         return spec
     name = str(spec).lower()
-    if name == "processes":
+    if name in ("processes", "processes-pipe"):
         # Function-level import: procpool imports this module for the base
         # class, so the registry resolves it lazily.
         from repro.runtime.procpool import ProcessShardExecutor
 
-        return ProcessShardExecutor(n_shards)
+        transport = "pipe" if name == "processes-pipe" else "auto"
+        return ProcessShardExecutor(n_shards, transport=transport)
     cls = _EXECUTORS.get(name)
     if cls is None:
         raise ConfigurationError(

@@ -10,13 +10,27 @@ shard state directly.
 Design
 ------
 
-* **Command protocol.**  A request is ``(command, args)``; a reply is
-  ``(status, value, events)``.  Command names mirror the
-  :class:`EngineShard` surface (``process``, ``process_batch``,
-  ``register``, ``unregister``, ``snapshot_encoded``, ``adopt_encoded``,
-  ``wal_append``, ...), so the parent-side :class:`ProcessShardHandle` is a
-  drop-in stand-in for a local shard: the sharded facade, the rebalance
-  path and crash recovery all drive it through the exact same calls.
+* **Codec frames on the pipes.**  Commands and replies are length-prefixed
+  frames of the persistence codec (:func:`codec.pack_frame`), not pickle:
+  the WAL, the checkpoints, the serving sockets and the worker pipes all
+  speak one deterministic wire format.  Hot payloads — document batches,
+  coalesced batch updates, raw result updates — travel as packed binary
+  tail sections the receiver reads zero-copy through ``memoryview`` casts.
+* **Shared-memory batch fan-out.**  A document batch is encoded ONCE into
+  a :class:`~repro.runtime.shm.SharedMemoryRing` slot; every worker gets
+  only a tiny ``(seq, offset, length)`` descriptor over its control pipe
+  and decodes the slot in place.  The slot is reclaimed (freed for reuse)
+  after every worker has acknowledged the batch — the submit-all-then-
+  collect discipline doubles as the reclamation barrier.  A batch larger
+  than the ring is split into *stage* rounds (workers buffer the decoded
+  documents, acks free each slot) followed by one *commit* round that runs
+  the engine exactly once over the accumulated batch, so chunking never
+  changes results.  When ``multiprocessing.shared_memory`` is unavailable
+  — or ``transport="pipe"`` is forced — the same frames ride the pipes.
+* **One framed reply per worker per batch.**  Workers coalesce per-event
+  notifications into the :class:`BatchUpdate` form engine-side and ship
+  them (plus any captured raw updates) as binary sections of a single
+  reply frame, instead of thousands of pickled tuples.
 * **Pipelined fan-out.**  :meth:`ProcessShardExecutor.run_shards` sends the
   command to *every* worker before collecting any reply, so the workers
   process the same event concurrently on separate cores.  Replies are
@@ -27,10 +41,6 @@ Design
   restores — travels in the codec's encoded form, the same bytes-shape a
   checkpoint stores, so a state that moved between processes is bit-for-bit
   a state that was checkpointed and restored.
-* **Events ride the replies.**  Raw result updates (when the facade has
-  listeners) and decay-renormalization notifications are buffered
-  worker-side and shipped with each reply, preserving per-shard emission
-  order without extra round trips.
 * **Worker-side WALs.**  A durable sharded monitor tells each worker to
   open its own shard WAL (``wal_open``); journal records are appended where
   the shard lives, so the log I/O parallelizes with the shard work and a
@@ -38,16 +48,19 @@ Design
   window an in-process shard has.
 
 Failure semantics: an exception raised by the *shard* inside a worker is
-pickled back and re-raised as itself in the parent.  A worker that dies
-(killed, crashed, pipe closed) surfaces as
+codec-encoded back and re-raised as itself in the parent.  A worker that
+dies (killed, crashed, pipe closed) surfaces as
 :class:`~repro.exceptions.WorkerError`; the remaining workers are unharmed
-and a durable monitor recovers by replaying the surviving logs.
+and a durable monitor recovers by replaying the surviving logs.  A worker
+killed while a ring slot is in flight cannot corrupt later batches: the
+parent reclaims the slot after the fan-out regardless, and the payload CRC
+guards every decode.
 """
 
 from __future__ import annotations
 
 import multiprocessing
-import os
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, TypeVar
 
 from repro.core.config import MonitorConfig
@@ -55,9 +68,15 @@ from repro.core.results import BatchUpdate, ResultEntry, ResultUpdate
 from repro.documents.document import Document
 from repro.exceptions import ConfigurationError, WorkerError
 from repro.metrics.counters import EventCounters
+from repro.persistence import codec
 from repro.queries.query import Query
 from repro.runtime.executors import ShardExecutor, raise_first_failure, run_serially
 from repro.runtime.shard import EngineShard
+from repro.runtime.shm import (
+    DEFAULT_RING_BYTES,
+    SharedMemoryRing,
+    shared_memory_available,
+)
 from repro.types import QueryId
 
 T = TypeVar("T")
@@ -65,6 +84,14 @@ T = TypeVar("T")
 #: Reply statuses of the worker protocol.
 _OK = "ok"
 _ERR = "err"
+
+#: Transports the executor accepts (``"auto"`` prefers shared memory and
+#: falls back to pipes when the host cannot provide it).
+TRANSPORTS = ("auto", "shm", "pipe")
+
+#: How many batch commits a worker serves between explicit full garbage
+#: collections (automatic collection is off inside the worker loop).
+_GC_EVERY_COMMITS = 256
 
 #: Commands the worker resolves as plain EngineShard method calls / reads.
 _SHARD_METHODS = (
@@ -85,42 +112,130 @@ _SHARD_METHODS = (
 _SHARD_PROPERTIES = ("num_queries", "live_window_size", "last_arrival")
 
 
-def _shard_worker_main(conn, shard_id: int, config: MonitorConfig) -> None:
+@dataclass
+class TransportStats:
+    """Parent-side byte accounting of the worker transport.
+
+    ``control_bytes`` are command/reply *headers* and slot descriptors;
+    ``payload_pipe_bytes`` are encoded document batches that crossed a pipe
+    (fallback transport, multiplied by the workers they were sent to);
+    ``payload_shm_bytes`` are encoded batches written into the shared ring
+    (written once, however many workers read them); ``reply_bytes`` is
+    everything the workers sent back.  The shard-scaling benchmark divides
+    these by ``events`` to report bytes-per-event per transport.
+    """
+
+    control_bytes: int = 0
+    payload_pipe_bytes: int = 0
+    payload_shm_bytes: int = 0
+    reply_bytes: int = 0
+    batches: int = 0
+    events: int = 0
+
+    def reset(self) -> None:
+        self.control_bytes = 0
+        self.payload_pipe_bytes = 0
+        self.payload_shm_bytes = 0
+        self.reply_bytes = 0
+        self.batches = 0
+        self.events = 0
+
+    def per_event(self) -> Dict[str, float]:
+        """Bytes per stream event, by traffic class (0.0 before any event)."""
+        events = self.events or 1
+        return {
+            "control": self.control_bytes / events,
+            "payload_pipe": self.payload_pipe_bytes / events,
+            "payload_shm": self.payload_shm_bytes / events,
+            "replies": self.reply_bytes / events,
+        }
+
+
+def _decode_batch_payload(header, tail, ring) -> List[Document]:
+    """Resolve one stage/commit payload: a ring slice or the frame's tail."""
+    if "q" in header:
+        if ring is None:
+            raise WorkerError("shm batch descriptor but no ring is attached")
+        payload = ring.slice(header["o"], header["l"])
+    else:
+        payload = tail
+    batch_header, batch_tail = codec.unpack_frame(payload)
+    return codec.decode_document_batch(batch_header, batch_tail)
+
+
+def _shard_worker_main(conn, shard_id: int, config: MonitorConfig, ring_name=None) -> None:
     """The worker loop: own one shard (and optionally its WAL), serve commands.
 
     Runs until a ``shutdown`` command or until the parent's end of the pipe
     closes (the parent died); either way the shard's WAL — if one was
     opened — is flushed and closed so no durable-claimed group is lost to a
-    *graceful* exit.  Replies are ``(status, value, events)``; ``events``
-    carries raw result updates and renormalization notifications buffered
-    since the previous reply.
+    *graceful* exit.  Replies are codec frames ``{"s": status, "v": value,
+    "e": events}``; ``events`` carries raw result updates (a binary tail
+    section) and renormalization notifications buffered since the previous
+    reply.
     """
     # Imported here (not at module top) to keep the worker's import
     # footprint obvious; under the fork start method these are already
     # loaded in the parent anyway.
+    import gc
+
     from repro.persistence.wal import WriteAheadLog
+    from repro.runtime.shm import attach_ring_view
+
+    # A worker process runs nothing but this loop, so it takes the classic
+    # dedicated-process collector policy: automatic collection off, one
+    # explicit full collection every ``_GC_EVERY_COMMITS`` batches.  The
+    # hot path allocates tens of thousands of objects per batch (decoded
+    # documents, result entries), and allocation-triggered full collections
+    # would rescan the ever-growing resident engine state from inside the
+    # batch loop; nearly all per-batch garbage is acyclic and dies by
+    # refcount, so the periodic sweep only has to pick up stray cycles.
+    gc.disable()
+    commits_since_gc = 0
 
     shard = EngineShard(shard_id, config)
-    renormalizations: List[Tuple[float, float]] = []
-    shard.add_renormalize_listener(
-        lambda origin, factor: renormalizations.append((origin, factor))
-    )
+    shard.capture_renorms = True
+    ring = attach_ring_view(ring_name) if ring_name is not None else None
+    staged: List[Document] = []
     wal: Optional[WriteAheadLog] = None
     running = True
     while running:
         try:
-            command, args = conn.recv()
+            request = conn.recv_bytes()
         except (EOFError, OSError):
             break  # Parent is gone; fall through to the WAL flush.
         status = _OK
         value: object = None
+        command = "?"
         try:
-            if command == "shutdown":
+            header, tail = codec.unpack_frame(request)
+            command = header["c"]
+            if command == "batch_stage":
+                # One chunk of a batch larger than the ring: decode and
+                # buffer only — the engine runs once, at the commit.
+                if header.get("f"):
+                    staged = []
+                staged.extend(_decode_batch_payload(header, tail, ring))
+                value = len(staged)
+            elif command == "batch_commit":
+                documents = _decode_batch_payload(header, tail, ring)
+                if header.get("g") and staged:
+                    staged.extend(documents)
+                    documents = staged
+                staged = []
+                value = shard.process_batch(documents)
+                commits_since_gc += 1
+                if commits_since_gc >= _GC_EVERY_COMMITS:
+                    commits_since_gc = 0
+                    gc.collect()
+            elif command == "shutdown":
                 running = False
             elif command == "ping":
+                import os
+
                 value = os.getpid()
             elif command == "set_capture_raw":
-                shard.capture_raw = bool(args[0])
+                shard.capture_raw = bool(header["a"][0])
             elif command == "queries":
                 value = dict(shard.queries)
             elif command == "counters":
@@ -128,7 +243,9 @@ def _shard_worker_main(conn, shard_id: int, config: MonitorConfig) -> None:
             elif command == "response_times":
                 value = list(shard.response_times)
             elif command == "wal_open":
-                directory, group_commit, segment_max_bytes, fsync = args
+                directory, group_commit, segment_max_bytes, fsync = [
+                    codec.decode_value(arg, tail) for arg in header["a"]
+                ]
                 if wal is not None:
                     wal.close()
                 wal = WriteAheadLog(
@@ -143,6 +260,7 @@ def _shard_worker_main(conn, shard_id: int, config: MonitorConfig) -> None:
                     raise WorkerError(
                         f"shard worker {shard_id}: {command} before wal_open"
                     )
+                args = [codec.decode_value(arg, tail) for arg in header.get("a", ())]
                 if command == "wal_append":
                     value = wal.append_line(args[0], args[1])
                 elif command == "wal_flush":
@@ -163,6 +281,7 @@ def _shard_worker_main(conn, shard_id: int, config: MonitorConfig) -> None:
                         f"shard worker {shard_id}: unknown command {command!r}"
                     )
             elif command in _SHARD_METHODS:
+                args = [codec.decode_value(arg, tail) for arg in header.get("a", ())]
                 value = getattr(shard, command)(*args)
             elif command in _SHARD_PROPERTIES:
                 value = getattr(shard, command)
@@ -172,37 +291,42 @@ def _shard_worker_main(conn, shard_id: int, config: MonitorConfig) -> None:
                 )
         except Exception as exc:  # noqa: BLE001 - every shard error crosses back
             status, value = _ERR, exc
-        events: Dict[str, object] = {}
         raw = shard.drain_raw_updates()
-        if raw:
-            events["raw"] = raw
-        if renormalizations:
-            events["renorms"] = list(renormalizations)
-            renormalizations.clear()
-        try:
-            conn.send((status, value, events))
-        except Exception:
-            # The value (or an error) did not pickle / the pipe broke.  Try
-            # to keep the protocol in lockstep with a plain-text error; if
-            # the pipe itself is gone, exit.
+        renorms = shard.drain_renormalizations()
+        fallback = WorkerError(
+            f"shard worker {shard_id}: reply to {command!r} could not be encoded"
+        )
+        sent = False
+        for reply_status, reply_value in ((status, value), (_ERR, fallback)):
+            tail_writer = codec.TailWriter()
             try:
-                conn.send(
-                    (
-                        _ERR,
-                        WorkerError(
-                            f"shard worker {shard_id}: reply to {command!r} "
-                            "could not be serialized"
-                        ),
-                        {},
-                    )
+                events: Dict[str, object] = {}
+                if raw:
+                    events["r"] = codec.encode_value(raw, tail_writer)
+                if renorms:
+                    events["n"] = [[origin, factor] for origin, factor in renorms]
+                reply = codec.pack_frame(
+                    {
+                        "s": reply_status,
+                        "v": codec.encode_value(reply_value, tail_writer),
+                        "e": events,
+                    },
+                    tail_writer.take(),
                 )
-            except Exception:
+                conn.send_bytes(reply)
+                sent = True
                 break
+            except Exception:  # noqa: BLE001 - try the fallback reply
+                continue
+        if not sent:
+            break  # The pipe itself is gone.
     if wal is not None:
         try:
             wal.close()
         except Exception:  # noqa: BLE001 - best-effort final flush
             pass
+    if ring is not None:
+        ring.close()
     conn.close()
 
 
@@ -217,10 +341,11 @@ class ProcessShardHandle:
     at once.
     """
 
-    def __init__(self, shard_id: int, process, conn) -> None:
+    def __init__(self, shard_id: int, process, conn, stats: Optional[TransportStats] = None) -> None:
         self.shard_id = shard_id
         self.process = process
         self._conn = conn
+        self._stats = stats if stats is not None else TransportStats()
         self._capture_raw = False
         self._raw_buffer: List[ResultUpdate] = []
         self._renormalize_listeners: List[Callable[[float, float], None]] = []
@@ -229,31 +354,55 @@ class ProcessShardHandle:
     # Protocol plumbing
     # ------------------------------------------------------------------ #
 
-    def submit(self, command: str, *args: object) -> None:
-        """Send one command without waiting for its reply."""
+    def send_frame(self, frame: bytes) -> None:
+        """Ship one pre-packed frame (byte accounting is the caller's job)."""
         try:
-            self._conn.send((command, args))
+            self._conn.send_bytes(frame)
         except Exception as exc:
             raise WorkerError(
                 f"shard worker {self.shard_id} is gone (send failed)"
             ) from exc
 
+    def submit(self, command: str, *args: object) -> None:
+        """Send one command without waiting for its reply."""
+        tail = codec.TailWriter()
+        header: Dict[str, object] = {"c": command}
+        if args:
+            header["a"] = [codec.encode_value(arg, tail) for arg in args]
+        frame = codec.pack_frame(header, tail.take())
+        self._stats.control_bytes += len(frame)
+        self.send_frame(frame)
+
     def collect(self) -> object:
         """Receive one reply; unpack events; raise what the worker raised."""
         try:
-            status, value, events = self._conn.recv()
+            data = self._conn.recv_bytes()
         except (EOFError, OSError) as exc:
             raise WorkerError(
                 f"shard worker {self.shard_id} died (pipe closed before reply)"
             ) from exc
-        raw = events.get("raw")
-        if raw:
-            self._raw_buffer.extend(raw)
-        for origin, factor in events.get("renorms", ()):
-            for listener in self._renormalize_listeners:
-                listener(origin, factor)
+        self._stats.reply_bytes += len(data)
+        try:
+            header, tail = codec.unpack_frame(data)
+            events = header.get("e") or {}
+            raw = events.get("r")
+            if raw is not None:
+                self._raw_buffer.extend(codec.decode_value(raw, tail))
+            for origin, factor in events.get("n", ()):
+                for listener in self._renormalize_listeners:
+                    listener(origin, factor)
+            status = header["s"]
+            value = codec.decode_value(header.get("v"), tail)
+        except WorkerError:
+            raise
+        except Exception as exc:
+            raise WorkerError(
+                f"shard worker {self.shard_id} sent an undecodable reply"
+            ) from exc
         if status == _ERR:
-            raise value  # type: ignore[misc]
+            if isinstance(value, BaseException):
+                raise value
+            raise WorkerError(str(value))  # pragma: no cover - defensive
         return value
 
     def call(self, command: str, *args: object) -> object:
@@ -272,7 +421,18 @@ class ProcessShardHandle:
         return self.call("process", document)  # type: ignore[return-value]
 
     def process_batch(self, documents: Sequence[Document]) -> List[BatchUpdate]:
-        return self.call("process_batch", documents)  # type: ignore[return-value]
+        """One batch to this worker alone (the executor fan-out shares the
+        encoded frame across all workers instead of calling this per shard)."""
+        payload = codec.encode_document_batch(
+            documents if isinstance(documents, list) else list(documents)
+        )
+        frame = codec.pack_frame({"c": "batch_commit"}, payload)
+        self._stats.control_bytes += len(frame) - len(payload)
+        self._stats.payload_pipe_bytes += len(payload)
+        self._stats.batches += 1
+        self._stats.events += len(documents)
+        self.send_frame(frame)
+        return self.collect()  # type: ignore[return-value]
 
     def register(self, query: Query) -> None:
         self.call("register", query)
@@ -376,8 +536,6 @@ class ProcessShardHandle:
         process-resident shard the state is re-encoded through the codec
         (exact by construction) and rebuilt worker-side.
         """
-        from repro.persistence import codec
-
         flat = dict(state["engine"])  # type: ignore[arg-type]
         if "expiration" in state:
             flat["expiration"] = state["expiration"]
@@ -429,6 +587,11 @@ class ProcessShardExecutor(ShardExecutor):
     shuts the workers down (gracefully when they are healthy, forcefully
     when not).
 
+    ``transport`` selects how document batches reach the workers:
+    ``"auto"`` (shared memory when the host provides it, pipes otherwise),
+    ``"shm"`` (required — raises when unavailable) or ``"pipe"`` (forced
+    fallback; also what differential tests use to exercise both paths).
+
     Example::
 
         monitor = ShardedMonitor(config, n_shards=4, executor="processes")
@@ -439,12 +602,28 @@ class ProcessShardExecutor(ShardExecutor):
     name = "processes"
     shard_resident = True
 
-    def __init__(self, n_shards: int, mp_context=None) -> None:
+    def __init__(
+        self,
+        n_shards: int,
+        mp_context=None,
+        transport: str = "auto",
+        ring_bytes: int = DEFAULT_RING_BYTES,
+    ) -> None:
         if n_shards <= 0:
             raise ConfigurationError(f"n_shards must be > 0, got {n_shards}")
+        if transport not in TRANSPORTS:
+            raise ConfigurationError(
+                f"unknown transport {transport!r}; expected one of {TRANSPORTS}"
+            )
+        if ring_bytes <= 0:
+            raise ConfigurationError(f"ring_bytes must be > 0, got {ring_bytes}")
         self.n_shards = n_shards
+        self.transport = transport
+        self.ring_bytes = ring_bytes
+        self.stats = TransportStats()
         self._ctx = mp_context if mp_context is not None else multiprocessing.get_context()
         self._handles: Optional[List[ProcessShardHandle]] = None
+        self._ring: Optional[SharedMemoryRing] = None
 
     # ------------------------------------------------------------------ #
     # Worker lifecycle
@@ -458,38 +637,56 @@ class ProcessShardExecutor(ShardExecutor):
             )
         return list(self._handles)
 
+    @property
+    def transport_active(self) -> Optional[str]:
+        """``"shm"``/``"pipe"`` while workers are live, ``None`` before."""
+        if self._handles is None:
+            return None
+        return "shm" if self._ring is not None else "pipe"
+
     def spawn_shards(self, config: MonitorConfig) -> List[ProcessShardHandle]:
         """Start one worker per shard; returns their handles in shard order."""
         if self._handles is not None:
             raise ConfigurationError("process executor already owns live workers")
+        if self.transport == "shm" and not shared_memory_available():
+            raise ConfigurationError(
+                "transport='shm' requested but multiprocessing.shared_memory "
+                "is unavailable on this host (use 'auto' or 'pipe')"
+            )
+        use_shm = self.transport in ("auto", "shm") and shared_memory_available()
         handles: List[ProcessShardHandle] = []
         self._handles = handles
         try:
+            if use_shm:
+                self._ring = SharedMemoryRing(self.ring_bytes)
+            ring_name = self._ring.name if self._ring is not None else None
             for shard_id in range(self.n_shards):
                 parent_conn, child_conn = self._ctx.Pipe(duplex=True)
                 process = self._ctx.Process(
                     target=_shard_worker_main,
-                    args=(child_conn, shard_id, config),
+                    args=(child_conn, shard_id, config, ring_name),
                     name=f"repro-shard-{shard_id}",
                     daemon=True,
                 )
                 process.start()
                 child_conn.close()
-                handles.append(ProcessShardHandle(shard_id, process, parent_conn))
+                handles.append(
+                    ProcessShardHandle(shard_id, process, parent_conn, self.stats)
+                )
             # One synchronous ping per worker surfaces spawn failures
-            # (missing config, import errors) here instead of at the first
-            # stream event.
+            # (missing config, import errors, a dead sibling) here instead
+            # of at the first stream event.
             for handle in handles:
                 handle.call("ping")
         except Exception:
-            # Never leak half a worker fleet: join whatever started, and
-            # leave the executor re-spawnable.
+            # Never leak half a worker fleet: terminate and join whatever
+            # started, and leave the executor re-spawnable.
             self.close()
             raise
         return handles
 
     def resize(self, n_shards: int, config: MonitorConfig) -> List[ProcessShardHandle]:
-        """Replace the worker set with ``n_shards`` fresh workers."""
+        """Replace the worker set (and its ring) with ``n_shards`` fresh workers."""
         if n_shards <= 0:
             raise ConfigurationError(f"n_shards must be > 0, got {n_shards}")
         self.close()
@@ -497,24 +694,33 @@ class ProcessShardExecutor(ShardExecutor):
         return self.spawn_shards(config)
 
     def close(self) -> None:
-        """Shut every worker down; robust to workers that already died."""
-        if self._handles is None:
+        """Shut every worker down; robust to workers that wedged or died.
+
+        ``shutdown`` is *submitted*, never awaited: a worker stuck
+        mid-protocol (or killed while holding a ring slot) would otherwise
+        block the parent forever on its reply.  Healthy workers exit on the
+        command; anything still alive after the join grace is terminated.
+        """
+        if self._handles is None and self._ring is None:
             return
-        handles, self._handles = self._handles, None
+        handles, self._handles = self._handles or [], None
         for handle in handles:
             try:
-                handle.call("shutdown")
-            except Exception:  # noqa: BLE001 - dead workers cannot ack
+                handle.submit("shutdown")
+            except Exception:  # noqa: BLE001 - dead workers cannot be told
                 pass
         for handle in handles:
             handle.process.join(timeout=5.0)
-            if handle.process.is_alive():  # pragma: no cover - defensive
+            if handle.process.is_alive():
                 handle.process.terminate()
                 handle.process.join(timeout=5.0)
             try:
                 handle._conn.close()
             except Exception:  # noqa: BLE001
                 pass
+        if self._ring is not None:
+            self._ring.close()
+            self._ring = None
 
     # ------------------------------------------------------------------ #
     # Execution
@@ -537,8 +743,18 @@ class ProcessShardExecutor(ShardExecutor):
         The submit loop finishes before the first collect, so all workers
         process the command concurrently; collection preserves shard order
         and — per the failure contract — completes the whole fan-out before
-        raising the first failure in shard order.
+        raising the first failure in shard order.  The ``process_batch``
+        fan-out to this executor's own workers takes the zero-copy batch
+        path (one encode, shared ring slot or shared pipe frame).
         """
+        if (
+            method == "process_batch"
+            and len(args) == 1
+            and self._handles is not None
+            and len(shards) == len(self._handles)
+            and all(a is b for a, b in zip(shards, self._handles))
+        ):
+            return self._fan_out_batch(args[0])  # type: ignore[arg-type]
         submit_failures: Dict[int, BaseException] = {}
         for index, shard in enumerate(shards):
             try:
@@ -555,3 +771,89 @@ class ProcessShardExecutor(ShardExecutor):
             except Exception as exc:
                 outcomes.append((None, exc))
         return raise_first_failure(outcomes)
+
+    # ------------------------------------------------------------------ #
+    # Zero-copy batch fan-out
+    # ------------------------------------------------------------------ #
+
+    def _encode_rounds(self, documents: List[Document]) -> List[bytes]:
+        """Encode ``documents`` as payload frames that each fit the ring.
+
+        The common case is one frame.  A batch larger than the ring splits
+        recursively into document chunks; a single document whose frame
+        exceeds the ring is returned oversized and ships over the pipes.
+        """
+        frame = codec.encode_document_batch(documents)
+        if self._ring is None or len(frame) <= self._ring.capacity or len(documents) <= 1:
+            return [frame]
+        mid = len(documents) // 2
+        return self._encode_rounds(documents[:mid]) + self._encode_rounds(documents[mid:])
+
+    def _fan_out_batch(self, documents: Sequence[Document]) -> List[List[BatchUpdate]]:
+        """Fan one arrival-ordered batch to every worker, encoded once.
+
+        Multi-round (chunked) fan-outs stage document chunks worker-side
+        and run each engine exactly once at the commit, so splitting never
+        changes renormalization points or update coalescing.  Per the
+        failure contract a worker that fails any round is excluded from
+        later rounds but every healthy worker is driven to completion
+        before the first failure (in shard order) is raised.
+        """
+        handles = self._handles or []
+        docs = documents if isinstance(documents, list) else list(documents)
+        stats = self.stats
+        stats.batches += 1
+        stats.events += len(docs)
+        rounds = self._encode_rounds(docs)
+        failures: Dict[int, BaseException] = {}
+        values: List[object] = [None] * len(handles)
+        last = len(rounds) - 1
+        for round_no, payload in enumerate(rounds):
+            if round_no < last:
+                header: Dict[str, object] = {"c": "batch_stage", "f": round_no == 0}
+            else:
+                header = {"c": "batch_commit", "g": last > 0}
+            seq = None
+            view = None
+            if self._ring is not None and len(payload) <= self._ring.capacity:
+                # The previous round freed its slot, so a fitting payload
+                # always reserves (at most one slot is ever in flight).
+                seq, offset, view = self._ring.reserve(len(payload))  # type: ignore[misc]
+                view[: len(payload)] = payload
+                header["q"] = seq
+                header["o"] = offset
+                header["l"] = len(payload)
+                frame = codec.pack_frame(header)
+                stats.payload_shm_bytes += len(payload)
+                control_len, payload_len = len(frame), 0
+            else:
+                frame = codec.pack_frame(header, payload)
+                control_len = len(frame) - len(payload)
+                payload_len = len(payload)
+            submitted: List[int] = []
+            for index, handle in enumerate(handles):
+                if index in failures:
+                    continue
+                try:
+                    handle.send_frame(frame)
+                except Exception as exc:  # noqa: BLE001 - collect-all contract
+                    failures[index] = exc
+                    continue
+                submitted.append(index)
+                stats.control_bytes += control_len
+                stats.payload_pipe_bytes += payload_len
+            for index in submitted:
+                try:
+                    values[index] = handles[index].collect()
+                except Exception as exc:  # noqa: BLE001 - collect-all contract
+                    failures[index] = exc
+            if seq is not None:
+                # Every worker has acknowledged (or failed); the slot bytes
+                # can never be read again, so reclaim them for the next round.
+                if view is not None:
+                    view.release()
+                self._ring.free(seq)  # type: ignore[union-attr]
+        outcomes = [
+            (values[index], failures.get(index)) for index in range(len(handles))
+        ]
+        return raise_first_failure(outcomes)  # type: ignore[return-value]

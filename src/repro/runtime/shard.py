@@ -17,7 +17,7 @@ would maintain.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.base import StreamAlgorithm
 from repro.core.config import MonitorConfig
@@ -62,6 +62,11 @@ class EngineShard:
         self.capture_raw = False
         self._raw_buffer: List[ResultUpdate] = []
         self.algorithm.add_update_listener(self._on_raw_update)
+        #: When True, decay rebase notifications are buffered for draining —
+        #: the worker-process loop ships them with each framed reply.
+        self.capture_renorms = False
+        self._renorm_buffer: List[Tuple[float, float]] = []
+        self.algorithm.add_renormalize_listener(self._on_renormalize)
 
     # ------------------------------------------------------------------ #
     # Query membership
@@ -93,6 +98,16 @@ class EngineShard:
         """The raw updates buffered since the last drain (in emission order)."""
         drained = self._raw_buffer
         self._raw_buffer = []
+        return drained
+
+    def _on_renormalize(self, origin: float, factor: float) -> None:
+        if self.capture_renorms:
+            self._renorm_buffer.append((origin, factor))
+
+    def drain_renormalizations(self) -> List[Tuple[float, float]]:
+        """The (origin, factor) rebases buffered since the last drain."""
+        drained = self._renorm_buffer
+        self._renorm_buffer = []
         return drained
 
     def process(self, document: Document) -> List[ResultUpdate]:

@@ -382,6 +382,9 @@ class ShardedMonitor:
             "n_shards": self.n_shards,
             "policy": self._router.policy.name,
             "executor": self._executor.name,
+            # Which batch transport the executor settled on ("shm"/"pipe"
+            # for the process executor, None for in-process executors).
+            "transport": getattr(self._executor, "transport_active", None),
             "num_queries": self.num_queries,
             "shard_loads": self._router.loads(),
             "documents_processed": self._documents_processed,

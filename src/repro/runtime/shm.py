@@ -1,0 +1,218 @@
+"""Shared-memory ring buffer for zero-copy document-batch fan-out.
+
+The process-resident shard executor encodes each ingestion batch ONCE
+(:func:`repro.persistence.codec.encode_document_batch`) and hands every
+worker the same bytes.  Without shared memory those bytes cross N pipes —
+the dominant cost the committed shard-scaling numbers attribute to the
+process executor.  With it, the parent writes the encoded frame into a
+``multiprocessing.shared_memory`` segment and sends each worker only a
+tiny ``(seq, offset, length)`` descriptor over the control pipe; workers
+wrap the segment in a ``memoryview`` and decode in place.
+
+The segment is managed as a *ring* of variably-sized slots:
+
+* :meth:`SharedMemoryRing.reserve` allocates the next ``size`` bytes at
+  the write head (8-aligned, wrapping to offset 0 when the tail would not
+  fit) and tags the slot with a monotonically increasing sequence number.
+* Slots are freed strictly in allocation order (:meth:`free`), which is
+  exactly the executor's submit-all-then-collect discipline: a slot is
+  reclaimed once every worker has acknowledged its batch.
+* When the ring is full, ``reserve`` reports it by returning ``None`` —
+  the *caller* owns the blocking policy (the executor collects outstanding
+  acknowledgements, which frees slots, and retries; a batch larger than
+  the whole ring is split by the executor's chunked fan-out instead).
+
+Nothing here synchronizes across processes: the parent is the only
+writer and the only allocator, and the control pipe's acknowledgement
+traffic provides the happens-before edge (a worker acks a sequence number
+only after it has finished reading the slot, and the parent only reuses
+the bytes after that ack).  That keeps the ring free of locks *and* of
+polling on the hot path.
+
+Child-side attachment (:func:`attach_ring_view`) must dodge a CPython
+footgun: ``SharedMemory(name=...)`` registers the segment with the
+``resource_tracker``, which *unlinks* it when the child exits — silently
+destroying the parent's ring.  Python 3.13 grew ``track=False`` for this;
+on older versions the segment is unregistered by hand.
+"""
+
+from __future__ import annotations
+
+import secrets
+from collections import OrderedDict
+from typing import Optional, Tuple
+
+from repro.exceptions import TransportError
+
+try:  # pragma: no cover - import probe
+    from multiprocessing import shared_memory as _shared_memory
+except ImportError:  # pragma: no cover - exotic platforms only
+    _shared_memory = None  # type: ignore[assignment]
+
+#: Default ring capacity.  A 256-document batch at bench corpus shape is
+#: ~290KB encoded, so 4MiB keeps several batches in flight with room for
+#: wraparound slack.
+DEFAULT_RING_BYTES = 4 * 1024 * 1024
+
+_ALIGN = 8
+
+
+def shared_memory_available() -> bool:
+    """Whether ``multiprocessing.shared_memory`` is usable on this host."""
+    if _shared_memory is None:
+        return False
+    try:
+        probe = _shared_memory.SharedMemory(create=True, size=_ALIGN)
+    except (OSError, ValueError):  # pragma: no cover - /dev/shm missing etc.
+        return False
+    try:
+        probe.close()
+        probe.unlink()
+    except OSError:  # pragma: no cover - cleanup best-effort
+        pass
+    return True
+
+
+class SharedMemoryRing:
+    """Parent-side ring allocator over one shared-memory segment."""
+
+    def __init__(self, capacity: int = DEFAULT_RING_BYTES, name: Optional[str] = None):
+        if _shared_memory is None:  # pragma: no cover - exotic platforms only
+            raise TransportError("multiprocessing.shared_memory is unavailable")
+        if capacity <= 0:
+            raise TransportError(f"ring capacity must be > 0, got {capacity}")
+        capacity += -capacity % _ALIGN
+        if name is None:
+            name = f"repro-ring-{secrets.token_hex(6)}"
+        self._shm = _shared_memory.SharedMemory(name=name, create=True, size=capacity)
+        #: Usable capacity (the OS may round the segment up; the ring
+        #: ignores the surplus so parent and workers agree on geometry).
+        self.capacity = capacity
+        self._head = 0
+        self._next_seq = 0
+        #: seq -> (offset, padded length), in allocation order.
+        self._in_flight: "OrderedDict[int, Tuple[int, int]]" = OrderedDict()
+        self._used = 0
+
+    # -- parent-side allocation ----------------------------------------- #
+
+    @property
+    def name(self) -> str:
+        return self._shm.name
+
+    @property
+    def in_flight(self) -> int:
+        return len(self._in_flight)
+
+    def reserve(self, size: int) -> Optional[Tuple[int, int, memoryview]]:
+        """Allocate ``size`` bytes; returns ``(seq, offset, view)`` or ``None``.
+
+        ``None`` means the ring is currently too full — free a slot (by
+        collecting a worker acknowledgement) and retry.  A ``size`` that can
+        never fit raises :class:`TransportError` so callers chunk instead of
+        spinning forever.
+        """
+        if size <= 0:
+            raise TransportError(f"slot size must be > 0, got {size}")
+        padded = size + (-size % _ALIGN)
+        if padded > self.capacity:
+            raise TransportError(
+                f"payload of {size} bytes exceeds ring capacity {self.capacity}"
+            )
+        offset = self._fit(padded)
+        if offset is None:
+            return None
+        seq = self._next_seq
+        self._next_seq += 1
+        self._in_flight[seq] = (offset, padded)
+        self._used += padded
+        self._head = offset + padded
+        return seq, offset, self._shm.buf[offset : offset + size]
+
+    def _fit(self, padded: int) -> Optional[int]:
+        """Offset where ``padded`` bytes fit at the head, or ``None``."""
+        if not self._in_flight:
+            # Empty ring: restart at 0 so a large batch never fails merely
+            # because the head drifted near the end.
+            self._head = 0
+            return 0 if padded <= self.capacity else None
+        oldest_offset = next(iter(self._in_flight.values()))[0]
+        if self._head >= oldest_offset:
+            # Live region is [oldest, head): free space is the tail after
+            # head, then (wrapping) the prefix before oldest.
+            if self._head + padded <= self.capacity:
+                return self._head
+            if padded <= oldest_offset:
+                return 0  # wraparound
+            return None
+        # Live region wraps: free space is the single gap [head, oldest).
+        if self._head + padded <= oldest_offset:
+            return self._head
+        return None
+
+    def free(self, seq: int) -> None:
+        """Release the slot tagged ``seq`` (must be the oldest in flight)."""
+        if not self._in_flight:
+            raise TransportError(f"free({seq}) on an empty ring")
+        oldest, (_, padded) = next(iter(self._in_flight.items()))
+        if seq != oldest:
+            raise TransportError(
+                f"out-of-order free: got seq {seq}, oldest in flight is {oldest}"
+            )
+        del self._in_flight[seq]
+        self._used -= padded
+
+    def close(self) -> None:
+        """Detach and destroy the segment (parent owns the lifetime)."""
+        try:
+            self._shm.close()
+        except (OSError, BufferError):  # pragma: no cover - exported views
+            pass
+        try:
+            self._shm.unlink()
+        except (OSError, FileNotFoundError):  # pragma: no cover - already gone
+            pass
+
+
+class RingView:
+    """Worker-side read-only attachment to the parent's ring segment."""
+
+    def __init__(self, shm) -> None:
+        self._shm = shm
+        self.buf: memoryview = shm.buf
+
+    def slice(self, offset: int, length: int) -> memoryview:
+        return self.buf[offset : offset + length]
+
+    def close(self) -> None:
+        try:
+            self._shm.close()
+        except (OSError, BufferError):  # pragma: no cover - exported views
+            pass
+
+
+def attach_ring_view(name: str) -> RingView:
+    """Attach to the parent's segment WITHOUT adopting its lifetime."""
+    if _shared_memory is None:  # pragma: no cover - exotic platforms only
+        raise TransportError("multiprocessing.shared_memory is unavailable")
+    try:
+        shm = _shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:
+        # Python < 3.13: attaching registers the segment with the
+        # resource_tracker, whose cleanup would unlink it out from under
+        # the parent when this process exits.  Suppress the registration
+        # for the duration of the attach.
+        from multiprocessing import resource_tracker
+
+        original_register = resource_tracker.register
+
+        def _register_skipping_shm(name_, rtype):  # pragma: no cover - 3.13+ skips
+            if rtype != "shared_memory":
+                original_register(name_, rtype)
+
+        resource_tracker.register = _register_skipping_shm
+        try:
+            shm = _shared_memory.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = original_register
+    return RingView(shm)

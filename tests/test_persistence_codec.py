@@ -136,3 +136,116 @@ class TestRecords:
         assert (kind, data) == (codec.KIND_UNREGISTER, {"query_id": 9})
         kind, data = codec.renormalize_record(1234.5)
         assert (kind, data) == (codec.KIND_RENORMALIZE, {"origin": 1234.5})
+
+
+class TestWireFrames:
+    """The worker-pipe wire protocol: frames, tagged values, batch payloads."""
+
+    def test_frame_roundtrip_with_tail(self):
+        tail = codec.TailWriter()
+        offset = tail.add(b"0123456789")
+        assert offset == 0
+        assert tail.add(b"abc") == 16  # previous block padded to 8
+        frame = codec.pack_frame({"c": "batch_commit", "n": 3}, tail.take())
+        header, body = codec.unpack_frame(frame)
+        assert header == {"c": "batch_commit", "n": 3}
+        assert bytes(body[:10]) == b"0123456789"
+        assert bytes(body[16:19]) == b"abc"
+
+    def test_frames_are_length_prefixed_and_aligned(self):
+        frame = codec.pack_frame({"k": 1}, b"x" * 24)
+        prefix = int.from_bytes(frame[:4], "big")
+        assert (4 + prefix) % 8 == 0
+        assert frame[4 + prefix :] == b"x" * 24
+
+    @pytest.mark.parametrize(
+        "value",
+        [
+            None,
+            True,
+            -7,
+            3.25,
+            "text",
+            b"\x00\xffbytes",
+            [1, "two", None],
+            (1, (2, 3)),
+            {"nested": {"d": [1.5, None]}},
+            {1: "int keys", (2, 3): "tuple keys"},
+        ],
+        ids=["none", "bool", "int", "float", "str", "bytes", "list", "tuple", "dict", "odd-keys"],
+    )
+    def test_tagged_value_roundtrip_exact(self, value):
+        decoded = codec.decode_value(codec.encode_value(value))
+        assert decoded == value
+        assert type(decoded) is type(value)
+
+    def test_result_types_use_binary_sections(self):
+        from repro.core.results import BatchUpdate, ResultEntry, ResultUpdate
+
+        updates = [
+            BatchUpdate(4, (ResultEntry(7, 0.5), ResultEntry(9, 0.25)), (3,)),
+            BatchUpdate(6, (), (1, 2)),
+        ]
+        raw = [ResultUpdate(4, 7, 0.5, None), ResultUpdate(6, 1, 0.125, 9)]
+        entries = [ResultEntry(7, 0.5)]
+        for value in (updates, raw, entries):
+            tail = codec.TailWriter()
+            encoded = codec.encode_value(value, tail)
+            decoded = codec.decode_value(encoded, memoryview(tail.take()))
+            assert decoded == value
+            assert type(decoded[0]) is type(value[0])
+
+    def test_document_batch_roundtrip_exact(self):
+        documents = [
+            make_document(i, {i + 1: 0.8, i + 2: 0.6}, arrival_time=float(i))
+            for i in range(5)
+        ]
+        documents[2] = Document(
+            doc_id=2,
+            vector=documents[2].vector,
+            arrival_time=2.0,
+            text="kept text",
+        )
+        frame = codec.encode_document_batch(documents)
+        header, tail = codec.unpack_frame(frame)
+        decoded = codec.decode_document_batch(header, tail)
+        for want, got in zip(documents, decoded):
+            assert got.doc_id == want.doc_id
+            assert got.vector == want.vector
+            assert list(got.vector) == list(want.vector)  # iteration order too
+            assert got.arrival_time == want.arrival_time
+            assert got.text == want.text
+
+    def test_document_batch_detects_corruption(self):
+        documents = [make_document(1, {3: 0.6, 4: 0.8}, arrival_time=1.0)]
+        frame = bytearray(codec.encode_document_batch(documents))
+        frame[-1] ^= 0xFF
+        header, tail = codec.unpack_frame(bytes(frame))
+        with pytest.raises(CorruptRecordError):
+            codec.decode_document_batch(header, tail)
+
+    def test_unstamped_documents_take_the_generic_form(self):
+        documents = [make_document(1, {3: 0.6, 4: 0.8}, arrival_time=None)]
+        frame = codec.encode_document_batch(documents)
+        header, tail = codec.unpack_frame(frame)
+        assert "docs" in header
+        decoded = codec.decode_document_batch(header, tail)
+        assert decoded[0].doc_id == 1
+        assert decoded[0].arrival_time is None
+        assert decoded[0].vector == documents[0].vector
+
+    def test_exception_roundtrip_reconstructs_the_type(self):
+        from repro.exceptions import StreamError, WorkerError
+
+        decoded = codec.decode_value(
+            codec.encode_value(StreamError("stale arrival 3 < 7"))
+        )
+        assert type(decoded) is StreamError
+        assert str(decoded) == "stale arrival 3 < 7"
+        # Unimportable/exotic exceptions degrade to WorkerError, never fail.
+        class Local(Exception):
+            pass
+
+        degraded = codec.decode_value(codec.encode_value(Local("boom")))
+        assert isinstance(degraded, WorkerError)
+        assert "boom" in str(degraded)

@@ -30,8 +30,9 @@ PROCESS_SHARD_COUNTS = (2, 4)
 BATCH = 8
 LAM = 1e-3
 
-#: Every registered algorithm (MRIO under all three zone-bound variants) —
-#: the same matrix the in-process differential suite runs.
+#: Every registered algorithm (MRIO under all three zone-bound variants,
+#: plus the columnar batch engine) — the same matrix the in-process
+#: differential suite runs.
 ALGORITHM_CONFIGS = [
     pytest.param({"algorithm": "mrio", "ub_variant": "tree"}, id="mrio-tree"),
     pytest.param({"algorithm": "mrio", "ub_variant": "exact"}, id="mrio-exact"),
@@ -41,7 +42,13 @@ ALGORITHM_CONFIGS = [
     pytest.param({"algorithm": "sortquer"}, id="sortquer"),
     pytest.param({"algorithm": "tps"}, id="tps"),
     pytest.param({"algorithm": "exhaustive"}, id="exhaustive"),
+    pytest.param({"algorithm": "columnar"}, id="columnar"),
 ]
+
+#: Both batch transports: "processes" resolves to the shared-memory ring
+#: (when the host has one), "processes-pipe" forces the framed-pipe
+#: fallback — the differential grid must hold bit-for-bit under either.
+PROCESS_EXECUTORS = ("processes", "processes-pipe")
 
 
 def _config(overrides, **extra):
@@ -80,16 +87,17 @@ class TestProcessShardEquivalence:
 
     @pytest.mark.parametrize("overrides", ALGORITHM_CONFIGS)
     @pytest.mark.parametrize("n_shards", PROCESS_SHARD_COUNTS)
+    @pytest.mark.parametrize("executor", PROCESS_EXECUTORS)
     def test_batched_ingestion_matches_serial_runtime(
-        self, overrides, n_shards, small_queries, small_documents
+        self, overrides, n_shards, executor, small_queries, small_documents
     ):
         exact = overrides["algorithm"] != "tps"
-        label = f"{overrides}@{n_shards}/processes"
+        label = f"{overrides}@{n_shards}/{executor}"
         serial, serial_batches = _run(
             _config(overrides), small_queries, small_documents, n_shards, "serial"
         )
         procs, procs_batches = _run(
-            _config(overrides), small_queries, small_documents, n_shards, "processes"
+            _config(overrides), small_queries, small_documents, n_shards, executor
         )
         try:
             _assert_identical_state(serial, procs, small_queries, exact, label)
@@ -361,3 +369,185 @@ class TestDurableProcessRecovery:
             reference.close()
         finally:
             recovered.close()
+
+
+class TestSharedMemoryTransport:
+    """Ring-transport specifics: chunking, fallback, accounting, recovery."""
+
+    def _differential(self, executor, small_queries, small_documents):
+        serial, serial_batches = _run(
+            _config({"algorithm": "mrio"}), small_queries, small_documents, 2, "serial"
+        )
+        procs, procs_batches = _run(
+            _config({"algorithm": "mrio"}), small_queries, small_documents, 2, executor
+        )
+        try:
+            assert procs_batches == serial_batches
+            _assert_identical_state(serial, procs, small_queries)
+        finally:
+            procs.close()
+            serial.close()
+
+    def test_chunked_fanout_matches_unchunked(self, small_queries, small_documents):
+        """A ring smaller than one batch forces stage/commit rounds.
+
+        Splitting must be invisible: the worker buffers staged chunks and
+        runs its engine once at the commit, so updates coalesce exactly as
+        in the single-frame fan-out.
+        """
+        from repro.runtime.procpool import ProcessShardExecutor
+        from repro.runtime.shm import shared_memory_available
+
+        if not shared_memory_available():
+            pytest.skip("no usable shared memory on this host")
+        executor = ProcessShardExecutor(2, transport="shm", ring_bytes=4096)
+        self._differential(executor, small_queries, small_documents)
+        # Chunking happened: more fan-out rounds than batches were shipped
+        # (the stats count every staged chunk's payload).
+        assert executor.stats.payload_shm_bytes > 0
+        assert executor.stats.payload_pipe_bytes == 0
+
+    def test_oversized_frame_ships_via_pipe_tail(self, small_queries, small_documents):
+        """A single document whose frame exceeds the ring rides the pipe."""
+        from repro.runtime.procpool import ProcessShardExecutor
+        from repro.runtime.shm import shared_memory_available
+
+        if not shared_memory_available():
+            pytest.skip("no usable shared memory on this host")
+        executor = ProcessShardExecutor(2, transport="shm", ring_bytes=64)
+        self._differential(executor, small_queries, small_documents)
+        assert executor.stats.payload_pipe_bytes > 0
+        assert executor.stats.payload_shm_bytes == 0
+
+    def test_transport_surfaces_in_describe(self, small_queries):
+        from repro.runtime.shm import shared_memory_available
+
+        monitor = ShardedMonitor(
+            _config({"algorithm": "mrio"}), n_shards=2, executor="processes"
+        )
+        pipe_monitor = ShardedMonitor(
+            _config({"algorithm": "mrio"}), n_shards=2, executor="processes-pipe"
+        )
+        serial_monitor = ShardedMonitor(
+            _config({"algorithm": "mrio"}), n_shards=2, executor="serial"
+        )
+        try:
+            expected = "shm" if shared_memory_available() else "pipe"
+            assert monitor.describe()["transport"] == expected
+            assert pipe_monitor.describe()["transport"] == "pipe"
+            assert serial_monitor.describe()["transport"] is None
+        finally:
+            monitor.close()
+            pipe_monitor.close()
+            serial_monitor.close()
+
+    def test_stats_attribute_payload_to_the_active_transport(
+        self, small_queries, small_documents
+    ):
+        from repro.runtime.procpool import ProcessShardExecutor
+        from repro.runtime.shm import shared_memory_available
+
+        if not shared_memory_available():
+            pytest.skip("no usable shared memory on this host")
+        shm_exec = ProcessShardExecutor(2, transport="shm")
+        pipe_exec = ProcessShardExecutor(2, transport="pipe")
+        for executor in (shm_exec, pipe_exec):
+            monitor = ShardedMonitor(
+                _config({"algorithm": "mrio"}), n_shards=2, executor=executor
+            )
+            try:
+                monitor.register_queries(small_queries)
+                executor.stats.reset()
+                monitor.process_batch(small_documents[:BATCH])
+            finally:
+                monitor.close()
+        # shm: the batch is written once, descriptors cross the pipes.
+        assert shm_exec.stats.payload_shm_bytes > 0
+        assert shm_exec.stats.payload_pipe_bytes == 0
+        # pipe: the same frame crosses once per worker.
+        assert pipe_exec.stats.payload_shm_bytes == 0
+        assert pipe_exec.stats.payload_pipe_bytes == 2 * shm_exec.stats.payload_shm_bytes
+        per_event = shm_exec.stats.per_event()
+        assert per_event["payload_shm"] > 0
+        assert per_event["control"] < 64  # descriptors stay tiny
+
+    @pytest.mark.skipif(os.name != "posix", reason="SIGKILL semantics are POSIX-only")
+    def test_sigkill_worker_holding_a_slot_does_not_wedge_the_ring(
+        self, small_queries, small_documents
+    ):
+        """A worker killed before acknowledging must not leak its ring slot.
+
+        The fan-out frees the slot once every worker has answered *or
+        failed*; a dead worker counts as failed, so the ring drains and the
+        surviving workers' results are intact.
+        """
+        from repro.runtime.procpool import ProcessShardExecutor
+        from repro.runtime.shm import shared_memory_available
+
+        if not shared_memory_available():
+            pytest.skip("no usable shared memory on this host")
+        executor = ProcessShardExecutor(2, transport="shm")
+        monitor = ShardedMonitor(
+            _config({"algorithm": "mrio"}), n_shards=2, executor=executor
+        )
+        try:
+            monitor.register_queries(small_queries)
+            monitor.process_batch(small_documents[:BATCH])
+            victim = monitor.shards[0]
+            os.kill(victim.process.pid, signal.SIGKILL)
+            victim.process.join(timeout=10.0)
+            with pytest.raises(WorkerError):
+                monitor.process_batch(small_documents[BATCH : 2 * BATCH])
+            assert executor._ring is not None
+            assert executor._ring.in_flight == 0
+        finally:
+            monitor.close()
+
+
+class TestWorkerLifecycle:
+    """Spawn-failure paths must leak neither processes nor shm segments."""
+
+    def test_mid_construction_failure_reaps_started_workers(
+        self, monkeypatch, small_queries
+    ):
+        """If worker k dies during spawn, workers 0..k-1 are torn down.
+
+        Regression test: the executor used to leave earlier workers (and
+        the ring segment) alive when a later worker failed its handshake,
+        leaking processes until interpreter exit.
+        """
+        from repro.runtime import procpool
+
+        real_main = procpool._shard_worker_main
+
+        def flaky_main(conn, shard_id, config, ring_name=None):
+            if shard_id == 2:
+                os._exit(3)
+            real_main(conn, shard_id, config, ring_name)
+
+        monkeypatch.setattr(procpool, "_shard_worker_main", flaky_main)
+        executor = procpool.ProcessShardExecutor(3)
+        with pytest.raises(WorkerError):
+            executor.spawn_shards(_config({"algorithm": "mrio"}))
+        assert executor._handles is None
+        assert executor._ring is None
+        # The executor stays usable: a healthy respawn works end to end.
+        monkeypatch.setattr(procpool, "_shard_worker_main", real_main)
+        handles = executor.spawn_shards(_config({"algorithm": "mrio"}))
+        assert len(handles) == 3
+        assert all(h.process.is_alive() for h in handles)
+        executor.close()
+        assert all(not h.process.is_alive() for h in handles)
+
+    def test_close_is_idempotent_and_respawnable(self):
+        from repro.runtime.procpool import ProcessShardExecutor
+
+        executor = ProcessShardExecutor(2)
+        executor.close()  # before any spawn: a no-op
+        handles = executor.spawn_shards(_config({"algorithm": "mrio"}))
+        executor.close()
+        executor.close()
+        assert all(not h.process.is_alive() for h in handles)
+        handles = executor.spawn_shards(_config({"algorithm": "mrio"}))
+        assert len(handles) == 2
+        executor.close()
