@@ -1,0 +1,27 @@
+"""Cluster layer: remote shard hosts, WAL shipping, router failover.
+
+Composes the existing pieces — the procpool command surface, the codec
+frames, the per-shard WAL — into a distributed deployment:
+
+* :class:`~repro.cluster.remote.RemoteShardExecutor` (``executor="remote"``)
+  fans a :class:`~repro.runtime.sharded.ShardedMonitor` out to shard-host
+  *processes* reached over loopback/network sockets instead of pipes;
+* each partition is a primary host plus optional hot standbys kept current
+  by WAL-segment shipping (:class:`~repro.cluster.replication
+  .ReplicationSender`) with a bounded replication lag;
+* on primary death the partition's :class:`~repro.cluster.remote
+  .RemoteShardHandle` promotes a standby, resumes from the durable prefix
+  and redoes the unreplicated suffix — recovered state is byte-identical to
+  a single-engine replay.
+"""
+
+from repro.cluster.remote import RemoteShardExecutor, RemoteShardHandle
+from repro.cluster.replication import ReplicationSender
+from repro.cluster.transport import FrameSocket
+
+__all__ = [
+    "FrameSocket",
+    "RemoteShardExecutor",
+    "RemoteShardHandle",
+    "ReplicationSender",
+]

@@ -1,0 +1,178 @@
+"""WAL shipping: one primary shard host streaming to one hot standby.
+
+A :class:`ReplicationSender` owns a single subscriber connection.  The
+standby greets with its applied LSN; the sender first streams the durable
+segment suffix past that position (:func:`repro.persistence.replication
+.iter_segment_lines` — the catch-up), then live-journaled lines handed to
+:meth:`ReplicationSender.offer` by the host's journal path.  The standby
+acks every applied record with its new applied LSN; :meth:`wait_for` is the
+primitive the host's bounded-lag window and ``min_replicas`` waits build on.
+
+Wire format (frames are length-prefixed codec frames, see
+:mod:`repro.cluster.transport`):
+
+* standby → sender: ``{"k": "sub", "a": <applied_lsn>}`` once, then
+  ``{"k": "ack", "l": <applied_lsn>}`` after each applied record;
+* sender → standby: ``{"k": "rec", "l": <lsn>}`` with the raw CRC-framed
+  WAL line as the frame tail — the identical bytes the primary journaled.
+
+A sender that hits any socket or stream error marks itself *failed*, wakes
+every waiter, and stays failed: the primary keeps serving unreplicated
+(surfaced through ``repl_status``) rather than blocking the ingest path on
+a dead standby.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from typing import Optional, Tuple
+
+from repro.persistence import codec
+from repro.persistence.replication import iter_segment_lines
+from repro.persistence.wal import WriteAheadLog
+from repro.cluster.transport import FrameSocket
+
+_STOP = object()
+
+
+class ReplicationSender:
+    """Streams one WAL to one standby; tracks the standby's acked LSN."""
+
+    def __init__(
+        self,
+        wal: WriteAheadLog,
+        address: Tuple[str, int],
+        max_frame_bytes: int,
+        connect_timeout: float = 10.0,
+    ) -> None:
+        self._wal = wal
+        self.address = address
+        self._max_frame_bytes = max_frame_bytes
+        self._connect_timeout = connect_timeout
+        self._socket: Optional[FrameSocket] = None
+        self._queue: "queue.Queue[object]" = queue.Queue()
+        self._lock = threading.Lock()
+        self._acked = threading.Condition(self._lock)
+        self._acked_lsn = 0
+        self._failed = False
+        self._switch_lsn = 0
+        self._writer: Optional[threading.Thread] = None
+        self._reader: Optional[threading.Thread] = None
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle (both called under the host lock)
+    # ------------------------------------------------------------------ #
+
+    def start(self) -> None:
+        """Connect, read the standby's position, begin streaming.
+
+        The caller must hold the journal lock and have flushed the WAL:
+        every line <= ``wal.last_lsn`` is then on disk (the catch-up range)
+        and every later line reaches :meth:`offer` before any journal write
+        that follows, so the stream is gapless by construction.
+        """
+        self._socket = FrameSocket.connect(
+            self.address,
+            timeout=self._connect_timeout,
+            max_frame_bytes=self._max_frame_bytes,
+        )
+        self._socket.settimeout(self._connect_timeout)
+        self._socket.send_bytes(codec.pack_frame({"r": "wal"}))
+        header, _ = codec.unpack_frame(self._socket.recv_bytes())
+        if not isinstance(header, dict) or header.get("k") != "sub":
+            raise EOFError(f"standby greeting was not a subscribe frame: {header!r}")
+        self._socket.settimeout(None)
+        with self._lock:
+            self._acked_lsn = int(header["a"])
+        self._switch_lsn = self._wal.last_lsn
+        self._writer = threading.Thread(
+            target=self._write_loop, name="repl-send", daemon=True
+        )
+        self._reader = threading.Thread(
+            target=self._ack_loop, name="repl-ack", daemon=True
+        )
+        self._writer.start()
+        self._reader.start()
+
+    def stop(self) -> None:
+        self._queue.put(_STOP)
+        self._fail()
+        for thread in (self._writer, self._reader):
+            if thread is not None and thread is not threading.current_thread():
+                thread.join(timeout=2.0)
+
+    # ------------------------------------------------------------------ #
+    # Journal-path surface
+    # ------------------------------------------------------------------ #
+
+    def offer(self, lsn: int, line: bytes) -> None:
+        """Queue one live-journaled line (called under the host lock)."""
+        if not self._failed:
+            self._queue.put((lsn, line))
+
+    def wait_for(self, lsn: int, timeout: Optional[float]) -> bool:
+        """Block until the standby acked ``lsn`` (True) or the sender
+        failed / the timeout elapsed (False)."""
+        with self._acked:
+            return self._acked.wait_for(
+                lambda: self._failed or self._acked_lsn >= lsn, timeout=timeout
+            ) and not self._failed and self._acked_lsn >= lsn
+
+    @property
+    def acked_lsn(self) -> int:
+        with self._lock:
+            return self._acked_lsn
+
+    @property
+    def failed(self) -> bool:
+        return self._failed
+
+    # ------------------------------------------------------------------ #
+    # Threads
+    # ------------------------------------------------------------------ #
+
+    def _write_loop(self) -> None:
+        try:
+            start_after = self._acked_lsn
+            for lsn, line in iter_segment_lines(self._wal, after_lsn=start_after):
+                if lsn > self._switch_lsn:
+                    break  # the live queue covers the rest
+                self._send_record(lsn, line)
+            while True:
+                item = self._queue.get()
+                if item is _STOP:
+                    return
+                lsn, line = item  # type: ignore[misc]
+                if lsn <= self._switch_lsn:
+                    continue  # already shipped by the catch-up scan
+                self._send_record(lsn, line)
+        except Exception:
+            self._fail()
+
+    def _send_record(self, lsn: int, line: bytes) -> None:
+        assert self._socket is not None
+        self._socket.send_bytes(codec.pack_frame({"k": "rec", "l": lsn}, line))
+
+    def _ack_loop(self) -> None:
+        try:
+            while True:
+                assert self._socket is not None
+                header, _ = codec.unpack_frame(self._socket.recv_bytes())
+                if not isinstance(header, dict) or header.get("k") != "ack":
+                    raise EOFError(f"standby sent a non-ack frame: {header!r}")
+                with self._acked:
+                    self._acked_lsn = max(self._acked_lsn, int(header["l"]))
+                    self._acked.notify_all()
+        except Exception:
+            self._fail()
+
+    def _fail(self) -> None:
+        with self._acked:
+            self._failed = True
+            self._acked.notify_all()
+        if self._socket is not None:
+            try:
+                self._socket.close()
+            except OSError:
+                pass

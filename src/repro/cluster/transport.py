@@ -1,0 +1,112 @@
+"""Length-prefixed codec frames over a TCP socket.
+
+The procpool wire format (:func:`repro.persistence.codec.pack_frame`) is not
+self-delimiting — a pipe delivers it as one message, a byte stream does not —
+so the cluster layer adds the same 4-byte big-endian length prefix the
+service protocol uses.  :class:`FrameSocket` mirrors the
+``send_bytes``/``recv_bytes`` surface of a :class:`multiprocessing
+.connection.Connection`, which lets :class:`~repro.cluster.remote
+.RemoteShardHandle` reuse the pipe handle's protocol plumbing unchanged:
+EOF raises :class:`EOFError`, a timeout surfaces as :class:`socket.timeout`
+(an :class:`OSError` subclass), and both are mapped to
+:class:`~repro.exceptions.WorkerError` by the caller exactly like a dead
+pipe.
+"""
+
+from __future__ import annotations
+
+import socket
+import struct
+from typing import Optional, Tuple
+
+from repro.exceptions import ProtocolError
+
+_HEADER = struct.Struct(">I")
+
+#: Shard replies coalesce a whole batch into one frame; allow generous room.
+DEFAULT_MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+
+class FrameSocket:
+    """One blocking, length-prefixed frame stream over a connected socket."""
+
+    def __init__(
+        self, sock: socket.socket, max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES
+    ) -> None:
+        self._sock = sock
+        self._max_frame_bytes = max_frame_bytes
+        try:
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        except OSError:
+            pass  # not a TCP socket (tests may pass a socketpair)
+
+    @classmethod
+    def connect(
+        cls,
+        address: Tuple[str, int],
+        timeout: Optional[float] = None,
+        max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+    ) -> "FrameSocket":
+        sock = socket.create_connection(address, timeout=timeout)
+        sock.settimeout(None)
+        return cls(sock, max_frame_bytes=max_frame_bytes)
+
+    def settimeout(self, timeout: Optional[float]) -> None:
+        """Bound every subsequent ``recv_bytes`` (the request timeout)."""
+        self._sock.settimeout(timeout)
+
+    def send_bytes(self, data: bytes) -> None:
+        size = len(data)
+        if size > self._max_frame_bytes:
+            raise ProtocolError(
+                f"outgoing frame of {size} bytes exceeds the "
+                f"{self._max_frame_bytes}-byte limit"
+            )
+        header = _HEADER.pack(size)
+        # sendmsg avoids concatenating header + a multi-megabyte payload.
+        if hasattr(self._sock, "sendmsg"):
+            sent = self._sock.sendmsg([header, data])
+            total = len(header) + size
+            if sent < total:
+                remainder = (header + data)[sent:] if sent < 4 else data[sent - 4 :]
+                self._sock.sendall(remainder)
+        else:  # pragma: no cover - all posix sockets have sendmsg
+            self._sock.sendall(header)
+            if data:
+                self._sock.sendall(data)
+
+    def recv_bytes(self) -> bytes:
+        header = self._recv_exact(_HEADER.size)
+        (size,) = _HEADER.unpack(header)
+        if size > self._max_frame_bytes:
+            raise ProtocolError(
+                f"incoming frame of {size} bytes exceeds the "
+                f"{self._max_frame_bytes}-byte limit"
+            )
+        return self._recv_exact(size)
+
+    def _recv_exact(self, size: int) -> bytes:
+        if size == 0:
+            return b""
+        buffer = bytearray(size)
+        view = memoryview(buffer)
+        received = 0
+        while received < size:
+            count = self._sock.recv_into(view[received:], size - received)
+            if count == 0:
+                raise EOFError("peer closed the connection")
+            received += count
+        return bytes(buffer)
+
+    def close(self) -> None:
+        try:
+            self._sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        self._sock.close()
+
+    def __enter__(self) -> "FrameSocket":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -89,6 +89,16 @@ class PersistenceError(ReproError):
     """The durability subsystem hit an invalid state or configuration."""
 
 
+class ReplicationError(PersistenceError):
+    """WAL shipping between a primary and its standby broke an invariant.
+
+    Raised when a shipped record is out of LSN order (a gap or a replayed
+    duplicate) or when the replication stream cannot be established from
+    the primary's segments.  A standby that merely *lags* never raises
+    this — the primary's bounded-lag window blocks instead.
+    """
+
+
 class CorruptRecordError(PersistenceError):
     """A WAL record or checkpoint failed its CRC / framing validation.
 
@@ -107,6 +117,25 @@ class ServiceError(ReproError):
     Raised server-side for invalid requests (and sent back as an error
     reply), and client-side when a request fails or the connection is
     gone.
+    """
+
+
+class ConnectionLostError(ServiceError):
+    """The client's connection to the server died with requests in flight.
+
+    Raised (and set on every pending request future) when the server
+    closes the connection, the socket errors out, or a reply frame cannot
+    be read — as opposed to a :class:`ServiceError` reply on a healthy
+    connection, after which the client remains usable.
+    """
+
+
+class RequestTimeoutError(ServiceError):
+    """A client request exceeded its per-request timeout.
+
+    The connection may still be healthy (e.g. the server is merely
+    saturated); only this request is abandoned.  A late reply to an
+    abandoned request is discarded.
     """
 
 

@@ -17,8 +17,8 @@ layer instead of summing it (see ``repro.runtime.sharded``).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Iterable
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Optional
 
 
 @dataclass
@@ -159,11 +159,18 @@ class ServiceCounters:
     slow_disconnects: int = 0
     #: Requests answered with an error reply.
     request_errors: int = 0
+    #: Standby promotions performed by a remote (cluster) executor.
+    failovers: int = 0
+    #: Worst per-shard journaled-minus-replicated LSN gap (cluster only).
+    replication_lag_records: int = 0
+    #: Per-shard replicated (standby-acked) LSN.  Keys are shard ids as
+    #: strings so the snapshot survives a JSON round-trip unchanged.
+    replica_applied_lsns: Dict[str, int] = field(default_factory=dict)
 
     def reset(self) -> None:
         """Zero every counter."""
-        for name in self.snapshot():
-            setattr(self, name, 0)
+        for name, value in self.snapshot().items():
+            setattr(self, name, {} if isinstance(value, dict) else 0)
 
     def snapshot(self) -> Dict[str, float]:
         """A plain-dict copy (the ``service`` section of the ``stats`` op)."""
@@ -181,4 +188,24 @@ class ServiceCounters:
             "notifications_dropped": self.notifications_dropped,
             "slow_disconnects": self.slow_disconnects,
             "request_errors": self.request_errors,
+            "failovers": self.failovers,
+            "replication_lag_records": self.replication_lag_records,
+            "replica_applied_lsns": dict(self.replica_applied_lsns),
+        }
+
+    def adopt_replication(self, summary: Optional[Dict[str, object]]) -> None:
+        """Overwrite the cluster fields from a replication summary.
+
+        ``summary`` is the dict a remote executor's ``replication_summary``
+        property reports (``None`` — any non-cluster monitor — leaves the
+        fields at their zero state); the lag reported is the worst shard's.
+        """
+        if not summary:
+            return
+        self.failovers = int(summary.get("failovers", 0))  # type: ignore[arg-type]
+        lags: Dict[object, int] = summary.get("replication_lag_records") or {}  # type: ignore[assignment]
+        self.replication_lag_records = max(lags.values(), default=0)
+        applied: Dict[object, int] = summary.get("applied_lsn") or {}  # type: ignore[assignment]
+        self.replica_applied_lsns = {
+            str(shard_id): int(lsn) for shard_id, lsn in applied.items()
         }

@@ -189,12 +189,12 @@ _EXECUTORS: Dict[str, Type[ShardExecutor]] = {
 #: the shared-memory batch transport when the host provides it;
 #: ``"processes-pipe"`` forces the pipe fallback (useful for measuring the
 #: transport itself, and for hosts with a broken /dev/shm).
-EXECUTOR_NAMES = ("serial", "threads", "processes", "processes-pipe")
+EXECUTOR_NAMES = ("serial", "threads", "processes", "processes-pipe", "remote")
 
 
 def make_executor(spec: Union[str, ShardExecutor], n_shards: int) -> ShardExecutor:
     """Resolve an executor name (``"serial"``/``"threads"``/``"processes"``/
-    ``"processes-pipe"``) or pass an instance through.
+    ``"processes-pipe"``/``"remote"``) or pass an instance through.
 
     ``n_shards`` sizes the worker pool for pooled executors.
     """
@@ -208,6 +208,11 @@ def make_executor(spec: Union[str, ShardExecutor], n_shards: int) -> ShardExecut
 
         transport = "pipe" if name == "processes-pipe" else "auto"
         return ProcessShardExecutor(n_shards, transport=transport)
+    if name == "remote":
+        # Same lazy-registry pattern: the cluster layer builds on this module.
+        from repro.cluster.remote import RemoteShardExecutor
+
+        return RemoteShardExecutor(n_shards)
     cls = _EXECUTORS.get(name)
     if cls is None:
         raise ConfigurationError(

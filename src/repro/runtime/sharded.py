@@ -383,13 +383,39 @@ class ShardedMonitor:
             "policy": self._router.policy.name,
             "executor": self._executor.name,
             # Which batch transport the executor settled on ("shm"/"pipe"
-            # for the process executor, None for in-process executors).
+            # for the process executor, "socket" for the remote executor,
+            # None for in-process executors).
             "transport": getattr(self._executor, "transport_active", None),
             "num_queries": self.num_queries,
             "shard_loads": self._router.loads(),
             "documents_processed": self._documents_processed,
             "window_horizon": self.config.window_horizon,
+            # Cluster facts (None unless the executor replicates shards).
+            "replication": self.replication_summary,
         }
+
+    @property
+    def replication_summary(self):
+        """The remote executor's replication facts (``None`` otherwise)."""
+        return getattr(self._executor, "replication_summary", None)
+
+    def replication_health(self) -> Dict[int, Dict[str, object]]:
+        """Live per-partition replication status (cluster executors only)."""
+        health = getattr(self._executor, "replication_health", None)
+        if health is None:
+            raise ConfigurationError(
+                f"executor {self._executor.name!r} does not replicate shards"
+            )
+        return health()
+
+    def check_health(self) -> Dict[int, bool]:
+        """Heartbeat every shard host (cluster executors only)."""
+        check = getattr(self._executor, "check_health", None)
+        if check is None:
+            raise ConfigurationError(
+                f"executor {self._executor.name!r} has no health checks"
+            )
+        return check()
 
     # ------------------------------------------------------------------ #
     # Crash-recovery adoption

@@ -24,7 +24,12 @@ import itertools
 from typing import Dict, List, NamedTuple, Optional, Sequence
 
 from repro.documents.document import Document
-from repro.exceptions import ProtocolError, ServiceError
+from repro.exceptions import (
+    ConnectionLostError,
+    ProtocolError,
+    RequestTimeoutError,
+    ServiceError,
+)
 from repro.persistence import codec
 from repro.service import protocol
 from repro.service.protocol import Notification
@@ -56,11 +61,17 @@ class MonitorClient:
         writer: asyncio.StreamWriter,
         hello: Dict[str, object],
         max_frame_bytes: int = protocol.MAX_FRAME_BYTES,
+        request_timeout: Optional[float] = None,
     ) -> None:
         self._reader = reader
         self._writer = writer
         self._hello = hello
         self._max_frame_bytes = max_frame_bytes
+        #: Per-request reply deadline; ``None`` waits forever (the
+        #: pre-cluster behaviour).  A timed-out request is abandoned —
+        #: its late reply, should one arrive, is discarded — but the
+        #: connection stays up for everything else.
+        self.request_timeout = request_timeout
         self._request_ids = itertools.count(1)
         self._pending: Dict[int, "asyncio.Future"] = {}
         self._updates: "asyncio.Queue" = asyncio.Queue()
@@ -80,11 +91,15 @@ class MonitorClient:
         port: int,
         max_frame_bytes: int = protocol.MAX_FRAME_BYTES,
         sock=None,
+        request_timeout: Optional[float] = None,
     ) -> "MonitorClient":
         """Connect and consume the server's ``hello`` push.
 
         ``sock`` substitutes a pre-connected socket (tests use this to
-        shrink kernel buffers before connecting).
+        shrink kernel buffers before connecting).  ``request_timeout``
+        bounds every request's wait for its reply (see
+        :attr:`request_timeout`); without it a request on a wedged — but
+        not closed — server connection waits forever.
         """
         if sock is not None:
             reader, writer = await asyncio.open_connection(sock=sock)
@@ -100,7 +115,9 @@ class MonitorClient:
                 f"server speaks protocol version {hello.get('version')!r}, "
                 f"this client speaks {protocol.PROTOCOL_VERSION}"
             )
-        return cls(reader, writer, hello, max_frame_bytes)
+        return cls(
+            reader, writer, hello, max_frame_bytes, request_timeout=request_timeout
+        )
 
     @property
     def closed(self) -> bool:
@@ -169,9 +186,9 @@ class MonitorClient:
                     self._server_shutdown = str(message.get("reason", ""))
                 # Unknown pushes are ignored: forward compatibility.
         except (ProtocolError, OSError, RuntimeError) as exc:
-            self._mark_closed(ServiceError(f"connection lost: {exc}"))
+            self._mark_closed(ConnectionLostError(f"connection lost: {exc}"))
             return
-        self._mark_closed(ServiceError("server closed the connection"))
+        self._mark_closed(ConnectionLostError("server closed the connection"))
 
     def _handle_reply(self, message: Dict[str, object]) -> None:
         request_id = message.get("reply")
@@ -187,7 +204,9 @@ class MonitorClient:
     # Requests
     # ------------------------------------------------------------------ #
 
-    async def _request(self, op: str, **fields: object) -> Dict[str, object]:
+    async def _request(
+        self, op: str, timeout: Optional[float] = None, **fields: object
+    ) -> Dict[str, object]:
         if self._closed:
             raise ServiceError("client is closed")
         request_id = next(self._request_ids)
@@ -202,9 +221,21 @@ class MonitorClient:
                 )
         except (OSError, RuntimeError) as exc:
             self._pending.pop(request_id, None)
-            self._mark_closed(ServiceError(f"connection lost: {exc}"))
-            raise ServiceError(f"connection lost: {exc}") from exc
-        return await future
+            self._mark_closed(ConnectionLostError(f"connection lost: {exc}"))
+            raise ConnectionLostError(f"connection lost: {exc}") from exc
+        deadline = timeout if timeout is not None else self.request_timeout
+        if deadline is None:
+            return await future
+        try:
+            return await asyncio.wait_for(future, deadline)
+        except asyncio.TimeoutError:
+            # Abandon this request only: drop the pending slot so a late
+            # reply is silently discarded by _handle_reply.
+            self._pending.pop(request_id, None)
+            raise RequestTimeoutError(
+                f"request {op!r} (id {request_id}) got no reply within "
+                f"{deadline}s"
+            ) from None
 
     async def subscribe(
         self,
@@ -278,8 +309,10 @@ class MonitorClient:
         reply = await self._request(protocol.OP_CHECKPOINT)
         return int(reply["lsn"])  # type: ignore[arg-type]
 
-    async def ping(self) -> None:
-        await self._request(protocol.OP_PING)
+    async def ping(self, timeout: Optional[float] = None) -> None:
+        """Round-trip a no-op (the health check; ``timeout`` overrides
+        :attr:`request_timeout` for this one probe)."""
+        await self._request(protocol.OP_PING, timeout=timeout)
 
     # ------------------------------------------------------------------ #
     # Notifications

@@ -63,6 +63,13 @@ from repro.metrics.counters import ServiceCounters
 from repro.service import protocol
 from repro.service.registry import SubscriptionRegistry
 
+#: Roles a service process can run as.  ``"monitor"`` is the pub/sub
+#: server this module implements; ``"shard-host"`` serves one engine shard
+#: over the cluster wire protocol (see :func:`serve_shard_host`).
+ROLE_MONITOR = "monitor"
+ROLE_SHARD_HOST = "shard-host"
+SERVICE_ROLES = (ROLE_MONITOR, ROLE_SHARD_HOST)
+
 #: Slow-consumer policies (see the module docstring and docs/service.md).
 POLICY_BLOCK = "block"
 POLICY_DROP = "drop"
@@ -136,6 +143,11 @@ class ServiceConfig:
         Seconds :meth:`MonitorServer.stop` waits for each draining step
         (ingest queue, outstanding acks, per-subscriber flush) before
         forcing it.
+    role:
+        What this service process serves: ``"monitor"`` (default — the
+        pub/sub server) or ``"shard-host"`` (one engine shard behind the
+        cluster wire protocol; launched with :func:`serve_shard_host`, not
+        with :class:`MonitorServer`).
     """
 
     host: str = "127.0.0.1"
@@ -152,8 +164,13 @@ class ServiceConfig:
     checkpoint_on_shutdown: bool = True
     close_monitor: bool = True
     shutdown_timeout: float = 30.0
+    role: str = ROLE_MONITOR
 
     def __post_init__(self) -> None:
+        if self.role not in SERVICE_ROLES:
+            raise ConfigurationError(
+                f"role must be one of {SERVICE_ROLES}, got {self.role!r}"
+            )
         if self.max_batch <= 0:
             raise ConfigurationError(f"max_batch must be > 0, got {self.max_batch}")
         if self.linger_yields < 0:
@@ -185,6 +202,38 @@ class ServiceConfig:
             raise ConfigurationError(
                 f"shutdown_timeout must be > 0, got {self.shutdown_timeout}"
             )
+
+
+def serve_shard_host(
+    shard_id: int,
+    config,
+    options=None,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    on_ready=None,
+) -> None:
+    """Run one engine shard behind the cluster wire protocol (blocking).
+
+    The ``shard-host`` role: where :class:`MonitorServer` fronts a whole
+    monitor with the pub/sub JSON protocol, a shard host serves a single
+    :class:`~repro.runtime.shard.EngineShard` over length-prefixed codec
+    frames (:mod:`repro.cluster.transport`) for a
+    :class:`~repro.cluster.remote.RemoteShardExecutor` to drive — and,
+    when journaling, accepts WAL subscribers (hot standbys) on the same
+    listen socket.  Blocks until a ``shutdown`` command arrives over the
+    wire; ``on_ready`` receives the bound ``(host, port)`` once listening
+    (port 0 picks a free one).
+
+    ``config`` is the :class:`~repro.core.config.MonitorConfig` for the
+    hosted shard; ``options`` a :class:`~repro.cluster.host.HostOptions`
+    (``None`` hosts a plain non-journaling primary).
+    """
+    # Function-level import: the cluster package pulls in persistence and
+    # runtime layers the plain pub/sub path never needs.
+    from repro.cluster.host import HostOptions, ShardHost
+
+    shard_host = ShardHost(shard_id, config, options or HostOptions())
+    shard_host.serve(host=host, port=port, on_ready=on_ready)
 
 
 class _IngestItem:
@@ -290,6 +339,11 @@ class MonitorServer:
     def __init__(self, monitor, config: Optional[ServiceConfig] = None) -> None:
         self._monitor = monitor
         self._config = config or ServiceConfig()
+        if self._config.role != ROLE_MONITOR:
+            raise ConfigurationError(
+                f"MonitorServer serves the {ROLE_MONITOR!r} role; the "
+                f"{self._config.role!r} role is launched with serve_shard_host()"
+            )
         self._counters = ServiceCounters()
         self._registry: SubscriptionRegistry[_Session] = SubscriptionRegistry()
         self._sessions: Set[_Session] = set()
@@ -648,7 +702,9 @@ class MonitorServer:
 
     def stats_snapshot(self) -> Dict[str, object]:
         """The ``stats`` op payload (see docs/service.md for the contract)."""
-        return {
+        replication = getattr(self._monitor, "replication_summary", None)
+        self._counters.adopt_replication(replication)
+        snapshot: Dict[str, object] = {
             "protocol": protocol.PROTOCOL_VERSION,
             "server": _SERVER_NAME,
             "engine": self._monitor.statistics.snapshot(),
@@ -661,6 +717,9 @@ class MonitorServer:
             "durable": self._is_durable(),
             "policy": self._config.slow_consumer_policy,
         }
+        if replication is not None:
+            snapshot["replication"] = replication
+        return snapshot
 
     @property
     def counters(self) -> ServiceCounters:

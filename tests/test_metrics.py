@@ -119,6 +119,9 @@ class TestServiceCounters:
         "notifications_dropped",
         "slow_disconnects",
         "request_errors",
+        "failovers",
+        "replication_lag_records",
+        "replica_applied_lsns",
     }
 
     def test_snapshot_wire_format(self):
@@ -137,8 +140,26 @@ class TestServiceCounters:
 
     def test_reset(self):
         counters = ServiceCounters(subscribes=4, slow_disconnects=1)
+        counters.replica_applied_lsns["0"] = 9
         counters.reset()
         assert counters == ServiceCounters()
+
+    def test_adopt_replication(self):
+        counters = ServiceCounters()
+        counters.adopt_replication(None)  # non-cluster monitors: no-op
+        assert counters.failovers == 0
+        counters.adopt_replication(
+            {
+                "failovers": 2,
+                "replication_lag_records": {0: 3, 1: 7},
+                "applied_lsn": {0: 10, 1: 4},
+            }
+        )
+        assert counters.failovers == 2
+        assert counters.replication_lag_records == 7  # worst shard
+        snap = counters.snapshot()
+        assert snap["replica_applied_lsns"] == {"0": 10, "1": 4}
+        assert json.loads(json.dumps(snap)) == snap
 
 
 class TestRunStatistics:

@@ -1,0 +1,172 @@
+"""Client-side failure discipline: request timeouts and lost connections.
+
+A cluster router health-checks its peers with :meth:`MonitorClient.ping`,
+so the client must distinguish *the server is slow* from *the server is
+gone*: a request that gets no reply within its deadline raises
+:class:`RequestTimeoutError` and leaves the connection usable, while a
+connection that dies mid-flight fails **every** pending request with
+:class:`ConnectionLostError`.  These tests drive the client against small
+scripted asyncio servers (a wedged one, a half-replying one, one that
+slams the connection) rather than a real :class:`MonitorServer` — the
+behaviours under test are exactly the ones a healthy server never shows.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.exceptions import (
+    ConnectionLostError,
+    RequestTimeoutError,
+    ServiceError,
+)
+from repro.service import protocol
+from repro.service.client import MonitorClient
+
+
+def run(coro):
+    return asyncio.run(asyncio.wait_for(coro, timeout=60))
+
+
+class ScriptedServer:
+    """A loopback server that greets with ``hello`` and then follows a
+    per-connection handler supplied by the test."""
+
+    def __init__(self, handler):
+        self._handler = handler
+        self._server = None
+        self.address = None
+
+    async def __aenter__(self):
+        async def on_connect(reader, writer):
+            await protocol.write_frame(writer, protocol.hello_push("scripted"))
+            try:
+                await self._handler(reader, writer)
+            except (ConnectionError, asyncio.IncompleteReadError):
+                pass
+            finally:
+                writer.close()
+
+        self._server = await asyncio.start_server(on_connect, "127.0.0.1", 0)
+        self.address = self._server.sockets[0].getsockname()[:2]
+        return self
+
+    async def __aexit__(self, *exc_info):
+        self._server.close()
+        await self._server.wait_closed()
+
+
+async def _read_request(reader):
+    message = await protocol.read_frame(reader)
+    assert message is not None, "client closed before sending a request"
+    return message
+
+
+class TestRequestTimeout:
+    def test_wedged_server_times_out_but_connection_survives(self):
+        """No reply within the deadline -> RequestTimeoutError, client open."""
+
+        async def wedged(reader, writer):
+            # Swallow requests forever; never reply.
+            while await protocol.read_frame(reader) is not None:
+                pass
+
+        async def scenario():
+            async with ScriptedServer(wedged) as server:
+                client = await MonitorClient.connect(
+                    *server.address, request_timeout=0.2
+                )
+                with pytest.raises(RequestTimeoutError):
+                    await client.ping()
+                assert not client.closed
+                # The per-call override beats the connection default.
+                with pytest.raises(RequestTimeoutError):
+                    await client.ping(timeout=0.05)
+                assert not client.closed
+                await client.close()
+
+        run(scenario())
+
+    def test_late_reply_to_abandoned_request_is_discarded(self):
+        """A reply arriving after the timeout must not leak anywhere: not to
+        the abandoned request, not to the next one."""
+        release = {}
+
+        async def slow_then_prompt(reader, writer):
+            first = await _read_request(reader)
+            await release["gate"].wait()  # reply only after the timeout fired
+            await protocol.write_frame(
+                writer, protocol.ok_reply(first["id"], stats={"late": True})
+            )
+            second = await _read_request(reader)
+            await protocol.write_frame(
+                writer, protocol.ok_reply(second["id"], stats={"late": False})
+            )
+            await asyncio.sleep(3600)
+
+        async def scenario():
+            release["gate"] = asyncio.Event()
+            async with ScriptedServer(slow_then_prompt) as server:
+                client = await MonitorClient.connect(
+                    *server.address, request_timeout=0.2
+                )
+                with pytest.raises(RequestTimeoutError):
+                    await client.stats()
+                release["gate"].set()
+                stats = await asyncio.wait_for(client.stats(), timeout=10)
+                assert stats == {"late": False}
+                await client.close()
+
+        run(scenario())
+
+    def test_no_timeout_configured_waits_indefinitely(self):
+        """Without request_timeout the pre-cluster contract holds: the
+        request simply waits (here: until the reply shows up)."""
+
+        async def eventually(reader, writer):
+            message = await _read_request(reader)
+            await asyncio.sleep(0.3)
+            await protocol.write_frame(writer, protocol.ok_reply(message["id"]))
+            await asyncio.sleep(3600)
+
+        async def scenario():
+            async with ScriptedServer(eventually) as server:
+                client = await MonitorClient.connect(*server.address)
+                assert client.request_timeout is None
+                await client.ping()  # 0.3s > any accidental default deadline
+                await client.close()
+
+        run(scenario())
+
+
+class TestConnectionLost:
+    def test_server_death_fails_every_pipelined_request(self):
+        """The connection dying must fail ALL in-flight futures, not just
+        the one whose reply was being awaited."""
+
+        async def die_after_three(reader, writer):
+            for _ in range(3):
+                await _read_request(reader)
+            # Slam the connection with three requests unanswered.
+
+        async def scenario():
+            async with ScriptedServer(die_after_three) as server:
+                client = await MonitorClient.connect(*server.address)
+                pings = [asyncio.ensure_future(client.ping()) for _ in range(3)]
+                results = await asyncio.gather(*pings, return_exceptions=True)
+                assert len(results) == 3
+                for outcome in results:
+                    assert isinstance(outcome, ConnectionLostError)
+                assert client.closed
+                # Further requests are refused, not hung.
+                with pytest.raises(ServiceError):
+                    await client.ping()
+
+        run(scenario())
+
+    def test_connection_lost_is_a_service_error(self):
+        """Existing except ServiceError handlers keep catching both new
+        failure modes (they subclass it)."""
+        assert issubclass(ConnectionLostError, ServiceError)
+        assert issubclass(RequestTimeoutError, ServiceError)
+        assert not issubclass(ConnectionLostError, RequestTimeoutError)
