@@ -173,6 +173,10 @@ def run_cell(
             extra["durability"] = 1.0
             extra["wal_group_commit"] = float(spec.wal_group_commit)
         response_times = list(engine.response_times)
+        batch_response_times = [
+            (int(size), float(elapsed))
+            for size, elapsed in getattr(engine, "batch_response_times", [])
+        ]
     finally:
         if spec.durability or sharded:
             engine.close()
@@ -185,6 +189,7 @@ def run_cell(
         response_times=response_times,
         counters=counters,
         extra=extra,
+        batch_response_times=batch_response_times,
     )
 
 

@@ -44,6 +44,7 @@ import os
 import socket
 import threading
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.core.config import MonitorConfig
@@ -120,6 +121,7 @@ class ShardHost:
                 group_commit=self.options.group_commit,
                 segment_max_bytes=self.options.segment_max_bytes,
                 fsync=self.options.fsync,
+                telemetry=self._shard.telemetry,
             )
             self._applier = ReplicaApplier(
                 self._shard,
@@ -289,6 +291,8 @@ class ShardHost:
             return dict(shard.queries), {}
         if command == "counters":
             return shard.counters.snapshot(), {}
+        if command == "telemetry":
+            return shard.telemetry_snapshot(), {}
         if command == "response_times":
             return list(shard.response_times), {}
         if command == "promote":
@@ -376,6 +380,8 @@ class ShardHost:
         """
         if self._wal is None:
             return {}
+        telemetry = self._shard.telemetry
+        started = perf_counter() if telemetry.enabled else 0.0
         if command == "process":
             kind, data = codec.document_record(args[0])
         elif command == "process_batch":
@@ -402,6 +408,8 @@ class ShardHost:
             for sender in self._senders:
                 sender.wait_for(lsn, self._repl_timeout)
             os._exit(137)
+        if telemetry.enabled:
+            telemetry.observe("cluster.journal", perf_counter() - started)
         return {"l": lsn, "rl": self._replicated_lsn(lsn)}
 
     def _record_result(self, extra: Dict[str, object], value: object) -> None:
@@ -423,6 +431,8 @@ class ShardHost:
         """Bounded lag: block the ack until the standbys are close enough."""
         if not extra or not self._senders:
             return
+        telemetry = self._shard.telemetry
+        started = perf_counter() if telemetry.enabled else 0.0
         lsn = int(extra["l"])  # type: ignore[arg-type]
         if self._min_replicas > 0:
             needed = min(self._min_replicas, len(self._senders))
@@ -437,6 +447,8 @@ class ShardHost:
             if floor > 0:
                 for sender in self._senders:
                     sender.wait_for(floor, self._repl_timeout)
+        if telemetry.enabled:
+            telemetry.observe("cluster.replication_ack", perf_counter() - started)
         extra["rl"] = self._replicated_lsn(lsn)
 
     # ------------------------------------------------------------------ #

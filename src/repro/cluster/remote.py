@@ -692,6 +692,26 @@ class RemoteShardExecutor(ShardExecutor):
             for handle in self.handles
         }
 
+    def telemetry_gauges(self) -> Dict[str, float]:
+        """Router-side cluster gauges folded into the merged telemetry
+        snapshot (no extra round trips; {} before the fleet is live)."""
+        if self._handles is None:
+            return {}
+        return {
+            "cluster.failovers": float(
+                sum(handle.failovers for handle in self._handles)
+            ),
+            "cluster.replication_lag_records": float(
+                max(
+                    (
+                        handle.wal_lsn - handle.replicated_lsn
+                        for handle in self._handles
+                    ),
+                    default=0,
+                )
+            ),
+        }
+
     # ------------------------------------------------------------------ #
     # Execution
     # ------------------------------------------------------------------ #

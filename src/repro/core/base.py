@@ -30,6 +30,7 @@ from repro.documents.decay import ExponentialDecay
 from repro.documents.document import Document
 from repro.exceptions import DuplicateQueryError, StreamError, UnknownQueryError
 from repro.metrics.counters import EventCounters
+from repro.obs.telemetry import NULL_TELEMETRY
 from repro.queries.query import Query
 from repro.types import DocId, QueryId
 
@@ -69,6 +70,10 @@ class StreamAlgorithm(abc.ABC):
         self.response_times: List[float] = []
         #: One ``(batch_size, elapsed_seconds)`` pair per processed batch.
         self.batch_response_times: List[tuple] = []
+        #: Lap recorder: the shared no-op unless an owner (monitor, shard)
+        #: attaches a real :class:`~repro.obs.telemetry.Telemetry` — the
+        #: per-event cost when disabled is one attribute read.
+        self.telemetry = NULL_TELEMETRY
         self._update_listeners: List[UpdateListener] = []
         self._renormalize_listeners: List[RenormalizeListener] = []
         self._last_arrival: Optional[float] = None
@@ -169,6 +174,8 @@ class StreamAlgorithm(abc.ABC):
         self.counters.documents += 1
         self.counters.elapsed_seconds += elapsed
         self.response_times.append(elapsed)
+        if self.telemetry.enabled:
+            self.telemetry.observe("engine.event", elapsed)
         for update in updates:
             for listener in self._update_listeners:
                 listener(update)
@@ -241,6 +248,8 @@ class StreamAlgorithm(abc.ABC):
         # event of a batch gets the same value) — see batch_response_times.
         per_event = elapsed / len(docs)
         self.response_times.extend([per_event] * len(docs))
+        if self.telemetry.enabled:
+            self.telemetry.observe("engine.batch", elapsed)
         if self._update_listeners:
             for update in updates:
                 for listener in self._update_listeners:

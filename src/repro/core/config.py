@@ -40,6 +40,12 @@ class MonitorConfig:
     default_k:
         The k used by the keyword-registration convenience API when the
         caller does not specify one.
+    telemetry:
+        Record per-lap latency histograms (see :mod:`repro.obs`).  Off by
+        default: the disabled recorder is a shared no-op, so the hot path
+        pays one attribute read per event.  The flag travels with the
+        config into worker processes and remote shard hosts, which answer
+        the ``telemetry`` command with their local histograms.
     """
 
     algorithm: str = "mrio"
@@ -48,6 +54,7 @@ class MonitorConfig:
     max_amplification: float = 1e60
     window_horizon: Optional[float] = None
     default_k: int = 10
+    telemetry: bool = False
 
     def __post_init__(self) -> None:
         require_non_negative(self.lam, "lam")

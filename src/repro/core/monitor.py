@@ -35,6 +35,7 @@ from repro.documents.decay import ExponentialDecay
 from repro.documents.document import Document
 from repro.exceptions import ConfigurationError
 from repro.metrics.counters import EventCounters
+from repro.obs.telemetry import Telemetry
 from repro.queries.query import Query
 from repro.text.similarity import l2_normalize
 from repro.text.vectorizer import Vectorizer
@@ -70,6 +71,8 @@ class ContinuousMonitor:
             if self.config.algorithm.lower() == "mrio":
                 kwargs["ub_variant"] = self.config.ub_variant
             self.algorithm = create_algorithm(self.config.algorithm, decay, **kwargs)
+        if self.config.telemetry and not self.algorithm.telemetry.enabled:
+            self.algorithm.telemetry = Telemetry()
         self.vectorizer = vectorizer
         self._expiration: Optional[ExpirationManager] = None
         if self.config.window_horizon is not None:
@@ -254,6 +257,20 @@ class ContinuousMonitor:
     def response_times(self) -> List[float]:
         """Per-event processing time in seconds."""
         return self.algorithm.response_times
+
+    @property
+    def batch_response_times(self) -> List[tuple]:
+        """One ``(batch_size, elapsed_seconds)`` pair per processed batch."""
+        return self.algorithm.batch_response_times
+
+    @property
+    def telemetry(self) -> Telemetry:
+        """The engine's lap recorder (the shared no-op when disabled)."""
+        return self.algorithm.telemetry
+
+    def telemetry_snapshot(self) -> Dict[str, object]:
+        """The engine's telemetry wire dict (empty when disabled)."""
+        return self.algorithm.telemetry.snapshot()
 
     @property
     def live_window_size(self) -> Optional[int]:

@@ -1,6 +1,10 @@
-"""Instrumentation: per-event counters and per-run aggregate statistics."""
+"""Instrumentation: per-event counters and per-run aggregate statistics.
 
-from repro.metrics.counters import EventCounters
+Latency *histograms* and pipeline stage timers live in :mod:`repro.obs`;
+this package holds the scalar work counters and the bench-run summaries.
+"""
+
+from repro.metrics.counters import EventCounters, ServiceCounters
 from repro.metrics.runstats import RunStatistics, summarize_times
 
-__all__ = ["EventCounters", "RunStatistics", "summarize_times"]
+__all__ = ["EventCounters", "RunStatistics", "ServiceCounters", "summarize_times"]

@@ -159,6 +159,8 @@ class ServiceCounters:
     slow_disconnects: int = 0
     #: Requests answered with an error reply.
     request_errors: int = 0
+    #: ``metrics`` op calls plus ``GET /metrics`` exposition scrapes served.
+    telemetry_scrapes: int = 0
     #: Standby promotions performed by a remote (cluster) executor.
     failovers: int = 0
     #: Worst per-shard journaled-minus-replicated LSN gap (cluster only).
@@ -188,6 +190,7 @@ class ServiceCounters:
             "notifications_dropped": self.notifications_dropped,
             "slow_disconnects": self.slow_disconnects,
             "request_errors": self.request_errors,
+            "telemetry_scrapes": self.telemetry_scrapes,
             "failovers": self.failovers,
             "replication_lag_records": self.replication_lag_records,
             "replica_applied_lsns": dict(self.replica_applied_lsns),

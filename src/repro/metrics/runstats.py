@@ -1,11 +1,43 @@
-"""Aggregate statistics over a measured run (per-event response times)."""
+"""Aggregate statistics over a measured run (per-event response times).
+
+numpy-optional on purpose: the bench harness runs wherever the engine
+runs, and the engine itself has no numpy dependency.  When numpy is
+present the summaries use its vectorized mean/percentile; without it a
+pure-Python fallback computes the *same* numbers — ``_percentile``
+reimplements ``np.percentile``'s default linear interpolation exactly, so
+committed bench tables do not change shape or value with the installed
+stack.  Covered by ``tests/test_metrics.py``.
+"""
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from typing import Dict, List, Sequence, Tuple
 
-import numpy as np
+try:  # pragma: no cover - import probe
+    import numpy as np
+except ImportError:  # pragma: no cover - numpy-free deployments
+    np = None  # type: ignore[assignment]
+
+
+def _percentile(sorted_values: Sequence[float], q: float) -> float:
+    """``np.percentile(values, q)`` (linear interpolation) without numpy.
+
+    ``sorted_values`` must be non-empty and ascending.  The rank is
+    ``q/100 * (n - 1)``; a fractional rank interpolates linearly between
+    the two neighbouring order statistics — numpy's default method.
+    """
+    n = len(sorted_values)
+    if n == 1:
+        return float(sorted_values[0])
+    rank = (q / 100.0) * (n - 1)
+    lower = math.floor(rank)
+    upper = min(lower + 1, n - 1)
+    fraction = rank - lower
+    return float(
+        sorted_values[lower] + (sorted_values[upper] - sorted_values[lower]) * fraction
+    )
 
 
 def summarize_times(times_seconds: Sequence[float]) -> Dict[str, float]:
@@ -20,15 +52,27 @@ def summarize_times(times_seconds: Sequence[float]) -> Dict[str, float]:
             "max_ms": 0.0,
             "total_ms": 0.0,
         }
-    arr = np.asarray(times_seconds, dtype=float) * 1000.0
+    if np is not None:
+        arr = np.asarray(times_seconds, dtype=float) * 1000.0
+        return {
+            "count": int(arr.size),
+            "mean_ms": float(arr.mean()),
+            "median_ms": float(np.median(arr)),
+            "p95_ms": float(np.percentile(arr, 95)),
+            "p99_ms": float(np.percentile(arr, 99)),
+            "max_ms": float(arr.max()),
+            "total_ms": float(arr.sum()),
+        }
+    values = sorted(float(value) * 1000.0 for value in times_seconds)
+    total = sum(values)
     return {
-        "count": int(arr.size),
-        "mean_ms": float(arr.mean()),
-        "median_ms": float(np.median(arr)),
-        "p95_ms": float(np.percentile(arr, 95)),
-        "p99_ms": float(np.percentile(arr, 99)),
-        "max_ms": float(arr.max()),
-        "total_ms": float(arr.sum()),
+        "count": len(values),
+        "mean_ms": total / len(values),
+        "median_ms": _percentile(values, 50),
+        "p95_ms": _percentile(values, 95),
+        "p99_ms": _percentile(values, 99),
+        "max_ms": values[-1],
+        "total_ms": total,
     }
 
 
@@ -42,6 +86,9 @@ class RunStatistics:
     response_times: List[float] = field(default_factory=list)
     counters: Dict[str, float] = field(default_factory=dict)
     extra: Dict[str, float] = field(default_factory=dict)
+    #: One ``(batch_size, elapsed_seconds)`` pair per engine batch the run
+    #: processed (empty for per-event runs).
+    batch_response_times: List[Tuple[int, float]] = field(default_factory=list)
 
     @property
     def mean_response_ms(self) -> float:
@@ -65,5 +112,15 @@ class RunStatistics:
         result.update(summarize_times(self.response_times))
         for name, value in self.counters.items():
             result[f"counter_{name}"] = value
+        if self.batch_response_times:
+            batch_times = [elapsed for _, elapsed in self.batch_response_times]
+            batch_summary = summarize_times(batch_times)
+            result["batch_count"] = batch_summary["count"]
+            result["batch_mean_ms"] = batch_summary["mean_ms"]
+            result["batch_p95_ms"] = batch_summary["p95_ms"]
+            result["batch_max_ms"] = batch_summary["max_ms"]
+            result["batch_mean_size"] = sum(
+                size for size, _ in self.batch_response_times
+            ) / len(self.batch_response_times)
         result.update(self.extra)
         return result

@@ -1,0 +1,28 @@
+"""Observability: mergeable latency histograms and telemetry registries.
+
+The package is numpy-free on purpose — telemetry must be recordable inside
+procpool workers and remote shard hosts whose only other dependency is the
+standard library, and mergeable across them without loss (the histogram's
+fixed bucket geometry makes a merge an exact bucket-count addition, the
+same discipline as :meth:`~repro.metrics.counters.EventCounters.merge`).
+"""
+
+from repro.obs.histogram import (
+    BUCKET_BOUNDARIES,
+    GEOMETRY_VERSION,
+    LatencyHistogram,
+    bucket_index,
+)
+from repro.obs.prometheus import render_prometheus
+from repro.obs.telemetry import NULL_TELEMETRY, NullTelemetry, Telemetry
+
+__all__ = [
+    "BUCKET_BOUNDARIES",
+    "GEOMETRY_VERSION",
+    "LatencyHistogram",
+    "bucket_index",
+    "render_prometheus",
+    "NULL_TELEMETRY",
+    "NullTelemetry",
+    "Telemetry",
+]

@@ -1,0 +1,257 @@
+"""A numpy-free, log-bucketed, exactly-mergeable latency histogram.
+
+Every :class:`LatencyHistogram` in the process tree shares one **fixed
+bucket geometry**: bucket boundaries at ``100ns * 2**(i / 4)`` — four
+buckets per octave, ~19% relative resolution — spanning 100 nanoseconds to
+about two and a half hours, plus an underflow and an overflow bucket.
+Because the geometry is a module constant rather than per-instance state,
+merging two histograms is an exact element-wise addition of bucket counts:
+no interpolation, no resampling, no loss.  Merging the per-shard histograms
+of a sharded run therefore yields *the* histogram of the combined sample
+stream, the same contract :meth:`~repro.metrics.counters.EventCounters.merge`
+gives for scalar counters.
+
+The wire shape (:meth:`LatencyHistogram.snapshot`) is a plain JSON-safe
+dict with sparse bucket counts, round-trippable byte-identically through
+the persistence codec's canonical dumps — which is what lets procpool
+workers and remote shard hosts ship their histograms over the existing
+command surfaces.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_right
+from typing import Dict, Iterable, List, Optional, Tuple
+
+#: Bumped if the bucket geometry ever changes; snapshots carry it so a
+#: merge across incompatible geometries fails loudly instead of silently
+#: mixing buckets.
+GEOMETRY_VERSION = 1
+
+#: Upper boundary of bucket 0 (the underflow bucket): 100 nanoseconds.
+MIN_LATENCY_SECONDS = 1e-7
+
+#: Buckets per factor-of-two of latency; 4 gives ~19% relative error.
+BUCKETS_PER_OCTAVE = 4
+
+#: Interior boundaries.  147 of them span 100ns .. ~9.2e3s; with the
+#: underflow and overflow buckets the histogram has 148 buckets total.
+_NUM_BOUNDARIES = 147
+
+#: ``BUCKET_BOUNDARIES[i]`` is the *lower* edge of bucket ``i + 1`` and
+#: the (exclusive) upper edge of bucket ``i``: bucket ``i + 1`` covers the
+#: half-open range ``[BUCKET_BOUNDARIES[i], BUCKET_BOUNDARIES[i + 1])``.
+BUCKET_BOUNDARIES: Tuple[float, ...] = tuple(
+    MIN_LATENCY_SECONDS * 2.0 ** (i / BUCKETS_PER_OCTAVE)
+    for i in range(_NUM_BOUNDARIES)
+)
+
+#: Total bucket count: underflow + one per boundary gap + overflow.
+NUM_BUCKETS = _NUM_BOUNDARIES + 1
+
+
+def bucket_index(seconds: float) -> int:
+    """The bucket a value lands in (half-open buckets, ``[lo, hi)``).
+
+    A value exactly on a boundary belongs to the bucket whose *lower*
+    edge it is — the exactness the boundary tests pin down.
+    """
+    return bisect_right(BUCKET_BOUNDARIES, seconds)
+
+
+def bucket_bounds(index: int) -> Tuple[float, float]:
+    """``(lower, upper)`` edges of a bucket; infinities at the extremes."""
+    lower = BUCKET_BOUNDARIES[index - 1] if index > 0 else float("-inf")
+    upper = (
+        BUCKET_BOUNDARIES[index] if index < _NUM_BOUNDARIES else float("inf")
+    )
+    return lower, upper
+
+
+class LatencyHistogram:
+    """Latency samples bucketed on the shared log geometry.
+
+    Tracks the exact sample count, sum, minimum and maximum alongside the
+    bucket counts, so means stay exact and percentile estimates can be
+    clamped to the observed range.
+    """
+
+    __slots__ = ("_counts", "count", "total", "minimum", "maximum")
+
+    def __init__(self) -> None:
+        self._counts: List[int] = [0] * NUM_BUCKETS
+        self.count = 0
+        self.total = 0.0
+        self.minimum: Optional[float] = None
+        self.maximum: Optional[float] = None
+
+    # ------------------------------------------------------------------ #
+    # Recording and merging
+    # ------------------------------------------------------------------ #
+
+    def record(self, seconds: float) -> None:
+        """Record one latency sample (negative values clamp to underflow)."""
+        self._counts[bisect_right(BUCKET_BOUNDARIES, seconds)] += 1
+        self.count += 1
+        self.total += seconds
+        if self.minimum is None or seconds < self.minimum:
+            self.minimum = seconds
+        if self.maximum is None or seconds > self.maximum:
+            self.maximum = seconds
+
+    def merge(self, other: "LatencyHistogram") -> "LatencyHistogram":
+        """Fold another histogram in: exact bucket-count addition."""
+        counts = self._counts
+        for index, value in enumerate(other._counts):
+            if value:
+                counts[index] += value
+        self.count += other.count
+        self.total += other.total
+        if other.minimum is not None:
+            if self.minimum is None or other.minimum < self.minimum:
+                self.minimum = other.minimum
+        if other.maximum is not None:
+            if self.maximum is None or other.maximum > self.maximum:
+                self.maximum = other.maximum
+        return self
+
+    __iadd__ = merge
+
+    @classmethod
+    def aggregate(cls, histograms: Iterable["LatencyHistogram"]) -> "LatencyHistogram":
+        """A fresh histogram holding the union of the given samples."""
+        merged = cls()
+        for histogram in histograms:
+            merged.merge(histogram)
+        return merged
+
+    def reset(self) -> None:
+        self._counts = [0] * NUM_BUCKETS
+        self.count = 0
+        self.total = 0.0
+        self.minimum = None
+        self.maximum = None
+
+    # ------------------------------------------------------------------ #
+    # Reading
+    # ------------------------------------------------------------------ #
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def bucket_counts(self) -> Dict[int, int]:
+        """Sparse ``{bucket index: count}`` of the non-empty buckets."""
+        return {
+            index: value for index, value in enumerate(self._counts) if value
+        }
+
+    def percentile(self, q: float) -> float:
+        """The ``q``-th percentile, estimated as its bucket's upper edge.
+
+        Bucket resolution bounds the overestimate at ~19% relative; the
+        overflow bucket answers with the observed maximum, and the result
+        is clamped to the observed ``[minimum, maximum]`` range.
+        """
+        if self.count == 0:
+            return 0.0
+        rank = max(1, min(self.count, math.ceil(q / 100.0 * self.count)))
+        seen = 0
+        for index, value in enumerate(self._counts):
+            seen += value
+            if seen >= rank:
+                if index >= _NUM_BOUNDARIES:
+                    break  # overflow: only the observed maximum is known
+                upper = BUCKET_BOUNDARIES[index]
+                if self.maximum is not None:
+                    upper = min(upper, self.maximum)
+                if self.minimum is not None:
+                    upper = max(upper, self.minimum)
+                return upper
+        return self.maximum if self.maximum is not None else 0.0
+
+    def summary(self) -> Dict[str, float]:
+        """The headline numbers in milliseconds (for stats payloads)."""
+        return {
+            "count": self.count,
+            "mean_ms": self.mean * 1e3,
+            "p50_ms": self.percentile(50.0) * 1e3,
+            "p95_ms": self.percentile(95.0) * 1e3,
+            "p99_ms": self.percentile(99.0) * 1e3,
+            "max_ms": (self.maximum or 0.0) * 1e3,
+        }
+
+    # ------------------------------------------------------------------ #
+    # Wire shape
+    # ------------------------------------------------------------------ #
+
+    def snapshot(self) -> Dict[str, object]:
+        """A JSON-safe wire dict; byte-identical through canonical dumps."""
+        return {
+            "v": GEOMETRY_VERSION,
+            "n": self.count,
+            "sum": self.total,
+            "min": self.minimum,
+            "max": self.maximum,
+            "b": {
+                str(index): value
+                for index, value in enumerate(self._counts)
+                if value
+            },
+        }
+
+    def restore(self, snapshot: Dict[str, object]) -> "LatencyHistogram":
+        """Overwrite this histogram from a :meth:`snapshot` dict."""
+        version = snapshot.get("v")
+        if version != GEOMETRY_VERSION:
+            raise ValueError(
+                f"histogram snapshot has geometry version {version!r}; "
+                f"this build speaks version {GEOMETRY_VERSION}"
+            )
+        self.reset()
+        for key, value in snapshot.get("b", {}).items():  # type: ignore[union-attr]
+            self._counts[int(key)] = int(value)
+        self.count = int(snapshot.get("n", 0))  # type: ignore[arg-type]
+        self.total = float(snapshot.get("sum", 0.0))  # type: ignore[arg-type]
+        minimum = snapshot.get("min")
+        maximum = snapshot.get("max")
+        self.minimum = None if minimum is None else float(minimum)  # type: ignore[arg-type]
+        self.maximum = None if maximum is None else float(maximum)  # type: ignore[arg-type]
+        return self
+
+    @classmethod
+    def from_snapshot(cls, snapshot: Dict[str, object]) -> "LatencyHistogram":
+        return cls().restore(snapshot)
+
+    @classmethod
+    def merge_snapshot_dicts(
+        cls, left: Dict[str, object], right: Dict[str, object]
+    ) -> Dict[str, object]:
+        """Merge two wire dicts without materializing histograms."""
+        merged = cls.from_snapshot(left)
+        merged.merge(cls.from_snapshot(right))
+        return merged.snapshot()
+
+    # ------------------------------------------------------------------ #
+    # Equality (differential tests compare merged vs single histograms)
+    # ------------------------------------------------------------------ #
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, LatencyHistogram):
+            return NotImplemented
+        return (
+            self._counts == other._counts
+            and self.count == other.count
+            and self.minimum == other.minimum
+            and self.maximum == other.maximum
+            and math.isclose(
+                self.total, other.total, rel_tol=1e-9, abs_tol=1e-12
+            )
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"LatencyHistogram(count={self.count}, mean={self.mean:.6f}s, "
+            f"min={self.minimum}, max={self.maximum})"
+        )

@@ -1,0 +1,100 @@
+"""Prometheus text-format rendering of a telemetry snapshot.
+
+Renders the `text exposition format
+<https://prometheus.io/docs/instrumenting/exposition_formats/>`_ from a
+:meth:`~repro.obs.telemetry.Telemetry.snapshot` dict — no client library,
+no dependency: the format is lines of ``name{labels} value``.  Histograms
+become native Prometheus histograms (cumulative ``_bucket{le=...}`` series
+plus ``_sum``/``_count``) so ``histogram_quantile()`` works server-side,
+and additionally convenience ``_p50``/``_p95``/``_p99`` gauges for reading
+tails straight off a ``curl``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.obs.histogram import BUCKET_BOUNDARIES, LatencyHistogram
+
+_QUANTILE_GAUGES = (("p50", 50.0), ("p95", 95.0), ("p99", 99.0))
+
+
+def _metric_name(name: str, prefix: str) -> str:
+    sanitized = "".join(
+        ch if (ch.isalnum() or ch == "_") else "_" for ch in name
+    )
+    return f"{prefix}_{sanitized}" if prefix else sanitized
+
+
+def _format_value(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _render_histogram(
+    lines: List[str], metric: str, encoded: Dict[str, object]
+) -> None:
+    histogram = LatencyHistogram.from_snapshot(encoded)
+    lines.append(f"# TYPE {metric}_seconds histogram")
+    cumulative = 0
+    last_nonzero = max(histogram.bucket_counts(), default=-1)
+    counts = [histogram.bucket_counts().get(i, 0) for i in range(last_nonzero + 1)]
+    for index, count in enumerate(counts):
+        cumulative += count
+        if count == 0 and index != last_nonzero:
+            continue
+        upper = (
+            _format_value(BUCKET_BOUNDARIES[index])
+            if index < len(BUCKET_BOUNDARIES)
+            else "+Inf"
+        )
+        lines.append(
+            f'{metric}_seconds_bucket{{le="{upper}"}} {cumulative}'
+        )
+    lines.append(f'{metric}_seconds_bucket{{le="+Inf"}} {histogram.count}')
+    lines.append(f"{metric}_seconds_sum {_format_value(histogram.total)}")
+    lines.append(f"{metric}_seconds_count {histogram.count}")
+    for suffix, q in _QUANTILE_GAUGES:
+        lines.append(f"# TYPE {metric}_{suffix}_seconds gauge")
+        lines.append(
+            f"{metric}_{suffix}_seconds "
+            f"{_format_value(histogram.percentile(q))}"
+        )
+
+
+def render_prometheus(
+    snapshot: Dict[str, object],
+    prefix: str = "repro",
+    service_counters: Optional[Dict[str, object]] = None,
+) -> str:
+    """Render one telemetry snapshot (plus optional service counters).
+
+    ``service_counters`` takes a
+    :meth:`~repro.metrics.counters.ServiceCounters.snapshot` dict; its
+    integer fields become counters, and dict-valued fields (the per-replica
+    LSN map) become labeled gauges.
+    """
+    lines: List[str] = []
+    for name, encoded in snapshot.get("histograms", {}).items():  # type: ignore[union-attr]
+        _render_histogram(lines, _metric_name(name, prefix), encoded)
+    for name, value in snapshot.get("counters", {}).items():  # type: ignore[union-attr]
+        metric = _metric_name(name, prefix)
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {_format_value(value)}")
+    for name, value in snapshot.get("gauges", {}).items():  # type: ignore[union-attr]
+        metric = _metric_name(name, prefix)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_format_value(value)}")
+    for name, value in (service_counters or {}).items():
+        metric = _metric_name(f"service.{name}", prefix)
+        if isinstance(value, dict):
+            lines.append(f"# TYPE {metric} gauge")
+            for key, entry in sorted(value.items()):
+                lines.append(
+                    f'{metric}{{key="{key}"}} {_format_value(entry)}'
+                )
+        else:
+            lines.append(f"# TYPE {metric} counter")
+            lines.append(f"{metric} {_format_value(value)}")
+    return "\n".join(lines) + "\n"

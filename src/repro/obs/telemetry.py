@@ -1,0 +1,161 @@
+"""The telemetry registry: named histograms, counters and gauges.
+
+A :class:`Telemetry` instance is the unit of collection: every layer that
+records latencies (the engine's lap recording, the WAL's flush/fsync path,
+a shard host's replication waits, the server's pipeline stages) observes
+into one registry, and registries compose losslessly — a snapshot is a
+JSON-safe dict, and :meth:`Telemetry.merge_snapshot` folds a worker's or
+remote host's snapshot into the router's view by exact histogram merge and
+counter addition (gauges take the maximum, the operationally interesting
+envelope).
+
+**The disabled path costs nothing.**  :data:`NULL_TELEMETRY` is a shared
+no-op recorder whose ``enabled`` flag is ``False``; hot paths guard their
+``time.perf_counter()`` pairs behind ``if telemetry.enabled`` so a monitor
+built without telemetry pays one attribute read per lap, nothing more.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from time import perf_counter
+from typing import Dict, Iterable, Iterator, Optional
+
+from repro.obs.histogram import LatencyHistogram
+
+
+class Telemetry:
+    """One mergeable registry of histograms, counters and gauges."""
+
+    enabled = True
+
+    __slots__ = ("histograms", "counters", "gauges")
+
+    def __init__(self) -> None:
+        self.histograms: Dict[str, LatencyHistogram] = {}
+        self.counters: Dict[str, int] = {}
+        self.gauges: Dict[str, float] = {}
+
+    # ------------------------------------------------------------------ #
+    # Recording
+    # ------------------------------------------------------------------ #
+
+    def histogram(self, name: str) -> LatencyHistogram:
+        """The named histogram, created on first use."""
+        histogram = self.histograms.get(name)
+        if histogram is None:
+            histogram = self.histograms[name] = LatencyHistogram()
+        return histogram
+
+    def observe(self, name: str, seconds: float) -> None:
+        """Record one latency sample into the named histogram."""
+        histogram = self.histograms.get(name)
+        if histogram is None:
+            histogram = self.histograms[name] = LatencyHistogram()
+        histogram.record(seconds)
+
+    def incr(self, name: str, amount: int = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + amount
+
+    def set_gauge(self, name: str, value: float) -> None:
+        self.gauges[name] = value
+
+    @contextmanager
+    def timer(self, name: str) -> Iterator[None]:
+        """Context manager observing the body's wall time (cold paths)."""
+        started = perf_counter()
+        try:
+            yield
+        finally:
+            self.observe(name, perf_counter() - started)
+
+    def reset(self) -> None:
+        self.histograms.clear()
+        self.counters.clear()
+        self.gauges.clear()
+
+    # ------------------------------------------------------------------ #
+    # Snapshots and lossless merging
+    # ------------------------------------------------------------------ #
+
+    def snapshot(self) -> Dict[str, object]:
+        """The JSON-safe wire dict workers answer ``telemetry`` with."""
+        return {
+            "histograms": {
+                name: histogram.snapshot()
+                for name, histogram in sorted(self.histograms.items())
+            },
+            "counters": dict(sorted(self.counters.items())),
+            "gauges": dict(sorted(self.gauges.items())),
+        }
+
+    def restore(self, snapshot: Dict[str, object]) -> "Telemetry":
+        """Overwrite this registry from a :meth:`snapshot` dict."""
+        self.reset()
+        self.merge_snapshot(snapshot)
+        return self
+
+    def merge_snapshot(self, snapshot: Optional[Dict[str, object]]) -> "Telemetry":
+        """Fold a snapshot in: histograms merge exactly, counters add,
+        gauges keep the maximum seen."""
+        if not snapshot:
+            return self
+        for name, encoded in snapshot.get("histograms", {}).items():  # type: ignore[union-attr]
+            self.histogram(name).merge(LatencyHistogram.from_snapshot(encoded))
+        for name, value in snapshot.get("counters", {}).items():  # type: ignore[union-attr]
+            self.incr(name, int(value))
+        for name, value in snapshot.get("gauges", {}).items():  # type: ignore[union-attr]
+            current = self.gauges.get(name)
+            if current is None or value > current:
+                self.gauges[name] = value
+        return self
+
+    @classmethod
+    def from_snapshot(cls, snapshot: Dict[str, object]) -> "Telemetry":
+        return cls().restore(snapshot)
+
+    @classmethod
+    def merge_snapshots(
+        cls, snapshots: Iterable[Optional[Dict[str, object]]]
+    ) -> Dict[str, object]:
+        """Merge many snapshots into one (the router's collection step)."""
+        merged = cls()
+        for snapshot in snapshots:
+            merged.merge_snapshot(snapshot)
+        return merged.snapshot()
+
+    def summary(self, name: str) -> Dict[str, float]:
+        """Headline percentiles of one histogram (empty one if absent)."""
+        histogram = self.histograms.get(name)
+        if histogram is None:
+            histogram = LatencyHistogram()
+        return histogram.summary()
+
+
+class NullTelemetry(Telemetry):
+    """The no-op recorder hot paths hold when telemetry is disabled.
+
+    Shares the :class:`Telemetry` surface so call sites never branch on
+    type — but every recording method does nothing and ``snapshot()`` is
+    empty, so a disabled engine contributes nothing to a merge.
+    """
+
+    enabled = False
+
+    __slots__ = ()
+
+    def observe(self, name: str, seconds: float) -> None:
+        pass
+
+    def incr(self, name: str, amount: int = 1) -> None:
+        pass
+
+    def set_gauge(self, name: str, value: float) -> None:
+        pass
+
+    def snapshot(self) -> Dict[str, object]:
+        return {}
+
+
+#: The process-wide shared no-op recorder (never record into this).
+NULL_TELEMETRY = NullTelemetry()

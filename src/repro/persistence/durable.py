@@ -270,6 +270,18 @@ class DurableMonitor:
             )
             for shard_dir in shard_dirs
         ]
+        # Router-side WALs report flush/fsync latency into the engine
+        # telemetry they journal for.  Shard-resident executors expose
+        # handles without a local recorder — their WAL ownership moves into
+        # the workers, which wire telemetry up on their own side.
+        if self._sharded:
+            for wal, shard in zip(self._wals, self._inner.shards):  # type: ignore[union-attr]
+                telemetry = getattr(shard, "telemetry", None)
+                if telemetry is not None:
+                    wal.telemetry = telemetry
+        else:
+            for wal in self._wals:
+                wal.telemetry = self._inner.telemetry  # type: ignore[union-attr]
         self._checkpoints = [
             CheckpointManager(
                 os.path.join(shard_dir, "checkpoints"), fsync=durability.fsync
@@ -932,6 +944,14 @@ class DurableMonitor:
     @property
     def statistics(self) -> EventCounters:
         return self._inner.statistics
+
+    def telemetry_snapshot(self) -> Dict[str, object]:
+        """The wrapped monitor's merged telemetry (empty when disabled).
+
+        ``wal.flush``/``wal.fsync`` laps land here too: every WAL of this
+        facade reports into the engine telemetry it journals for.
+        """
+        return self._inner.telemetry_snapshot()
 
     @property
     def response_times(self) -> List[float]:

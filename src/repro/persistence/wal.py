@@ -28,9 +28,11 @@ real corruption, not a torn write.
 from __future__ import annotations
 
 import os
-from typing import Iterator, List, NamedTuple, Tuple
+from time import perf_counter
+from typing import Iterator, List, NamedTuple, Optional, Tuple
 
 from repro.exceptions import CorruptRecordError, PersistenceError
+from repro.obs.telemetry import NULL_TELEMETRY, Telemetry
 from repro.persistence.codec import CODEC_VERSION, pack_line, unpack_line
 
 _SEGMENT_PREFIX = "wal-"
@@ -103,6 +105,7 @@ class WriteAheadLog:
         group_commit: int = 64,
         segment_max_bytes: int = 4 * 1024 * 1024,
         fsync: bool = False,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         if group_commit <= 0:
             raise PersistenceError(f"group_commit must be > 0, got {group_commit}")
@@ -114,6 +117,9 @@ class WriteAheadLog:
         self.group_commit = group_commit
         self.segment_max_bytes = segment_max_bytes
         self.fsync = fsync
+        #: Lap recorder for flush/fsync latency (the shared no-op unless the
+        #: owning engine runs with telemetry enabled).
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         #: Bytes removed from the last segment because of a torn tail (set
         #: while opening; recovery reports it).
         self.truncated_bytes = 0
@@ -258,11 +264,18 @@ class WriteAheadLog:
         self._buffer = []
         self._buffered_records = 0
         path = os.path.join(self.directory, self._active_segment)
+        timed = self.telemetry.enabled
+        started = perf_counter() if timed else 0.0
         with open(path, "ab") as handle:
             handle.write(chunk)
             handle.flush()
             if self.fsync:
+                fsync_started = perf_counter() if timed else 0.0
                 os.fsync(handle.fileno())
+                if timed:
+                    self.telemetry.observe("wal.fsync", perf_counter() - fsync_started)
+        if timed:
+            self.telemetry.observe("wal.flush", perf_counter() - started)
         self._active_bytes += len(chunk)
         if self._active_bytes >= self.segment_max_bytes:
             self.rotate()
@@ -276,6 +289,8 @@ class WriteAheadLog:
         itself is fsynced too: file contents are worthless after an OS
         crash if the segment's directory entry was never made durable.
         """
+        timed = self.telemetry.enabled
+        started = perf_counter() if timed else 0.0
         target = self._active_segment
         self.flush()
         for name in {target, self._active_segment}:
@@ -284,6 +299,8 @@ class WriteAheadLog:
                 with open(path, "ab") as handle:
                     os.fsync(handle.fileno())
         self._sync_directory()
+        if timed:
+            self.telemetry.observe("wal.sync", perf_counter() - started)
 
     def _sync_directory(self) -> None:
         """fsync the WAL directory so segment create/remove survives an OS crash."""

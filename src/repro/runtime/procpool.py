@@ -109,7 +109,12 @@ _SHARD_METHODS = (
     "restore_encoded",
     "adopt_encoded",
 )
-_SHARD_PROPERTIES = ("num_queries", "live_window_size", "last_arrival")
+_SHARD_PROPERTIES = (
+    "num_queries",
+    "live_window_size",
+    "last_arrival",
+    "batch_response_times",
+)
 
 
 @dataclass
@@ -131,6 +136,9 @@ class TransportStats:
     reply_bytes: int = 0
     batches: int = 0
     events: int = 0
+    #: High-water mark of ring bytes reserved by one fan-out round — the
+    #: occupancy gauge's numerator (0 on the pipe transport).
+    peak_ring_bytes: int = 0
 
     def reset(self) -> None:
         self.control_bytes = 0
@@ -139,6 +147,7 @@ class TransportStats:
         self.reply_bytes = 0
         self.batches = 0
         self.events = 0
+        self.peak_ring_bytes = 0
 
     def per_event(self) -> Dict[str, float]:
         """Bytes per stream event, by traffic class (0.0 before any event)."""
@@ -240,6 +249,8 @@ def _shard_worker_main(conn, shard_id: int, config: MonitorConfig, ring_name=Non
                 value = dict(shard.queries)
             elif command == "counters":
                 value = shard.counters.snapshot()
+            elif command == "telemetry":
+                value = shard.telemetry_snapshot()
             elif command == "response_times":
                 value = list(shard.response_times)
             elif command == "wal_open":
@@ -253,6 +264,7 @@ def _shard_worker_main(conn, shard_id: int, config: MonitorConfig, ring_name=Non
                     group_commit=group_commit,
                     segment_max_bytes=segment_max_bytes,
                     fsync=fsync,
+                    telemetry=shard.telemetry,
                 )
                 value = wal.last_lsn
             elif command.startswith("wal_"):
@@ -503,6 +515,22 @@ class ProcessShardHandle:
         return self.call("response_times")  # type: ignore[return-value]
 
     @property
+    def batch_response_times(self) -> List[Tuple[int, float]]:
+        return [
+            (int(size), float(elapsed))
+            for size, elapsed in self.call("batch_response_times")  # type: ignore[union-attr]
+        ]
+
+    def telemetry_snapshot(self) -> Dict[str, object]:
+        """The worker shard's telemetry wire dict (empty when disabled).
+
+        One round trip; the caller merges it losslessly with
+        :meth:`~repro.obs.telemetry.Telemetry.merge_snapshot` — the same
+        collect-and-merge discipline as the ``counters`` command.
+        """
+        return self.call("telemetry")  # type: ignore[return-value]
+
+    @property
     def live_window_size(self) -> Optional[int]:
         return self.call("live_window_size")  # type: ignore[return-value]
 
@@ -643,6 +671,26 @@ class ProcessShardExecutor(ShardExecutor):
         if self._handles is None:
             return None
         return "shm" if self._ring is not None else "pipe"
+
+    @property
+    def ring_occupancy(self) -> Optional[float]:
+        """Fraction of the shared ring currently reserved (``None`` on the
+        pipe transport).  The telemetry gauges also report the fan-out
+        high-water mark, ``stats.peak_ring_bytes / ring capacity``."""
+        if self._ring is None:
+            return None
+        return self._ring.used / self._ring.capacity
+
+    def telemetry_gauges(self) -> Dict[str, float]:
+        """Transport gauges merged into the facade's telemetry snapshot."""
+        if self._ring is None:
+            return {}
+        capacity = self._ring.capacity
+        return {
+            "runtime.shm_ring_occupancy": self._ring.used / capacity,
+            "runtime.shm_ring_peak_occupancy": self.stats.peak_ring_bytes
+            / capacity,
+        }
 
     def spawn_shards(self, config: MonitorConfig) -> List[ProcessShardHandle]:
         """Start one worker per shard; returns their handles in shard order."""
@@ -820,6 +868,8 @@ class ProcessShardExecutor(ShardExecutor):
                 # always reserves (at most one slot is ever in flight).
                 seq, offset, view = self._ring.reserve(len(payload))  # type: ignore[misc]
                 view[: len(payload)] = payload
+                if self._ring.used > stats.peak_ring_bytes:
+                    stats.peak_ring_bytes = self._ring.used
                 header["q"] = seq
                 header["o"] = offset
                 header["l"] = len(payload)

@@ -27,6 +27,7 @@ from repro.core.results import BatchUpdate, ResultEntry, ResultUpdate
 from repro.documents.decay import ExponentialDecay
 from repro.documents.document import Document
 from repro.metrics.counters import EventCounters
+from repro.obs.telemetry import Telemetry
 from repro.queries.query import Query
 from repro.types import QueryId
 
@@ -53,6 +54,8 @@ class EngineShard:
         self.algorithm: StreamAlgorithm = create_algorithm(
             config.algorithm, decay, **kwargs
         )
+        if config.telemetry:
+            self.algorithm.telemetry = Telemetry()
         self.expiration: Optional[ExpirationManager] = None
         if config.window_horizon is not None:
             self.expiration = ExpirationManager(self.algorithm, config.window_horizon)
@@ -169,6 +172,20 @@ class EngineShard:
         return self.algorithm.response_times
 
     @property
+    def batch_response_times(self) -> List[Tuple[int, float]]:
+        return self.algorithm.batch_response_times
+
+    @property
+    def telemetry(self) -> Telemetry:
+        """This shard's lap recorder (the shared no-op when disabled)."""
+        return self.algorithm.telemetry
+
+    def telemetry_snapshot(self) -> Dict[str, object]:
+        """The shard's telemetry wire dict — what the ``telemetry`` worker
+        command answers with (empty when disabled)."""
+        return self.algorithm.telemetry.snapshot()
+
+    @property
     def live_window_size(self) -> Optional[int]:
         if self.expiration is None:
             return None
@@ -183,6 +200,7 @@ class EngineShard:
         self.algorithm.counters.reset()
         self.algorithm.response_times.clear()
         self.algorithm.batch_response_times.clear()
+        self.algorithm.telemetry.reset()
 
     def describe(self) -> Dict[str, object]:
         info = self.algorithm.describe()

@@ -50,6 +50,7 @@ from repro.core.results import BatchUpdate, ResultEntry, ResultUpdate
 from repro.documents.document import Document
 from repro.exceptions import ConfigurationError
 from repro.metrics.counters import EventCounters
+from repro.obs.telemetry import Telemetry
 from repro.queries.query import Query
 from repro.runtime.executors import ShardExecutor, ThreadPoolShardExecutor, make_executor
 from repro.runtime.routing import PartitionPolicy, QueryRouter, make_policy
@@ -349,6 +350,41 @@ class ShardedMonitor:
         """Per-event engine seconds, summed across shards (total work per event)."""
         per_shard = [shard.response_times for shard in self._shards]
         return [sum(samples) for samples in zip(*per_shard)]
+
+    @property
+    def batch_response_times(self) -> List[tuple]:
+        """Per-batch ``(size, seconds)``, seconds summed across shards.
+
+        Every shard processes every batch, so the batch sequences align
+        index by index; summing the elapsed seconds reports the total
+        engine work per batch, the same convention as
+        :attr:`response_times`.
+        """
+        per_shard = [shard.batch_response_times for shard in self._shards]
+        return [
+            (samples[0][0], sum(elapsed for _, elapsed in samples))
+            for samples in zip(*per_shard)
+        ]
+
+    def telemetry_snapshot(self) -> Dict[str, object]:
+        """Lossless merge of every shard's telemetry (plus runtime gauges).
+
+        Histograms merge by exact bucket-count addition — the merged
+        ``engine.*`` histograms are *the* histograms of the combined
+        per-shard sample streams, the same contract
+        :attr:`statistics` gives for scalar counters.  For process- or
+        socket-resident shards the per-shard snapshot is one ``telemetry``
+        command round trip.  Unlike counters, telemetry is a measurement
+        rather than state: a rebalance retires the old shards' samples.
+        """
+        merged = Telemetry()
+        for shard in self._shards:
+            merged.merge_snapshot(shard.telemetry_snapshot())
+        gauges = getattr(self._executor, "telemetry_gauges", None)
+        if gauges is not None:
+            for name, value in gauges().items():
+                merged.set_gauge(name, value)
+        return merged.snapshot()
 
     def reset_statistics(self) -> None:
         """Zero all counters and timing samples (e.g. after a warm-up phase)."""

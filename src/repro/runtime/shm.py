@@ -104,6 +104,12 @@ class SharedMemoryRing:
     def in_flight(self) -> int:
         return len(self._in_flight)
 
+    @property
+    def used(self) -> int:
+        """Bytes currently reserved (padded); ``used / capacity`` is the
+        occupancy gauge the telemetry layer reports."""
+        return self._used
+
     def reserve(self, size: int) -> Optional[Tuple[int, int, memoryview]]:
         """Allocate ``size`` bytes; returns ``(seq, offset, view)`` or ``None``.
 

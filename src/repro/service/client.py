@@ -304,6 +304,16 @@ class MonitorClient:
         reply = await self._request(protocol.OP_STATS)
         return reply["stats"]  # type: ignore[return-value]
 
+    async def metrics(self) -> Dict[str, object]:
+        """The server's telemetry snapshot (see docs/observability.md).
+
+        Carries the mergeable histogram wire form plus a pre-computed
+        percentile summary; empty histogram/summary sections when the
+        server runs with telemetry disabled.
+        """
+        reply = await self._request(protocol.OP_METRICS)
+        return reply["metrics"]  # type: ignore[return-value]
+
     async def checkpoint(self) -> int:
         """Force a checkpoint round on a durable server; returns its LSN."""
         reply = await self._request(protocol.OP_CHECKPOINT)

@@ -50,6 +50,7 @@ OP_UNSUBSCRIBE = "unsubscribe"
 OP_PUBLISH = "publish"
 OP_PUBLISH_BATCH = "publish_batch"
 OP_STATS = "stats"
+OP_METRICS = "metrics"
 OP_CHECKPOINT = "checkpoint"
 OP_PING = "ping"
 

@@ -49,6 +49,7 @@ from __future__ import annotations
 import asyncio
 import socket
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.documents.document import Document
@@ -60,6 +61,9 @@ from repro.exceptions import (
     UnknownQueryError,
 )
 from repro.metrics.counters import ServiceCounters
+from repro.obs.histogram import LatencyHistogram
+from repro.obs.prometheus import render_prometheus
+from repro.obs.telemetry import NULL_TELEMETRY, Telemetry
 from repro.service import protocol
 from repro.service.registry import SubscriptionRegistry
 
@@ -148,6 +152,19 @@ class ServiceConfig:
         pub/sub server) or ``"shard-host"`` (one engine shard behind the
         cluster wire protocol; launched with :func:`serve_shard_host`, not
         with :class:`MonitorServer`).
+    telemetry:
+        Record pipeline stage timers (publish receive, micro-batch
+        enqueue, engine probe, notification write) into mergeable latency
+        histograms, served by the ``metrics`` op.  Off by default: the
+        disabled path is a single attribute read per stage — no clock
+        calls, no allocation.
+    metrics_port:
+        When not ``None``, additionally serve Prometheus text exposition
+        on ``GET /metrics`` at this port (0 picks a free one; read it back
+        from :attr:`MonitorServer.metrics_port`).  Setting a port implies
+        ``telemetry=True``.
+    metrics_host:
+        Listen address of the ``/metrics`` endpoint.
     """
 
     host: str = "127.0.0.1"
@@ -165,6 +182,9 @@ class ServiceConfig:
     close_monitor: bool = True
     shutdown_timeout: float = 30.0
     role: str = ROLE_MONITOR
+    telemetry: bool = False
+    metrics_port: Optional[int] = None
+    metrics_host: str = "127.0.0.1"
 
     def __post_init__(self) -> None:
         if self.role not in SERVICE_ROLES:
@@ -201,6 +221,10 @@ class ServiceConfig:
         if self.shutdown_timeout <= 0:
             raise ConfigurationError(
                 f"shutdown_timeout must be > 0, got {self.shutdown_timeout}"
+            )
+        if self.metrics_port is not None and self.metrics_port < 0:
+            raise ConfigurationError(
+                f"metrics_port must be >= 0 (or None), got {self.metrics_port}"
             )
 
 
@@ -239,11 +263,20 @@ def serve_shard_host(
 class _IngestItem:
     """One publish operation queued for the ingest pipeline."""
 
-    __slots__ = ("documents", "future")
+    __slots__ = ("documents", "future", "enqueued_at")
 
-    def __init__(self, documents: List[Document], future: "asyncio.Future") -> None:
+    def __init__(
+        self,
+        documents: List[Document],
+        future: "asyncio.Future",
+        enqueued_at: float = 0.0,
+    ) -> None:
         self.documents = documents
         self.future = future
+        #: ``perf_counter()`` at enqueue time (0.0 with telemetry off);
+        #: anchors the ``service.batch_enqueue`` and
+        #: ``service.publish_to_notify`` stage timers.
+        self.enqueued_at = enqueued_at
 
 
 class _Session:
@@ -256,12 +289,14 @@ class _Session:
         queue_size: int,
         max_frame_bytes: int,
         counters: ServiceCounters,
+        telemetry: Telemetry = NULL_TELEMETRY,
     ) -> None:
         self.session_id = session_id
         self.writer = writer
         self.queue: "asyncio.Queue" = asyncio.Queue(maxsize=queue_size)
         self.max_frame_bytes = max_frame_bytes
         self.counters = counters
+        self.telemetry = telemetry
         self.closed = False
         self.retired = False
         self.pump_task: Optional["asyncio.Task"] = None
@@ -293,12 +328,15 @@ class _Session:
             message = await self.queue.get()
             if message is _CLOSE:
                 return
+            started = perf_counter() if self.telemetry.enabled else 0.0
             try:
                 await self.send(message)
             except (OSError, RuntimeError):
                 # Dead peer: the read loop will notice and retire us; stop
                 # pumping so the queue drains into the void via close().
                 return
+            if self.telemetry.enabled:
+                self.telemetry.observe("service.notify_write", perf_counter() - started)
             self.counters.notifications_sent += 1
 
     def close(self) -> None:
@@ -345,9 +383,17 @@ class MonitorServer:
                 f"{self._config.role!r} role is launched with serve_shard_host()"
             )
         self._counters = ServiceCounters()
+        # One recorder for the whole serving pipeline; the shared no-op
+        # keeps every stage timer a single attribute read when disabled.
+        if self._config.telemetry or self._config.metrics_port is not None:
+            self._telemetry: Telemetry = Telemetry()
+        else:
+            self._telemetry = NULL_TELEMETRY
         self._registry: SubscriptionRegistry[_Session] = SubscriptionRegistry()
         self._sessions: Set[_Session] = set()
         self._server: Optional["asyncio.base_events.Server"] = None
+        self._metrics_server: Optional["asyncio.base_events.Server"] = None
+        self._loop_lag_task: Optional["asyncio.Task"] = None
         self._ingest_queue: Optional["asyncio.Queue"] = None
         self._ingest_task: Optional["asyncio.Task"] = None
         self._ingest_failure: Optional[BaseException] = None
@@ -364,6 +410,7 @@ class MonitorServer:
             protocol.OP_PUBLISH: self._op_publish,
             protocol.OP_PUBLISH_BATCH: self._op_publish_batch,
             protocol.OP_STATS: self._op_stats,
+            protocol.OP_METRICS: self._op_metrics,
             protocol.OP_CHECKPOINT: self._op_checkpoint,
             protocol.OP_PING: self._op_ping,
         }
@@ -382,6 +429,14 @@ class MonitorServer:
         self._server = await asyncio.start_server(
             self._handle_connection, host=self._config.host, port=self._config.port
         )
+        if self._config.metrics_port is not None:
+            self._metrics_server = await asyncio.start_server(
+                self._handle_metrics_http,
+                host=self._config.metrics_host,
+                port=self._config.metrics_port,
+            )
+        if self._telemetry.enabled:
+            self._loop_lag_task = asyncio.create_task(self._loop_lag_probe())
 
     @property
     def port(self) -> int:
@@ -414,6 +469,13 @@ class MonitorServer:
             return
         self._stopping = True
         timeout = self._config.shutdown_timeout
+        if self._loop_lag_task is not None:
+            self._loop_lag_task.cancel()
+            self._loop_lag_task = None
+        if self._metrics_server is not None:
+            self._metrics_server.close()
+            await self._metrics_server.wait_closed()
+            self._metrics_server = None
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -514,6 +576,7 @@ class MonitorServer:
             self._config.subscriber_queue,
             self._config.max_frame_bytes,
             self._counters,
+            telemetry=self._telemetry,
         )
         self._sessions.add(session)
         self._counters.subscribers_connected += 1
@@ -561,11 +624,25 @@ class MonitorServer:
                 protocol.error_reply(request_id, f"unknown op {op!r}")
             )
             return
+        telemetry = self._telemetry
+        if not telemetry.enabled:
+            try:
+                await handler(session, request_id, message)
+            except ReproError as exc:
+                self._counters.request_errors += 1
+                await session.send_safe(protocol.error_reply(request_id, exc))
+            return
+        # The publish-receive stage: decode, validate and hand off (the
+        # deferred ack is its own stage, service.publish_to_notify).
+        telemetry.incr(f"service.requests.{op}")
+        started = perf_counter()
         try:
             await handler(session, request_id, message)
         except ReproError as exc:
             self._counters.request_errors += 1
             await session.send_safe(protocol.error_reply(request_id, exc))
+        finally:
+            telemetry.observe(f"service.op.{op}", perf_counter() - started)
 
     # ------------------------------------------------------------------ #
     # Operations
@@ -660,7 +737,12 @@ class MonitorServer:
         future: "asyncio.Future" = asyncio.get_running_loop().create_future()
         self._pending_documents += len(documents)
         self._counters.publishes += 1
-        self._ingest_queue.put_nowait(_IngestItem(documents, future))
+        enqueued_at = perf_counter() if self._telemetry.enabled else 0.0
+        if self._telemetry.enabled:
+            self._telemetry.set_gauge(
+                "service.pending_documents", float(self._pending_documents)
+            )
+        self._ingest_queue.put_nowait(_IngestItem(documents, future, enqueued_at))
         # The ack is resolved by the pipeline after the documents' batches
         # are processed; replying from a separate task keeps this
         # connection's read loop free to submit further publishes — which
@@ -689,6 +771,11 @@ class MonitorServer:
     async def _op_stats(self, session, request_id: int, message) -> None:
         await session.send_safe(
             protocol.ok_reply(request_id, stats=self.stats_snapshot())
+        )
+
+    async def _op_metrics(self, session, request_id: int, message) -> None:
+        await session.send_safe(
+            protocol.ok_reply(request_id, metrics=self.metrics_snapshot())
         )
 
     async def _op_checkpoint(self, session, request_id: int, message) -> None:
@@ -725,6 +812,120 @@ class MonitorServer:
     def counters(self) -> ServiceCounters:
         """The served-traffic counters (the ``service`` section of stats)."""
         return self._counters
+
+    @property
+    def telemetry(self) -> Telemetry:
+        """The serving pipeline's lap recorder (the shared no-op when off)."""
+        return self._telemetry
+
+    def _merged_telemetry(self) -> Dict[str, object]:
+        """Server-pipeline laps merged with the engine's own telemetry.
+
+        Each scrape collects *full current snapshots* and merges them —
+        the same fresh-collection discipline ``stats`` uses for counters —
+        so the merged histograms are exactly the histograms of the
+        combined sample streams, whatever executor hosts the shards.
+        """
+        merged = Telemetry.from_snapshot(self._telemetry.snapshot())
+        engine_snapshot = getattr(self._monitor, "telemetry_snapshot", None)
+        if engine_snapshot is not None:
+            merged.merge_snapshot(engine_snapshot())
+        return merged.snapshot()
+
+    def metrics_snapshot(self) -> Dict[str, object]:
+        """The ``metrics`` op payload (see docs/observability.md).
+
+        ``telemetry`` is the mergeable wire form (histograms as sparse
+        bucket counts, counters, gauges); ``summary`` pre-computes the
+        publish→notify and per-op percentiles operators usually want.
+        """
+        self._counters.telemetry_scrapes += 1
+        snapshot = self._merged_telemetry()
+        summary: Dict[str, object] = {}
+        histograms = snapshot.get("histograms")
+        if isinstance(histograms, dict):
+            for name, encoded in histograms.items():
+                summary[name] = LatencyHistogram.from_snapshot(encoded).summary()
+        return {
+            "enabled": self._telemetry.enabled,
+            "telemetry": snapshot,
+            "service": self._counters.snapshot(),
+            "summary": summary,
+        }
+
+    async def _loop_lag_probe(self, interval: float = 0.25) -> None:
+        """Sample event-loop lag: how late a timed sleep actually fires.
+
+        The overshoot of ``asyncio.sleep`` is the time ready callbacks
+        (frame parsing, engine probes) held the loop — the service twin of
+        a GC-pause gauge.
+        """
+        loop = asyncio.get_running_loop()
+        while True:
+            before = loop.time()
+            await asyncio.sleep(interval)
+            lag = max(0.0, loop.time() - before - interval)
+            self._telemetry.set_gauge("service.event_loop_lag", lag)
+            self._telemetry.observe("service.event_loop_lag", lag)
+
+    # ------------------------------------------------------------------ #
+    # The /metrics exposition endpoint
+    # ------------------------------------------------------------------ #
+
+    @property
+    def metrics_port(self) -> Optional[int]:
+        """The bound ``/metrics`` port (``None`` when not serving it)."""
+        if self._metrics_server is None:
+            return None
+        return self._metrics_server.sockets[0].getsockname()[1]
+
+    async def _handle_metrics_http(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """A deliberately minimal HTTP/1.0-style responder for scrapers.
+
+        One request per connection: parse the request line, drain headers,
+        answer ``GET /metrics`` with Prometheus text exposition, everything
+        else with 404 — no keep-alive, no chunking, no dependencies.
+        """
+        try:
+            request_line = await asyncio.wait_for(reader.readline(), timeout=10.0)
+            while True:
+                header = await asyncio.wait_for(reader.readline(), timeout=10.0)
+                if header in (b"", b"\r\n", b"\n"):
+                    break
+            parts = request_line.decode("latin-1").split()
+            path = parts[1].split("?", 1)[0] if len(parts) >= 2 else ""
+            if len(parts) >= 2 and parts[0] == "GET" and path == "/metrics":
+                self._counters.telemetry_scrapes += 1
+                body = render_prometheus(
+                    self._merged_telemetry(),
+                    service_counters=self._counters.snapshot(),
+                ).encode("utf-8")
+                status = "200 OK"
+                content_type = "text/plain; version=0.0.4; charset=utf-8"
+            else:
+                body = b"not found\n"
+                status = "404 Not Found"
+                content_type = "text/plain; charset=utf-8"
+            writer.write(
+                (
+                    f"HTTP/1.0 {status}\r\n"
+                    f"Content-Type: {content_type}\r\n"
+                    f"Content-Length: {len(body)}\r\n"
+                    "Connection: close\r\n"
+                    "\r\n"
+                ).encode("latin-1")
+                + body
+            )
+            await writer.drain()
+        except (asyncio.TimeoutError, OSError, RuntimeError, ValueError):
+            pass
+        finally:
+            try:
+                writer.close()
+            except (OSError, RuntimeError):  # pragma: no cover - platform quirks
+                pass
 
     # ------------------------------------------------------------------ #
     # The ingest pipeline
@@ -773,9 +974,16 @@ class MonitorServer:
                     )
                 )
             return
+        telemetry = self._telemetry
+        drain_started = perf_counter() if telemetry.enabled else 0.0
         accepted: List[Tuple[_IngestItem, List[Document]]] = []
         for item in pending:
             self._pending_documents -= len(item.documents)
+            if telemetry.enabled and item.enqueued_at:
+                # Queue-wait + micro-batch linger: enqueue to drain start.
+                telemetry.observe(
+                    "service.batch_enqueue", drain_started - item.enqueued_at
+                )
             try:
                 stamped = self._stamp(item.documents)
             except ReproError as exc:
@@ -802,6 +1010,13 @@ class MonitorServer:
                 if len(results) < end:
                     return
                 slice_ = results[offsets[resolved] : end]
+                if telemetry.enabled and item.enqueued_at:
+                    # End-to-end publish latency: enqueue to ack-ready,
+                    # after the batch was processed and fanned out.
+                    telemetry.observe(
+                        "service.publish_to_notify",
+                        perf_counter() - item.enqueued_at,
+                    )
                 item.future.set_result(
                     (
                         [arrival for arrival, _ in slice_],
@@ -814,7 +1029,14 @@ class MonitorServer:
             for start in range(0, len(documents), self._config.max_batch):
                 chunk = documents[start : start + self._config.max_batch]
                 self._batch_seq += 1
-                updates = self._monitor.process_batch(chunk)
+                if telemetry.enabled:
+                    probe_started = perf_counter()
+                    updates = self._monitor.process_batch(chunk)
+                    telemetry.observe(
+                        "service.engine_probe", perf_counter() - probe_started
+                    )
+                else:
+                    updates = self._monitor.process_batch(chunk)
                 self._counters.batches_processed += 1
                 self._counters.documents_ingested += len(chunk)
                 for document in chunk:
@@ -894,3 +1116,13 @@ class MonitorServer:
                     continue
                 session.queue.put_nowait(message)
             self._counters.notifications_enqueued += 1
+        if self._telemetry.enabled and updates:
+            self._telemetry.set_gauge(
+                "service.subscriber_queue_depth",
+                float(
+                    max(
+                        (s.queue.qsize() for s in self._sessions if not s.closed),
+                        default=0,
+                    )
+                ),
+            )

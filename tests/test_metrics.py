@@ -119,6 +119,7 @@ class TestServiceCounters:
         "notifications_dropped",
         "slow_disconnects",
         "request_errors",
+        "telemetry_scrapes",
         "failovers",
         "replication_lag_records",
         "replica_applied_lsns",
@@ -193,3 +194,33 @@ class TestRunStatistics:
         assert summary["algorithm"] == "mrio"
         assert summary["counter_full_evaluations"] == 5.0
         assert summary["note"] == 1.0
+
+    def test_batch_response_times_surface_in_summary(self):
+        run = RunStatistics(
+            algorithm="mrio",
+            num_queries=10,
+            num_events=64,
+            batch_response_times=[(32, 0.002), (32, 0.004)],
+        )
+        summary = run.summary()
+        assert summary["batch_count"] == 2
+        assert summary["batch_mean_ms"] == pytest.approx(3.0)
+        assert summary["batch_max_ms"] == pytest.approx(4.0)
+        assert summary["batch_mean_size"] == pytest.approx(32.0)
+
+    def test_summary_without_batches_has_no_batch_keys(self):
+        summary = RunStatistics("mrio", 1, 1, response_times=[0.001]).summary()
+        assert not any(key.startswith("batch_") for key in summary)
+
+    def test_pure_python_percentile_matches_numpy(self):
+        """The numpy-free fallback computes numpy's exact linear interpolation."""
+        np = pytest.importorskip("numpy")
+        from repro.metrics.runstats import _percentile
+
+        rng = __import__("random").Random(11)
+        for size in (1, 2, 3, 17, 100):
+            values = sorted(rng.uniform(0.0, 5.0) for _ in range(size))
+            for q in (0, 25, 50, 90, 95, 99, 100):
+                assert _percentile(values, q) == pytest.approx(
+                    float(np.percentile(values, q)), rel=1e-12, abs=1e-15
+                )

@@ -1,0 +1,228 @@
+"""The mergeable latency histogram: geometry, merge algebra, wire shape.
+
+The merge contract carries the whole cross-process telemetry story — a
+procpool worker's or remote host's histogram folded into the router's must
+be *the* histogram of the combined sample stream.  Hypothesis pins the
+algebra (commutative, associative, identity); the boundary tests pin the
+half-open bucket geometry; the wire tests pin byte-identity through the
+persistence codec's canonical dumps.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.histogram import (
+    BUCKET_BOUNDARIES,
+    GEOMETRY_VERSION,
+    MIN_LATENCY_SECONDS,
+    NUM_BUCKETS,
+    LatencyHistogram,
+    bucket_bounds,
+    bucket_index,
+)
+from repro.obs.telemetry import NULL_TELEMETRY, Telemetry
+from repro.persistence.codec import canonical_dumps
+
+#: Latency samples spanning the full geometry: sub-underflow through
+#: overflow, plus exact boundary values.
+latencies = st.one_of(
+    st.floats(min_value=0.0, max_value=1e4, allow_nan=False, allow_infinity=False),
+    st.sampled_from(BUCKET_BOUNDARIES),
+)
+sample_lists = st.lists(latencies, max_size=60)
+
+
+def build(samples) -> LatencyHistogram:
+    histogram = LatencyHistogram()
+    for sample in samples:
+        histogram.record(sample)
+    return histogram
+
+
+class TestGeometry:
+    def test_boundaries_are_strictly_increasing(self):
+        assert all(
+            earlier < later
+            for earlier, later in zip(BUCKET_BOUNDARIES, BUCKET_BOUNDARIES[1:])
+        )
+        assert BUCKET_BOUNDARIES[0] == MIN_LATENCY_SECONDS
+        assert NUM_BUCKETS == len(BUCKET_BOUNDARIES) + 1
+
+    def test_boundary_value_lands_in_upper_bucket(self):
+        """A value exactly on a boundary belongs to the bucket whose
+        *lower* edge it is (half-open ``[lo, hi)`` buckets)."""
+        for index, boundary in enumerate(BUCKET_BOUNDARIES):
+            assert bucket_index(boundary) == index + 1
+            lower, upper = bucket_bounds(index + 1)
+            assert lower == boundary
+            assert boundary < upper or math.isinf(upper)
+
+    def test_underflow_and_overflow(self):
+        assert bucket_index(0.0) == 0
+        assert bucket_index(MIN_LATENCY_SECONDS / 2) == 0
+        assert bucket_index(float(BUCKET_BOUNDARIES[-1]) * 2) == NUM_BUCKETS - 1
+
+    def test_just_below_boundary_lands_in_lower_bucket(self):
+        for index in (0, 40, len(BUCKET_BOUNDARIES) - 1):
+            boundary = BUCKET_BOUNDARIES[index]
+            below = math.nextafter(boundary, 0.0)
+            assert bucket_index(below) == index
+
+    @given(latencies)
+    def test_sample_lands_inside_its_bucket_bounds(self, sample):
+        index = bucket_index(sample)
+        lower, upper = bucket_bounds(index)
+        assert lower <= sample < upper or (
+            index == NUM_BUCKETS - 1 and sample >= lower
+        )
+
+
+class TestMergeAlgebra:
+    @given(sample_lists, sample_lists)
+    @settings(max_examples=60)
+    def test_merge_is_commutative(self, left, right):
+        a = build(left).merge(build(right))
+        b = build(right).merge(build(left))
+        assert a == b
+
+    @given(sample_lists, sample_lists, sample_lists)
+    @settings(max_examples=60)
+    def test_merge_is_associative(self, one, two, three):
+        left_first = build(one).merge(build(two)).merge(build(three))
+        right_first = build(one).merge(build(two).merge(build(three)))
+        assert left_first == right_first
+
+    @given(sample_lists)
+    def test_empty_is_the_identity(self, samples):
+        assert build(samples).merge(LatencyHistogram()) == build(samples)
+        assert LatencyHistogram().merge(build(samples)) == build(samples)
+
+    @given(sample_lists, st.integers(min_value=1, max_value=5))
+    @settings(max_examples=60)
+    def test_partitioned_merge_equals_single_stream(self, samples, parts):
+        """Split one sample stream over K histograms; the merge IS the
+        single histogram — the sharded-telemetry differential in miniature."""
+        shards = [LatencyHistogram() for _ in range(parts)]
+        for position, sample in enumerate(samples):
+            shards[position % parts].record(sample)
+        merged = LatencyHistogram.aggregate(shards)
+        single = build(samples)
+        assert merged == single
+        # Byte-identity of the wire forms (modulo the float sum, whose
+        # addition order legitimately differs).
+        merged_snap, single_snap = merged.snapshot(), single.snapshot()
+        assert merged_snap["b"] == single_snap["b"]
+        assert merged_snap["n"] == single_snap["n"]
+        assert merged_snap["min"] == single_snap["min"]
+        assert merged_snap["max"] == single_snap["max"]
+
+    def test_merge_counts_are_exact(self):
+        left = build([1e-6, 5e-3, 2.0])
+        right = build([1e-6, 7e-2])
+        merged = LatencyHistogram.aggregate([left, right])
+        assert merged.count == 5
+        assert merged.bucket_counts()[bucket_index(1e-6)] == 2
+
+
+class TestWireShape:
+    def test_snapshot_roundtrip_is_byte_identical(self):
+        histogram = build([0.0, 1e-7, 3.7e-4, 0.25, 9e3, 5e4])
+        snap = histogram.snapshot()
+        wire = canonical_dumps(snap)
+        restored = LatencyHistogram.from_snapshot(json.loads(wire))
+        assert canonical_dumps(restored.snapshot()) == wire
+        assert restored == histogram
+
+    @given(sample_lists)
+    @settings(max_examples=40)
+    def test_roundtrip_any_sample_set(self, samples):
+        histogram = build(samples)
+        wire = canonical_dumps(histogram.snapshot())
+        assert canonical_dumps(
+            LatencyHistogram.from_snapshot(json.loads(wire)).snapshot()
+        ) == wire
+
+    def test_geometry_version_mismatch_fails_loudly(self):
+        snap = build([1e-3]).snapshot()
+        snap["v"] = GEOMETRY_VERSION + 1
+        with pytest.raises(ValueError, match="geometry version"):
+            LatencyHistogram.from_snapshot(snap)
+
+    def test_merge_snapshot_dicts(self):
+        left, right = build([1e-4, 2e-4]), build([3e-4])
+        merged = LatencyHistogram.merge_snapshot_dicts(
+            left.snapshot(), right.snapshot()
+        )
+        assert merged["n"] == 3
+        assert LatencyHistogram.from_snapshot(merged) == left.merge(right)
+
+
+class TestPercentiles:
+    def test_empty(self):
+        histogram = LatencyHistogram()
+        assert histogram.percentile(50) == 0.0
+        assert histogram.summary()["count"] == 0
+
+    def test_percentiles_are_clamped_to_observed_range(self):
+        histogram = build([1e-3] * 100)
+        assert histogram.percentile(50) == pytest.approx(1e-3)
+        assert histogram.percentile(99) == pytest.approx(1e-3)
+
+    def test_percentile_resolution_bound(self):
+        """A bucketed percentile overestimates by at most one bucket
+        (~19% relative) and never exceeds the observed maximum."""
+        samples = [1e-5 * (1 + i / 7) for i in range(50)]
+        histogram = build(samples)
+        exact_p95 = sorted(samples)[int(0.95 * len(samples)) - 1]
+        estimate = histogram.percentile(95)
+        assert exact_p95 <= estimate <= max(samples)
+        assert estimate <= exact_p95 * 2 ** (1 / 4) * 1.0001
+
+    def test_overflow_percentile_answers_observed_maximum(self):
+        histogram = build([5e4])
+        assert histogram.percentile(99) == 5e4
+
+
+class TestTelemetryRegistry:
+    def test_merge_snapshot_composes_layers(self):
+        worker = Telemetry()
+        worker.observe("engine.batch", 1e-3)
+        worker.incr("batches", 2)
+        worker.set_gauge("ring", 0.5)
+        router = Telemetry()
+        router.observe("engine.batch", 2e-3)
+        router.incr("batches", 3)
+        router.set_gauge("ring", 0.25)
+        router.merge_snapshot(worker.snapshot())
+        assert router.histograms["engine.batch"].count == 2
+        assert router.counters["batches"] == 5
+        assert router.gauges["ring"] == 0.5  # max wins
+
+    def test_merge_snapshots_classmethod(self):
+        parts = []
+        for value in (1e-4, 2e-4, 3e-4):
+            telemetry = Telemetry()
+            telemetry.observe("lap", value)
+            parts.append(telemetry.snapshot())
+        merged = Telemetry.merge_snapshots(parts + [None, {}])
+        assert merged["histograms"]["lap"]["n"] == 3
+
+    def test_null_telemetry_records_nothing(self):
+        NULL_TELEMETRY.observe("lap", 1.0)
+        NULL_TELEMETRY.incr("c")
+        NULL_TELEMETRY.set_gauge("g", 1.0)
+        assert NULL_TELEMETRY.snapshot() == {}
+        assert not NULL_TELEMETRY.enabled
+        assert not NULL_TELEMETRY.histograms and not NULL_TELEMETRY.counters
+
+    def test_timer_contextmanager(self):
+        telemetry = Telemetry()
+        with telemetry.timer("lap"):
+            pass
+        assert telemetry.histograms["lap"].count == 1

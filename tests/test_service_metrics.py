@@ -1,0 +1,186 @@
+"""The telemetry exposition surface: the ``metrics`` op and ``/metrics``.
+
+Two doors into the same merged snapshot: the wire protocol's ``metrics``
+operation (structured JSON for the client library) and a plain-text
+Prometheus scrape endpoint served by the same event loop.  Both must
+report the publish->notify pipeline stages, fold in the engine-side
+telemetry, and count themselves in ``telemetry_scrapes``.
+"""
+
+import asyncio
+import contextlib
+
+import pytest
+
+from repro.core.config import MonitorConfig
+from repro.core.monitor import ContinuousMonitor
+from repro.runtime.sharded import ShardedMonitor
+from repro.service import MonitorClient, MonitorServer, ServiceConfig
+from tests.helpers import make_document
+
+CONFIG = MonitorConfig(algorithm="mrio", lam=1e-4)
+
+
+def run(coro):
+    return asyncio.run(asyncio.wait_for(coro, timeout=60))
+
+
+@contextlib.asynccontextmanager
+async def serve(monitor=None, **service_kwargs):
+    service_kwargs.setdefault("shutdown_timeout", 10.0)
+    server = MonitorServer(
+        monitor if monitor is not None else ContinuousMonitor(CONFIG),
+        ServiceConfig(**service_kwargs),
+    )
+    await server.start()
+    try:
+        yield server
+    finally:
+        await server.stop()
+
+
+async def _publish_some(server, n=10):
+    client = await MonitorClient.connect(*server.address)
+    await client.subscribe({1: 1.0, 2: 1.0}, k=2)
+    for i in range(n):
+        await client.publish(make_document(100 + i, {1: 1.0}, None))
+    return client
+
+
+async def _http_get(host, port, path):
+    reader, writer = await asyncio.open_connection(host, port)
+    writer.write(f"GET {path} HTTP/1.0\r\nHost: {host}\r\n\r\n".encode())
+    await writer.drain()
+    raw = await reader.read()
+    writer.close()
+    with contextlib.suppress(Exception):
+        await writer.wait_closed()
+    head, _, body = raw.partition(b"\r\n\r\n")
+    status = int(head.split(b" ", 2)[1])
+    return status, body.decode("utf-8")
+
+
+class TestMetricsOp:
+    def test_metrics_op_reports_pipeline_stages(self):
+        async def scenario():
+            monitor = ContinuousMonitor(
+                MonitorConfig(algorithm="mrio", lam=1e-4, telemetry=True)
+            )
+            async with serve(monitor=monitor, telemetry=True) as server:
+                client = await _publish_some(server)
+                metrics = await client.metrics()
+                assert metrics["enabled"] is True
+                histograms = metrics["telemetry"]["histograms"]
+                for stage in (
+                    "service.op.publish",
+                    "service.batch_enqueue",
+                    "service.engine_probe",
+                    "service.publish_to_notify",
+                    "engine.batch",
+                ):
+                    assert stage in histograms, (stage, sorted(histograms))
+                publish_summary = metrics["summary"]["service.publish_to_notify"]
+                assert publish_summary["count"] == 10
+                for key in ("p50_ms", "p95_ms", "p99_ms", "max_ms"):
+                    assert publish_summary[key] >= 0.0
+                assert metrics["service"]["telemetry_scrapes"] == 1
+                counters = metrics["telemetry"]["counters"]
+                assert counters["service.requests.publish"] == 10
+                await client.close()
+
+        run(scenario())
+
+    def test_metrics_op_merges_sharded_engine_telemetry(self):
+        async def scenario():
+            monitor = ShardedMonitor(
+                MonitorConfig(algorithm="mrio", lam=1e-4, telemetry=True),
+                n_shards=2,
+                executor="serial",
+            )
+            async with serve(monitor=monitor, telemetry=True) as server:
+                client = await _publish_some(server)
+                metrics = await client.metrics()
+                batch = metrics["telemetry"]["histograms"]["engine.batch"]
+                # Both shards time every fan-out lap.
+                assert batch["n"] % 2 == 0 and batch["n"] >= 2
+                await client.close()
+
+        run(scenario())
+
+    def test_disabled_by_default(self):
+        async def scenario():
+            async with serve() as server:
+                client = await _publish_some(server)
+                metrics = await client.metrics()
+                assert metrics["enabled"] is False
+                telemetry = metrics["telemetry"]
+                assert telemetry.get("histograms", {}) == {}
+                assert telemetry.get("counters", {}) == {}
+                assert metrics["summary"] == {}
+                # The scrape itself still counts.
+                assert metrics["service"]["telemetry_scrapes"] == 1
+                assert server.metrics_port is None
+                await client.close()
+
+        run(scenario())
+
+
+class TestMetricsHttp:
+    def test_scrape_returns_prometheus_text(self):
+        async def scenario():
+            async with serve(metrics_port=0) as server:
+                client = await _publish_some(server)
+                port = server.metrics_port
+                assert port is not None and port > 0
+                status, body = await _http_get("127.0.0.1", port, "/metrics")
+                assert status == 200
+                assert (
+                    'repro_service_publish_to_notify_seconds_bucket{le="+Inf"} 10'
+                    in body
+                )
+                assert "repro_service_publish_to_notify_p99_seconds " in body
+                assert "repro_service_op_publish_seconds_count 10" in body
+                assert "repro_service_telemetry_scrapes 1" in body
+                # The HTTP scrape counts like the op does.
+                metrics = await client.metrics()
+                assert metrics["service"]["telemetry_scrapes"] == 2
+                await client.close()
+
+        run(scenario())
+
+    def test_unknown_path_is_404(self):
+        async def scenario():
+            async with serve(metrics_port=0) as server:
+                status, body = await _http_get(
+                    "127.0.0.1", server.metrics_port, "/nope"
+                )
+                assert status == 404
+                assert "not found" in body.lower()
+
+        run(scenario())
+
+    def test_event_loop_lag_probe_feeds_gauge(self):
+        async def scenario():
+            async with serve(metrics_port=0) as server:
+                await asyncio.sleep(0.6)  # two probe intervals
+                snapshot = server.telemetry.snapshot()
+                assert "service.event_loop_lag" in snapshot["gauges"]
+                assert snapshot["gauges"]["service.event_loop_lag"] >= 0.0
+
+        run(scenario())
+
+
+class TestServiceConfigValidation:
+    def test_negative_metrics_port_rejected(self):
+        from repro.exceptions import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            ServiceConfig(metrics_port=-1)
+
+    def test_telemetry_flag_alone_enables_without_http(self):
+        async def scenario():
+            async with serve(telemetry=True) as server:
+                assert server.telemetry.enabled
+                assert server.metrics_port is None
+
+        run(scenario())
