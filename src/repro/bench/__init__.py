@@ -11,6 +11,7 @@ from repro.bench.figures import (
     effect_of_query_length_spec,
     ub_variants_spec,
     considered_queries_spec,
+    flash_crowd_spec,
 )
 
 __all__ = [
@@ -29,4 +30,5 @@ __all__ = [
     "effect_of_query_length_spec",
     "ub_variants_spec",
     "considered_queries_spec",
+    "flash_crowd_spec",
 ]

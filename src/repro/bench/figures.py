@@ -95,6 +95,29 @@ def ub_variants_spec(profile: Optional[str] = None, workload: str = "uniform") -
     )
 
 
+def flash_crowd_spec(
+    profile: Optional[str] = None, workload: str = "uniform"
+) -> ExperimentSpec:
+    """Churn scenario: a flash crowd subscribes mid-stream and leaves later.
+
+    Half the resident population's size joins in one burst a quarter of the
+    way through the measured segment and unsubscribes at the three-quarter
+    mark, so the cell measures ingest latency *through* registration storms
+    rather than against a static query set.
+    """
+    spec = _base_spec("churn-flash-crowd", profile)
+    count = spec.query_counts[-1]
+    return replace(
+        spec,
+        workload=workload,
+        query_counts=(count,),
+        algorithms=("rio", "mrio"),
+        churn_burst=max(1, count // 2),
+        churn_join_fraction=0.25,
+        churn_leave_fraction=0.75,
+    )
+
+
 def considered_queries_spec(
     profile: Optional[str] = None, workload: str = "uniform"
 ) -> ExperimentSpec:

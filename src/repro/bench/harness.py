@@ -108,13 +108,18 @@ def run_cell(
     durability-overhead ablation axis.
     """
     corpus = SyntheticCorpus(spec.corpus, seed=spec.seed)
+    # Flash-crowd cells draw the burst from the same workload distribution:
+    # one generation call hands out distinct query ids, the tail beyond the
+    # resident population is the crowd that joins (and leaves) mid-stream.
     queries = generate_workload(
         spec.workload,
         corpus,
-        num_queries,
+        num_queries + spec.churn_burst,
         config=spec.workload_config(),
         seed=spec.seed + 101,
     )
+    burst = queries[num_queries:]
+    queries = queries[:num_queries]
     sharded = spec.shards > 1
     wal_dir: Optional[str] = None
     if spec.durability:
@@ -153,8 +158,26 @@ def run_cell(
             engine.response_times.clear()
             engine.counters.reset()
 
-        for document in stream.take(spec.num_events):
+        documents = list(stream.take(spec.num_events))
+        join_at = int(spec.churn_join_fraction * len(documents))
+        leave_at = int(spec.churn_leave_fraction * len(documents))
+        joined = False
+        for position, document in enumerate(documents):
+            if burst and position == join_at and not joined:
+                joined = True
+                if monitor_style:
+                    engine.register_queries(burst)
+                else:
+                    engine.register_all(burst)
+            if burst and joined and position == leave_at:
+                for query in burst:
+                    engine.unregister(query.query_id)
+                joined = False
             engine.process(document)
+        if burst and joined:
+            # leave fraction of 1.0: the crowd departs after the last event.
+            for query in burst:
+                engine.unregister(query.query_id)
 
         if extra_counters:
             counters = (
@@ -172,6 +195,9 @@ def run_cell(
         if spec.durability:
             extra["durability"] = 1.0
             extra["wal_group_commit"] = float(spec.wal_group_commit)
+        if spec.churn_burst:
+            extra["churn_burst"] = float(spec.churn_burst)
+            extra["churn_ops"] = float(2 * spec.churn_burst)
         response_times = list(engine.response_times)
         batch_response_times = [
             (int(size), float(elapsed))

@@ -92,6 +92,14 @@ class ExperimentSpec:
     shard_executor: str = "serial"
     #: Partitioning policy (``"hash"``/``"affinity"``) for sharded cells.
     shard_policy: str = "hash"
+    #: Flash-crowd churn: this many extra queries subscribe in one burst
+    #: mid-measurement and unsubscribe in a second burst later, modelling a
+    #: breaking-news audience attaching to a live stream.  0 disables churn.
+    churn_burst: int = 0
+    #: Fraction of the measured stream after which the burst subscribes.
+    churn_join_fraction: float = 0.25
+    #: Fraction of the measured stream after which the burst unsubscribes.
+    churn_leave_fraction: float = 0.75
     #: When True the cell runs behind a ``DurableMonitor`` journaling to a
     #: throwaway directory — the durability on/off ablation axis.
     durability: bool = False
@@ -134,6 +142,19 @@ class ExperimentSpec:
         if self.wal_group_commit <= 0:
             raise BenchmarkError(
                 f"experiment {self.name}: wal_group_commit must be > 0"
+            )
+        if self.churn_burst < 0:
+            raise BenchmarkError(
+                f"experiment {self.name}: churn_burst must be >= 0"
+            )
+        if not 0.0 <= self.churn_join_fraction <= 1.0:
+            raise BenchmarkError(
+                f"experiment {self.name}: churn_join_fraction must be in [0, 1]"
+            )
+        if not self.churn_join_fraction <= self.churn_leave_fraction <= 1.0:
+            raise BenchmarkError(
+                f"experiment {self.name}: churn_leave_fraction must be in "
+                "[churn_join_fraction, 1]"
             )
 
     def workload_config(self) -> WorkloadConfig:

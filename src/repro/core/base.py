@@ -3,7 +3,9 @@
 The base class owns what all algorithms (RIO, MRIO and the baselines) have in
 common:
 
-* the registered :class:`~repro.queries.query.Query` objects,
+* the packed :class:`~repro.queries.store.QueryStore` of registered query
+  definitions (shared by reference with the per-term index structures; the
+  historical ``queries`` dict surface survives as a read-only facade),
 * the per-query :class:`~repro.core.results.TopKResult` store,
 * the exponential decay model and its renormalization,
 * work counters and per-event response times,
@@ -32,6 +34,7 @@ from repro.exceptions import DuplicateQueryError, StreamError, UnknownQueryError
 from repro.metrics.counters import EventCounters
 from repro.obs.telemetry import NULL_TELEMETRY
 from repro.queries.query import Query
+from repro.queries.store import QueryStore, RegisteredQueries
 from repro.types import DocId, QueryId
 
 UpdateListener = Callable[[ResultUpdate], None]
@@ -60,9 +63,15 @@ class StreamAlgorithm(abc.ABC):
 
     def __init__(self, decay: Optional[ExponentialDecay] = None) -> None:
         self.decay = decay or ExponentialDecay()
-        self.results = ResultStore()
+        #: Packed columnar store of every registered query definition — the
+        #: single source of truth the index structures share by reference.
+        self.store = QueryStore()
+        self.results = ResultStore(store=self.store)
         self.counters = EventCounters()
-        self.queries: Dict[QueryId, Query] = {}
+        #: Read-only dict-like facade over :attr:`store` (``query id ->
+        #: materialized Query``).  Lookups build transient ``Query`` objects;
+        #: no per-query object is retained.
+        self.queries: RegisteredQueries = RegisteredQueries(self.store)
         #: Per-event processing seconds.  Events ingested via
         #: :meth:`process_batch` contribute their batch's *mean* — correct
         #: for averages but not for tail percentiles; use
@@ -88,12 +97,24 @@ class StreamAlgorithm(abc.ABC):
     # ------------------------------------------------------------------ #
 
     def register(self, query: Query) -> None:
-        """Register one continuous query."""
-        if query.query_id in self.queries:
-            raise DuplicateQueryError(f"query {query.query_id} is already registered")
-        self.queries[query.query_id] = query
+        """Register one continuous query.
+
+        The definition is packed into :attr:`store`; the ``Query`` object
+        itself is not retained.
+        """
+        telemetry = self.telemetry
+        if not telemetry.enabled:
+            self.store.register(query)
+            self.results.add_query(query)
+            self._register_structures(query)
+            return
+        started = time.perf_counter()
+        self.store.register(query)
         self.results.add_query(query)
         self._register_structures(query)
+        telemetry.observe("query.register", time.perf_counter() - started)
+        telemetry.incr("churn_ops")
+        telemetry.set_gauge("registered_queries", float(len(self.store)))
 
     def register_all(self, queries: Iterable[Query]) -> None:
         for query in queries:
@@ -101,16 +122,23 @@ class StreamAlgorithm(abc.ABC):
 
     def unregister(self, query_id: QueryId) -> Query:
         """Remove one continuous query and its result state."""
-        query = self.queries.pop(query_id, None)
+        telemetry = self.telemetry
+        started = time.perf_counter() if telemetry.enabled else 0.0
+        query = self.store.materialize_or_none(query_id)
         if query is None:
             raise UnknownQueryError(f"query {query_id} is not registered")
         self._unregister_structures(query)
+        self.store.unregister(query_id)
         self.results.remove_query(query_id)
+        if telemetry.enabled:
+            telemetry.observe("query.unregister", time.perf_counter() - started)
+            telemetry.incr("churn_ops")
+            telemetry.set_gauge("registered_queries", float(len(self.store)))
         return query
 
     @property
     def num_queries(self) -> int:
-        return len(self.queries)
+        return len(self.store)
 
     @property
     def last_arrival(self) -> Optional[float]:
@@ -302,9 +330,10 @@ class StreamAlgorithm(abc.ABC):
             return None
         self.counters.result_updates += 1
         if threshold_changed:
+            self.store.set_threshold(query_id, result.threshold)
             deferred = self._deferred_threshold_queries
             if deferred is None:
-                self._on_threshold_change(self.queries[query_id])
+                self._on_threshold_change(self.store.materialize(query_id))
             else:
                 deferred.add(query_id)
         return ResultUpdate(
@@ -341,6 +370,7 @@ class StreamAlgorithm(abc.ABC):
         factor = self.decay.rebase(new_origin)
         if factor != 1.0:
             self.results.scale_all(factor)
+            self.store.scale_thresholds(factor)
             self._on_renormalize(factor)
             for listener in self._renormalize_listeners:
                 listener(new_origin, factor)
@@ -355,9 +385,11 @@ class StreamAlgorithm(abc.ABC):
 
         The snapshot is a structural (in-memory) capture meant for handing
         an engine's queries to other engine shards during rebalancing —
-        :class:`~repro.queries.query.Query` objects are shared by reference,
-        everything else is copied.  Timing samples (``response_times``) are
-        measurements, not state, and are not part of it.
+        :class:`~repro.queries.query.Query` objects are materialized from
+        the packed store (so the capture stays valid however this engine
+        mutates afterwards), everything else is copied.  Timing samples
+        (``response_times``) are measurements, not state, and are not part
+        of it.
         """
         state: Dict[str, object] = {
             "algorithm": self.name,
@@ -390,6 +422,7 @@ class StreamAlgorithm(abc.ABC):
             self.register(query)
         self.results.restore(state["results"])  # type: ignore[arg-type]
         self.counters.restore(state["counters"])  # type: ignore[arg-type]
+        self.store.refresh_thresholds(self.results.threshold)
         self._last_arrival = state["last_arrival"]  # type: ignore[assignment]
         self._restore_structures(state.get("structures"))  # type: ignore[arg-type]
 
@@ -409,6 +442,7 @@ class StreamAlgorithm(abc.ABC):
             result_state = captured_results.get(query.query_id)  # type: ignore[union-attr]
             if result_state is not None:
                 self.results.get(query.query_id).restore(result_state)
+        self.store.refresh_thresholds(self.results.threshold)
         self._last_arrival = state["last_arrival"]  # type: ignore[assignment]
         self._restore_structures()
 
@@ -468,8 +502,9 @@ class StreamAlgorithm(abc.ABC):
         Used by the window-expiration manager, whose re-evaluation can lower
         a threshold — something normal stream processing never does.
         """
-        query = self.queries.get(query_id)
+        query = self.store.materialize_or_none(query_id)
         if query is not None:
+            self.store.set_threshold(query_id, self.results.threshold(query_id))
             self._on_threshold_change(query)
 
     def describe(self) -> Dict[str, object]:

@@ -163,12 +163,18 @@ class GlobalMaxBounds(BoundMaintainer):
         super().__init__(index, results)
         self._max: Dict[TermId, float] = {}
         self._argmax: Dict[TermId, Optional[QueryId]] = {}
+        #: Terms whose cached maximum must be recomputed before use
+        #: (deferred refresh: unregistering the maximizer only marks the
+        #: term stale, so churn storms do not pay an O(list) rescan per
+        #: operation — the rescan happens at most once, on next probe).
+        self._stale: set = set()
         for plist in index.posting_lists():
             self._recompute_term(plist.term_id)
 
     # -- internals -------------------------------------------------------- #
 
     def _recompute_term(self, term_id: TermId) -> None:
+        self._stale.discard(term_id)
         plist = self.index.get(term_id)
         if plist is None or len(plist) == 0:
             self._max.pop(term_id, None)
@@ -187,10 +193,11 @@ class GlobalMaxBounds(BoundMaintainer):
     # -- interface --------------------------------------------------------- #
 
     def global_max(self, plist: QueryPostingList) -> float:
-        value = self._max.get(plist.term_id)
-        if value is None:
-            self._recompute_term(plist.term_id)
-            value = self._max.get(plist.term_id, NEG_INF)
+        term_id = plist.term_id
+        value = self._max.get(term_id)
+        if value is None or term_id in self._stale:
+            self._recompute_term(term_id)
+            value = self._max.get(term_id, NEG_INF)
         return value
 
     def zone_max(self, plist: QueryPostingList, start_pos: int, boundary_qid: int) -> float:
@@ -207,8 +214,8 @@ class GlobalMaxBounds(BoundMaintainer):
 
     def on_threshold_change(self, query: Query) -> None:
         for term_id, weight in query.vector.items():
-            if term_id not in self._max:
-                continue
+            if term_id not in self._max or term_id in self._stale:
+                continue  # stale terms recompute wholesale on next probe
             ratio = self.current_ratio(query.query_id, weight)
             if ratio > self._max[term_id]:
                 # Threshold dropped (expiration): raise the cached maximum.
@@ -237,7 +244,16 @@ class GlobalMaxBounds(BoundMaintainer):
     def on_query_unregistered(self, query: Query) -> None:
         for term_id in query.vector:
             if self._argmax.get(term_id) == query.query_id:
-                self._recompute_term(term_id)
+                # Deferred: the stale cached value is recomputed on next
+                # access (removing the maximizer can only lower the true
+                # maximum, so no probe can read an unsafe bound meanwhile).
+                plist = self.index.get(term_id)
+                if plist is None or len(plist) == 0:
+                    self._max.pop(term_id, None)
+                    self._argmax.pop(term_id, None)
+                    self._stale.discard(term_id)
+                else:
+                    self._stale.add(term_id)
 
 
 class ExactZoneBounds(BoundMaintainer):

@@ -91,7 +91,9 @@ class ColumnarAlgorithm(StreamAlgorithm):
         if cell_budget <= 0:
             raise ValueError(f"cell_budget must be > 0, got {cell_budget}")
         self.cell_budget = cell_budget
-        self.index = ColumnarQueryIndex(zone_size=zone_size)
+        # Shares the engine's packed definition store: the index keeps only
+        # membership + slot columns and joins weights in at rebuild time.
+        self.index = ColumnarQueryIndex(zone_size=zone_size, store=self.store)
 
     # ------------------------------------------------------------------ #
     # Structure hooks

@@ -73,7 +73,7 @@ class ReverseIDOrderingBase(StreamAlgorithm):
 
     def __init__(self, decay: Optional[ExponentialDecay] = None) -> None:
         super().__init__(decay)
-        self.index = QueryIndex()
+        self.index = QueryIndex(store=self.store)
         self.bounds: BoundMaintainer = self._make_bounds()
         #: Persistent two-level memo of zone-bound lookups:
         #: ``term_id -> {(start_pos, boundary_qid): (end_pos, zone_value)}``.
@@ -115,12 +115,27 @@ class ReverseIDOrderingBase(StreamAlgorithm):
 
     def _register_structures(self, query: Query) -> None:
         self.index.register(query)
-        # Posting positions shifted; every memoized window is stale.
-        self._zone_cache.clear()
+        self._invalidate_zone_terms(query)
 
     def _unregister_structures(self, query: Query) -> None:
-        self.index.unregister(query.query_id)
-        self._zone_cache.clear()
+        self.index.unregister(query.query_id, query)
+        self._invalidate_zone_terms(query)
+
+    def _invalidate_zone_terms(self, query: Query) -> None:
+        """Drop the memoized windows of exactly the query's own terms.
+
+        Registration and unregistration shift posting positions only in the
+        posting lists of the terms the query contains; every other term's
+        list — and therefore its memoized ``(start, boundary) -> (end,
+        bound)`` windows — is untouched.  Incremental invalidation is what
+        keeps sustained register/unregister churn from stalling ingest: the
+        previous wholesale ``clear()`` made every registration cost one
+        full memo rebuild across all hot terms.
+        """
+        cache = self._zone_cache
+        if cache:
+            for term_id in query.vector:
+                cache.pop(term_id, None)
 
     def _on_threshold_change(self, query: Query) -> None:
         self.bounds.on_threshold_change(query)

@@ -284,6 +284,13 @@ class TopKResult:
 class ResultStore:
     """Holds the :class:`TopKResult` of every registered query.
 
+    Backed by a :class:`~repro.queries.store.QueryStore`, result heaps are
+    materialized *lazily* on first access: a query that has never matched a
+    document owns no heap at all, and its threshold reads as 0.0 — exactly
+    the threshold of an empty heap, so every pruning bound is unchanged.
+    At a million registered queries this is the difference between a heap
+    object per query and a few bytes per query.
+
     Example::
 
         store = ResultStore()
@@ -292,10 +299,14 @@ class ResultStore:
         threshold = store.threshold(query.query_id)
     """
 
-    def __init__(self) -> None:
+    def __init__(self, store: Optional[object] = None) -> None:
         self._results: Dict[QueryId, TopKResult] = {}
+        #: Optional QueryStore supplying ``k`` for lazy materialization.
+        self._store = store
 
     def add_query(self, query: Query) -> None:
+        if self._store is not None:
+            return  # lazy: the heap is materialized on first access
         if query.query_id not in self._results:
             self._results[query.query_id] = TopKResult(query.k)
 
@@ -305,6 +316,11 @@ class ResultStore:
     def get(self, query_id: QueryId) -> TopKResult:
         result = self._results.get(query_id)
         if result is None:
+            store = self._store
+            if store is not None and query_id in store:  # type: ignore[operator]
+                result = TopKResult(store.k_of(query_id))  # type: ignore[attr-defined]
+                self._results[query_id] = result
+                return result
             raise UnknownQueryError(f"query {query_id} has no result store")
         return result
 
@@ -328,8 +344,26 @@ class ResultStore:
             result.scale(factor)
 
     def snapshot(self) -> Dict[QueryId, Dict[str, object]]:
-        """Per-query :meth:`TopKResult.snapshot` dicts (shard rebalancing)."""
-        return {query_id: result.snapshot() for query_id, result in self._results.items()}
+        """Per-query :meth:`TopKResult.snapshot` dicts (shard rebalancing).
+
+        In the lazy (query-store-backed) mode, *empty* heaps are omitted:
+        an empty heap is indistinguishable from an unmaterialized one, and
+        whether a heap was ever materialized depends on which queries an
+        engine happened to consider — engine-specific history that must not
+        leak into snapshots (differential suites compare them bytewise
+        across engines).  Emptiness, by contrast, is determined purely by
+        the accepted offers, which are identical across engines.
+        """
+        if self._store is None:
+            return {
+                query_id: result.snapshot()
+                for query_id, result in self._results.items()
+            }
+        return {
+            query_id: result.snapshot()
+            for query_id, result in self._results.items()
+            if len(result) > 0
+        }
 
     def restore(self, state: Dict[QueryId, Dict[str, object]]) -> None:
         """Restore every captured query result present in this store.
@@ -338,12 +372,19 @@ class ResultStore:
         longer) registered here is skipped, which is what a router relies on
         when it re-partitions one engine's snapshot across several shards.
         """
+        store = self._store
         for query_id, result_state in state.items():
             result = self._results.get(query_id)
+            if result is None and store is not None and query_id in store:  # type: ignore[operator]
+                result = self._results[query_id] = TopKResult(
+                    store.k_of(query_id)  # type: ignore[attr-defined]
+                )
             if result is not None:
                 result.restore(result_state)
 
     def query_ids(self) -> List[QueryId]:
+        """Ids of the queries whose heap is materialized (has ever been
+        offered to, restored, or read)."""
         return list(self._results.keys())
 
     def __len__(self) -> int:

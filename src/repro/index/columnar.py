@@ -18,11 +18,14 @@ a handful of array operations:
   per-term maximum (the RIO-style document bound) is derived from them.
 
 Mutations follow an amortized rebuild discipline: registrations and
-unregistrations update a dict-based model (`term -> {query id: weight}`)
-and mark the touched terms dirty; a term's packed columns are rebuilt
-lazily on next access.  Unregistration tombstones the query's slot, and the
-slot space is compacted (densely reassigned) once more than half the slots
-are dead, so long churn storms cannot leak memory.
+unregistrations update per-term ID-ordered membership arrays and mark the
+touched terms dirty; a term's packed columns are rebuilt lazily on next
+access, pulling weights from the shared
+:class:`~repro.queries.store.QueryStore` (passed in by the owning engine,
+private when standalone) so the index keeps no per-query dict of its own.
+Unregistration tombstones the query's slot, and the slot space is
+compacted (densely reassigned) once more than half the slots are dead, so
+long churn storms cannot leak memory.
 
 numpy is optional: when it is unavailable the columns degrade to
 :mod:`array` arrays with identical semantics (the engine then probes them
@@ -32,10 +35,12 @@ with scalar loops — same results, no vectorization).
 from __future__ import annotations
 
 from array import array
+from bisect import bisect_left, insort
 from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.exceptions import DuplicateQueryError, UnknownQueryError
 from repro.queries.query import Query
+from repro.queries.store import QueryStore, SlotMap
 from repro.types import QueryId, TermId
 
 try:  # pragma: no cover - exercised implicitly by every import
@@ -142,13 +147,20 @@ class ColumnarQueryIndex:
         thresholds = index.thresholds_view()  # per-slot S_k column
     """
 
-    def __init__(self, zone_size: int = 64) -> None:
+    def __init__(self, zone_size: int = 64, store: Optional[QueryStore] = None) -> None:
         if zone_size <= 0:
             raise ValueError(f"zone_size must be > 0, got {zone_size}")
         self.zone_size = zone_size
-        #: Dict model the packed columns are rebuilt from (term -> qid -> w).
-        self._members: Dict[TermId, Dict[QueryId, float]] = {}
-        self._qid_to_slot: Dict[QueryId, int] = {}
+        #: Shared definition store the packed columns pull weights from.  An
+        #: owning engine passes its store (definitions registered there
+        #: already); a standalone index owns a private one and registers
+        #: definitions itself.
+        self._store = store if store is not None else QueryStore()
+        self._owns_store = store is None
+        #: Per-term ID-ordered membership (qid column only; weights live in
+        #: the store and are joined in at rebuild time).
+        self._term_qids: Dict[TermId, array] = {}
+        self._slot_map = SlotMap()
         #: Per-slot columns; positions >= ``size`` are unused capacity.
         self._slot_qids = _id_column([])
         self._slot_thresholds = _float_column([])
@@ -156,9 +168,17 @@ class ColumnarQueryIndex:
         self.dead = 0
         self._dirty: set = set()
         self._term_arrays: Dict[TermId, TermPostings] = {}
-        #: Cached concatenated CSR over every term (see :meth:`global_view`);
-        #: invalidated by any membership change.
+        #: Cached concatenated CSR over every term (see :meth:`global_view`).
+        #: Maintained *incrementally*: membership changes record only the
+        #: touched term ids (``_global_changed``); the next
+        #: :meth:`global_view` splices fresh spans for exactly those terms
+        #: into the cached columns with array slicing — clean terms' data
+        #: moves as contiguous memcpy, never through a Python loop — so a
+        #: churn storm interleaved with ingest pays O(changed terms) Python
+        #: work per probe instead of a rebuild over every term.
         self._global: Optional[Tuple] = None
+        self._global_lengths = None  # per-term span lengths, CSR order
+        self._global_changed: set = set()
 
     # ------------------------------------------------------------------ #
     # Slot bookkeeping
@@ -166,18 +186,18 @@ class ColumnarQueryIndex:
 
     @property
     def num_live(self) -> int:
-        return len(self._qid_to_slot)
+        return len(self._slot_map)
 
     @property
     def num_terms(self) -> int:
-        return len(self._members)
+        return len(self._term_qids)
 
     @property
     def capacity(self) -> int:
         return len(self._slot_qids)
 
     def slot_of(self, query_id: QueryId) -> int:
-        slot = self._qid_to_slot.get(query_id)
+        slot = self._slot_map.get(query_id)
         if slot is None:
             raise UnknownQueryError(f"query {query_id} is not registered")
         return slot
@@ -205,44 +225,53 @@ class ColumnarQueryIndex:
 
     def register(self, query: Query) -> int:
         """Add ``query``; returns the slot it was assigned."""
-        if query.query_id in self._qid_to_slot:
+        if query.query_id in self._slot_map:
             raise DuplicateQueryError(f"query {query.query_id} is already registered")
+        if self._owns_store:
+            self._store.register(query)
         if self.size >= len(self._slot_qids):
             self._grow(self.size + 1)
         slot = self.size
         self.size += 1
         self._slot_qids[slot] = query.query_id
         self._slot_thresholds[slot] = 0.0
-        self._qid_to_slot[query.query_id] = slot
-        for term_id, weight in query.vector.items():
-            members = self._members.get(term_id)
+        self._slot_map.set(query.query_id, slot)
+        for term_id in query.vector:
+            members = self._term_qids.get(term_id)
             if members is None:
-                members = self._members[term_id] = {}
-            members[query.query_id] = weight
+                members = self._term_qids[term_id] = array("q")
+            if not members or query.query_id > members[-1]:
+                members.append(query.query_id)
+            else:
+                insort(members, query.query_id)
             self._dirty.add(term_id)
-        self._global = None
+            self._global_changed.add(term_id)
         return slot
 
     def unregister(self, query: Query) -> None:
         """Remove ``query``, tombstoning its slot (compacting when due)."""
-        slot = self._qid_to_slot.pop(query.query_id, None)
+        slot = self._slot_map.pop(query.query_id)
         if slot is None:
             raise UnknownQueryError(f"query {query.query_id} is not registered")
         self._slot_qids[slot] = -1
         self._slot_thresholds[slot] = INF
         self.dead += 1
         for term_id in query.vector:
-            members = self._members.get(term_id)
+            members = self._term_qids.get(term_id)
             if members is None:
                 continue
-            members.pop(query.query_id, None)
+            position = bisect_left(members, query.query_id)
+            if position < len(members) and members[position] == query.query_id:
+                members.pop(position)
             if members:
                 self._dirty.add(term_id)
             else:
-                del self._members[term_id]
+                del self._term_qids[term_id]
                 self._dirty.discard(term_id)
                 self._term_arrays.pop(term_id, None)
-        self._global = None
+            self._global_changed.add(term_id)
+        if self._owns_store:
+            self._store.unregister(query.query_id)
         if (
             self.dead >= COMPACT_MIN_DEAD
             and self.dead > self.size * COMPACT_DEAD_FRACTION
@@ -260,14 +289,19 @@ class ColumnarQueryIndex:
             for slot in range(self.size)
             if self._slot_qids[slot] >= 0
         ]
-        self._qid_to_slot = {qid: slot for slot, (qid, _) in enumerate(live)}
+        self._slot_map.clear()
+        for slot, (qid, _) in enumerate(live):
+            self._slot_map.set(qid, slot)
         self.size = len(live)
         self.dead = 0
         self._slot_qids = _id_column([qid for qid, _ in live])
         self._slot_thresholds = _float_column([thr for _, thr in live])
-        self._dirty.update(self._members.keys())
+        self._dirty.update(self._term_qids.keys())
         self._term_arrays.clear()
+        # Slots moved for every term: the spliced CSR cache is useless.
         self._global = None
+        self._global_lengths = None
+        self._global_changed.clear()
 
     # ------------------------------------------------------------------ #
     # Packed column access
@@ -276,17 +310,18 @@ class ColumnarQueryIndex:
     def term(self, term_id: TermId) -> Optional[TermPostings]:
         """The packed columns of ``term_id``, rebuilt if stale; ``None``
         when no registered query uses the term."""
-        members = self._members.get(term_id)
+        members = self._term_qids.get(term_id)
         if members is None:
             return None
         postings = self._term_arrays.get(term_id)
         if postings is None or term_id in self._dirty:
-            ordered = sorted(members.items())
+            slot_map = self._slot_map
+            weight_of = self._store.weight_of
             postings = TermPostings(
                 term_id,
-                qids=[qid for qid, _ in ordered],
-                slots=[self._qid_to_slot[qid] for qid, _ in ordered],
-                weights=[weight for _, weight in ordered],
+                qids=list(members),
+                slots=[slot_map.get(qid) for qid in members],
+                weights=[weight_of(qid, term_id) for qid in members],
                 zone_size=self.zone_size,
             )
             self._term_arrays[term_id] = postings
@@ -303,48 +338,139 @@ class ColumnarQueryIndex:
         sorted by query id, as in :meth:`term`); ``max_weights[i]`` is that
         term's maximum preference weight.  This is what the vectorized probe
         joins a whole batch against without any per-term Python dispatch.
-        Rebuilt lazily after membership changes; the concatenation reuses
-        (and refreshes) the per-term :class:`TermPostings`.
+        Maintained incrementally: membership changes are *spliced* into the
+        cached columns — only the changed terms' spans are rebuilt in
+        Python, everything between them moves as contiguous array slices —
+        so a churn storm interleaved with ingest costs O(changed terms) per
+        probe, not a rebuild over every registered term.
         """
-        if self._global is None or self._dirty:
-            term_keys = sorted(self._members)
-            starts: List[int] = []
-            ends: List[int] = []
-            max_weights: List[float] = []
-            slot_parts = []
-            weight_parts = []
-            position = 0
-            for term_id in term_keys:
-                postings = self.term(term_id)
-                starts.append(position)
-                position += len(postings)
-                ends.append(position)
-                slot_parts.append(postings.slots)
-                weight_parts.append(postings.weights)
-                max_weights.append(postings.max_weight)
-            if _np is not None and slot_parts:
-                slot_col = _np.concatenate(slot_parts)
-                weight_col = _np.concatenate(weight_parts)
-            else:
-                slot_col = _id_column([slot for part in slot_parts for slot in part])
-                weight_col = _float_column(
-                    [weight for part in weight_parts for weight in part]
-                )
-            self._global = (
-                _id_column(term_keys),
-                _id_column(starts),
-                _id_column(ends),
-                slot_col,
-                weight_col,
-                _float_column(max_weights),
-            )
+        if self._global is not None and not self._global_changed:
+            return self._global
+        if self._global is None or _np is None:
+            self._rebuild_global()
+        else:
+            self._splice_global()
         return self._global
 
+    def _rebuild_global(self) -> None:
+        """Full CSR construction (first build, post-compaction, no-numpy)."""
+        self._global_changed.clear()
+        term_keys = sorted(self._term_qids)
+        lengths: List[int] = []
+        max_weights: List[float] = []
+        slot_parts = []
+        weight_parts = []
+        for term_id in term_keys:
+            postings = self.term(term_id)
+            lengths.append(len(postings))
+            slot_parts.append(postings.slots)
+            weight_parts.append(postings.weights)
+            max_weights.append(postings.max_weight)
+        if _np is not None and slot_parts:
+            slot_col = _np.concatenate(slot_parts)
+            weight_col = _np.concatenate(weight_parts)
+        else:
+            slot_col = _id_column([slot for part in slot_parts for slot in part])
+            weight_col = _float_column(
+                [weight for part in weight_parts for weight in part]
+            )
+        starts: List[int] = []
+        ends: List[int] = []
+        position = 0
+        for length in lengths:
+            starts.append(position)
+            position += length
+            ends.append(position)
+        self._global_lengths = lengths
+        self._global = (
+            _id_column(term_keys),
+            _id_column(starts),
+            _id_column(ends),
+            slot_col,
+            weight_col,
+            _float_column(max_weights),
+        )
+
+    def _splice_global(self) -> None:
+        """Splice the changed terms' spans into the cached CSR columns.
+
+        Walks the (sorted) changed term ids once; stretches of *clean*
+        terms between them are carried over as whole array slices.  The
+        result is bit-identical to a full rebuild — only data movement
+        differs.
+        """
+        changed = sorted(self._global_changed)
+        self._global_changed.clear()
+        old_keys, old_starts, _, old_slot_col, old_weight_col, old_maxw = self._global
+        old_lengths = self._global_lengths
+        total = len(old_slot_col)
+        num_old = len(old_keys)
+
+        key_pieces, len_pieces, maxw_pieces = [], [], []
+        slot_pieces, weight_pieces = [], []
+        cursor = 0  # index into old_keys: everything before it is emitted
+        for term_id in changed:
+            index = int(_np.searchsorted(old_keys, term_id))
+            if index > cursor:  # carry the clean stretch [cursor, index)
+                key_pieces.append(old_keys[cursor:index])
+                len_pieces.append(old_lengths[cursor:index])
+                maxw_pieces.append(old_maxw[cursor:index])
+                col_lo = int(old_starts[cursor])
+                col_hi = int(old_starts[index]) if index < num_old else total
+                slot_pieces.append(old_slot_col[col_lo:col_hi])
+                weight_pieces.append(old_weight_col[col_lo:col_hi])
+            present_before = index < num_old and int(old_keys[index]) == term_id
+            if term_id in self._term_qids:  # replaced or inserted span
+                postings = self.term(term_id)
+                key_pieces.append([term_id])
+                len_pieces.append([len(postings)])
+                maxw_pieces.append([postings.max_weight])
+                slot_pieces.append(postings.slots)
+                weight_pieces.append(postings.weights)
+            cursor = index + 1 if present_before else index
+        if cursor < num_old:  # trailing clean stretch
+            key_pieces.append(old_keys[cursor:])
+            len_pieces.append(old_lengths[cursor:])
+            maxw_pieces.append(old_maxw[cursor:])
+            col_lo = int(old_starts[cursor])
+            slot_pieces.append(old_slot_col[col_lo:total])
+            weight_pieces.append(old_weight_col[col_lo:total])
+
+        lengths = [int(length) for piece in len_pieces for length in piece]
+        starts: List[int] = []
+        ends: List[int] = []
+        position = 0
+        for length in lengths:
+            starts.append(position)
+            position += length
+            ends.append(position)
+        if slot_pieces:
+            slot_col = _np.concatenate(slot_pieces)
+            weight_col = _np.concatenate(weight_pieces)
+        else:
+            slot_col = _id_column([])
+            weight_col = _float_column([])
+        self._global_lengths = lengths
+        self._global = (
+            _np.concatenate([_np.asarray(piece, dtype=_np.int64) for piece in key_pieces])
+            if key_pieces
+            else _id_column([]),
+            _id_column(starts),
+            _id_column(ends),
+            slot_col,
+            weight_col,
+            _np.concatenate(
+                [_np.asarray(piece, dtype=_np.float64) for piece in maxw_pieces]
+            )
+            if maxw_pieces
+            else _float_column([]),
+        )
+
     def term_ids(self) -> List[TermId]:
-        return list(self._members.keys())
+        return list(self._term_qids.keys())
 
     def iter_terms(self) -> Iterator[TermPostings]:
-        for term_id in list(self._members.keys()):
+        for term_id in list(self._term_qids.keys()):
             postings = self.term(term_id)
             if postings is not None:
                 yield postings
@@ -390,8 +516,11 @@ class ColumnarQueryIndex:
     def refresh_thresholds(self, threshold_of) -> None:
         """Reload every live slot's threshold via ``threshold_of(query_id)``
         (snapshot restore, where thresholds may move in both directions)."""
-        for query_id, slot in self._qid_to_slot.items():
-            self._slot_thresholds[slot] = threshold_of(query_id)
+        qids = self._slot_qids
+        for slot in range(self.size):
+            qid = qids[slot]
+            if qid >= 0:
+                self._slot_thresholds[slot] = threshold_of(int(qid))
 
     def min_live_threshold(self) -> float:
         """The smallest live ``S_k`` (``+inf`` when no query is live).
@@ -400,7 +529,7 @@ class ColumnarQueryIndex:
         cannot enter any top-k, which is the vectorized document-level
         prune.
         """
-        if self.size == 0 or not self._qid_to_slot:
+        if self.size == 0 or not len(self._slot_map):
             return INF
         if _np is not None:
             return float(self._slot_thresholds[: self.size].min())

@@ -7,28 +7,37 @@ the index keeps an **ID-ordered** posting list of ``(query id, preference
 weight)`` entries; cursor jumps over those lists are what the ID-ordering
 paradigm exploits.
 
-The index is purely structural: it stores queries and their postings and
-notifies registered listeners (the bound maintainers in
-:mod:`repro.core.bounds`) about membership changes, but it knows nothing
-about thresholds or scores.
+The index is purely structural: it keeps the per-term postings and notifies
+registered listeners (the bound maintainers in :mod:`repro.core.bounds`)
+about membership changes, but it knows nothing about thresholds or scores.
+Query *definitions* live in a shared packed
+:class:`~repro.queries.store.QueryStore` — passed in by the owning engine,
+or private when the index is used standalone — so the index retains no
+per-query dict of ``Query`` objects.
 """
 
 from __future__ import annotations
 
 from typing import Dict, Iterator, List, Optional, Tuple
 
-from repro.exceptions import DuplicateQueryError, UnknownQueryError
+from repro.exceptions import UnknownQueryError
 from repro.index.postings import QueryPostingList
 from repro.queries.query import Query
+from repro.queries.store import QueryStore
 from repro.types import QueryId, TermId
 
 
 class QueryIndex:
     """ID-ordered inverted file over the registered continuous queries."""
 
-    def __init__(self) -> None:
+    def __init__(self, store: Optional[QueryStore] = None) -> None:
         self._postings: Dict[TermId, QueryPostingList] = {}
-        self._queries: Dict[QueryId, Query] = {}
+        #: Shared definition store.  When the engine passes its own store,
+        #: registration bookkeeping (duplicate checks, packing) happened
+        #: there already and the index only maintains postings; a standalone
+        #: index owns a private store and does both.
+        self._store = store if store is not None else QueryStore()
+        self._owns_store = store is None
         self._listeners: List["QueryIndexListener"] = []
 
     # ------------------------------------------------------------------ #
@@ -49,9 +58,8 @@ class QueryIndex:
         Queries registered in increasing id order append in O(1) per term;
         out-of-order ids fall back to an ordered insert.
         """
-        if query.query_id in self._queries:
-            raise DuplicateQueryError(f"query {query.query_id} is already registered")
-        self._queries[query.query_id] = query
+        if self._owns_store:
+            self._store.register(query)  # raises DuplicateQueryError
         for term_id, weight in query.vector.items():
             plist = self._postings.get(term_id)
             if plist is None:
@@ -64,11 +72,16 @@ class QueryIndex:
         for listener in self._listeners:
             listener.on_query_registered(query)
 
-    def unregister(self, query_id: QueryId) -> Query:
-        """Remove a query and its postings; returns the removed query."""
-        query = self._queries.pop(query_id, None)
+    def unregister(self, query_id: QueryId, query: Optional[Query] = None) -> Query:
+        """Remove a query and its postings; returns the removed query.
+
+        An owning engine that already materialized the query passes it as
+        ``query`` so the index does not materialize a second copy.
+        """
         if query is None:
-            raise UnknownQueryError(f"query {query_id} is not registered")
+            query = self._store.materialize_or_none(query_id)
+            if query is None:
+                raise UnknownQueryError(f"query {query_id} is not registered")
         for term_id in query.vector:
             plist = self._postings.get(term_id)
             if plist is None:
@@ -76,6 +89,8 @@ class QueryIndex:
             plist.remove(query_id)
             if len(plist) == 0:
                 del self._postings[term_id]
+        if self._owns_store:
+            self._store.unregister(query_id)
         for listener in self._listeners:
             listener.on_query_unregistered(query)
         return query
@@ -89,19 +104,20 @@ class QueryIndex:
         return self._postings.get(term_id)
 
     def query(self, query_id: QueryId) -> Query:
-        query = self._queries.get(query_id)
+        query = self._store.materialize_or_none(query_id)
         if query is None:
             raise UnknownQueryError(f"query {query_id} is not registered")
         return query
 
     def has_query(self, query_id: QueryId) -> bool:
-        return query_id in self._queries
+        return query_id in self._store
 
     def queries(self) -> Iterator[Query]:
-        return iter(self._queries.values())
+        store = self._store
+        return (store.materialize(query_id) for query_id in store.query_ids())
 
     def query_ids(self) -> List[QueryId]:
-        return list(self._queries.keys())
+        return list(self._store.query_ids())
 
     def term_ids(self) -> List[TermId]:
         return list(self._postings.keys())
@@ -111,7 +127,7 @@ class QueryIndex:
 
     @property
     def num_queries(self) -> int:
-        return len(self._queries)
+        return len(self._store)
 
     @property
     def num_terms(self) -> int:

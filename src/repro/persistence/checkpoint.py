@@ -197,6 +197,18 @@ class CheckpointManager:
                 [query_id, result]
                 for query_id, result in sorted(new_results.items())
                 if base_results.get(query_id) != result
+            ]
+            + [
+                # Engine snapshots omit empty heaps (emptiness is implied by
+                # registration), so a heap that *became* empty since the base
+                # — expiration can clear results — shows up as an absent key.
+                # Spell the transition out; dropping it would resurrect the
+                # base's stale entries on recovery.
+                [query_id, {"k": new_queries[query_id]["k"], "heap": []}]
+                for query_id in sorted(base_results)
+                if query_id not in new_results
+                and query_id in new_queries
+                and base_results[query_id].get("heap")
             ],
             "decay": new["decay"],
             "counters": new["counters"],

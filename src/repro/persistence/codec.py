@@ -161,7 +161,11 @@ def encode_query(query: Query) -> Dict[str, object]:
 
 
 def decode_query(encoded: Dict[str, object]) -> Query:
-    return Query(
+    # Trusted construction: every encoded query was validated and
+    # normalized when first registered, so decoding skips re-validation
+    # (a WAL replay or rebalance adoption would otherwise re-walk every
+    # vector just to re-prove normalization).
+    return Query.trusted(
         query_id=int(encoded["i"]),  # type: ignore[arg-type]
         vector=_decode_vector(encoded["t"], encoded["w"]),  # type: ignore[arg-type]
         k=int(encoded["k"]),  # type: ignore[arg-type]

@@ -1,6 +1,7 @@
 """Continuous-query model and the synthetic query workload generators."""
 
 from repro.queries.query import Query
+from repro.queries.store import QueryStore, RegisteredQueries, SlotMap
 from repro.queries.workloads import (
     WorkloadConfig,
     UniformWorkload,
@@ -11,6 +12,9 @@ from repro.queries.cooccurrence import CooccurrenceGraph
 
 __all__ = [
     "Query",
+    "QueryStore",
+    "RegisteredQueries",
+    "SlotMap",
     "WorkloadConfig",
     "UniformWorkload",
     "ConnectedWorkload",

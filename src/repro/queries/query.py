@@ -49,6 +49,31 @@ class Query:
         if not is_normalized(self.vector, tolerance=1e-6):
             raise QueryError(f"query {self.query_id} vector is not L2-normalized")
 
+    @classmethod
+    def trusted(
+        cls,
+        query_id: QueryId,
+        vector: SparseVector,
+        k: int,
+        user: Optional[str] = None,
+    ) -> "Query":
+        """Construct a query *without* re-running ``__post_init__``.
+
+        For vectors that are already canonical — decoded by the CRC-framed
+        persistence codec or materialized from the packed
+        :class:`~repro.queries.store.QueryStore` — the weights were
+        validated and L2-normalized when the query was first registered.
+        Re-walking the vector on every decode made rebalance adoption
+        O(|vector|) per query in pure overhead; this constructor skips it.
+        The caller vouches for canonicality.
+        """
+        query = object.__new__(cls)
+        query.__dict__["query_id"] = query_id
+        query.__dict__["vector"] = vector
+        query.__dict__["k"] = k
+        query.__dict__["user"] = user
+        return query
+
     @property
     def num_terms(self) -> int:
         """Number of distinct keywords in the query."""

@@ -380,6 +380,11 @@ class ShardedMonitor:
         merged = Telemetry()
         for shard in self._shards:
             merged.merge_snapshot(shard.telemetry_snapshot())
+        if "registered_queries" in merged.gauges:
+            # Gauges merge by maximum (the right envelope for backlogs and
+            # high-water marks), but registered_queries is additive across a
+            # partition: overwrite the max-of-shards with the fleet total.
+            merged.set_gauge("registered_queries", float(self.num_queries))
         gauges = getattr(self._executor, "telemetry_gauges", None)
         if gauges is not None:
             for name, value in gauges().items():

@@ -60,7 +60,10 @@ class TestQueryIndex:
         index = QueryIndex()
         query = make_query(4, {1: 1.0}, k=2)
         index.register(query)
-        assert index.query(4) is query
+        # The index packs definitions into its store instead of retaining
+        # the object; lookups materialize an equal transient Query.
+        assert index.query(4) == query
+        assert index.query(4) is not query
         assert index.has_query(4)
         assert not index.has_query(5)
         with pytest.raises(UnknownQueryError):

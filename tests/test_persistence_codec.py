@@ -71,6 +71,37 @@ class TestDocumentAndQuery:
         query = Query(query_id=0, vector={1: 1.0}, k=1, user="alice")
         assert codec.decode_query(codec.encode_query(query)).user == "alice"
 
+    def test_decode_query_skips_revalidation(self, monkeypatch):
+        """Codec-sourced vectors are trusted: they were validated when first
+        registered and round-trip bit-exactly, so decode must not re-walk
+        them (WAL replay and rebalance adoption decode every query)."""
+        from repro.queries import query as query_module
+
+        query = make_query(11, {5: 0.2, 2: 0.9}, k=4)
+        payload = codec.encode_query(query)
+        calls = []
+
+        def counting_post_init(self):
+            calls.append(self.query_id)
+
+        monkeypatch.setattr(
+            query_module.Query, "__post_init__", counting_post_init
+        )
+        decoded = codec.decode_query(payload)
+        assert decoded == query
+        assert calls == [], "decode_query re-ran __post_init__ validation"
+
+    def test_decode_query_preserves_unnormalized_bits(self):
+        """The codec must hand back exactly the bytes it was given, even for
+        a vector that re-validation would reject — proof that no
+        re-normalization can perturb replayed WAL state."""
+        from repro.queries.query import Query
+
+        raw = Query.trusted(query_id=3, vector={1: 0.75, 9: 2.5}, k=2)
+        decoded = codec.decode_query(codec.encode_query(raw))
+        assert decoded.vector == {1: 0.75, 9: 2.5}
+        assert list(decoded.vector.items()) == [(1, 0.75), (9, 2.5)]
+
 
 class TestMonitorState:
     def _run_engine(self):

@@ -1,0 +1,308 @@
+"""Property tests: the packed query store against a dict-based model.
+
+:class:`~repro.queries.store.QueryStore` replaces one retained ``Query``
+object + dict vector per registration with interned vocabulary, packed
+per-slot columns and a contiguous term/weight heap.  These tests drive
+random register/unregister churn through the store and an
+obviously-correct dict model in lockstep, then check the contracts every
+layer above relies on:
+
+* the slot table is a bijection over live queries and agrees with the
+  model's definitions (vectors in original order, ``k``, users, weights);
+* freed slots are reused (LIFO) so the slot-table width is bounded by the
+  peak live count, never the total registration count;
+* interning is stable: a term's dense tid never changes for the lifetime
+  of the store, no matter how much churn or heap compaction happens;
+* heap compaction moves spans but never changes any observable
+  definition, and the amortized trigger keeps dead heap entries bounded;
+* materialized definitions depend only on the live set, not on the
+  operation history that produced it (layout independence) — which is
+  what makes snapshot/restore through the store safe;
+* the :class:`~repro.queries.store.RegisteredQueries` facade behaves like
+  the dict it replaced.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import DuplicateQueryError, UnknownQueryError
+from repro.queries.query import Query
+from repro.queries.store import (
+    HEAP_COMPACT_MIN_DEAD,
+    QueryStore,
+    RegisteredQueries,
+    SlotMap,
+)
+from repro.text.similarity import l2_normalize
+
+from tests.helpers import sparse_vector_strategy
+
+
+def make_query(query_id, term_weights, k, user=None):
+    """Like :func:`tests.helpers.make_query` but with a user label."""
+    return Query(
+        query_id=query_id, vector=l2_normalize(term_weights), k=k, user=user
+    )
+
+
+@st.composite
+def churn_sequences(draw):
+    """Random unregister-heavy interleavings over a small population."""
+    num_queries = draw(st.integers(min_value=1, max_value=60))
+    vectors = [
+        draw(sparse_vector_strategy(vocab_size=15, max_terms=4))
+        for _ in range(num_queries)
+    ]
+    operations = []
+    registered: list = []
+    for query_id, vector in enumerate(vectors):
+        k = draw(st.integers(min_value=1, max_value=5))
+        user = draw(st.sampled_from([None, None, "alice", "bob"]))
+        operations.append(("register", query_id, (vector, k, user)))
+        registered.append(query_id)
+        # Unregister-heavy: up to two departures per arrival.
+        for _ in range(draw(st.integers(min_value=0, max_value=2))):
+            if not registered:
+                break
+            victim = registered.pop(
+                draw(st.integers(min_value=0, max_value=len(registered) - 1))
+            )
+            operations.append(("unregister", victim, None))
+    return operations
+
+
+def _replay(operations):
+    """Drive the store and the dict model through the same operations."""
+    store = QueryStore()
+    model = {}  # query_id -> (vector, k, user)
+    peak_live = 0
+    for op, query_id, payload in operations:
+        if op == "register":
+            vector, k, user = payload
+            query = make_query(query_id, vector, k=k, user=user)
+            store.register(query)
+            model[query_id] = (query.vector, k, user)  # normalized, as stored
+            peak_live = max(peak_live, len(model))
+        else:
+            store.unregister(query_id)
+            del model[query_id]
+    return store, model, peak_live
+
+
+def _check_against_model(store, model, peak_live):
+    assert len(store) == len(model)
+    # Bijection: every live query owns exactly one in-range slot.
+    seen_slots = set()
+    for query_id, (vector, k, user) in model.items():
+        assert query_id in store
+        slot = store.slot_of(query_id)
+        assert 0 <= slot < store.capacity
+        assert slot not in seen_slots, "two queries share a slot"
+        seen_slots.add(slot)
+        # Definitions round-trip, vector order preserved.
+        assert store.vector_of(query_id) == vector
+        assert list(store.items_of(query_id)) == list(vector.items())
+        assert store.k_of(query_id) == k
+        assert store.user_of(query_id) == user
+        assert store.num_terms_of(query_id) == len(vector)
+        for term_id, weight in vector.items():
+            assert store.weight_of(query_id, term_id) == weight
+        assert store.weight_of(query_id, 999_999) == 0.0
+        materialized = store.materialize(query_id)
+        assert materialized.query_id == query_id
+        assert materialized.vector == vector
+        assert materialized.k == k
+        assert materialized.user == user
+    assert sorted(store.query_ids()) == sorted(model)
+    # Slot reuse bounds the table by the peak live count.
+    assert store.capacity <= peak_live
+    assert store.capacity == len(model) + store.free_slot_count
+    # The amortized trigger keeps dead heap entries bounded.
+    live_heap = store.heap_size - store.heap_dead
+    assert not (
+        store.heap_dead >= HEAP_COMPACT_MIN_DEAD
+        and store.heap_dead > live_heap * 0.5
+    ), f"heap compaction trigger violated: dead={store.heap_dead}"
+
+
+class TestStoreMatchesDictModel:
+    @settings(max_examples=60, deadline=None)
+    @given(operations=churn_sequences())
+    def test_random_churn_matches_dict_model(self, operations):
+        store, model, peak_live = _replay(operations)
+        _check_against_model(store, model, peak_live)
+
+    @settings(max_examples=30, deadline=None)
+    @given(operations=churn_sequences())
+    def test_forced_heap_compaction_preserves_definitions(self, operations):
+        store, model, peak_live = _replay(operations)
+        before = {query_id: store.vector_of(query_id) for query_id in model}
+        slots_before = {query_id: store.slot_of(query_id) for query_id in model}
+        store._compact_heap()
+        assert store.heap_dead == 0
+        assert store.heap_size == sum(len(v) for v, _, _ in model.values())
+        for query_id in model:
+            # Spans moved; slot identities and definitions did not.
+            assert store.slot_of(query_id) == slots_before[query_id]
+            assert store.vector_of(query_id) == before[query_id]
+        _check_against_model(store, model, peak_live)
+
+    @settings(max_examples=30, deadline=None)
+    @given(operations=churn_sequences())
+    def test_interning_is_stable_across_churn(self, operations):
+        """A term's dense tid is assigned once and never changes."""
+        store = QueryStore()
+        first_tid = {}
+        for op, query_id, payload in operations:
+            if op == "register":
+                vector, k, user = payload
+                store.register(make_query(query_id, vector, k=k, user=user))
+                for term_id in vector:
+                    tid = store.intern(term_id)
+                    assert first_tid.setdefault(term_id, tid) == tid
+            else:
+                store.unregister(query_id)
+        store._compact_heap()
+        for term_id, tid in first_tid.items():
+            assert store.intern(term_id) == tid
+        assert store.vocabulary_size == len(first_tid)
+
+    @settings(max_examples=30, deadline=None)
+    @given(operations=churn_sequences())
+    def test_layout_independence(self, operations):
+        """Materialized definitions depend only on the live set, not on
+        the churn history that produced it — a store rebuilt from scratch
+        (snapshot/restore) is observationally identical."""
+        churned, model, _ = _replay(operations)
+        rebuilt = QueryStore()
+        for query_id in sorted(model):
+            vector, k, user = model[query_id]  # already normalized
+            rebuilt.register(Query(query_id=query_id, vector=vector, k=k, user=user))
+        assert RegisteredQueries(churned) == RegisteredQueries(rebuilt)
+        assert dict(RegisteredQueries(churned)) == dict(RegisteredQueries(rebuilt))
+        for query_id in model:
+            assert churned.materialize(query_id) == rebuilt.materialize(query_id)
+
+
+class TestFreeListAndHeap:
+    def test_free_slots_reused_lifo(self):
+        store = QueryStore()
+        for query_id in range(6):
+            store.register(make_query(query_id, {1: 1.0}, k=1))
+        slots = {query_id: store.slot_of(query_id) for query_id in range(6)}
+        store.unregister(2)
+        store.unregister(4)
+        # Most recently freed slot is handed out first.
+        assert store.register(make_query(10, {1: 1.0}, k=1)) == slots[4]
+        assert store.register(make_query(11, {1: 1.0}, k=1)) == slots[2]
+        assert store.capacity == 6  # never grew past peak live
+
+    def test_amortized_heap_compaction_trigger(self):
+        store = QueryStore()
+        terms_per_query = 4
+        population = HEAP_COMPACT_MIN_DEAD  # plenty to arm the trigger
+        for query_id in range(population):
+            vector = {query_id * terms_per_query + j: 1.0 for j in range(terms_per_query)}
+            store.register(make_query(query_id, vector, k=1))
+        assert store.heap_size == population * terms_per_query
+        # Unregister until dead > live * 0.5 with dead >= MIN_DEAD.
+        victim = 0
+        while store.heap_dead > 0 or victim == 0:
+            store.unregister(victim)
+            victim += 1
+            if store.heap_dead == 0:
+                break
+        assert store.heap_dead == 0, "compaction never fired"
+        live = population - victim
+        assert store.heap_size == live * terms_per_query
+        for query_id in range(victim, population):
+            assert store.num_terms_of(query_id) == terms_per_query
+
+    def test_duplicate_and_unknown_rejected(self):
+        store = QueryStore()
+        store.register(make_query(1, {1: 1.0}, k=1))
+        with pytest.raises(DuplicateQueryError):
+            store.register(make_query(1, {2: 1.0}, k=1))
+        with pytest.raises(UnknownQueryError):
+            store.unregister(2)
+        with pytest.raises(UnknownQueryError):
+            store.slot_of(2)
+        assert store.materialize_or_none(2) is None
+
+    def test_thresholds_round_trip_scale_and_refresh(self):
+        store = QueryStore()
+        for query_id in range(4):
+            store.register(make_query(query_id, {1: 1.0}, k=1))
+            store.set_threshold(query_id, float(query_id))
+        store.scale_thresholds(2.0)
+        for query_id in range(4):
+            assert store.threshold_of(query_id) == query_id / 2.0
+        store.refresh_thresholds(lambda query_id: 10.0 + query_id)
+        for query_id in range(4):
+            assert store.threshold_of(query_id) == 10.0 + query_id
+
+
+class TestSlotMap:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        ids=st.lists(
+            st.integers(min_value=0, max_value=5000), min_size=1, max_size=80
+        ),
+        drops=st.data(),
+    )
+    def test_matches_dict_model(self, ids, drops):
+        slot_map = SlotMap()
+        model = {}
+        for slot, query_id in enumerate(ids):
+            slot_map.set(query_id, slot)
+            model[query_id] = slot
+            if model and drops.draw(st.booleans()):
+                victim = drops.draw(st.sampled_from(sorted(model)))
+                assert slot_map.pop(victim) == model.pop(victim)
+        assert len(slot_map) == len(model)
+        for query_id, slot in model.items():
+            assert query_id in slot_map
+            assert slot_map.get(query_id) == slot
+        for probe in (min(model, default=1) + 6000, 99999):
+            assert slot_map.get(probe) is None
+            assert slot_map.pop(probe) is None
+        slot_map.clear()
+        assert len(slot_map) == 0
+        assert all(slot_map.get(query_id) is None for query_id in model)
+
+    def test_huge_id_falls_back_to_sparse(self):
+        slot_map = SlotMap()
+        slot_map.set(10**12, 0)  # must not allocate a terabyte array
+        assert slot_map.get(10**12) == 0
+        assert slot_map.nbytes() < 10_000
+        assert slot_map.pop(10**12) == 0
+        assert len(slot_map) == 0
+
+
+class TestRegisteredQueriesFacade:
+    def test_mapping_surface(self):
+        store = QueryStore()
+        queries = {
+            query_id: make_query(query_id, {1: 1.0, 2 + query_id: 0.5}, k=2)
+            for query_id in range(3)
+        }
+        for query in queries.values():
+            store.register(query)
+        facade = RegisteredQueries(store)
+        assert len(facade) == 3
+        assert set(facade) == set(queries)
+        assert facade[1] == queries[1]
+        assert facade[1] is not queries[1]  # materialized, not retained
+        assert facade.get(99) is None
+        assert 1 in facade and 99 not in facade
+        assert "not-an-id" not in facade
+        assert facade == queries
+        assert facade != {0: queries[0]}
+        assert dict(facade) == queries
+        with pytest.raises(KeyError):
+            facade[99]
+        with pytest.raises(TypeError):
+            hash(facade)

@@ -177,6 +177,78 @@ class TestDifferentialAgainstOfflineRun:
 
         run(body())
 
+    def test_flash_crowd_churn_over_sockets_matches_offline(self):
+        """A flash crowd subscribes in a burst mid-stream, its connection
+        drops and re-attaches, and the whole crowd unsubscribes at the end —
+        all over real sockets, byte-compared against an offline run."""
+
+        async def body():
+            queries, documents = build_world(num_events=90)
+            residents, crowd = queries[:16], queries[16:]
+            monitor = ContinuousMonitor(CONFIG)
+            server = MonitorServer(monitor, ServiceConfig(shutdown_timeout=10.0))
+            await server.start()
+            subscribers, vector_by_id = await subscribe_all(server.address, residents)
+            resident_ids = sorted(vector_by_id)
+            received = {}
+
+            batches = await publish_all(
+                server.address, documents[:30], batch_key=lambda b: (1, b)
+            )
+            await collect_notifications(subscribers, 1, received)
+
+            # Flash crowd: one burst of subscriptions over its own socket.
+            crowd_client = await MonitorClient.connect(*server.address)
+            crowd_ids = []
+            for query in crowd:
+                query_id = await crowd_client.subscribe(query.vector, k=query.k)
+                crowd_ids.append(query_id)
+                vector_by_id[query_id] = query.vector
+            assert server.monitor.num_queries == len(residents) + len(crowd)
+
+            phase2 = await publish_all(
+                server.address, documents[30:60], batch_key=lambda b: (2, b)
+            )
+            await collect_notifications(subscribers + [crowd_client], 2, received)
+
+            # The crowd's connection drops; a new one re-attaches every
+            # crowd query (queries outlive their subscriber connection).
+            await crowd_client.close()
+            reattach_client = await MonitorClient.connect(*server.address)
+            for query_id in crowd_ids:
+                await reattach_client.attach(query_id)
+
+            phase3 = await publish_all(
+                server.address, documents[60:], batch_key=lambda b: (3, b)
+            )
+            await collect_notifications(subscribers + [reattach_client], 3, received)
+
+            # The crowd departs in one burst; residents are untouched.
+            for query_id in crowd_ids:
+                await reattach_client.unsubscribe(query_id)
+            assert server.monitor.num_queries == len(residents)
+
+            reference = ContinuousMonitor(CONFIG)
+            for query_id in resident_ids:
+                reference.register_vector(vector_by_id[query_id], k=K)
+            expected = {}
+            replay_offline(reference, batches, expected)
+            for query_id in crowd_ids:
+                reference.register_vector(vector_by_id[query_id], k=K)
+            replay_offline(reference, phase2, expected)
+            replay_offline(reference, phase3, expected)
+            for query_id in crowd_ids:
+                reference.unregister(query_id)
+
+            assert received == expected
+            assert server.monitor.all_results() == reference.all_results()
+            for client in subscribers + [reattach_client]:
+                assert client.updates_pending() == 0
+                await client.close()
+            await server.stop()
+
+        run(body())
+
     def test_graceful_restart_resumes_replay_exact(self):
         async def body(root):
             queries, documents = build_world(num_events=120)

@@ -170,6 +170,48 @@ class TestMetricsHttp:
         run(scenario())
 
 
+class TestChurnTelemetry:
+    def test_churn_metrics_surface_through_sharded_snapshot_and_scrape(self):
+        """Registration churn shows up end to end: ``query.register`` /
+        ``query.unregister`` stage timers, the ``churn_ops`` counter, and a
+        ``registered_queries`` gauge that reports the fleet *total* (the
+        max-merge of per-shard gauges would report the biggest shard)."""
+
+        async def scenario():
+            monitor = ShardedMonitor(
+                MonitorConfig(algorithm="mrio", lam=1e-4, telemetry=True),
+                n_shards=2,
+                executor="serial",
+            )
+            async with serve(
+                monitor=monitor, telemetry=True, metrics_port=0
+            ) as server:
+                client = await MonitorClient.connect(*server.address)
+                ids = [
+                    await client.subscribe({1: 1.0, 2: 1.0, 3 + i: 0.5}, k=2)
+                    for i in range(6)
+                ]
+                await client.unsubscribe(ids[0])
+
+                snapshot = monitor.telemetry_snapshot()
+                assert snapshot["gauges"]["registered_queries"] == 5.0
+                assert snapshot["counters"]["churn_ops"] == 7
+                assert snapshot["histograms"]["query.register"]["n"] == 6
+                assert snapshot["histograms"]["query.unregister"]["n"] == 1
+
+                status, body = await _http_get(
+                    "127.0.0.1", server.metrics_port, "/metrics"
+                )
+                assert status == 200
+                assert "repro_registered_queries 5" in body
+                assert "repro_churn_ops 7" in body
+                assert "repro_query_register_seconds_count 6" in body
+                assert "repro_query_unregister_seconds_count 1" in body
+                await client.close()
+
+        run(scenario())
+
+
 class TestServiceConfigValidation:
     def test_negative_metrics_port_rejected(self):
         from repro.exceptions import ConfigurationError
